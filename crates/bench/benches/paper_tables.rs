@@ -1,0 +1,154 @@
+//! Criterion benches, one group per paper table: each measures the
+//! wall-clock cost of simulating the table's scenarios end to end
+//! (protocol engine + WAL + lock manager + discrete-event harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpc_bench::rows::{run_contended, run_group_commit, run_pair, run_sequence, run_star};
+use tpc_common::{OptimizationConfig, ProtocolKind};
+use tpc_sim::TxnSpec;
+
+fn table2_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_pair_commit");
+    for protocol in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.short_name()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| run_pair(p, OptimizationConfig::none(), Some(true), false, false))
+            },
+        );
+    }
+    g.bench_function("PA+read-only", |b| {
+        b.iter(|| {
+            run_pair(
+                ProtocolKind::PresumedAbort,
+                OptimizationConfig::none().with_read_only(true),
+                Some(false),
+                false,
+                false,
+            )
+        })
+    });
+    g.bench_function("PA+last-agent", |b| {
+        b.iter(|| {
+            run_pair(
+                ProtocolKind::PresumedAbort,
+                OptimizationConfig::none().with_last_agent(true),
+                Some(true),
+                false,
+                false,
+            )
+        })
+    });
+    g.bench_function("PA+abort", |b| {
+        b.iter(|| {
+            run_pair(
+                ProtocolKind::PresumedAbort,
+                OptimizationConfig::none(),
+                Some(true),
+                true,
+                false,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn table3_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_star_n11");
+    g.bench_function("basic", |b| {
+        b.iter(|| {
+            run_star(
+                11,
+                |_| tpc_sim::NodeConfig::new(ProtocolKind::Basic),
+                |root, subs| TxnSpec::star_update(root, subs, "t"),
+            )
+        })
+    });
+    g.bench_function("pa_read_only_m4", |b| {
+        b.iter(|| {
+            run_star(
+                11,
+                |_| {
+                    tpc_sim::NodeConfig::new(ProtocolKind::PresumedAbort)
+                        .with_opts(OptimizationConfig::none().with_read_only(true))
+                },
+                |root, subs| TxnSpec::star_mixed(root, &subs[..6], &subs[6..], "t"),
+            )
+        })
+    });
+    // Tree width sweep: how simulation cost scales with participants.
+    for n in [3usize, 7, 11, 21, 41] {
+        g.bench_with_input(BenchmarkId::new("pa_width", n), &n, |b, &n| {
+            b.iter(|| {
+                run_star(
+                    n,
+                    |_| tpc_sim::NodeConfig::new(ProtocolKind::PresumedAbort),
+                    |root, subs| TxnSpec::star_update(root, subs, "t"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table4_long_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_sequences_r12");
+    g.bench_function("basic_4r", |b| {
+        b.iter(|| run_sequence(12, ProtocolKind::Basic, OptimizationConfig::none(), false))
+    });
+    g.bench_function("pa_long_locks_3r", |b| {
+        b.iter(|| {
+            run_sequence(
+                12,
+                ProtocolKind::PresumedAbort,
+                OptimizationConfig::none().with_long_locks(true),
+                false,
+            )
+        })
+    });
+    g.bench_function("pa_ll_last_agent", |b| {
+        b.iter(|| {
+            run_sequence(
+                12,
+                ProtocolKind::PresumedAbort,
+                OptimizationConfig::none()
+                    .with_long_locks(true)
+                    .with_last_agent(true),
+                true,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn group_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_commit_20txn");
+    for batch in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| run_group_commit(20, if batch == 1 { None } else { Some(batch) }))
+        });
+    }
+    g.finish();
+}
+
+fn contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention_hot_key");
+    g.bench_function("pa_baseline", |b| {
+        b.iter(|| run_contended(OptimizationConfig::none(), false))
+    });
+    g.bench_function("pa_last_agent_server", |b| {
+        b.iter(|| run_contended(OptimizationConfig::none().with_last_agent(true), false))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table2_costs,
+    table3_scaling,
+    table4_long_locks,
+    group_commit,
+    contention
+);
+criterion_main!(benches);

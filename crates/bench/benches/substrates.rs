@@ -1,0 +1,207 @@
+//! Microbenchmarks for the substrates the protocol engine sits on: wire
+//! codec, WAL, group committer, lock manager, and raw engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpc_common::wire::{Decode, Encode};
+use tpc_common::{
+    DamageReport, NodeId, Outcome, ProtocolKind, SimTime, TxnId, Vote, VoteFlags,
+};
+use tpc_core::{EngineConfig, Event, LocalVote, ProtocolMsg, TmEngine};
+use tpc_locks::{LockManager, LockMode};
+use tpc_wal::{Durability, GroupCommitter, LogManager, LogRecord, MemLog, StreamId};
+
+fn codec(c: &mut Criterion) {
+    let msg = ProtocolMsg::VoteMsg {
+        txn: TxnId::new(NodeId(3), 42),
+        vote: Vote::Yes(VoteFlags {
+            ok_to_leave_out: true,
+            reliable: true,
+            unsolicited: false,
+            last_agent_delegation: false,
+        }),
+    };
+    let encoded = msg.encode_to_bytes();
+    let mut g = c.benchmark_group("wire_codec");
+    g.bench_function("encode_vote", |b| b.iter(|| msg.encode_to_bytes()));
+    g.bench_function("decode_vote", |b| {
+        b.iter(|| ProtocolMsg::decode_all(&encoded).expect("valid"))
+    });
+    let ack = ProtocolMsg::Ack {
+        txn: TxnId::new(NodeId(3), 42),
+        report: DamageReport {
+            heuristic_no_damage: vec![NodeId(1)],
+            damaged: vec![NodeId(2), NodeId(3)],
+            outcome_pending: vec![],
+        },
+        pending: false,
+    };
+    let ack_bytes = ack.encode_to_bytes();
+    g.bench_function("decode_ack_with_report", |b| {
+        b.iter(|| ProtocolMsg::decode_all(&ack_bytes).expect("valid"))
+    });
+    g.finish();
+}
+
+fn wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_memlog");
+    g.bench_function("append_nonforced", |b| {
+        let mut log = MemLog::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            log.append(
+                StreamId::Tm,
+                LogRecord::End {
+                    txn: TxnId::new(NodeId(0), seq),
+                },
+                Durability::NonForced,
+            )
+            .expect("append")
+        })
+    });
+    g.bench_function("append_forced", |b| {
+        let mut log = MemLog::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            log.append(
+                StreamId::Tm,
+                LogRecord::Committed {
+                    txn: TxnId::new(NodeId(0), seq),
+                    subordinates: vec![NodeId(1), NodeId(2)],
+                },
+                Durability::Forced,
+            )
+            .expect("append")
+        })
+    });
+    g.bench_function("group_committer_request", |b| {
+        let mut gc: GroupCommitter<u64> =
+            GroupCommitter::new(tpc_common::config::GroupCommitConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            gc.request(SimTime(t), t)
+        })
+    });
+    g.finish();
+}
+
+fn locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    g.bench_function("acquire_release_x", |b| {
+        let mut lm = LockManager::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let txn = TxnId::new(NodeId(0), seq);
+            lm.acquire(txn, b"key", LockMode::Exclusive, SimTime(seq));
+            lm.release_all(txn, SimTime(seq + 1))
+        })
+    });
+    for holders in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("shared_acquire", holders),
+            &holders,
+            |b, &holders| {
+                b.iter(|| {
+                    let mut lm = LockManager::new();
+                    for i in 0..holders as u64 {
+                        lm.acquire(
+                            TxnId::new(NodeId(0), i),
+                            b"key",
+                            LockMode::Shared,
+                            SimTime(i),
+                        );
+                    }
+                    for i in 0..holders as u64 {
+                        lm.release_all(TxnId::new(NodeId(0), i), SimTime(100 + i));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Raw engine throughput: a full 2-participant commit driven by hand
+/// (no simulator), measuring pure state-machine cost.
+fn engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_raw");
+    for protocol in [ProtocolKind::PresumedAbort, ProtocolKind::PresumedNothing] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.short_name()),
+            &protocol,
+            |b, &p| {
+                let mut seq = 0u64;
+                b.iter(|| {
+                    seq += 1;
+                    let mut coord =
+                        TmEngine::new(EngineConfig::new(NodeId(0), p)).expect("cfg");
+                    let mut sub = TmEngine::new(EngineConfig::new(NodeId(1), p)).expect("cfg");
+                    let txn = TxnId::new(NodeId(0), seq);
+                    let t = SimTime(1);
+                    // Work enrolls the subordinate.
+                    let acts = coord
+                        .handle(
+                            t,
+                            Event::SendWork {
+                                txn,
+                                to: NodeId(1),
+                                payload: vec![],
+                            },
+                        )
+                        .expect("work");
+                    pump(&mut coord, &mut sub, acts, t);
+                    let acts = coord
+                        .handle(t, Event::CommitRequested { txn })
+                        .expect("commit");
+                    pump(&mut coord, &mut sub, acts, t);
+                    assert_eq!(coord.finished_outcome(txn), Some(Outcome::Commit));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Minimal two-node action pump for the raw-engine bench.
+fn pump(coord: &mut TmEngine, sub: &mut TmEngine, actions: Vec<tpc_core::Action>, t: SimTime) {
+    let mut queue: Vec<(bool, tpc_core::Action)> =
+        actions.into_iter().map(|a| (true, a)).collect();
+    while let Some((at_coord, action)) = queue.pop() {
+        match action {
+            tpc_core::Action::Send { to, msgs } => {
+                let (target, from) = if to == NodeId(0) {
+                    (&mut *coord, NodeId(1))
+                } else {
+                    (&mut *sub, NodeId(0))
+                };
+                for msg in msgs {
+                    let acts = target
+                        .handle(t, Event::MsgReceived { from, msg })
+                        .expect("deliver");
+                    let flag = to == NodeId(0);
+                    queue.extend(acts.into_iter().map(|a| (flag, a)));
+                }
+            }
+            tpc_core::Action::PrepareLocal { txn, .. } => {
+                let target = if at_coord { &mut *coord } else { &mut *sub };
+                let acts = target
+                    .handle(
+                        t,
+                        Event::LocalPrepared {
+                            txn,
+                            vote: LocalVote::yes(),
+                        },
+                    )
+                    .expect("prepared");
+                queue.extend(acts.into_iter().map(|a| (at_coord, a)));
+            }
+            _ => {}
+        }
+    }
+}
+
+criterion_group!(benches, codec, wal, locks, engine);
+criterion_main!(benches);

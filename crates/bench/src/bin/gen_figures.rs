@@ -1,0 +1,66 @@
+//! Prints the paper's protocol figures (time-sequence traces) from live
+//! simulation runs.
+//!
+//! ```text
+//! cargo run -p tpc-bench --bin gen_figures           # all figures
+//! cargo run -p tpc-bench --bin gen_figures fig3 fig6 # a selection
+//! ```
+
+use tpc_sim::scenarios::*;
+use tpc_sim::{protocol_only, render_trace, Sim};
+
+fn print_figure(title: &str, mut sim: Sim) {
+    let report = sim.run();
+    println!("\n=== {title} ===");
+    print!("{}", render_trace(&protocol_only(&report.trace)));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        print_figure(
+            "Figure 1: simple two-phase commit (basic)",
+            fig1_basic_pair(),
+        );
+    }
+    if want("fig2") {
+        print_figure(
+            "Figure 2: basic 2PC with cascaded coordinator",
+            fig2_basic_cascade(),
+        );
+    }
+    if want("fig3") {
+        print_figure(
+            "Figure 3: Presumed Nothing with intermediate coordinator",
+            fig3_pn_cascade(),
+        );
+    }
+    if want("fig4") {
+        print_figure("Figure 4: partial read-only", fig4_partial_read_only());
+    }
+    if want("fig5") {
+        let (sim, _) = fig5_partitioned_tree();
+        print_figure(
+            "Figure 5: partitioned-tree hazard (engine aborts the broken tree)",
+            sim,
+        );
+    }
+    if want("fig6") {
+        print_figure("Figure 6: last agent", fig6_last_agent());
+    }
+    if want("fig7") {
+        print_figure(
+            "Figure 7: long locks (two transactions, piggybacked ack)",
+            fig7_long_locks(),
+        );
+    }
+    if want("fig8") {
+        print_figure(
+            "Figure 8: vote reliable (early ack, late-ack semantics)",
+            fig8_vote_reliable(),
+        );
+    }
+}

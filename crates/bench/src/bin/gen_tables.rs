@@ -1,0 +1,40 @@
+//! Prints the paper's Tables 1–4 (plus the group-commit and heuristic
+//! analyses) from live simulation runs.
+//!
+//! ```text
+//! cargo run -p tpc-bench --bin gen_tables            # everything
+//! cargo run -p tpc-bench --bin gen_tables table2     # one table
+//! ```
+
+use tpc_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("table1") {
+        print!("{}", tables::table1());
+    }
+    if want("table2") {
+        print!("{}", tables::table2());
+    }
+    if want("table3") {
+        print!("{}", tables::table3());
+    }
+    if want("table4") {
+        print!("{}", tables::table4());
+    }
+    if want("group_commit") {
+        print!("{}", tables::group_commit_sweep());
+    }
+    if want("heuristics") {
+        print!("{}", tables::heuristic_reporting());
+    }
+    if want("contention") {
+        print!("{}", tables::contention());
+    }
+    if want("ablation") {
+        print!("{}", tables::ablation());
+    }
+}

@@ -1,0 +1,275 @@
+//! Scenario runners that produce one table row each.
+
+use tpc_common::config::GroupCommitConfig;
+use tpc_common::{NodeId, OptimizationConfig, Outcome, ProtocolKind, SimDuration, SimTime};
+use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec, WorkEdge};
+
+/// Per-participant cost triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostRow {
+    /// Frames sent by this participant (2PC traffic only).
+    pub flows: u64,
+    /// TM-stream log writes.
+    pub writes: u64,
+    /// ... of which forced.
+    pub forced: u64,
+}
+
+/// Coordinator/subordinate costs of a 2-participant transaction
+/// (Table 2's shape).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PairCosts {
+    /// Coordinator-side costs.
+    pub coordinator: CostRow,
+    /// Subordinate-side costs.
+    pub subordinate: CostRow,
+    /// Total 2PC flows.
+    pub total_flows: u64,
+    /// The decided outcome.
+    pub outcome: Option<Outcome>,
+}
+
+fn node_costs(report: &RunReport, node: usize) -> CostRow {
+    let n = &report.per_node[node];
+    CostRow {
+        flows: n.engine.frames_sent - n.engine.work_frames,
+        writes: n.tm_writes,
+        forced: n.tm_forced,
+    }
+}
+
+/// Runs one 2-participant transaction and reports both sides' costs.
+///
+/// `sub_work`: `Some(true)` = updating work, `Some(false)` = read-only
+/// work, `None` = no work at all. `sub_votes_no` scripts an abort.
+pub fn run_pair(
+    protocol: ProtocolKind,
+    opts: OptimizationConfig,
+    sub_work: Option<bool>,
+    sub_votes_no: bool,
+    sub_unsolicited: bool,
+) -> PairCosts {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol).with_opts(opts);
+    let n0 = sim.add_node(cfg.clone());
+    let sub_cfg = {
+        let mut c = cfg;
+        if sub_votes_no {
+            c = c.vote_no_on(1);
+        }
+        if sub_unsolicited {
+            c = c.unsolicited();
+        }
+        c
+    };
+    let n1 = sim.add_node(sub_cfg);
+    sim.declare_partner(n0, n1);
+    let spec = match sub_work {
+        Some(true) => TxnSpec::star_update(n0, &[n1], "t"),
+        Some(false) => {
+            let mut s = TxnSpec::star_mixed(n0, &[], &[n1], "t");
+            s.root_ops = vec![];
+            s
+        }
+        None => TxnSpec::star_update(n0, &[], "t"),
+    };
+    sim.push_txn(spec);
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    PairCosts {
+        coordinator: node_costs(&report, 0),
+        subordinate: node_costs(&report, 1),
+        total_flows: report.protocol_flows(),
+        outcome: report.outcomes.first().map(|o| o.outcome),
+    }
+}
+
+/// Cluster-wide costs of an n-participant star (Table 3's shape), with a
+/// per-node configurator and a spec builder.
+pub fn run_star(
+    n: usize,
+    cfg_fn: impl Fn(usize) -> NodeConfig,
+    spec_fn: impl Fn(NodeId, &[NodeId]) -> TxnSpec,
+) -> RunReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let ids: Vec<NodeId> = (0..n).map(|i| sim.add_node(cfg_fn(i))).collect();
+    for s in &ids[1..] {
+        sim.declare_partner(ids[0], *s);
+    }
+    sim.push_txn(spec_fn(ids[0], &ids[1..]));
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    report
+}
+
+/// Runs `r` sequential 2-member transactions (Table 4's shape).
+pub fn run_sequence(
+    r: u64,
+    protocol: ProtocolKind,
+    opts: OptimizationConfig,
+    alternate_roots_with_last_agent: bool,
+) -> RunReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol).with_opts(opts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    if alternate_roots_with_last_agent {
+        sim.declare_partner(n1, n0);
+    }
+    for i in 0..r {
+        let root = if alternate_roots_with_last_agent && i % 2 == 1 {
+            n1
+        } else {
+            n0
+        };
+        let other = if root == n0 { n1 } else { n0 };
+        sim.push_txn(TxnSpec::star_update(root, &[other], &format!("t{i}")));
+    }
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    report
+}
+
+/// Group-commit sweep: `txns` concurrent single-sub transactions against
+/// one server whose log batches with `batch`. Returns (logical forces at
+/// the server, physical flushes at the server).
+pub fn run_group_commit(txns: usize, batch: Option<usize>) -> (u64, u64) {
+    let mut sim = Sim::new(SimConfig::default().real());
+    let opts = match batch {
+        Some(b) => OptimizationConfig::none().with_group_commit(Some(GroupCommitConfig {
+            batch_size: b,
+            max_wait: SimDuration::from_millis(2),
+        })),
+        None => OptimizationConfig::none(),
+    };
+    // Share the log so all forces funnel through the batched TM log.
+    let opts = opts.with_shared_log(true);
+    let server = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts));
+    for i in 0..txns {
+        let root = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort));
+        sim.declare_partner(root, server);
+        sim.push_txn_at(
+            TxnSpec {
+                root,
+                root_ops: vec![],
+                edges: vec![WorkEdge::update(root, server, &format!("k{i}"), "v")],
+                late_edges: vec![],
+                commit: true,
+            },
+            SimTime(i as u64 * 150),
+        );
+    }
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    let s = report
+        .per_node
+        .iter()
+        .find(|n| n.node == NodeId(0))
+        .expect("server");
+    (s.tm_forced + s.rm_forced, s.physical_flushes)
+}
+
+/// Eight concurrent roots contend on one hot key at a shared server
+/// (§1's lock-time motivation). Returns (makespan, total lock wait at
+/// the server).
+pub fn run_contended(
+    root_opts: OptimizationConfig,
+    server_unsolicited: bool,
+) -> (SimDuration, SimDuration) {
+    const ROOTS: usize = 8;
+    let mut sim = Sim::new(SimConfig::default().real());
+    let server_cfg = {
+        let c = NodeConfig::new(ProtocolKind::PresumedAbort);
+        if server_unsolicited {
+            c.unsolicited()
+        } else {
+            c
+        }
+    };
+    let server = sim.add_node(server_cfg);
+    for i in 0..ROOTS {
+        let root = sim
+            .add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(root_opts.clone()));
+        sim.declare_partner(root, server);
+        sim.push_txn_at(
+            TxnSpec {
+                root,
+                root_ops: vec![],
+                edges: vec![WorkEdge::update(root, server, "hot", &format!("r{i}"))],
+                late_edges: vec![],
+                commit: true,
+            },
+            SimTime(i as u64 * 200),
+        );
+    }
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    let makespan = report
+        .outcomes
+        .iter()
+        .map(|o| o.notified_at)
+        .max()
+        .expect("outcomes")
+        .since(SimTime::ZERO);
+    let wait = SimDuration::from_micros(
+        report
+            .per_node
+            .iter()
+            .find(|n| n.node == server)
+            .expect("server")
+            .locks
+            .total_wait_micros,
+    );
+    (makespan, wait)
+}
+
+/// The elapsed time the root application waits, for ack-timing
+/// comparisons, over a slow far link.
+pub fn run_latency_chain(protocol: ProtocolKind, opts: OptimizationConfig, reliable: bool) -> SimDuration {
+    let mut sim = Sim::new(SimConfig::default());
+    let base = NodeConfig::new(protocol).with_opts(opts);
+    let n0 = sim.add_node(base.clone());
+    let n1 = sim.add_node(if reliable { base.clone().reliable() } else { base.clone() });
+    let n2 = sim.add_node(if reliable { base.reliable() } else { base });
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n1, n2);
+    sim.set_link(n1, n2, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    sim.set_link(n2, n1, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    sim.push_txn(
+        TxnSpec::local_update(n0, "r", "1")
+            .with_edge(WorkEdge::update(n0, n1, "m", "1"))
+            .with_edge(WorkEdge::update(n1, n2, "l", "1")),
+    );
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    report.single().elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_runner_matches_paper_baseline() {
+        let c = run_pair(
+            ProtocolKind::Basic,
+            OptimizationConfig::none(),
+            Some(true),
+            false,
+            false,
+        );
+        assert_eq!(c.total_flows, 4);
+        assert_eq!((c.coordinator.writes, c.coordinator.forced), (2, 1));
+        assert_eq!((c.subordinate.writes, c.subordinate.forced), (3, 2));
+        assert_eq!(c.outcome, Some(Outcome::Commit));
+    }
+
+    #[test]
+    fn group_commit_runner_reduces_flushes() {
+        let (forces, unbatched) = run_group_commit(8, None);
+        let (forces2, batched) = run_group_commit(8, Some(4));
+        assert_eq!(forces, forces2);
+        assert!(batched < unbatched, "{batched} < {unbatched}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Protocol-variant and optimization configuration.
+//!
+//! The engine implements one state machine whose behaviour is steered by
+//! data: a [`ProtocolKind`] selecting the presumption/logging regime and an
+//! [`OptimizationConfig`] toggling each of the paper's §4 optimizations.
+//! This keeps every variant comparable — the benches run the *same* code
+//! with different configuration rows, mirroring the paper's tables.
+
+use crate::time::SimDuration;
+use crate::{Error, Result};
+
+/// Which 2PC family a node runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The baseline protocol of §2 / Figures 1–2: coordinator logs nothing
+    /// before Phase 1, forces a commit record, aborts are force-logged and
+    /// acknowledged, coordinator retains outcome information until all acks
+    /// arrive.
+    Basic,
+    /// Presumed Abort (§3): subordinate-driven recovery; a coordinator with
+    /// no information presumes abort, so the abort path needs no forces and
+    /// no acks, and read-only transactions need no logging at all.
+    PresumedAbort,
+    /// Presumed Commit (Mohan/Lindsay's sibling of PA, referenced by the
+    /// paper via R* [24, 25]): the coordinator force-logs a *collecting*
+    /// record before Phase 1; no information then presumes commit, so the
+    /// commit path needs no subordinate acks and no forced commit record at
+    /// subordinates' coordinator. Included as an extension for comparison.
+    PresumedCommit,
+    /// IBM's Presumed Nothing (§3 / Figure 3): the coordinator force-logs a
+    /// commit-pending record *before* sending Prepare, drives recovery
+    /// itself, collects acknowledgments from every subordinate, and reports
+    /// heuristic damage reliably to the root.
+    PresumedNothing,
+}
+
+impl ProtocolKind {
+    /// All protocol families, in the order the paper discusses them.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Basic,
+        ProtocolKind::PresumedAbort,
+        ProtocolKind::PresumedCommit,
+        ProtocolKind::PresumedNothing,
+    ];
+
+    /// Short name used in tables and traces.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ProtocolKind::Basic => "2PC",
+            ProtocolKind::PresumedAbort => "PA",
+            ProtocolKind::PresumedCommit => "PC",
+            ProtocolKind::PresumedNothing => "PN",
+        }
+    }
+
+    /// Does the coordinator force a log record *before* Phase 1?
+    ///
+    /// True for PN (commit-pending) and PC (collecting).
+    pub fn logs_before_prepare(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::PresumedNothing | ProtocolKind::PresumedCommit
+        )
+    }
+
+    /// Does the commit path require acknowledgments from subordinates?
+    ///
+    /// PC presumes commit, so subordinates need not acknowledge a commit;
+    /// everyone else collects acks so the coordinator may forget.
+    pub fn commit_needs_acks(self) -> bool {
+        !matches!(self, ProtocolKind::PresumedCommit)
+    }
+
+    /// Does the abort path require acknowledgments and forced abort
+    /// records at subordinates?
+    ///
+    /// PA presumes abort: subordinates simply abort with no force and no
+    /// ack. Everyone else must confirm.
+    pub fn abort_needs_acks(self) -> bool {
+        !matches!(self, ProtocolKind::PresumedAbort)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Acknowledgment timing for cascaded coordinators (§4, *Commit
+/// Acknowledgment*).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AckMode {
+    /// "I and all members of my subordinate subtree have committed" —
+    /// the intermediate holds its ack until all children acked. Reliable
+    /// damage reporting; the root waits longest.
+    #[default]
+    Late,
+    /// "I have committed and am in the middle of propagation" — the
+    /// intermediate acks as soon as its own commit record is logged.
+    Early,
+}
+
+/// When an in-doubt participant gives up waiting and decides unilaterally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HeuristicPolicy {
+    /// Never decide heuristically; block until the outcome is learned.
+    #[default]
+    Never,
+    /// After `timeout` in doubt, unilaterally commit.
+    CommitAfter(SimDuration),
+    /// After `timeout` in doubt, unilaterally abort.
+    AbortAfter(SimDuration),
+}
+
+impl HeuristicPolicy {
+    /// The in-doubt timeout, if this policy ever fires.
+    pub fn timeout(self) -> Option<SimDuration> {
+        match self {
+            HeuristicPolicy::Never => None,
+            HeuristicPolicy::CommitAfter(t) | HeuristicPolicy::AbortAfter(t) => Some(t),
+        }
+    }
+}
+
+/// Per-node switches for the paper's §4 optimizations.
+///
+/// Every field defaults to *off*, which reproduces the protocol family
+/// unadorned; the table generators turn them on row by row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizationConfig {
+    /// Read-Only: participants that performed no updates vote READ-ONLY,
+    /// skip phase two, and write no log records.
+    pub read_only: bool,
+    /// Leaving Inactive Partners Out: subordinates vote `ok_to_leave_out`
+    /// when their subtree suspends between requests; the coordinator skips
+    /// them in later transactions that never touch them.
+    pub leave_out: bool,
+    /// Last Agent: delegate the commit decision to one subordinate; the
+    /// coordinator prepares itself and everyone else first.
+    pub last_agent: bool,
+    /// Unsolicited Vote: servers that know they are done self-prepare and
+    /// vote YES without waiting for Prepare.
+    pub unsolicited_vote: bool,
+    /// Shared Log: co-located LRMs piggyback on the TM's forces, skipping
+    /// their own prepared/committed forces.
+    pub shared_log: bool,
+    /// Group Commit: the log manager batches force requests.
+    pub group_commit: Option<GroupCommitConfig>,
+    /// Long Locks: the subordinate buffers its commit ack and piggybacks it
+    /// on the first message of the next transaction.
+    pub long_locks: bool,
+    /// Acknowledgment timing at cascaded coordinators.
+    pub ack_mode: AckMode,
+    /// Vote Reliable: if every subordinate voted `reliable`, an
+    /// intermediate may use early acks while retaining late-ack semantics.
+    pub vote_reliable: bool,
+    /// Wait For Outcome: on failure during ack collection, make one
+    /// recovery attempt then complete with "outcome pending" instead of
+    /// blocking the application.
+    pub wait_for_outcome: bool,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        OptimizationConfig {
+            read_only: false,
+            leave_out: false,
+            last_agent: false,
+            unsolicited_vote: false,
+            shared_log: false,
+            group_commit: None,
+            long_locks: false,
+            ack_mode: AckMode::Late,
+            vote_reliable: false,
+            wait_for_outcome: false,
+        }
+    }
+}
+
+impl OptimizationConfig {
+    /// No optimizations — the bare protocol family.
+    pub fn none() -> Self {
+        OptimizationConfig::default()
+    }
+
+    /// Everything the paper recommends for the commercial normal case,
+    /// with late acks retained via vote-reliable.
+    pub fn all() -> Self {
+        OptimizationConfig {
+            read_only: true,
+            leave_out: true,
+            last_agent: true,
+            unsolicited_vote: false, // application-specific; off by default
+            shared_log: true,
+            group_commit: Some(GroupCommitConfig::default()),
+            long_locks: true,
+            ack_mode: AckMode::Late,
+            vote_reliable: true,
+            // Deliberately off: wait-for-outcome keeps the application
+            // blocked until every ack arrives, while long locks defers
+            // those very acks to the next transaction — combining them
+            // deadlocks the conversation (validate() rejects it).
+            wait_for_outcome: false,
+        }
+    }
+
+    /// Builder-style setters, so table generators read like the paper rows.
+    pub fn with_read_only(mut self, on: bool) -> Self {
+        self.read_only = on;
+        self
+    }
+
+    /// Enables/disables leave-inactive-partners-out.
+    pub fn with_leave_out(mut self, on: bool) -> Self {
+        self.leave_out = on;
+        self
+    }
+
+    /// Enables/disables last-agent delegation.
+    pub fn with_last_agent(mut self, on: bool) -> Self {
+        self.last_agent = on;
+        self
+    }
+
+    /// Enables/disables unsolicited votes.
+    pub fn with_unsolicited_vote(mut self, on: bool) -> Self {
+        self.unsolicited_vote = on;
+        self
+    }
+
+    /// Enables/disables TM/LRM log sharing.
+    pub fn with_shared_log(mut self, on: bool) -> Self {
+        self.shared_log = on;
+        self
+    }
+
+    /// Sets the group-commit policy.
+    pub fn with_group_commit(mut self, cfg: Option<GroupCommitConfig>) -> Self {
+        self.group_commit = cfg;
+        self
+    }
+
+    /// Enables/disables long locks.
+    pub fn with_long_locks(mut self, on: bool) -> Self {
+        self.long_locks = on;
+        self
+    }
+
+    /// Sets the acknowledgment timing.
+    pub fn with_ack_mode(mut self, mode: AckMode) -> Self {
+        self.ack_mode = mode;
+        self
+    }
+
+    /// Enables/disables vote-reliable.
+    pub fn with_vote_reliable(mut self, on: bool) -> Self {
+        self.vote_reliable = on;
+        self
+    }
+
+    /// Enables/disables wait-for-outcome.
+    pub fn with_wait_for_outcome(mut self, on: bool) -> Self {
+        self.wait_for_outcome = on;
+        self
+    }
+
+    /// Rejects configurations the paper calls out as contradictory.
+    pub fn validate(&self) -> Result<()> {
+        if self.vote_reliable && self.ack_mode == AckMode::Early {
+            return Err(Error::Config(
+                "vote_reliable selects early acks dynamically; fixing ack_mode=Early \
+                 makes the reliability vote meaningless"
+                    .into(),
+            ));
+        }
+        if self.long_locks && self.wait_for_outcome {
+            return Err(Error::Config(
+                "long_locks defers commit acks to the next transaction while \
+                 wait_for_outcome blocks the application until those acks arrive; \
+                 the combination deadlocks the conversation"
+                    .into(),
+            ));
+        }
+        if let Some(gc) = &self.group_commit {
+            gc.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Group-commit batching policy (§4, *Group Commits*): hold a force until
+/// `batch_size` requests accumulate or `max_wait` elapses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Number of force requests that triggers an immediate flush.
+    pub batch_size: usize,
+    /// Maximum time the first queued request may wait.
+    pub max_wait: SimDuration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            batch_size: 4,
+            max_wait: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl GroupCommitConfig {
+    /// Rejects degenerate policies.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(Error::Config("group commit batch_size must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_predicates_match_paper() {
+        use ProtocolKind::*;
+        assert!(!Basic.logs_before_prepare());
+        assert!(!PresumedAbort.logs_before_prepare());
+        assert!(PresumedNothing.logs_before_prepare());
+        assert!(PresumedCommit.logs_before_prepare());
+
+        assert!(Basic.abort_needs_acks());
+        assert!(!PresumedAbort.abort_needs_acks());
+        assert!(PresumedNothing.abort_needs_acks());
+
+        assert!(Basic.commit_needs_acks());
+        assert!(PresumedAbort.commit_needs_acks());
+        assert!(!PresumedCommit.commit_needs_acks());
+        assert!(PresumedNothing.commit_needs_acks());
+    }
+
+    #[test]
+    fn default_config_is_all_off() {
+        let c = OptimizationConfig::none();
+        assert!(!c.read_only && !c.leave_out && !c.last_agent);
+        assert!(!c.unsolicited_vote && !c.shared_log && !c.long_locks);
+        assert!(c.group_commit.is_none());
+        assert_eq!(c.ack_mode, AckMode::Late);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = OptimizationConfig::none()
+            .with_read_only(true)
+            .with_last_agent(true)
+            .with_long_locks(true);
+        assert!(c.read_only && c.last_agent && c.long_locks);
+        assert!(!c.leave_out);
+    }
+
+    #[test]
+    fn contradictory_config_rejected() {
+        let c = OptimizationConfig::none()
+            .with_vote_reliable(true)
+            .with_ack_mode(AckMode::Early);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn group_commit_validation() {
+        let bad = GroupCommitConfig {
+            batch_size: 0,
+            max_wait: SimDuration::from_millis(1),
+        };
+        assert!(bad.validate().is_err());
+        assert!(GroupCommitConfig::default().validate().is_ok());
+        let c = OptimizationConfig::none().with_group_commit(Some(bad));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn heuristic_policy_timeout() {
+        assert_eq!(HeuristicPolicy::Never.timeout(), None);
+        let t = SimDuration::from_secs(30);
+        assert_eq!(HeuristicPolicy::CommitAfter(t).timeout(), Some(t));
+        assert_eq!(HeuristicPolicy::AbortAfter(t).timeout(), Some(t));
+    }
+
+    #[test]
+    fn all_config_is_valid() {
+        assert!(OptimizationConfig::all().validate().is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::ids::{NodeId, TxnId};
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the protocol engine and its substrates.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed or truncated wire/log data.
+    Codec(String),
+    /// The WAL rejected an operation (e.g. append after simulated crash).
+    Log(String),
+    /// Underlying file I/O failed (file-backed WAL, TCP transport).
+    Io(std::io::Error),
+    /// A lock request could not be granted.
+    LockDenied {
+        /// Transaction whose request was denied.
+        txn: TxnId,
+        /// Human-readable reason (conflict holder, deadlock victim, ...).
+        reason: String,
+    },
+    /// Deadlock detected; this transaction was chosen as the victim.
+    DeadlockVictim(TxnId),
+    /// A protocol invariant was violated (e.g. two roots for one
+    /// transaction, vote received in the wrong state).
+    Protocol {
+        /// Transaction the violation concerns.
+        txn: TxnId,
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// Message addressed to a node that does not exist.
+    UnknownNode(NodeId),
+    /// The referenced transaction is not known to this participant.
+    UnknownTxn(TxnId),
+    /// The operation is invalid in the participant's current state.
+    InvalidState(String),
+    /// Configuration rejected (conflicting optimization flags, etc.).
+    Config(String),
+    /// Transport failure in the live runtime.
+    Transport(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Log(m) => write!(f, "log error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::LockDenied { txn, reason } => {
+                write!(f, "lock denied for {txn}: {reason}")
+            }
+            Error::DeadlockVictim(txn) => write!(f, "{txn} chosen as deadlock victim"),
+            Error::Protocol { txn, detail } => {
+                write!(f, "protocol violation in {txn}: {detail}")
+            }
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn display_is_informative() {
+        let t = TxnId::new(NodeId(1), 2);
+        let e = Error::Protocol {
+            txn: t,
+            detail: "two roots".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("T1.2"));
+        assert!(s.contains("two roots"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! All identifiers are small `Copy` newtypes so they can be passed by value,
+//! stored in log records, and encoded on the wire without allocation.
+
+use std::fmt;
+
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+
+/// Identifies one node (one transaction manager and its co-located resource
+/// managers) in the distributed system.
+///
+/// In the simulator this indexes into the node table; in the live runtime it
+/// maps to a socket address via the cluster membership table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index. Handy for dense per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Globally unique transaction identifier.
+///
+/// Following the peer-to-peer model of the paper (any program may initiate
+/// work), a transaction is named by the node that **began** it plus a local
+/// sequence number, so ids can be minted without coordination.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Node that originated the transaction.
+    pub origin: NodeId,
+    /// Per-origin monotonically increasing sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    #[inline]
+    pub fn new(origin: NodeId, seq: u64) -> Self {
+        TxnId { origin, seq }
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.origin.0, self.seq)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.origin.0, self.seq)
+    }
+}
+
+/// Identifies a local resource manager within one node.
+///
+/// A node hosts its transaction manager plus zero or more LRMs (database /
+/// file managers in the paper's terminology). `RmId` is only meaningful
+/// relative to a `NodeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RmId(pub u16);
+
+impl fmt::Debug for RmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Log sequence number: the byte offset (or record ordinal, for the
+/// in-memory log) of a record within one node's write-ahead log.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The zero LSN, before any record.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// Returns the next LSN after advancing by `len`.
+    #[inline]
+    pub fn advance(self, len: u64) -> Lsn {
+        Lsn(self.0 + len)
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lsn({})", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(self.0);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(d: &mut Decoder<'_>) -> crate::Result<Self> {
+        Ok(NodeId(d.get_u32()?))
+    }
+}
+
+impl Encode for TxnId {
+    fn encode(&self, e: &mut Encoder) {
+        self.origin.encode(e);
+        e.put_u64(self.seq);
+    }
+}
+
+impl Decode for TxnId {
+    fn decode(d: &mut Decoder<'_>) -> crate::Result<Self> {
+        Ok(TxnId {
+            origin: NodeId::decode(d)?,
+            seq: d.get_u64()?,
+        })
+    }
+}
+
+impl Encode for RmId {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u16(self.0);
+    }
+}
+
+impl Decode for RmId {
+    fn decode(d: &mut Decoder<'_>) -> crate::Result<Self> {
+        Ok(RmId(d.get_u16()?))
+    }
+}
+
+impl Encode for Lsn {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.0);
+    }
+}
+
+impl Decode for Lsn {
+    fn decode(d: &mut Decoder<'_>) -> crate::Result<Self> {
+        Ok(Lsn(d.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_is_origin_then_seq() {
+        let a = TxnId::new(NodeId(1), 5);
+        let b = TxnId::new(NodeId(1), 6);
+        let c = TxnId::new(NodeId(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(TxnId::new(NodeId(3), 9).to_string(), "T3.9");
+        assert_eq!(RmId(2).to_string(), "R2");
+        assert_eq!(Lsn(77).to_string(), "77");
+    }
+
+    #[test]
+    fn lsn_advance() {
+        assert_eq!(Lsn::ZERO.advance(16), Lsn(16));
+        assert_eq!(Lsn(16).advance(8), Lsn(24));
+    }
+
+    #[test]
+    fn ids_roundtrip_through_codec() {
+        let mut e = Encoder::new();
+        NodeId(42).encode(&mut e);
+        TxnId::new(NodeId(7), 123456789).encode(&mut e);
+        RmId(65535).encode(&mut e);
+        Lsn(u64::MAX).encode(&mut e);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(NodeId::decode(&mut d).unwrap(), NodeId(42));
+        assert_eq!(
+            TxnId::decode(&mut d).unwrap(),
+            TxnId::new(NodeId(7), 123456789)
+        );
+        assert_eq!(RmId::decode(&mut d).unwrap(), RmId(65535));
+        assert_eq!(Lsn::decode(&mut d).unwrap(), Lsn(u64::MAX));
+        assert!(d.is_empty());
+    }
+}

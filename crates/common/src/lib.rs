@@ -1,0 +1,30 @@
+//! # tpc-common
+//!
+//! Shared vocabulary for the `twopc` workspace: strongly-typed identifiers,
+//! votes and outcomes, protocol/optimization configuration, a virtual clock,
+//! error types, and a small hand-rolled binary wire codec used by both the
+//! deterministic simulator and the live TCP transport.
+//!
+//! Everything here is deliberately dependency-light: the protocol engine
+//! (`tpc-core`) and every substrate build on these types, so this crate must
+//! stay at the bottom of the dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod ops;
+pub mod outcome;
+pub mod time;
+pub mod vote;
+pub mod wire;
+
+pub use config::{AckMode, HeuristicPolicy, OptimizationConfig, ProtocolKind};
+pub use error::{Error, Result};
+pub use ids::{Lsn, NodeId, RmId, TxnId};
+pub use ops::{decode_ops, encode_ops, Op};
+pub use outcome::{DamageReport, HeuristicOutcome, Outcome};
+pub use time::{SimDuration, SimTime};
+pub use vote::{Vote, VoteFlags};

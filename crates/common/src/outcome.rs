@@ -1,0 +1,244 @@
+//! Transaction outcomes, heuristic decisions and damage reports.
+
+use crate::ids::NodeId;
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::{Error, Result};
+
+/// The global decision reached by the commit coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// All participants voted YES (or READ-ONLY); effects persist.
+    Commit,
+    /// At least one participant voted NO, failed, or the application
+    /// requested rollback; no effects persist.
+    Abort,
+}
+
+impl Outcome {
+    /// The opposite outcome — what a heuristic decision damages against.
+    #[inline]
+    pub fn inverse(self) -> Outcome {
+        match self {
+            Outcome::Commit => Outcome::Abort,
+            Outcome::Abort => Outcome::Commit,
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Outcome::Commit => "COMMIT",
+            Outcome::Abort => "ABORT",
+        })
+    }
+}
+
+/// A unilateral decision taken by an in-doubt participant that refused to
+/// keep waiting (§1 and §3 of the paper: "a practical necessity in the
+/// commercial environment").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeuristicOutcome {
+    /// The participant unilaterally committed.
+    Commit,
+    /// The participant unilaterally aborted.
+    Abort,
+    /// Different resources under one participant went different ways —
+    /// the worst case, always damage.
+    Mixed,
+}
+
+impl HeuristicOutcome {
+    /// Whether this heuristic decision conflicts with the final global
+    /// outcome, i.e. whether *heuristic damage* occurred.
+    pub fn damages(self, global: Outcome) -> bool {
+        match (self, global) {
+            (HeuristicOutcome::Commit, Outcome::Commit) => false,
+            (HeuristicOutcome::Abort, Outcome::Abort) => false,
+            (HeuristicOutcome::Mixed, _) => true,
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HeuristicOutcome::Commit => "HEURISTIC-COMMIT",
+            HeuristicOutcome::Abort => "HEURISTIC-ABORT",
+            HeuristicOutcome::Mixed => "HEURISTIC-MIXED",
+        })
+    }
+}
+
+/// A report of heuristic activity in a subtree, carried upstream inside
+/// acknowledgment messages.
+///
+/// PN propagates these reliably to the root (the point of its extra
+/// commit-pending force and full ack collection); PA, as implemented in R*,
+/// reports only to the immediate coordinator. The engine models both so the
+/// reliability comparison in Table 1 can be measured.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DamageReport {
+    /// Nodes that made a heuristic decision *matching* the outcome
+    /// (no damage, but the root may still want to know under PN).
+    pub heuristic_no_damage: Vec<NodeId>,
+    /// Nodes whose heuristic decision conflicts with the global outcome.
+    pub damaged: Vec<NodeId>,
+    /// Nodes whose outcome is still unknown (wait-for-outcome returned
+    /// "recovery in progress").
+    pub outcome_pending: Vec<NodeId>,
+}
+
+impl DamageReport {
+    /// A clean report: no heuristics anywhere in the subtree.
+    pub fn clean() -> Self {
+        DamageReport::default()
+    }
+
+    /// True when no heuristic activity and nothing pending.
+    pub fn is_clean(&self) -> bool {
+        self.heuristic_no_damage.is_empty()
+            && self.damaged.is_empty()
+            && self.outcome_pending.is_empty()
+    }
+
+    /// True when some participant's state conflicts with the outcome.
+    pub fn has_damage(&self) -> bool {
+        !self.damaged.is_empty()
+    }
+
+    /// Folds a subtree's report into this one.
+    pub fn merge(&mut self, other: &DamageReport) {
+        self.heuristic_no_damage
+            .extend_from_slice(&other.heuristic_no_damage);
+        self.damaged.extend_from_slice(&other.damaged);
+        self.outcome_pending.extend_from_slice(&other.outcome_pending);
+    }
+}
+
+impl Encode for Outcome {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            Outcome::Commit => 0,
+            Outcome::Abort => 1,
+        });
+    }
+}
+
+impl Decode for Outcome {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        match d.get_u8()? {
+            0 => Ok(Outcome::Commit),
+            1 => Ok(Outcome::Abort),
+            t => Err(Error::Codec(format!("invalid outcome tag {t}"))),
+        }
+    }
+}
+
+impl Encode for HeuristicOutcome {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            HeuristicOutcome::Commit => 0,
+            HeuristicOutcome::Abort => 1,
+            HeuristicOutcome::Mixed => 2,
+        });
+    }
+}
+
+impl Decode for HeuristicOutcome {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        match d.get_u8()? {
+            0 => Ok(HeuristicOutcome::Commit),
+            1 => Ok(HeuristicOutcome::Abort),
+            2 => Ok(HeuristicOutcome::Mixed),
+            t => Err(Error::Codec(format!("invalid heuristic tag {t}"))),
+        }
+    }
+}
+
+impl Encode for DamageReport {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_seq(&self.heuristic_no_damage);
+        e.put_seq(&self.damaged);
+        e.put_seq(&self.outcome_pending);
+    }
+}
+
+impl Decode for DamageReport {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(DamageReport {
+            heuristic_no_damage: d.get_seq()?,
+            damaged: d.get_seq()?,
+            outcome_pending: d.get_seq()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse() {
+        assert_eq!(Outcome::Commit.inverse(), Outcome::Abort);
+        assert_eq!(Outcome::Abort.inverse(), Outcome::Commit);
+    }
+
+    #[test]
+    fn damage_matrix() {
+        use HeuristicOutcome as H;
+        use Outcome as O;
+        assert!(!H::Commit.damages(O::Commit));
+        assert!(H::Commit.damages(O::Abort));
+        assert!(H::Abort.damages(O::Commit));
+        assert!(!H::Abort.damages(O::Abort));
+        assert!(H::Mixed.damages(O::Commit));
+        assert!(H::Mixed.damages(O::Abort));
+    }
+
+    #[test]
+    fn report_merge_and_flags() {
+        let mut a = DamageReport::clean();
+        assert!(a.is_clean());
+        assert!(!a.has_damage());
+        let b = DamageReport {
+            heuristic_no_damage: vec![NodeId(1)],
+            damaged: vec![NodeId(2)],
+            outcome_pending: vec![],
+        };
+        a.merge(&b);
+        assert!(!a.is_clean());
+        assert!(a.has_damage());
+        assert_eq!(a.damaged, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn roundtrip_codec() {
+        for o in [Outcome::Commit, Outcome::Abort] {
+            assert_eq!(Outcome::decode_all(&o.encode_to_bytes()).unwrap(), o);
+        }
+        for h in [
+            HeuristicOutcome::Commit,
+            HeuristicOutcome::Abort,
+            HeuristicOutcome::Mixed,
+        ] {
+            assert_eq!(
+                HeuristicOutcome::decode_all(&h.encode_to_bytes()).unwrap(),
+                h
+            );
+        }
+        let r = DamageReport {
+            heuristic_no_damage: vec![NodeId(3)],
+            damaged: vec![NodeId(4), NodeId(5)],
+            outcome_pending: vec![NodeId(6)],
+        };
+        assert_eq!(DamageReport::decode_all(&r.encode_to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(Outcome::decode_all(&[9]).is_err());
+        assert!(HeuristicOutcome::decode_all(&[9]).is_err());
+    }
+}

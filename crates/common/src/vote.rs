@@ -1,0 +1,162 @@
+//! Votes cast during the first (voting) phase of two-phase commit.
+
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::{Error, Result};
+
+/// The vote a participant returns in response to `Prepare` (or volunteers,
+/// under the unsolicited-vote optimization).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Vote {
+    /// The participant guarantees it can commit or abort as directed,
+    /// across failures. Carries the optimization flags of §4 of the paper.
+    Yes(VoteFlags),
+    /// The participant cannot prepare; the transaction must abort.
+    No,
+    /// The participant performed no updates: commit and abort are identical
+    /// for it, it releases its locks now and skips phase two entirely.
+    ReadOnly,
+}
+
+impl Vote {
+    /// True for `Yes` with any flag combination.
+    #[inline]
+    pub fn is_yes(self) -> bool {
+        matches!(self, Vote::Yes(_))
+    }
+
+    /// Flags carried by a `Yes` vote, if any.
+    #[inline]
+    pub fn flags(self) -> Option<VoteFlags> {
+        match self {
+            Vote::Yes(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Qualifiers a subordinate attaches to its YES vote.
+///
+/// These are the per-vote bits the paper's optimizations need:
+///
+/// * `ok_to_leave_out` — the subordinate (and its whole subtree) will
+///   suspend until re-invoked, so the coordinator may exclude it from the
+///   next transaction's commit if no data is exchanged (§4, *Leaving
+///   Inactive Partners Out*). Protected variable: takes effect only if the
+///   transaction commits.
+/// * `reliable` — every resource below this vote is one for which heuristic
+///   decisions are "very unlikely"; permits early acknowledgment with
+///   late-ack semantics (§4, *Vote Reliable*).
+/// * `unsolicited` — the vote was volunteered before any `Prepare` arrived
+///   (§4, *Unsolicited Vote*). Distinguished from a last-agent delegation by
+///   this bit, exactly as the paper specifies.
+/// * `last_agent_delegation` — this YES vote *delegates the commit
+///   decision* to the receiver (§4, *Last Agent*): the sender has prepared
+///   itself and its other subordinates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VoteFlags {
+    /// Subtree suspends until next use; may be skipped next transaction.
+    pub ok_to_leave_out: bool,
+    /// Heuristic decisions vanishingly unlikely below this participant.
+    pub reliable: bool,
+    /// Vote sent without waiting for `Prepare`.
+    pub unsolicited: bool,
+    /// This vote hands the commit decision to the receiver (last agent).
+    pub last_agent_delegation: bool,
+}
+
+impl VoteFlags {
+    /// Flags with everything off — the LU 6.2 defaults ("not OK to leave
+    /// out", not reliable, solicited, no delegation).
+    pub const NONE: VoteFlags = VoteFlags {
+        ok_to_leave_out: false,
+        reliable: false,
+        unsolicited: false,
+        last_agent_delegation: false,
+    };
+
+    fn to_bits(self) -> u8 {
+        u8::from(self.ok_to_leave_out)
+            | u8::from(self.reliable) << 1
+            | u8::from(self.unsolicited) << 2
+            | u8::from(self.last_agent_delegation) << 3
+    }
+
+    fn from_bits(b: u8) -> Result<Self> {
+        if b & !0b1111 != 0 {
+            return Err(Error::Codec(format!("invalid vote flag bits {b:#04x}")));
+        }
+        Ok(VoteFlags {
+            ok_to_leave_out: b & 1 != 0,
+            reliable: b & 2 != 0,
+            unsolicited: b & 4 != 0,
+            last_agent_delegation: b & 8 != 0,
+        })
+    }
+}
+
+impl Encode for Vote {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Vote::Yes(flags) => {
+                e.put_u8(0);
+                e.put_u8(flags.to_bits());
+            }
+            Vote::No => e.put_u8(1),
+            Vote::ReadOnly => e.put_u8(2),
+        }
+    }
+}
+
+impl Decode for Vote {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        match d.get_u8()? {
+            0 => Ok(Vote::Yes(VoteFlags::from_bits(d.get_u8()?)?)),
+            1 => Ok(Vote::No),
+            2 => Ok(Vote::ReadOnly),
+            t => Err(Error::Codec(format!("invalid vote tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_flag_combos() -> impl Iterator<Item = VoteFlags> {
+        (0u8..16).map(|b| VoteFlags::from_bits(b).unwrap())
+    }
+
+    #[test]
+    fn flags_roundtrip_bits() {
+        for f in all_flag_combos() {
+            assert_eq!(VoteFlags::from_bits(f.to_bits()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn votes_roundtrip_codec() {
+        let mut votes: Vec<Vote> = all_flag_combos().map(Vote::Yes).collect();
+        votes.push(Vote::No);
+        votes.push(Vote::ReadOnly);
+        for v in votes {
+            let b = v.encode_to_bytes();
+            assert_eq!(Vote::decode_all(&b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        assert!(VoteFlags::from_bits(0b1_0000).is_err());
+        let mut d = Decoder::new(&[9]);
+        assert!(Vote::decode(&mut d).is_err());
+    }
+
+    #[test]
+    fn is_yes_and_flags_accessors() {
+        assert!(Vote::Yes(VoteFlags::NONE).is_yes());
+        assert!(!Vote::No.is_yes());
+        assert!(!Vote::ReadOnly.is_yes());
+        assert_eq!(Vote::No.flags(), None);
+        assert_eq!(Vote::Yes(VoteFlags::NONE).flags(), Some(VoteFlags::NONE));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the wire codec round-trips arbitrary values and never
+//! panics on arbitrary input bytes.
+
+use proptest::prelude::*;
+use tpc_common::wire::{crc32, Decode, Decoder, Encode, Encoder};
+use tpc_common::{
+    DamageReport, HeuristicOutcome, NodeId, Op, Outcome, TxnId, Vote, VoteFlags,
+};
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u32>().prop_map(NodeId)
+}
+
+fn arb_txn() -> impl Strategy<Value = TxnId> {
+    (arb_node(), any::<u64>()).prop_map(|(n, s)| TxnId::new(n, s))
+}
+
+fn arb_flags() -> impl Strategy<Value = VoteFlags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(a, b, c, d)| VoteFlags {
+            ok_to_leave_out: a,
+            reliable: b,
+            unsolicited: c,
+            last_agent_delegation: d,
+        },
+    )
+}
+
+fn arb_vote() -> impl Strategy<Value = Vote> {
+    prop_oneof![
+        arb_flags().prop_map(Vote::Yes),
+        Just(Vote::No),
+        Just(Vote::ReadOnly),
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = DamageReport> {
+    (
+        prop::collection::vec(arb_node(), 0..4),
+        prop::collection::vec(arb_node(), 0..4),
+        prop::collection::vec(arb_node(), 0..4),
+    )
+        .prop_map(|(h, d, p)| DamageReport {
+            heuristic_no_damage: h,
+            damaged: d,
+            outcome_pending: p,
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(Op::Read),
+        (
+            prop::collection::vec(any::<u8>(), 0..32),
+            prop::option::of(prop::collection::vec(any::<u8>(), 0..32))
+        )
+            .prop_map(|(k, v)| Op::Write(k, v)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn txn_ids_roundtrip(txn in arb_txn()) {
+        let bytes = txn.encode_to_bytes();
+        prop_assert_eq!(TxnId::decode_all(&bytes).unwrap(), txn);
+    }
+
+    #[test]
+    fn votes_roundtrip(vote in arb_vote()) {
+        let bytes = vote.encode_to_bytes();
+        prop_assert_eq!(Vote::decode_all(&bytes).unwrap(), vote);
+    }
+
+    #[test]
+    fn reports_roundtrip(report in arb_report()) {
+        let bytes = report.encode_to_bytes();
+        prop_assert_eq!(DamageReport::decode_all(&bytes).unwrap(), report);
+    }
+
+    #[test]
+    fn heuristics_roundtrip(h in prop_oneof![
+        Just(HeuristicOutcome::Commit),
+        Just(HeuristicOutcome::Abort),
+        Just(HeuristicOutcome::Mixed),
+    ]) {
+        prop_assert_eq!(HeuristicOutcome::decode_all(&h.encode_to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn outcomes_roundtrip(o in prop_oneof![Just(Outcome::Commit), Just(Outcome::Abort)]) {
+        prop_assert_eq!(Outcome::decode_all(&o.encode_to_bytes()).unwrap(), o);
+    }
+
+    #[test]
+    fn ops_roundtrip(ops in prop::collection::vec(arb_op(), 0..8)) {
+        let payload = tpc_common::encode_ops(&ops);
+        prop_assert_eq!(tpc_common::decode_ops(&payload).unwrap(), ops);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Any of these may fail, but none may panic.
+        let _ = TxnId::decode_all(&bytes);
+        let _ = Vote::decode_all(&bytes);
+        let _ = DamageReport::decode_all(&bytes);
+        let _ = tpc_common::decode_ops(&bytes);
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_seq::<u64>();
+    }
+
+    #[test]
+    fn scalar_sequences_roundtrip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut e = Encoder::new();
+        e.put_seq(&values);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        prop_assert_eq!(d.get_seq::<u64>().unwrap(), values);
+        prop_assert!(d.is_empty());
+    }
+
+    #[test]
+    fn crc32_differs_on_any_single_bit_flip(
+        data in prop::collection::vec(any::<u8>(), 1..64),
+        bit in 0usize..8,
+        idx_seed in any::<usize>(),
+    ) {
+        let mut mutated = data.clone();
+        let idx = idx_seed % data.len();
+        mutated[idx] ^= 1 << bit;
+        prop_assert_ne!(crc32(&data), crc32(&mutated));
+    }
+}

@@ -1,0 +1,294 @@
+//! Events consumed and actions emitted by the engine.
+
+use tpc_common::{DamageReport, NodeId, Outcome, SimDuration, TxnId};
+use tpc_wal::{Durability, LogRecord};
+
+use crate::messages::ProtocolMsg;
+
+/// The aggregated disposition of a node's *local* resource managers after
+/// a prepare request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalDisposition {
+    /// All local RMs prepared successfully.
+    Yes,
+    /// At least one local RM refused; the transaction must abort.
+    No,
+    /// No local RM performed updates; commit and abort are identical
+    /// locally (read-only eligible).
+    ReadOnly,
+}
+
+/// The local vote a harness reports in response to
+/// [`Action::PrepareLocal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalVote {
+    /// Aggregated local RM disposition.
+    pub disposition: LocalDisposition,
+    /// All local RMs are reliable (§4 *Vote Reliable*).
+    pub reliable: bool,
+    /// The local application is a pure server that suspends between
+    /// requests, i.e. eligible to assert `ok_to_leave_out` (§4 *Leaving
+    /// Inactive Partners Out*). Application-level knowledge, supplied by
+    /// the harness.
+    pub suspendable: bool,
+}
+
+impl LocalVote {
+    /// A plain, updating, non-reliable, non-suspendable participant.
+    pub fn yes() -> Self {
+        LocalVote {
+            disposition: LocalDisposition::Yes,
+            reliable: false,
+            suspendable: false,
+        }
+    }
+
+    /// A read-only participant.
+    pub fn read_only() -> Self {
+        LocalVote {
+            disposition: LocalDisposition::ReadOnly,
+            reliable: false,
+            suspendable: false,
+        }
+    }
+
+    /// A refusing participant.
+    pub fn no() -> Self {
+        LocalVote {
+            disposition: LocalDisposition::No,
+            reliable: false,
+            suspendable: false,
+        }
+    }
+}
+
+/// Timers the engine may arm. All are per-transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Coordinator waiting for votes; expiry aborts the transaction.
+    VoteCollection,
+    /// Participant waiting for decision acknowledgments; expiry retries
+    /// the decision (once more under wait-for-outcome, then reports
+    /// "outcome pending").
+    AckCollection,
+    /// In-doubt subordinate; expiry sends a recovery [`ProtocolMsg::Query`]
+    /// (subordinate-driven recovery) and re-arms.
+    InDoubtQuery,
+    /// In-doubt subordinate with a heuristic policy; expiry takes the
+    /// unilateral decision (§1, §3).
+    HeuristicDeadline,
+}
+
+/// Input to [`crate::TmEngine::handle`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The local application wants to send work to a partner. The engine
+    /// enrolls the partner as a subordinate (unless the leave-out rule
+    /// skips enrollment — it never does when data *is* exchanged) and
+    /// emits the `Work` frame, attaching any deferred piggyback messages.
+    SendWork {
+        /// Transaction the work belongs to.
+        txn: TxnId,
+        /// Destination partner.
+        to: NodeId,
+        /// Opaque payload for the partner's application.
+        payload: Vec<u8>,
+    },
+    /// The local application asks to commit. This node becomes the root
+    /// coordinator for the transaction.
+    CommitRequested {
+        /// Transaction to commit.
+        txn: TxnId,
+    },
+    /// The local application asks to roll back.
+    AbortRequested {
+        /// Transaction to abort.
+        txn: TxnId,
+    },
+    /// The local application (a server that knows it is done) volunteers
+    /// a vote without waiting for Prepare (§4 *Unsolicited Vote*).
+    SelfPrepare {
+        /// Transaction to self-prepare.
+        txn: TxnId,
+    },
+    /// A network frame arrived.
+    MsgReceived {
+        /// Sender.
+        from: NodeId,
+        /// One protocol message (the harness unbundles frames).
+        msg: ProtocolMsg,
+    },
+    /// The harness's reply to [`Action::PrepareLocal`].
+    LocalPrepared {
+        /// Transaction that was prepared locally.
+        txn: TxnId,
+        /// Aggregated local vote.
+        vote: LocalVote,
+    },
+    /// A previously armed timer fired.
+    TimerFired {
+        /// Transaction the timer belongs to.
+        txn: TxnId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// The transport reports the conversation with `peer` failed (LU 6.2
+    /// notifies partners when a conversation breaks). Transactions that
+    /// have not yet voted and whose coordinator is `peer` abort
+    /// unilaterally — they are still free to. In-doubt transactions are
+    /// NOT touched: that is the blocking window recovery handles.
+    PartnerFailed {
+        /// The unreachable partner.
+        peer: NodeId,
+    },
+}
+
+/// Output of [`crate::TmEngine::handle`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Send one network frame carrying `msgs` to `to` (one *flow*).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Messages in the frame (piggybacking puts several here).
+        msgs: Vec<ProtocolMsg>,
+    },
+    /// Append `record` to this node's TM log stream.
+    Log {
+        /// The record to append.
+        record: LogRecord,
+        /// Forced or non-forced, per protocol/optimization policy.
+        durability: Durability,
+    },
+    /// Prepare all local resource managers for `txn`. The harness must
+    /// respond with [`Event::LocalPrepared`]. `rm_durability` tells the
+    /// RM layer whether its prepared records must force (NonForced under
+    /// the shared-log optimization, where the TM's force covers them).
+    PrepareLocal {
+        /// Transaction to prepare locally.
+        txn: TxnId,
+        /// Durability for RM prepared records.
+        rm_durability: Durability,
+    },
+    /// Commit all local resource managers for `txn` (fire-and-forget).
+    CommitLocal {
+        /// Transaction to commit locally.
+        txn: TxnId,
+        /// Durability for RM commit records.
+        rm_durability: Durability,
+    },
+    /// Abort all local resource managers for `txn` (fire-and-forget).
+    AbortLocal {
+        /// Transaction to abort locally.
+        txn: TxnId,
+        /// Durability for RM abort records.
+        rm_durability: Durability,
+    },
+    /// Release a read-only transaction's local resources without logging.
+    ForgetLocal {
+        /// Transaction whose local resources are released.
+        txn: TxnId,
+    },
+    /// Tell the application the outcome. Under late acknowledgment this
+    /// fires after the whole subtree confirmed (with the damage report);
+    /// under early acknowledgment / wait-for-outcome it may fire earlier,
+    /// possibly with `pending = true`.
+    NotifyOutcome {
+        /// Transaction decided.
+        txn: TxnId,
+        /// The global outcome.
+        outcome: Outcome,
+        /// Heuristic-damage report visible at this node.
+        report: DamageReport,
+        /// True if some subtree outcome is still unknown
+        /// (wait-for-outcome's "recovery in progress").
+        pending: bool,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Transaction the timer belongs to.
+        txn: TxnId,
+        /// Which timer.
+        kind: TimerKind,
+        /// Delay from now.
+        delay: SimDuration,
+    },
+    /// Cancel a timer if armed.
+    CancelTimer {
+        /// Transaction the timer belongs to.
+        txn: TxnId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// Commit processing for `txn` is complete at this node; the harness
+    /// may clean up per-transaction state.
+    TxnEnded {
+        /// The finished transaction.
+        txn: TxnId,
+    },
+}
+
+impl Action {
+    /// Convenience for tests: is this a `Send` of a frame whose first
+    /// message has the given kind name?
+    pub fn is_send_of(&self, kind: &str) -> bool {
+        matches!(self, Action::Send { msgs, .. } if msgs.first().map(|m| m.kind_name() == kind).unwrap_or(false))
+    }
+
+    /// Convenience for tests: is this a log append of the given record
+    /// kind (optionally restricted to forced)?
+    pub fn is_log_of(&self, kind: &str, forced: Option<bool>) -> bool {
+        match self {
+            Action::Log { record, durability } => {
+                record.kind_name() == kind
+                    && forced
+                        .map(|f| durability.is_forced() == f)
+                        .unwrap_or(true)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::NodeId;
+
+    fn t() -> TxnId {
+        TxnId::new(NodeId(0), 1)
+    }
+
+    #[test]
+    fn local_vote_constructors() {
+        assert_eq!(LocalVote::yes().disposition, LocalDisposition::Yes);
+        assert_eq!(LocalVote::no().disposition, LocalDisposition::No);
+        assert_eq!(
+            LocalVote::read_only().disposition,
+            LocalDisposition::ReadOnly
+        );
+    }
+
+    #[test]
+    fn action_test_helpers() {
+        let send = Action::Send {
+            to: NodeId(1),
+            msgs: vec![ProtocolMsg::Prepare {
+                txn: t(),
+                long_locks: false,
+            }],
+        };
+        assert!(send.is_send_of("Prepare"));
+        assert!(!send.is_send_of("Commit"));
+
+        let log = Action::Log {
+            record: LogRecord::End { txn: t() },
+            durability: Durability::NonForced,
+        };
+        assert!(log.is_log_of("End", None));
+        assert!(log.is_log_of("End", Some(false)));
+        assert!(!log.is_log_of("End", Some(true)));
+        assert!(!log.is_log_of("Committed", None));
+        assert!(!send.is_log_of("End", None));
+    }
+}

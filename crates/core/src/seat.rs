@@ -1,0 +1,390 @@
+//! Per-transaction state held by a node's transaction manager.
+//!
+//! One [`Seat`] tracks one transaction at one node, whatever the node's
+//! role — root coordinator, cascaded coordinator, leaf subordinate, last
+//! agent, or several of these at once (a cascaded coordinator is both a
+//! subordinate of its upstream and a coordinator of its children).
+
+use tpc_common::{DamageReport, HeuristicOutcome, NodeId, Outcome, SimTime, TxnId, VoteFlags};
+
+/// Where the transaction stands at this node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Data flowing; partners being enrolled.
+    Working,
+    /// Phase 1 in progress: local prepare outstanding and/or prepares sent
+    /// to children, votes being collected.
+    Voting,
+    /// Last-agent initiator: everything prepared, decision delegated,
+    /// awaiting the delegate's Decision message.
+    Delegated,
+    /// Subordinate that voted YES and awaits the outcome. The window in
+    /// which heuristic decisions happen.
+    InDoubt,
+    /// Outcome known; propagating it and collecting acknowledgments.
+    Deciding,
+    /// Commit processing complete at this node.
+    Done,
+}
+
+/// State of this node's local resource managers for the transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalState {
+    /// Not yet asked to prepare.
+    Unprepared,
+    /// [`crate::Action::PrepareLocal`] emitted, reply outstanding.
+    Preparing,
+    /// Local RMs prepared and voting YES.
+    Yes {
+        /// All local RMs reliable.
+        reliable: bool,
+        /// Local application suspendable (ok-to-leave-out eligible).
+        suspendable: bool,
+    },
+    /// Local RMs performed no updates.
+    ReadOnly,
+    /// A local RM refused to prepare.
+    Refused,
+    /// Local effects committed.
+    Committed,
+    /// Local effects rolled back.
+    Aborted,
+}
+
+/// State of one direct subordinate in the commit tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildState {
+    /// Work exchanged; not yet contacted for commit.
+    Enrolled,
+    /// Prepare sent, vote outstanding.
+    PrepareSent,
+    /// Voted YES with these qualifiers.
+    VotedYes(VoteFlags),
+    /// Voted READ-ONLY: out of phase 2 entirely.
+    VotedReadOnly,
+    /// Voted NO: already aborting on its own.
+    VotedNo,
+    /// This child is the last agent we delegated the decision to.
+    Delegate,
+    /// Outcome sent, acknowledgment outstanding.
+    DecisionSent {
+        /// Retries performed so far (wait-for-outcome allows one).
+        retries: u8,
+    },
+    /// Acknowledged; subtree complete.
+    Acked,
+    /// Replied "recovery in progress" (wait-for-outcome).
+    AckPending,
+}
+
+impl ChildState {
+    /// Has this child produced a vote?
+    pub fn voted(&self) -> bool {
+        matches!(
+            self,
+            ChildState::VotedYes(_) | ChildState::VotedReadOnly | ChildState::VotedNo
+        )
+    }
+
+    /// Is this child's subtree finished from the coordinator's view
+    /// (acked, pending-acked, or never owed anything)? A `Delegate` child
+    /// counts: the initiator owes *it* the (implied) ack, not the other
+    /// way around.
+    pub fn settled(&self) -> bool {
+        matches!(
+            self,
+            ChildState::Acked
+                | ChildState::AckPending
+                | ChildState::VotedReadOnly
+                | ChildState::VotedNo
+                | ChildState::Delegate
+        )
+    }
+}
+
+/// One direct subordinate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Child {
+    /// The subordinate node.
+    pub node: NodeId,
+    /// Protocol state.
+    pub state: ChildState,
+}
+
+/// Per-transaction state at one node.
+#[derive(Clone, Debug)]
+pub struct Seat {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Upstream coordinator, if this node is a subordinate.
+    pub upstream: Option<NodeId>,
+    /// True once this node initiated commit (root of the commit tree).
+    pub is_root: bool,
+    /// Direct subordinates.
+    pub children: Vec<Child>,
+    /// Local RM state.
+    pub local: LocalState,
+    /// Protocol stage.
+    pub stage: Stage,
+    /// The decided / learned global outcome.
+    pub outcome: Option<Outcome>,
+    /// Damage information merged from local heuristics and children acks.
+    pub report: DamageReport,
+    /// Our upstream asked us to defer the commit Ack (long locks).
+    pub long_locks_deferred_ack: bool,
+    /// A heuristic decision taken locally while in doubt.
+    pub heuristic: Option<HeuristicOutcome>,
+    /// We volunteered an unsolicited vote.
+    pub self_prepared: bool,
+    /// The child we delegated the commit decision to (last agent).
+    pub delegate: Option<NodeId>,
+    /// This seat was delegated the decision by `upstream` (we are a last
+    /// agent); the initiator's ack will be implied, not explicit.
+    pub is_delegate: bool,
+    /// Subordinates whose acks are "recovery in progress" (wait for
+    /// outcome): the app was (or will be) notified with `pending = true`.
+    pub outcome_pending: bool,
+    /// The application has already been told the outcome.
+    pub notified: bool,
+    /// A protocol violation was detected (two coordinators, conflicting
+    /// work senders); the seat will vote NO / abort.
+    pub poisoned: bool,
+    /// The vote we sent upstream, kept for idempotent re-delivery.
+    pub sent_vote: Option<tpc_common::Vote>,
+    /// (Delegate only) the delegating initiator force-wrote a prepared
+    /// record, so it is included in the commit record and owes an
+    /// (implied) acknowledgment. False when the initiator delegated with
+    /// a READ-ONLY vote.
+    pub initiator_prepared: bool,
+    /// (Delegate only) still waiting for the initiator's implied ack.
+    pub awaiting_initiator_ack: bool,
+    /// `ok_to_leave_out` qualifiers captured at vote time, applied as a
+    /// protected variable only if the transaction commits.
+    pub leave_out_votes: Vec<(NodeId, bool)>,
+    /// Snapshot of "every vote below this seat was reliable", taken the
+    /// moment Phase 1 completes (child states mutate afterwards, so the
+    /// live predicate cannot be re-evaluated later).
+    pub subtree_reliable: bool,
+    /// When commit processing started here (Prepare received or commit
+    /// requested) — for elapsed/lock-time metrics.
+    pub commit_started: Option<SimTime>,
+    /// When the outcome became known here.
+    pub decided_at: Option<SimTime>,
+    /// When the seat finished.
+    pub finished_at: Option<SimTime>,
+}
+
+impl Seat {
+    /// A fresh seat for `txn`.
+    pub fn new(txn: TxnId) -> Self {
+        Seat {
+            txn,
+            upstream: None,
+            is_root: false,
+            children: Vec::new(),
+            local: LocalState::Unprepared,
+            stage: Stage::Working,
+            outcome: None,
+            report: DamageReport::clean(),
+            long_locks_deferred_ack: false,
+            heuristic: None,
+            self_prepared: false,
+            delegate: None,
+            is_delegate: false,
+            outcome_pending: false,
+            notified: false,
+            poisoned: false,
+            sent_vote: None,
+            initiator_prepared: false,
+            awaiting_initiator_ack: false,
+            leave_out_votes: Vec::new(),
+            subtree_reliable: false,
+            commit_started: None,
+            decided_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Finds (or enrolls) the child entry for `node`.
+    pub fn child_mut(&mut self, node: NodeId) -> &mut Child {
+        if let Some(i) = self.children.iter().position(|c| c.node == node) {
+            &mut self.children[i]
+        } else {
+            self.children.push(Child {
+                node,
+                state: ChildState::Enrolled,
+            });
+            self.children.last_mut().expect("just pushed")
+        }
+    }
+
+    /// The child entry for `node`, if enrolled.
+    pub fn child(&self, node: NodeId) -> Option<&Child> {
+        self.children.iter().find(|c| c.node == node)
+    }
+
+    /// True when every child has voted.
+    pub fn all_votes_in(&self) -> bool {
+        self.children.iter().all(|c| c.state.voted())
+    }
+
+    /// True if any child voted NO.
+    pub fn any_vote_no(&self) -> bool {
+        self.children
+            .iter()
+            .any(|c| c.state == ChildState::VotedNo)
+    }
+
+    /// True when every child voted READ-ONLY.
+    pub fn all_children_read_only(&self) -> bool {
+        self.children
+            .iter()
+            .all(|c| c.state == ChildState::VotedReadOnly)
+    }
+
+    /// True when every YES-voting child also asserted `ok_to_leave_out`.
+    pub fn all_yes_children_leave_out(&self) -> bool {
+        self.children.iter().all(|c| match c.state {
+            ChildState::VotedYes(f) => f.ok_to_leave_out,
+            _ => true,
+        })
+    }
+
+    /// True when every YES-voting child asserted `reliable`.
+    pub fn all_yes_children_reliable(&self) -> bool {
+        self.children.iter().all(|c| match c.state {
+            ChildState::VotedYes(f) => f.reliable,
+            _ => true,
+        })
+    }
+
+    /// The children owed the decision (voted YES, not the delegate).
+    pub fn decision_targets(&self) -> Vec<NodeId> {
+        self.children
+            .iter()
+            .filter(|c| matches!(c.state, ChildState::VotedYes(_)))
+            .map(|c| c.node)
+            .collect()
+    }
+
+    /// True when every child subtree is settled (acked / pending / never
+    /// owed the decision).
+    pub fn all_settled(&self) -> bool {
+        self.children.iter().all(|c| c.state.settled())
+    }
+
+    /// True if some child reported "recovery in progress".
+    pub fn any_ack_pending(&self) -> bool {
+        self.children
+            .iter()
+            .any(|c| c.state == ChildState::AckPending)
+    }
+
+    /// Local state counts as a YES for voting purposes?
+    pub fn local_yes(&self) -> bool {
+        matches!(self.local, LocalState::Yes { .. })
+    }
+
+    /// Local reliable flag (false unless prepared-yes).
+    pub fn local_reliable(&self) -> bool {
+        matches!(self.local, LocalState::Yes { reliable: true, .. })
+    }
+
+    /// Local suspendable flag.
+    pub fn local_suspendable(&self) -> bool {
+        matches!(
+            self.local,
+            LocalState::Yes {
+                suspendable: true,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::NodeId;
+
+    fn seat() -> Seat {
+        Seat::new(TxnId::new(NodeId(0), 1))
+    }
+
+    #[test]
+    fn child_mut_enrolls_once() {
+        let mut s = seat();
+        s.child_mut(NodeId(1)).state = ChildState::PrepareSent;
+        s.child_mut(NodeId(1));
+        assert_eq!(s.children.len(), 1);
+        assert_eq!(s.children[0].state, ChildState::PrepareSent);
+        s.child_mut(NodeId(2));
+        assert_eq!(s.children.len(), 2);
+    }
+
+    #[test]
+    fn vote_aggregation_predicates() {
+        let mut s = seat();
+        s.child_mut(NodeId(1)).state = ChildState::VotedYes(VoteFlags::NONE);
+        s.child_mut(NodeId(2)).state = ChildState::PrepareSent;
+        assert!(!s.all_votes_in());
+        s.child_mut(NodeId(2)).state = ChildState::VotedReadOnly;
+        assert!(s.all_votes_in());
+        assert!(!s.any_vote_no());
+        assert!(!s.all_children_read_only());
+        s.child_mut(NodeId(1)).state = ChildState::VotedNo;
+        assert!(s.any_vote_no());
+    }
+
+    #[test]
+    fn decision_targets_skip_read_only_and_no() {
+        let mut s = seat();
+        s.child_mut(NodeId(1)).state = ChildState::VotedYes(VoteFlags::NONE);
+        s.child_mut(NodeId(2)).state = ChildState::VotedReadOnly;
+        s.child_mut(NodeId(3)).state = ChildState::VotedNo;
+        assert_eq!(s.decision_targets(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn settled_logic() {
+        let mut s = seat();
+        s.child_mut(NodeId(1)).state = ChildState::Acked;
+        s.child_mut(NodeId(2)).state = ChildState::VotedReadOnly;
+        assert!(s.all_settled());
+        s.child_mut(NodeId(3)).state = ChildState::DecisionSent { retries: 0 };
+        assert!(!s.all_settled());
+        s.child_mut(NodeId(3)).state = ChildState::AckPending;
+        assert!(s.all_settled());
+        assert!(s.any_ack_pending());
+    }
+
+    #[test]
+    fn flag_aggregation() {
+        let mut s = seat();
+        let leave_out = VoteFlags {
+            ok_to_leave_out: true,
+            reliable: true,
+            ..VoteFlags::NONE
+        };
+        s.child_mut(NodeId(1)).state = ChildState::VotedYes(leave_out);
+        s.child_mut(NodeId(2)).state = ChildState::VotedReadOnly;
+        assert!(s.all_yes_children_leave_out());
+        assert!(s.all_yes_children_reliable());
+        s.child_mut(NodeId(3)).state = ChildState::VotedYes(VoteFlags::NONE);
+        assert!(!s.all_yes_children_leave_out());
+        assert!(!s.all_yes_children_reliable());
+    }
+
+    #[test]
+    fn local_state_helpers() {
+        let mut s = seat();
+        assert!(!s.local_yes());
+        s.local = LocalState::Yes {
+            reliable: true,
+            suspendable: false,
+        };
+        assert!(s.local_yes());
+        assert!(s.local_reliable());
+        assert!(!s.local_suspendable());
+    }
+}

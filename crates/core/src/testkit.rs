@@ -1,0 +1,282 @@
+//! A miniature deterministic pump for driving several engines directly,
+//! with manual control over message delivery, timers and local votes.
+//!
+//! `tpc-sim` is the full-fidelity harness; this module exists so the
+//! engine's own test suite (and microbenchmarks) can exercise precise
+//! event orderings — duplicate deliveries, dropped frames, reordered
+//! votes, manually fired timers — without a discrete-event scheduler in
+//! the way.
+
+use std::collections::VecDeque;
+
+use tpc_common::{NodeId, SimDuration, SimTime, TxnId};
+use tpc_wal::{Durability, LogRecord};
+
+use crate::engine::{EngineConfig, TmEngine};
+use crate::event::{Action, Event, LocalVote, TimerKind};
+use crate::messages::ProtocolMsg;
+
+/// A frame waiting in the pump's queue.
+#[derive(Clone, Debug)]
+pub struct QueuedFrame {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Messages in the frame.
+    pub msgs: Vec<ProtocolMsg>,
+}
+
+/// A timer armed by an engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArmedTimer {
+    /// Owning node.
+    pub node: NodeId,
+    /// Transaction.
+    pub txn: TxnId,
+    /// Which timer.
+    pub kind: TimerKind,
+    /// Requested delay.
+    pub delay: SimDuration,
+}
+
+/// A captured log append.
+#[derive(Clone, Debug)]
+pub struct LoggedRecord {
+    /// Writing node.
+    pub node: NodeId,
+    /// The record.
+    pub record: LogRecord,
+    /// Forced or not.
+    pub durability: Durability,
+}
+
+/// A captured application notification.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    /// Root node.
+    pub node: NodeId,
+    /// Transaction.
+    pub txn: TxnId,
+    /// Outcome delivered.
+    pub outcome: tpc_common::Outcome,
+    /// Damage report.
+    pub report: tpc_common::DamageReport,
+    /// "Recovery in progress" indication.
+    pub pending: bool,
+}
+
+/// The pump: several engines plus captured side effects.
+pub struct Pump {
+    engines: Vec<TmEngine>,
+    /// Frames awaiting delivery (FIFO).
+    pub queue: VecDeque<QueuedFrame>,
+    /// Every log append, in order.
+    pub logs: Vec<LoggedRecord>,
+    /// Currently armed (not cancelled) timers, most recent last.
+    pub timers: Vec<ArmedTimer>,
+    /// Application notifications, in order.
+    pub notifications: Vec<Notification>,
+    /// The vote each node's resources report to `PrepareLocal`.
+    local_votes: Vec<LocalVote>,
+    clock: SimTime,
+}
+
+impl Pump {
+    /// Builds `n` engines with identical configuration except the node id.
+    pub fn homogeneous(n: usize, proto: tpc_common::ProtocolKind) -> Pump {
+        Pump::new(
+            (0..n)
+                .map(|i| EngineConfig::new(NodeId(i as u32), proto))
+                .collect(),
+        )
+    }
+
+    /// Builds engines from explicit configurations.
+    pub fn new(configs: Vec<EngineConfig>) -> Pump {
+        let n = configs.len();
+        Pump {
+            engines: configs
+                .into_iter()
+                .map(|c| TmEngine::new(c).expect("valid testkit config"))
+                .collect(),
+            queue: VecDeque::new(),
+            logs: Vec::new(),
+            timers: Vec::new(),
+            notifications: Vec::new(),
+            local_votes: vec![LocalVote::yes(); n],
+            clock: SimTime(1),
+        }
+    }
+
+    /// Read access to an engine.
+    pub fn engine(&self, node: NodeId) -> &TmEngine {
+        &self.engines[node.index()]
+    }
+
+    /// Sets the local vote a node reports when asked to prepare.
+    pub fn set_local_vote(&mut self, node: NodeId, vote: LocalVote) {
+        self.local_votes[node.index()] = vote;
+    }
+
+    /// Advances the virtual clock.
+    pub fn tick(&mut self, by: SimDuration) {
+        self.clock += by;
+    }
+
+    /// Feeds one event to `node`, capturing side effects. `PrepareLocal`
+    /// is answered immediately with the node's configured local vote;
+    /// sends are queued (not delivered).
+    pub fn feed(&mut self, node: NodeId, event: Event) {
+        let actions = self.engines[node.index()]
+            .handle(self.clock, event)
+            .expect("engine accepts testkit event");
+        self.absorb(node, actions);
+    }
+
+    fn absorb(&mut self, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msgs } => self.queue.push_back(QueuedFrame {
+                    from: node,
+                    to,
+                    msgs,
+                }),
+                Action::Log { record, durability } => self.logs.push(LoggedRecord {
+                    node,
+                    record,
+                    durability,
+                }),
+                Action::PrepareLocal { txn, .. } => {
+                    let vote = self.local_votes[node.index()];
+                    self.feed(node, Event::LocalPrepared { txn, vote });
+                }
+                Action::NotifyOutcome {
+                    txn,
+                    outcome,
+                    report,
+                    pending,
+                } => self.notifications.push(Notification {
+                    node,
+                    txn,
+                    outcome,
+                    report,
+                    pending,
+                }),
+                Action::SetTimer { txn, kind, delay } => {
+                    self.timers.retain(|t| {
+                        !(t.node == node && t.txn == txn && t.kind == kind)
+                    });
+                    self.timers.push(ArmedTimer {
+                        node,
+                        txn,
+                        kind,
+                        delay,
+                    });
+                }
+                Action::CancelTimer { txn, kind } => {
+                    self.timers
+                        .retain(|t| !(t.node == node && t.txn == txn && t.kind == kind));
+                }
+                Action::CommitLocal { .. }
+                | Action::AbortLocal { .. }
+                | Action::ForgetLocal { .. }
+                | Action::TxnEnded { .. } => {}
+            }
+        }
+    }
+
+    /// Delivers the next queued frame (if any). Returns it for
+    /// inspection.
+    pub fn deliver_next(&mut self) -> Option<QueuedFrame> {
+        let frame = self.queue.pop_front()?;
+        for msg in frame.msgs.clone() {
+            self.feed(frame.to, Event::MsgReceived {
+                from: frame.from,
+                msg,
+            });
+        }
+        Some(frame)
+    }
+
+    /// Drops the next queued frame without delivering it.
+    pub fn drop_next(&mut self) -> Option<QueuedFrame> {
+        self.queue.pop_front()
+    }
+
+    /// Re-delivers a frame (duplicate delivery testing).
+    pub fn redeliver(&mut self, frame: &QueuedFrame) {
+        for msg in frame.msgs.clone() {
+            self.feed(frame.to, Event::MsgReceived {
+                from: frame.from,
+                msg,
+            });
+        }
+    }
+
+    /// Delivers everything until the queue drains.
+    pub fn run_to_quiescence(&mut self) {
+        let mut budget = 10_000;
+        while self.deliver_next().is_some() {
+            budget -= 1;
+            assert!(budget > 0, "testkit pump did not quiesce");
+        }
+    }
+
+    /// Fires the most recently armed timer matching `(node, txn, kind)`,
+    /// if still armed.
+    pub fn fire_timer(&mut self, node: NodeId, txn: TxnId, kind: TimerKind) -> bool {
+        let armed = self
+            .timers
+            .iter()
+            .any(|t| t.node == node && t.txn == txn && t.kind == kind);
+        if armed {
+            self.timers
+                .retain(|t| !(t.node == node && t.txn == txn && t.kind == kind));
+            self.feed(node, Event::TimerFired { txn, kind });
+        }
+        armed
+    }
+
+    /// Log records written by `node`, by kind name.
+    pub fn log_kinds(&self, node: NodeId) -> Vec<String> {
+        self.logs
+            .iter()
+            .filter(|l| l.node == node)
+            .map(|l| l.record.kind_name().to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::{Outcome, ProtocolKind};
+
+    #[test]
+    fn pump_drives_a_pair_commit() {
+        let mut p = Pump::homogeneous(2, ProtocolKind::PresumedAbort);
+        let txn = TxnId::new(NodeId(0), 1);
+        p.feed(NodeId(0), Event::SendWork {
+            txn,
+            to: NodeId(1),
+            payload: vec![],
+        });
+        p.feed(NodeId(0), Event::CommitRequested { txn });
+        p.run_to_quiescence();
+        assert_eq!(
+            p.engine(NodeId(0)).finished_outcome(txn),
+            Some(Outcome::Commit)
+        );
+        assert_eq!(
+            p.engine(NodeId(1)).finished_outcome(txn),
+            Some(Outcome::Commit)
+        );
+        assert_eq!(p.notifications.len(), 1);
+        assert_eq!(p.log_kinds(NodeId(0)), vec!["Committed", "End"]);
+        assert_eq!(
+            p.log_kinds(NodeId(1)),
+            vec!["Prepared", "Committed", "End"]
+        );
+    }
+}

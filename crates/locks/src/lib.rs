@@ -1,0 +1,27 @@
+//! # tpc-locks
+//!
+//! A strict two-phase-locking lock manager.
+//!
+//! The paper's second throughput lever is lock time: "a faster commit
+//! protocol can improve transaction throughput ... by causing locks to be
+//! released sooner, reducing the wait time of other transactions" (§1).
+//! This crate provides the substrate that makes that effect measurable:
+//!
+//! * shared/exclusive row locks with upgrade ([`LockMode`]);
+//! * FIFO wait queues and a waits-for-graph deadlock detector
+//!   ([`LockManager`]);
+//! * per-lock hold-time tracking so the simulator can report exactly how
+//!   much earlier each optimization releases locks ([`LockStats`]).
+//!
+//! The manager is synchronous and sans-IO, like the rest of the engine: a
+//! blocked request returns [`Acquired::Wait`] and the caller resumes the
+//! waiter when a later [`LockManager::release_all`] grants it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod mode;
+
+pub use manager::{Acquired, LockManager, LockStats, ReleaseGrant};
+pub use mode::LockMode;

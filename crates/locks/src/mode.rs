@@ -1,0 +1,82 @@
+//! Lock modes and their compatibility matrix.
+
+/// Row lock modes. Shared suffices for reads; exclusive is required for
+/// updates. (The paper's LRMs are databases and file managers; S/X is the
+/// minimal matrix that exhibits every locking effect the optimizations
+/// trade on.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Shared — compatible with other shared locks.
+    Shared,
+    /// Exclusive — compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Can a lock in `self` mode coexist with one in `other` mode held by
+    /// a *different* transaction?
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// The mode covering both — used for upgrades.
+    #[inline]
+    pub fn max(self, other: LockMode) -> LockMode {
+        if self == LockMode::Exclusive || other == LockMode::Exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+
+    /// True if holding `self` already satisfies a request for `req`.
+    #[inline]
+    pub fn covers(self, req: LockMode) -> bool {
+        self.max(req) == self
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LockMode::Shared => "S",
+            LockMode::Exclusive => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Shared));
+        assert!(!Exclusive.compatible(Exclusive));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        use LockMode::*;
+        for a in [Shared, Exclusive] {
+            for b in [Shared, Exclusive] {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn max_and_covers() {
+        use LockMode::*;
+        assert_eq!(Shared.max(Exclusive), Exclusive);
+        assert_eq!(Shared.max(Shared), Shared);
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+    }
+}

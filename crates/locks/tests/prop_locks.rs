@@ -1,0 +1,158 @@
+//! Property tests for the lock manager: no conflicting grants, no lost
+//! waiters, no leaked state — under arbitrary acquire/release schedules.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use tpc_common::{NodeId, SimTime, TxnId};
+use tpc_locks::{Acquired, LockManager, LockMode};
+
+#[derive(Clone, Debug)]
+enum LockOp {
+    Acquire { txn: u8, key: u8, exclusive: bool },
+    ReleaseAll { txn: u8 },
+}
+
+fn arb_op(txns: u8, keys: u8) -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        3 => (0..txns, 0..keys, any::<bool>())
+            .prop_map(|(txn, key, exclusive)| LockOp::Acquire { txn, key, exclusive }),
+        1 => (0..txns).prop_map(|txn| LockOp::ReleaseAll { txn }),
+    ]
+}
+
+fn t(n: u8) -> TxnId {
+    TxnId::new(NodeId(0), n as u64)
+}
+
+/// A simple shadow model: who holds what, in which mode.
+#[derive(Default)]
+struct Shadow {
+    holders: HashMap<u8, Vec<(u8, LockMode)>>, // key -> [(txn, mode)]
+}
+
+impl Shadow {
+    fn grant(&mut self, key: u8, txn: u8, mode: LockMode) {
+        let entry = self.holders.entry(key).or_default();
+        if let Some(h) = entry.iter_mut().find(|(t, _)| *t == txn) {
+            h.1 = h.1.max(mode);
+        } else {
+            entry.push((txn, mode));
+        }
+    }
+
+    fn release(&mut self, txn: u8) {
+        for entry in self.holders.values_mut() {
+            entry.retain(|(t, _)| *t != txn);
+        }
+    }
+
+    fn check_compatible(&self) -> Result<(), String> {
+        for (key, holders) in &self.holders {
+            for (i, (t1, m1)) in holders.iter().enumerate() {
+                for (t2, m2) in holders.iter().skip(i + 1) {
+                    if t1 != t2 && !m1.compatible(*m2) {
+                        return Err(format!(
+                            "key {key}: txn {t1} holds {m1} while txn {t2} holds {m2}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    /// Two transactions never simultaneously hold incompatible modes on
+    /// one key, and every queued waiter is eventually granted or cleared.
+    #[test]
+    fn no_conflicting_grants_ever(ops in prop::collection::vec(arb_op(6, 4), 1..120)) {
+        let mut lm = LockManager::new();
+        let mut shadow = Shadow::default();
+        let mut blocked: HashSet<u8> = HashSet::new();
+        let mut requested_mode: HashMap<(u8, u8), LockMode> = HashMap::new();
+        let mut clock = 0u64;
+
+        for op in ops {
+            clock += 1;
+            match op {
+                LockOp::Acquire { txn, key, exclusive } => {
+                    if blocked.contains(&txn) {
+                        continue; // a blocked txn cannot issue more requests
+                    }
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    match lm.acquire(t(txn), &[key], mode, SimTime(clock)) {
+                        Acquired::Granted => {
+                            shadow.grant(key, txn, mode);
+                            shadow.check_compatible().map_err(TestCaseError::fail)?;
+                        }
+                        Acquired::Wait => {
+                            blocked.insert(txn);
+                            requested_mode.insert((txn, key), mode);
+                        }
+                        Acquired::Deadlock => {
+                            // Victim aborts: release everything.
+                            let grants = lm.release_all(t(txn), SimTime(clock));
+                            shadow.release(txn);
+                            for g in grants {
+                                let gt = g.txn.seq as u8;
+                                blocked.remove(&gt);
+                                shadow.grant(g.key[0], gt, g.mode);
+                            }
+                            shadow.check_compatible().map_err(TestCaseError::fail)?;
+                        }
+                    }
+                }
+                LockOp::ReleaseAll { txn } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let grants = lm.release_all(t(txn), SimTime(clock));
+                    shadow.release(txn);
+                    for g in grants {
+                        let gt = g.txn.seq as u8;
+                        blocked.remove(&gt);
+                        shadow.grant(g.key[0], gt, g.mode);
+                    }
+                    shadow.check_compatible().map_err(TestCaseError::fail)?;
+                }
+            }
+        }
+
+        // Drain: release every unblocked holder repeatedly; the table
+        // must empty (no leaked locks, no stranded waiters).
+        for _ in 0..16 {
+            clock += 1;
+            for txn in 0..6u8 {
+                let grants = lm.release_all(t(txn), SimTime(clock));
+                shadow.release(txn);
+                for g in grants {
+                    let gt = g.txn.seq as u8;
+                    blocked.remove(&gt);
+                    shadow.grant(g.key[0], gt, g.mode);
+                }
+            }
+        }
+        prop_assert_eq!(lm.active_keys(), 0, "lock table must drain");
+    }
+
+    /// Hold-time accounting is conserved: total hold time equals the sum
+    /// of (release - acquire) for sequentially held locks.
+    #[test]
+    fn hold_time_accounting(holds in prop::collection::vec((1u64..100, 1u64..100), 1..20)) {
+        let mut lm = LockManager::new();
+        let mut clock = 0u64;
+        let mut expected_total = 0u64;
+        for (i, (start_gap, hold)) in holds.iter().enumerate() {
+            clock += start_gap;
+            let txn = t(i as u8);
+            lm.acquire(txn, b"k", LockMode::Exclusive, SimTime(clock));
+            clock += hold;
+            lm.release_all(txn, SimTime(clock));
+            expected_total += hold;
+        }
+        prop_assert_eq!(lm.stats().total_hold_micros, expected_total);
+        prop_assert_eq!(lm.stats().releases, holds.len() as u64);
+    }
+}

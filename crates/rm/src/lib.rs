@@ -1,0 +1,27 @@
+//! # tpc-rm
+//!
+//! A transactional key-value **local resource manager** (LRM), the
+//! "database and file managers" of the paper's §2.
+//!
+//! The resource manager supplies everything the 2PC engine manipulates:
+//!
+//! * strict-2PL data access through an embedded [`tpc_locks::LockManager`]
+//!   (so lock-release timing — the paper's second throughput lever — is
+//!   observable);
+//! * WAL-protected updates with undo/redo records, prepare/commit/abort
+//!   participation, and crash recovery by log replay ([`ResourceManager`]);
+//! * the vote qualifiers the optimizations need: read-only detection
+//!   (§4 *Read Only*), a static `reliable` property (§4 *Vote Reliable*),
+//!   and heuristic decision support ([`RmConfig`]);
+//! * shared-log awareness: when the TM and the LRM share a log, the LRM's
+//!   prepared/committed records ride along with the TM's forces instead of
+//!   forcing themselves (§4 *Sharing the Log*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod store;
+
+pub use manager::{Access, ResourceManager, RmConfig, RmPhase};
+pub use store::KvStore;

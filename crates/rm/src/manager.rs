@@ -1,0 +1,692 @@
+//! The resource manager: transactional access, 2PC participation,
+//! heuristic decisions and crash recovery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tpc_common::{
+    Error, HeuristicOutcome, HeuristicPolicy, Lsn, Result, RmId, SimTime, TxnId,
+};
+use tpc_locks::{Acquired, LockManager, LockMode, LockStats, ReleaseGrant};
+use tpc_wal::{Durability, LogManager, LogRecord, StreamId};
+
+use crate::store::KvStore;
+
+/// Static properties of one resource manager.
+#[derive(Clone, Debug)]
+pub struct RmConfig {
+    /// Identity within its node.
+    pub id: RmId,
+    /// §4 *Vote Reliable*: "a database system either is or is not
+    /// reliable" — a static property carried on every YES vote.
+    pub reliable: bool,
+    /// What this RM does when left in doubt too long.
+    pub heuristic: HeuristicPolicy,
+}
+
+impl RmConfig {
+    /// A conventional, non-reliable RM that never decides heuristically.
+    pub fn new(id: RmId) -> Self {
+        RmConfig {
+            id,
+            reliable: false,
+            heuristic: HeuristicPolicy::Never,
+        }
+    }
+
+    /// Marks the RM reliable (heuristic decisions vanishingly unlikely).
+    pub fn reliable(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+
+    /// Sets the heuristic policy.
+    pub fn with_heuristic(mut self, policy: HeuristicPolicy) -> Self {
+        self.heuristic = policy;
+        self
+    }
+}
+
+/// Result of a data access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read result (or write acknowledgment carrying the old value).
+    Value(Option<Vec<u8>>),
+    /// Blocked on a lock; the owner will be resumed by a release grant.
+    Wait,
+    /// Chosen as a deadlock victim; the transaction must abort.
+    Deadlock,
+}
+
+/// Where a transaction stands inside this RM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmPhase {
+    /// Executing; may still read and write.
+    Active,
+    /// Voted YES; holding locks, awaiting the decision (in doubt).
+    Prepared,
+    /// Final: updates applied.
+    Committed,
+    /// Final: updates discarded.
+    Aborted,
+    /// Final, decided unilaterally while in doubt.
+    Heuristic(HeuristicOutcome),
+}
+
+/// (key, before-image, after-image) of one update, in execution order.
+type UpdateEntry = (Vec<u8>, Option<Vec<u8>>, Option<Vec<u8>>);
+
+#[derive(Debug, Default)]
+struct TxnCtx {
+    /// Pending writes, last-write-wins per key (`None` = delete).
+    workspace: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Update log in execution order, for redo.
+    updates: Vec<UpdateEntry>,
+    prepared: bool,
+}
+
+/// A transactional key-value resource manager.
+#[derive(Debug)]
+pub struct ResourceManager {
+    cfg: RmConfig,
+    store: KvStore,
+    locks: LockManager,
+    txns: HashMap<TxnId, TxnCtx>,
+    finished: HashMap<TxnId, RmPhase>,
+}
+
+impl ResourceManager {
+    /// Creates an empty RM.
+    pub fn new(cfg: RmConfig) -> Self {
+        ResourceManager {
+            cfg,
+            store: KvStore::new(),
+            locks: LockManager::new(),
+            txns: HashMap::new(),
+            finished: HashMap::new(),
+        }
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &RmConfig {
+        &self.cfg
+    }
+
+    /// Committed state, for checks and reports.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Lock statistics (hold times, waits, deadlocks).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Number of keys with lock activity — zero when every transaction
+    /// has released (the end-of-run leak check).
+    pub fn locked_keys(&self) -> usize {
+        self.locks.active_keys()
+    }
+
+    /// The phase of `txn`, if this RM has seen it.
+    pub fn phase(&self, txn: TxnId) -> Option<RmPhase> {
+        if let Some(ctx) = self.txns.get(&txn) {
+            Some(if ctx.prepared {
+                RmPhase::Prepared
+            } else {
+                RmPhase::Active
+            })
+        } else {
+            self.finished.get(&txn).copied()
+        }
+    }
+
+    /// Transactions currently prepared-and-undecided (in doubt).
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, c)| c.prepared)
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// True if `txn` performed no updates here (eligible for a READ-ONLY
+    /// vote under §4 *Read Only*).
+    pub fn is_read_only(&self, txn: TxnId) -> bool {
+        self.txns.get(&txn).map(|c| c.updates.is_empty()).unwrap_or(true)
+    }
+
+    fn ctx(&mut self, txn: TxnId) -> &mut TxnCtx {
+        self.txns.entry(txn).or_default()
+    }
+
+    fn visible(&self, txn: TxnId, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(ctx) = self.txns.get(&txn) {
+            if let Some(pending) = ctx.workspace.get(key) {
+                return pending.clone();
+            }
+        }
+        self.store.get(key).map(|v| v.to_vec())
+    }
+
+    /// Reads `key` under a shared lock.
+    pub fn read(&mut self, txn: TxnId, key: &[u8], now: SimTime) -> Result<Access> {
+        self.check_active(txn)?;
+        match self.locks.acquire(txn, key, LockMode::Shared, now) {
+            Acquired::Granted => {
+                self.ctx(txn);
+                Ok(Access::Value(self.visible(txn, key)))
+            }
+            Acquired::Wait => Ok(Access::Wait),
+            Acquired::Deadlock => Ok(Access::Deadlock),
+        }
+    }
+
+    /// Writes `key` (`None` deletes) under an exclusive lock, logging an
+    /// undo/redo record (non-forced — it becomes durable with the prepare
+    /// force, the standard WAL discipline).
+    pub fn write(
+        &mut self,
+        txn: TxnId,
+        key: &[u8],
+        value: Option<Vec<u8>>,
+        log: &mut dyn LogManager,
+        now: SimTime,
+    ) -> Result<Access> {
+        self.check_active(txn)?;
+        match self.locks.acquire(txn, key, LockMode::Exclusive, now) {
+            Acquired::Wait => return Ok(Access::Wait),
+            Acquired::Deadlock => return Ok(Access::Deadlock),
+            Acquired::Granted => {}
+        }
+        let before = self.visible(txn, key);
+        log.append(
+            StreamId::Rm(self.cfg.id.0),
+            LogRecord::RmUpdate {
+                rm: self.cfg.id,
+                txn,
+                key: key.to_vec(),
+                before: before.clone(),
+                after: value.clone(),
+            },
+            Durability::NonForced,
+        )?;
+        let ctx = self.ctx(txn);
+        ctx.updates.push((key.to_vec(), before.clone(), value.clone()));
+        ctx.workspace.insert(key.to_vec(), value);
+        Ok(Access::Value(before))
+    }
+
+    fn check_active(&self, txn: TxnId) -> Result<()> {
+        if self.txns.get(&txn).map(|c| c.prepared).unwrap_or(false) {
+            return Err(Error::InvalidState(format!(
+                "{txn} is prepared; no further access allowed"
+            )));
+        }
+        if self.finished.contains_key(&txn) {
+            return Err(Error::InvalidState(format!("{txn} already finished")));
+        }
+        Ok(())
+    }
+
+    /// Prepares `txn`: makes its updates stable and guarantees it can go
+    /// either way. `durability` is dictated by the engine: `Forced`
+    /// normally, `NonForced` under the shared-log optimization (the TM's
+    /// commit force carries it).
+    ///
+    /// Read-only eligibility is the *caller's* decision — when the engine
+    /// runs with the read-only optimization it calls
+    /// [`ResourceManager::forget_read_only`] instead of preparing.
+    pub fn prepare(
+        &mut self,
+        txn: TxnId,
+        log: &mut dyn LogManager,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        let ctx = self
+            .txns
+            .get_mut(&txn)
+            .ok_or(Error::UnknownTxn(txn))?;
+        if ctx.prepared {
+            return Err(Error::InvalidState(format!("{txn} already prepared")));
+        }
+        ctx.prepared = true;
+        log.append(
+            StreamId::Rm(self.cfg.id.0),
+            LogRecord::RmPrepared { rm: self.cfg.id, txn },
+            durability,
+        )
+    }
+
+    /// Releases a read-only transaction without logging anything: commit
+    /// and abort are identical for it (§4 *Read Only*). Returns the lock
+    /// grants produced by the early release.
+    pub fn forget_read_only(&mut self, txn: TxnId, now: SimTime) -> Result<Vec<ReleaseGrant>> {
+        let ctx = self.txns.remove(&txn).ok_or(Error::UnknownTxn(txn))?;
+        if !ctx.updates.is_empty() {
+            self.txns.insert(txn, ctx);
+            return Err(Error::InvalidState(format!(
+                "{txn} performed updates; cannot vote read-only"
+            )));
+        }
+        self.finished.insert(txn, RmPhase::Committed);
+        Ok(self.locks.release_all(txn, now))
+    }
+
+    /// Commits `txn`, applying its updates and releasing its locks.
+    pub fn commit(
+        &mut self,
+        txn: TxnId,
+        log: &mut dyn LogManager,
+        durability: Durability,
+        now: SimTime,
+    ) -> Result<Vec<ReleaseGrant>> {
+        let ctx = self.txns.remove(&txn).ok_or(Error::UnknownTxn(txn))?;
+        log.append(
+            StreamId::Rm(self.cfg.id.0),
+            LogRecord::RmCommitted { rm: self.cfg.id, txn },
+            durability,
+        )?;
+        for (key, value) in ctx.workspace {
+            self.store.apply(&key, value);
+        }
+        self.finished.insert(txn, RmPhase::Committed);
+        Ok(self.locks.release_all(txn, now))
+    }
+
+    /// Aborts `txn`, discarding its updates and releasing its locks.
+    pub fn abort(
+        &mut self,
+        txn: TxnId,
+        log: &mut dyn LogManager,
+        durability: Durability,
+        now: SimTime,
+    ) -> Result<Vec<ReleaseGrant>> {
+        // Abort of an unknown transaction is legal (e.g. presumed abort
+        // after a coordinator crash before this RM saw any work).
+        self.txns.remove(&txn);
+        log.append(
+            StreamId::Rm(self.cfg.id.0),
+            LogRecord::RmAborted { rm: self.cfg.id, txn },
+            durability,
+        )?;
+        self.finished.insert(txn, RmPhase::Aborted);
+        Ok(self.locks.release_all(txn, now))
+    }
+
+    /// Decides a prepared transaction unilaterally (§1: "rather than
+    /// waiting, these participants unilaterally commit or abort"). The
+    /// record is always forced: the decision must survive so damage can be
+    /// detected and reported.
+    pub fn heuristic_decide(
+        &mut self,
+        txn: TxnId,
+        decision: HeuristicOutcome,
+        log: &mut dyn LogManager,
+        now: SimTime,
+    ) -> Result<Vec<ReleaseGrant>> {
+        let ctx = self.txns.remove(&txn).ok_or(Error::UnknownTxn(txn))?;
+        if !ctx.prepared {
+            self.txns.insert(txn, ctx);
+            return Err(Error::InvalidState(format!(
+                "{txn} not in doubt; heuristic decision is only for prepared transactions"
+            )));
+        }
+        match decision {
+            HeuristicOutcome::Commit => {
+                log.append(
+                    StreamId::Rm(self.cfg.id.0),
+                    LogRecord::RmCommitted { rm: self.cfg.id, txn },
+                    Durability::Forced,
+                )?;
+                for (key, value) in ctx.workspace {
+                    self.store.apply(&key, value);
+                }
+            }
+            HeuristicOutcome::Abort | HeuristicOutcome::Mixed => {
+                log.append(
+                    StreamId::Rm(self.cfg.id.0),
+                    LogRecord::RmAborted { rm: self.cfg.id, txn },
+                    Durability::Forced,
+                )?;
+            }
+        }
+        self.finished.insert(txn, RmPhase::Heuristic(decision));
+        Ok(self.locks.release_all(txn, now))
+    }
+
+    /// Resumes a transaction whose lock wait was granted; re-executes the
+    /// blocked operation. (The simulator stores the pending op and calls
+    /// the matching `read`/`write` again.)
+    pub fn lock_release_all(&mut self, txn: TxnId, now: SimTime) -> Vec<ReleaseGrant> {
+        self.locks.release_all(txn, now)
+    }
+
+    /// Simulated crash: volatile state (store, lock table, transaction
+    /// contexts) is lost. Call [`ResourceManager::recover`] with the
+    /// durable log afterwards.
+    pub fn crash(&mut self) {
+        self.store.clear();
+        self.locks = LockManager::new();
+        self.txns.clear();
+        self.finished.clear();
+    }
+
+    /// Rebuilds state from the durable log: redoes committed transactions
+    /// in log order, discards aborted/unfinished ones, and restores
+    /// prepared-but-undecided transactions as in-doubt (workspace
+    /// reconstructed, exclusive locks re-acquired so the data stays
+    /// protected while in doubt). Returns the in-doubt transactions.
+    pub fn recover(
+        &mut self,
+        durable: &[(Lsn, StreamId, LogRecord)],
+        now: SimTime,
+    ) -> Result<Vec<TxnId>> {
+        self.crash();
+        let mine = StreamId::Rm(self.cfg.id.0);
+        let mut pending: HashMap<TxnId, TxnCtx> = HashMap::new();
+        for (_, stream, record) in durable {
+            if *stream != mine {
+                continue;
+            }
+            match record {
+                LogRecord::RmUpdate {
+                    txn, key, before, after, ..
+                } => {
+                    let ctx = pending.entry(*txn).or_default();
+                    ctx.updates.push((key.clone(), before.clone(), after.clone()));
+                    ctx.workspace.insert(key.clone(), after.clone());
+                }
+                LogRecord::RmPrepared { txn, .. } => {
+                    pending.entry(*txn).or_default().prepared = true;
+                }
+                LogRecord::RmCommitted { txn, .. } => {
+                    if let Some(ctx) = pending.remove(txn) {
+                        for (key, value) in ctx.workspace {
+                            self.store.apply(&key, value);
+                        }
+                    }
+                    self.finished.insert(*txn, RmPhase::Committed);
+                }
+                LogRecord::RmAborted { txn, .. } => {
+                    pending.remove(txn);
+                    self.finished.insert(*txn, RmPhase::Aborted);
+                }
+                _ => {}
+            }
+        }
+        let mut in_doubt = Vec::new();
+        for (txn, ctx) in pending {
+            if ctx.prepared {
+                // Re-protect in-doubt data.
+                for key in ctx.workspace.keys() {
+                    match self.locks.acquire(txn, key, LockMode::Exclusive, now) {
+                        Acquired::Granted => {}
+                        other => {
+                            return Err(Error::InvalidState(format!(
+                                "recovery lock re-acquisition for {txn} failed: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                in_doubt.push(txn);
+                self.txns.insert(txn, ctx);
+            }
+            // Unprepared work simply evaporates: its updates were never
+            // applied to the store and its locks died with the crash.
+        }
+        in_doubt.sort();
+        Ok(in_doubt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::NodeId;
+    use tpc_wal::MemLog;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    fn rm() -> ResourceManager {
+        ResourceManager::new(RmConfig::new(RmId(1)))
+    }
+
+    fn write_ok(
+        rm: &mut ResourceManager,
+        txn: TxnId,
+        key: &[u8],
+        val: &[u8],
+        log: &mut MemLog,
+    ) {
+        match rm.write(txn, key, Some(val.to_vec()), log, SimTime(0)).unwrap() {
+            Access::Value(_) => {}
+            other => panic!("write blocked: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        assert_eq!(
+            r.read(t(1), b"k", SimTime(0)).unwrap(),
+            Access::Value(Some(b"v".to_vec()))
+        );
+        // Not visible in the committed store yet.
+        assert_eq!(r.store().get(b"k"), None);
+    }
+
+    #[test]
+    fn commit_applies_and_releases() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(5)).unwrap();
+        assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
+        assert_eq!(r.phase(t(1)), Some(RmPhase::Committed));
+        assert!(!r.locks.holds_any(t(1)));
+    }
+
+    #[test]
+    fn abort_discards() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.abort(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        assert_eq!(r.store().get(b"k"), None);
+        assert_eq!(r.phase(t(1)), Some(RmPhase::Aborted));
+    }
+
+    #[test]
+    fn abort_of_unknown_txn_is_legal() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        assert!(r.abort(t(9), &mut log, Durability::NonForced, SimTime(0)).is_ok());
+    }
+
+    #[test]
+    fn prepared_txn_rejects_further_access() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        assert!(r.read(t(1), b"k", SimTime(0)).is_err());
+        assert!(r
+            .write(t(1), b"k", Some(b"w".to_vec()), &mut log, SimTime(0))
+            .is_err());
+        assert_eq!(r.in_doubt(), vec![t(1)]);
+    }
+
+    #[test]
+    fn read_only_detection_and_forget() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        // Seed committed data.
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(0)).unwrap();
+        let before = log.stats();
+
+        assert_eq!(
+            r.read(t(2), b"k", SimTime(1)).unwrap(),
+            Access::Value(Some(b"v".to_vec()))
+        );
+        assert!(r.is_read_only(t(2)));
+        r.forget_read_only(t(2), SimTime(2)).unwrap();
+        // No log writes at all for the read-only participant.
+        assert_eq!(log.stats(), before);
+        assert!(!r.locks.holds_any(t(2)));
+    }
+
+    #[test]
+    fn forget_read_only_rejected_after_update() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        assert!(!r.is_read_only(t(1)));
+        assert!(r.forget_read_only(t(1), SimTime(0)).is_err());
+    }
+
+    #[test]
+    fn conflicting_writer_waits_until_commit() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"a", &mut log);
+        assert_eq!(
+            r.write(t(2), b"k", Some(b"b".to_vec()), &mut log, SimTime(1)).unwrap(),
+            Access::Wait
+        );
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        let grants = r.commit(t(1), &mut log, Durability::Forced, SimTime(10)).unwrap();
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].txn, t(2));
+    }
+
+    #[test]
+    fn crash_before_prepare_loses_transaction() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        log.crash();
+        log.restart();
+        let in_doubt = r.recover(&log.durable_records(), SimTime(0)).unwrap();
+        assert!(in_doubt.is_empty());
+        assert_eq!(r.store().get(b"k"), None);
+    }
+
+    #[test]
+    fn crash_after_prepare_restores_in_doubt_with_locks() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        log.crash();
+        log.restart();
+        let in_doubt = r.recover(&log.durable_records(), SimTime(0)).unwrap();
+        assert_eq!(in_doubt, vec![t(1)]);
+        // Data still protected: another transaction blocks.
+        assert_eq!(
+            r.write(t(2), b"k", Some(b"w".to_vec()), &mut log, SimTime(1)).unwrap(),
+            Access::Wait
+        );
+        // Resolving commit applies the recovered workspace.
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(2)).unwrap();
+        assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn crash_after_commit_redoes() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        log.crash();
+        log.restart();
+        let in_doubt = r.recover(&log.durable_records(), SimTime(2)).unwrap();
+        assert!(in_doubt.is_empty());
+        assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
+        assert_eq!(r.phase(t(1)), Some(RmPhase::Committed));
+    }
+
+    #[test]
+    fn unforced_commit_record_lost_on_crash_leaves_in_doubt() {
+        // Shared-log scenario: RmCommitted was non-forced and the TM force
+        // never happened before the crash — the RM must come back in
+        // doubt, not committed.
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::NonForced, SimTime(1)).unwrap();
+        log.crash();
+        log.restart();
+        let in_doubt = r.recover(&log.durable_records(), SimTime(2)).unwrap();
+        assert_eq!(in_doubt, vec![t(1)]);
+        assert_eq!(r.store().get(b"k"), None);
+    }
+
+    #[test]
+    fn heuristic_commit_applies_and_records_phase() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.heuristic_decide(t(1), HeuristicOutcome::Commit, &mut log, SimTime(9))
+            .unwrap();
+        assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
+        assert_eq!(
+            r.phase(t(1)),
+            Some(RmPhase::Heuristic(HeuristicOutcome::Commit))
+        );
+    }
+
+    #[test]
+    fn heuristic_requires_prepared_state() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        assert!(r
+            .heuristic_decide(t(1), HeuristicOutcome::Abort, &mut log, SimTime(0))
+            .is_err());
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        log.crash();
+        log.restart();
+        r.recover(&log.durable_records(), SimTime(2)).unwrap();
+        let first = r.store().clone();
+        r.recover(&log.durable_records(), SimTime(3)).unwrap();
+        assert_eq!(*r.store(), first);
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let mut r = rm();
+        let mut log = MemLog::new();
+        write_ok(&mut r, t(1), b"k", b"v", &mut log);
+        r.prepare(t(1), &mut log, Durability::Forced).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        // t2 deletes it.
+        match r.write(t(2), b"k", None, &mut log, SimTime(2)).unwrap() {
+            Access::Value(before) => assert_eq!(before, Some(b"v".to_vec())),
+            other => panic!("{other:?}"),
+        }
+        r.prepare(t(2), &mut log, Durability::Forced).unwrap();
+        r.commit(t(2), &mut log, Durability::Forced, SimTime(3)).unwrap();
+        assert_eq!(r.store().get(b"k"), None);
+    }
+}

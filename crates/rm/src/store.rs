@@ -1,0 +1,87 @@
+//! The committed key-value state.
+
+use std::collections::BTreeMap;
+
+/// Committed key-value data. Volatile: a simulated crash loses it, and
+/// recovery rebuilds it by replaying the WAL (redo of committed
+/// transactions), which keeps the recovery path honest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    data: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Committed value for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.data.get(key).map(|v| v.as_slice())
+    }
+
+    /// Applies one committed mutation (`None` deletes). Returns the old
+    /// value, which callers record as the undo image.
+    pub fn apply(&mut self, key: &[u8], value: Option<Vec<u8>>) -> Option<Vec<u8>> {
+        match value {
+            Some(v) => self.data.insert(key.to_vec(), v),
+            None => self.data.remove(key),
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates over committed entries in key order — used by the
+    /// simulator's cross-node consistency checker.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.data.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Drops all data (simulated crash of the volatile store).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_insert_update_delete() {
+        let mut s = KvStore::new();
+        assert_eq!(s.apply(b"k", Some(b"v1".to_vec())), None);
+        assert_eq!(s.get(b"k"), Some(&b"v1"[..]));
+        assert_eq!(s.apply(b"k", Some(b"v2".to_vec())), Some(b"v1".to_vec()));
+        assert_eq!(s.apply(b"k", None), Some(b"v2".to_vec()));
+        assert_eq!(s.get(b"k"), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let mut s = KvStore::new();
+        s.apply(b"b", Some(b"2".to_vec()));
+        s.apply(b"a", Some(b"1".to_vec()));
+        let keys: Vec<_> = s.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = KvStore::new();
+        s.apply(b"x", Some(b"1".to_vec()));
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! The in-process live cluster: one thread per node, crossbeam channels
+//! as the network.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use tpc_common::{NodeId, Op, TxnId};
+
+use crate::node::{
+    AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
+};
+
+/// Transport over crossbeam channels: every node holds senders to all
+/// peers.
+pub struct ChannelTransport {
+    me: NodeId,
+    peers: Vec<Sender<Inbound>>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        if let Some(tx) = self.peers.get(to.index()) {
+            let _ = tx.send(Inbound::Frame {
+                from: self.me,
+                bytes,
+            });
+        }
+    }
+}
+
+/// A running in-process cluster.
+pub struct LiveCluster {
+    senders: Vec<Sender<Inbound>>,
+    handles: Vec<JoinHandle<NodeSummary>>,
+    next_seq: Arc<AtomicU64>,
+}
+
+impl LiveCluster {
+    /// Starts one thread per config with no standing partners: commit
+    /// trees are built purely from the work actually exchanged. Standing
+    /// partnership (the LU 6.2 conversation structure that the leave-out
+    /// optimization exploits) is directional and tree-shaped — declare it
+    /// explicitly with [`LiveCluster::start_with_topology`].
+    pub fn start(configs: Vec<LiveNodeConfig>) -> Self {
+        Self::start_with_topology(configs, &[])
+    }
+
+    /// Starts the cluster with explicit partner edges `(parent, child)`.
+    pub fn start_with_topology(configs: Vec<LiveNodeConfig>, partners: &[(usize, usize)]) -> Self {
+        let n = configs.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let epoch = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (i, (cfg, rx)) in configs.into_iter().zip(receivers).enumerate() {
+            let node = NodeId(i as u32);
+            let transport = ChannelTransport {
+                me: node,
+                peers: senders.clone(),
+            };
+            let downstream: Vec<NodeId> = partners
+                .iter()
+                .filter(|(a, _)| *a == i)
+                .map(|(_, b)| NodeId(*b as u32))
+                .collect();
+            let worker = NodeWorker::new(node, cfg, downstream, transport, rx, epoch);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tpc-node-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn node thread"),
+            );
+        }
+        LiveCluster {
+            senders,
+            handles,
+            next_seq: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Begins a transaction rooted at `root`.
+    pub fn begin(&self, root: NodeId) -> TxnHandle<'_> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        TxnHandle {
+            cluster: self,
+            txn: TxnId::new(root, seq),
+            root,
+        }
+    }
+
+    /// Reads a committed value from `node`'s store (blocking).
+    pub fn read(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+        let (tx, rx) = bounded(1);
+        self.senders[node.index()]
+            .send(Inbound::App(AppCmd::Read {
+                key: key.as_bytes().to_vec(),
+                reply: tx,
+            }))
+            .ok()?;
+        rx.recv().ok()?
+    }
+
+    /// Fetches a node's live summary.
+    pub fn summary(&self, node: NodeId) -> Option<NodeSummary> {
+        let (tx, rx) = bounded(1);
+        self.senders[node.index()]
+            .send(Inbound::App(AppCmd::Summary { reply: tx }))
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    /// Stops every node and returns their final summaries.
+    pub fn shutdown(self) -> Vec<NodeSummary> {
+        let mut summaries = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply, _rx) = bounded(1);
+            let _ = tx.send(Inbound::Shutdown { reply });
+        }
+        for h in self.handles {
+            if let Ok(s) = h.join() {
+                summaries.push(s);
+            }
+        }
+        summaries
+    }
+
+    pub(crate) fn send_app(&self, node: NodeId, cmd: AppCmd) {
+        let _ = self.senders[node.index()].send(Inbound::App(cmd));
+    }
+}
+
+/// A transaction in flight on a [`LiveCluster`].
+pub struct TxnHandle<'a> {
+    cluster: &'a LiveCluster,
+    txn: TxnId,
+    root: NodeId,
+}
+
+impl TxnHandle<'_> {
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Sends work to a partner (or runs it locally when `to` is the
+    /// root).
+    pub fn work(&self, to: NodeId, ops: Vec<Op>) {
+        self.cluster.send_app(
+            self.root,
+            AppCmd::Work {
+                txn: self.txn,
+                to,
+                ops,
+            },
+        );
+    }
+
+    /// Requests commit and blocks for the outcome.
+    pub fn commit(self) -> CommitResult {
+        let (tx, rx) = bounded(1);
+        self.cluster.send_app(
+            self.root,
+            AppCmd::Commit {
+                txn: self.txn,
+                reply: tx,
+            },
+        );
+        rx.recv().expect("node alive")
+    }
+
+    /// Requests rollback and blocks for the confirmation.
+    pub fn abort(self) -> CommitResult {
+        let (tx, rx) = bounded(1);
+        self.cluster.send_app(
+            self.root,
+            AppCmd::Abort {
+                txn: self.txn,
+                reply: tx,
+            },
+        );
+        rx.recv().expect("node alive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::{Outcome, ProtocolKind};
+
+    fn cluster(n: usize, protocol: ProtocolKind) -> LiveCluster {
+        LiveCluster::start(vec![LiveNodeConfig::new(protocol); n])
+    }
+
+    #[test]
+    fn distributed_commit_makes_values_visible() {
+        let c = cluster(3, ProtocolKind::PresumedAbort);
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(0), vec![Op::put("root-key", "r")]);
+        t.work(NodeId(1), vec![Op::put("a", "1")]);
+        t.work(NodeId(2), vec![Op::put("b", "2")]);
+        let result = t.commit();
+        assert_eq!(result.outcome, Outcome::Commit);
+        assert!(result.report.is_clean());
+        assert_eq!(c.read(NodeId(0), "root-key"), Some(b"r".to_vec()));
+        assert_eq!(c.read(NodeId(1), "a"), Some(b"1".to_vec()));
+        assert_eq!(c.read(NodeId(2), "b"), Some(b"2".to_vec()));
+        for s in c.shutdown() {
+            assert_eq!(s.active_txns, 0, "{:?}", s.node);
+        }
+    }
+
+    #[test]
+    fn rollback_discards_everywhere() {
+        let c = cluster(2, ProtocolKind::PresumedNothing);
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(0), vec![Op::put("x", "1")]);
+        t.work(NodeId(1), vec![Op::put("y", "1")]);
+        let result = t.abort();
+        assert_eq!(result.outcome, Outcome::Abort);
+        assert_eq!(c.read(NodeId(0), "x"), None);
+        assert_eq!(c.read(NodeId(1), "y"), None);
+        c.shutdown();
+    }
+
+    #[test]
+    fn sequential_transactions_across_protocols() {
+        for protocol in ProtocolKind::ALL {
+            let c = cluster(2, protocol);
+            for i in 0..5 {
+                let t = c.begin(NodeId(0));
+                t.work(NodeId(1), vec![Op::put("counter", &i.to_string())]);
+                assert_eq!(t.commit().outcome, Outcome::Commit, "{protocol}");
+            }
+            assert_eq!(c.read(NodeId(1), "counter"), Some(b"4".to_vec()));
+            c.shutdown();
+        }
+    }
+
+    #[test]
+    fn concurrent_roots_serialize_on_conflicts() {
+        let c = Arc::new(cluster(3, ProtocolKind::PresumedAbort));
+        let mut joins = Vec::new();
+        for root in 0..2u32 {
+            let c2 = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let t = c2.begin(NodeId(root));
+                    t.work(
+                        NodeId(2),
+                        vec![Op::put("hot", &format!("{root}-{i}"))],
+                    );
+                    let r = t.commit();
+                    assert_eq!(r.outcome, Outcome::Commit);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("worker");
+        }
+        let final_value = c.read(NodeId(2), "hot").expect("written");
+        assert!(final_value.ends_with(b"-9"));
+        Arc::try_unwrap(c).ok().map(|c| c.shutdown());
+    }
+
+    #[test]
+    fn read_only_transaction_commits_without_logging() {
+        let opts = tpc_common::OptimizationConfig::none().with_read_only(true);
+        let c = LiveCluster::start(vec![
+            LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts.clone()),
+            LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts),
+        ]);
+        // Seed data.
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(1), vec![Op::put("k", "v")]);
+        assert_eq!(t.commit().outcome, Outcome::Commit);
+        let before = c.summary(NodeId(1)).unwrap().log;
+
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(1), vec![Op::get("k")]);
+        assert_eq!(t.commit().outcome, Outcome::Commit);
+        let after = c.summary(NodeId(1)).unwrap().log;
+        assert_eq!(
+            before.writes, after.writes,
+            "read-only participation must not log"
+        );
+        c.shutdown();
+    }
+}

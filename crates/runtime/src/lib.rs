@@ -1,0 +1,41 @@
+//! # tpc-runtime
+//!
+//! The live harness: real threads, real (wall-clock) timers, real logs and
+//! optionally real TCP sockets, driving the same sans-IO engine the
+//! simulator drives.
+//!
+//! Two transports:
+//!
+//! * [`LiveCluster::start`] — every node is a thread; frames travel over
+//!   crossbeam channels. This is the harness the examples use.
+//! * [`tcp::TcpCluster::start`] — every node additionally binds a loopback
+//!   TCP listener and frames travel over sockets, demonstrating that the
+//!   engine's wire format and ordering assumptions hold on a real network
+//!   stack.
+//!
+//! The application API is deliberately small:
+//!
+//! ```no_run
+//! use tpc_common::{Op, Outcome, ProtocolKind};
+//! use tpc_runtime::{LiveCluster, LiveNodeConfig};
+//!
+//! let cluster = LiveCluster::start(vec![
+//!     LiveNodeConfig::new(ProtocolKind::PresumedAbort),
+//!     LiveNodeConfig::new(ProtocolKind::PresumedAbort),
+//! ]);
+//! let txn = cluster.begin(tpc_common::NodeId(0));
+//! txn.work(tpc_common::NodeId(1), vec![Op::put("k", "v")]);
+//! let result = txn.commit();
+//! assert_eq!(result.outcome, Outcome::Commit);
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod node;
+pub mod tcp;
+
+pub use cluster::{LiveCluster, TxnHandle};
+pub use node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport};

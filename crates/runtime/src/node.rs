@@ -1,0 +1,605 @@
+//! The node worker: one thread owning an engine, a log and a resource
+//! manager, fed by an inbound channel.
+
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use tpc_common::wire::{Decode, Encode};
+use tpc_common::{
+    decode_ops, DamageReport, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
+    ProtocolKind, RmId, SimTime, TxnId,
+};
+use tpc_core::messages::Bundle;
+use tpc_core::{
+    Action, EngineConfig, EngineMetrics, Event, LocalDisposition, LocalVote, ProtocolMsg,
+    Timeouts, TimerKind, TmEngine,
+};
+use tpc_rm::{Access, ResourceManager, RmConfig};
+use tpc_wal::file::FileLog;
+use tpc_wal::{Durability, LogManager, LogStats, MemLog, StreamId};
+
+/// Where a live node keeps its write-ahead log.
+#[derive(Clone, Debug, Default)]
+pub enum LogBackend {
+    /// In-memory (fast; the default for examples and tests).
+    #[default]
+    Memory,
+    /// A real file under the given directory, with fsync on every forced
+    /// write. The file is named `node-<id>.log`.
+    File(std::path::PathBuf),
+}
+
+/// Picks the log the resource manager writes to: its own, or (under the
+/// shared-log optimization) the TM's.
+fn rm_log_of<'a>(
+    rm_log: &'a mut Option<MemLog>,
+    tm_log: &'a mut Box<dyn LogManager + Send>,
+) -> &'a mut dyn LogManager {
+    match rm_log.as_mut() {
+        Some(l) => l,
+        None => tm_log.as_mut(),
+    }
+}
+
+/// How frames leave a node.
+pub trait Transport: Send + 'static {
+    /// Delivers an encoded frame to `to` (best effort).
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>);
+}
+
+/// Per-node configuration for the live runtime.
+#[derive(Clone, Debug)]
+pub struct LiveNodeConfig {
+    /// Protocol family.
+    pub protocol: ProtocolKind,
+    /// Optimization switches.
+    pub opts: OptimizationConfig,
+    /// Heuristic policy for in-doubt transactions.
+    pub heuristic: HeuristicPolicy,
+    /// Failure timers.
+    pub timeouts: Timeouts,
+    /// Local resources are reliable (vote qualifier).
+    pub reliable: bool,
+    /// The node is a suspendable server (leave-out eligible).
+    pub suspendable: bool,
+    /// Log storage backend.
+    pub log_backend: LogBackend,
+}
+
+impl LiveNodeConfig {
+    /// Plain configuration.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        LiveNodeConfig {
+            protocol,
+            opts: OptimizationConfig::none(),
+            heuristic: HeuristicPolicy::Never,
+            timeouts: Timeouts::default(),
+            reliable: false,
+            suspendable: false,
+            log_backend: LogBackend::Memory,
+        }
+    }
+
+    /// Stores the TM log in a real file under `dir` (fsync on force).
+    pub fn with_file_log(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.log_backend = LogBackend::File(dir.into());
+        self
+    }
+
+    /// Replaces the optimization switches.
+    pub fn with_opts(mut self, opts: OptimizationConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Marks local resources reliable.
+    pub fn reliable(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+}
+
+/// The completion of a commit/abort request.
+#[derive(Clone, Debug)]
+pub struct CommitResult {
+    /// The global outcome.
+    pub outcome: Outcome,
+    /// Heuristic-damage report visible at the root.
+    pub report: DamageReport,
+    /// Wait-for-outcome's "recovery in progress" indication.
+    pub pending: bool,
+}
+
+/// Application commands accepted by a node.
+pub enum AppCmd {
+    /// Send work (ops) to a partner within `txn`.
+    Work {
+        /// Transaction the work belongs to.
+        txn: TxnId,
+        /// Destination partner.
+        to: NodeId,
+        /// Operations for the partner.
+        ops: Vec<Op>,
+    },
+    /// Request commit; the result is sent on `reply`.
+    Commit {
+        /// Transaction to commit.
+        txn: TxnId,
+        /// Completion channel.
+        reply: Sender<CommitResult>,
+    },
+    /// Request rollback; the result is sent on `reply`.
+    Abort {
+        /// Transaction to abort.
+        txn: TxnId,
+        /// Completion channel.
+        reply: Sender<CommitResult>,
+    },
+    /// Read a committed value from the local store.
+    Read {
+        /// Key to read.
+        key: Vec<u8>,
+        /// Reply channel.
+        reply: Sender<Option<Vec<u8>>>,
+    },
+    /// Fetch a summary (metrics + log stats) without stopping.
+    Summary {
+        /// Reply channel.
+        reply: Sender<NodeSummary>,
+    },
+}
+
+/// Everything a node reports when asked (or at shutdown).
+#[derive(Clone, Debug)]
+pub struct NodeSummary {
+    /// The node.
+    pub node: NodeId,
+    /// Engine counters.
+    pub metrics: EngineMetrics,
+    /// TM log statistics.
+    pub log: LogStats,
+    /// Transactions still unresolved.
+    pub active_txns: usize,
+}
+
+/// Messages arriving at a node's inbound channel.
+pub enum Inbound {
+    /// An encoded frame from a peer.
+    Frame {
+        /// Sending node.
+        from: NodeId,
+        /// Encoded [`Bundle`].
+        bytes: Vec<u8>,
+    },
+    /// An application command.
+    App(AppCmd),
+    /// Stop the worker; it replies with its final summary.
+    Shutdown {
+        /// Reply channel for the final summary.
+        reply: Sender<NodeSummary>,
+    },
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    txn: TxnId,
+    kind: TimerKind,
+    gen: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: min-heap by deadline.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+/// One node of the live cluster.
+pub struct NodeWorker<T: Transport> {
+    node: NodeId,
+    engine: TmEngine,
+    log: Box<dyn LogManager + Send>,
+    rm_log: Option<MemLog>,
+    rm: ResourceManager,
+    transport: T,
+    rx: Receiver<Inbound>,
+    epoch: Instant,
+    timers: BinaryHeap<TimerEntry>,
+    timer_gen: HashMap<(TxnId, TimerKind), u64>,
+    next_gen: u64,
+    pending_ops: HashMap<TxnId, VecDeque<Op>>,
+    deadlocked: HashSet<TxnId>,
+    /// Prepare requests deferred until blocked local work completes
+    /// (peer-to-peer rule: a participant may finish before it votes).
+    prepare_waiting: HashMap<TxnId, Durability>,
+    waiting: HashMap<TxnId, Sender<CommitResult>>,
+    suspendable: bool,
+    reliable: bool,
+}
+
+impl<T: Transport> NodeWorker<T> {
+    /// Builds a worker; `partners` are the standing downstream partners.
+    pub fn new(
+        node: NodeId,
+        cfg: LiveNodeConfig,
+        partners: Vec<NodeId>,
+        transport: T,
+        rx: Receiver<Inbound>,
+        epoch: Instant,
+    ) -> Self {
+        let engine_cfg = EngineConfig {
+            node,
+            protocol: cfg.protocol,
+            opts: cfg.opts.clone(),
+            timeouts: cfg.timeouts,
+            heuristic: cfg.heuristic,
+        };
+        let mut engine = TmEngine::new(engine_cfg).expect("valid live config");
+        for p in partners {
+            engine.add_session_partner(p);
+        }
+        let rm = ResourceManager::new(if cfg.reliable {
+            RmConfig::new(RmId(0)).reliable()
+        } else {
+            RmConfig::new(RmId(0))
+        });
+        let rm_log = if cfg.opts.shared_log {
+            None
+        } else {
+            Some(MemLog::new())
+        };
+        let log: Box<dyn LogManager + Send> = match &cfg.log_backend {
+            LogBackend::Memory => Box::new(MemLog::new()),
+            LogBackend::File(dir) => {
+                std::fs::create_dir_all(dir).expect("log directory");
+                Box::new(
+                    FileLog::create(dir.join(format!("node-{}.log", node.0)))
+                        .expect("create log file"),
+                )
+            }
+        };
+        NodeWorker {
+            node,
+            engine,
+            log,
+            rm_log,
+            rm,
+            transport,
+            rx,
+            epoch,
+            timers: BinaryHeap::new(),
+            timer_gen: HashMap::new(),
+            next_gen: 0,
+            pending_ops: HashMap::new(),
+            deadlocked: HashSet::new(),
+            prepare_waiting: HashMap::new(),
+            waiting: HashMap::new(),
+            suspendable: cfg.suspendable,
+            reliable: cfg.reliable,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// The worker's main loop; returns the final summary at shutdown.
+    pub fn run(mut self) -> NodeSummary {
+        loop {
+            let timeout = self
+                .timers
+                .peek()
+                .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(250));
+            match self.rx.recv_timeout(timeout) {
+                Ok(Inbound::Frame { from, bytes }) => self.on_frame(from, &bytes),
+                Ok(Inbound::App(cmd)) => self.on_app(cmd),
+                Ok(Inbound::Shutdown { reply }) => {
+                    let _ = reply.send(self.summary());
+                    return self.summary();
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return self.summary(),
+            }
+            self.fire_due_timers();
+        }
+    }
+
+    fn summary(&self) -> NodeSummary {
+        NodeSummary {
+            node: self.node,
+            metrics: self.engine.metrics(),
+            log: self.log.stats(),
+            active_txns: self.engine.active_txns(),
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = Instant::now();
+        while let Some(t) = self.timers.peek() {
+            if t.deadline > now {
+                break;
+            }
+            let t = self.timers.pop().expect("peeked");
+            if self.timer_gen.get(&(t.txn, t.kind)).copied() != Some(t.gen) {
+                continue; // cancelled or superseded
+            }
+            self.drive(Event::TimerFired {
+                txn: t.txn,
+                kind: t.kind,
+            });
+        }
+    }
+
+    fn on_frame(&mut self, from: NodeId, bytes: &[u8]) {
+        let Ok(bundle) = Bundle::decode_all(bytes) else {
+            return; // corrupt frame: drop (transport-level noise)
+        };
+        for msg in bundle.0 {
+            if let ProtocolMsg::Work { txn, payload } = &msg {
+                let txn = *txn;
+                let ops = decode_ops(payload).unwrap_or_default();
+                self.drive(Event::MsgReceived {
+                    from,
+                    msg: msg.clone(),
+                });
+                self.run_ops(txn, ops.into());
+            } else {
+                self.drive(Event::MsgReceived { from, msg });
+            }
+        }
+    }
+
+    fn on_app(&mut self, cmd: AppCmd) {
+        match cmd {
+            AppCmd::Work { txn, to, ops } => {
+                // The root executes nothing locally here; callers that
+                // want local work address ops to their own node.
+                if to == self.node {
+                    // Local work: run it directly and make sure a seat
+                    // exists so the commit will include it.
+                    self.run_ops(txn, ops.into());
+                } else {
+                    self.drive(Event::SendWork {
+                        txn,
+                        to,
+                        payload: tpc_common::encode_ops(&ops),
+                    });
+                }
+            }
+            AppCmd::Commit { txn, reply } => {
+                self.waiting.insert(txn, reply);
+                self.drive(Event::CommitRequested { txn });
+            }
+            AppCmd::Abort { txn, reply } => {
+                self.waiting.insert(txn, reply);
+                self.drive(Event::AbortRequested { txn });
+            }
+            AppCmd::Read { key, reply } => {
+                let _ = reply.send(self.rm.store().get(&key).map(|v| v.to_vec()));
+            }
+            AppCmd::Summary { reply } => {
+                let _ = reply.send(self.summary());
+            }
+        }
+    }
+
+    fn drive(&mut self, event: Event) {
+        let now = self.now();
+        match self.engine.handle(now, event) {
+            Ok(actions) => self.exec(actions),
+            Err(e) => {
+                // Application misuse surfaces on the waiting channel if
+                // any; protocol noise is dropped.
+                debug_assert!(false, "engine error at {}: {e}", self.node);
+            }
+        }
+    }
+
+    fn run_ops(&mut self, txn: TxnId, mut ops: VecDeque<Op>) {
+        let now = self.now();
+        while let Some(op) = ops.pop_front() {
+            let access = {
+                let (rm, log) = (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
+                match &op {
+                    Op::Read(k) => rm.read(txn, k, now),
+                    Op::Write(k, v) => rm.write(txn, k, v.clone(), log, now),
+                }
+            };
+            match access {
+                Ok(Access::Value(_)) => {}
+                Ok(Access::Wait) => {
+                    ops.push_front(op);
+                    self.pending_ops.insert(txn, ops);
+                    return;
+                }
+                Ok(Access::Deadlock) => {
+                    self.deadlocked.insert(txn);
+                    let now = self.now();
+                    let grants = {
+                        let (rm, log) =
+                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
+                        rm.abort(txn, log, Durability::NonForced, now)
+                            .unwrap_or_default()
+                    };
+                    self.resume_grants(grants);
+                    if self.prepare_waiting.remove(&txn).is_some() {
+                        self.drive(Event::LocalPrepared {
+                            txn,
+                            vote: LocalVote::no(),
+                        });
+                    }
+                    return;
+                }
+                Err(_) => return, // op against a finished txn: drop
+            }
+        }
+    }
+
+    fn resume_grants(&mut self, grants: Vec<tpc_locks::ReleaseGrant>) {
+        let mut resumed: HashSet<TxnId> = HashSet::new();
+        for g in grants {
+            if resumed.insert(g.txn) {
+                if let Some(ops) = self.pending_ops.remove(&g.txn) {
+                    self.run_ops(g.txn, ops);
+                }
+                // If a Prepare was waiting on this work, vote now.
+                if !self.pending_ops.contains_key(&g.txn) {
+                    if let Some(dur) = self.prepare_waiting.remove(&g.txn) {
+                        let vote = self.local_prepare(g.txn, dur);
+                        self.drive(Event::LocalPrepared { txn: g.txn, vote });
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msgs } => {
+                    let bytes = Bundle(msgs).encode_to_bytes().to_vec();
+                    self.transport.send(to, bytes);
+                }
+                Action::Log { record, durability } => {
+                    self.log
+                        .as_mut()
+                        .append(StreamId::Tm, record, durability)
+                        .expect("live log append");
+                }
+                Action::PrepareLocal { txn, rm_durability } => {
+                    if self.pending_ops.contains_key(&txn) && !self.deadlocked.contains(&txn) {
+                        // Local work is lock-blocked: finish before
+                        // voting (§4 Read Only's serialization caveat is
+                        // about exactly this window).
+                        self.prepare_waiting.insert(txn, rm_durability);
+                    } else {
+                        let vote = self.local_prepare(txn, rm_durability);
+                        self.drive(Event::LocalPrepared { txn, vote });
+                    }
+                }
+                Action::CommitLocal { txn, rm_durability } => {
+                    let now = self.now();
+                    let grants = {
+                        let (rm, log) =
+                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
+                        rm.commit(txn, log, rm_durability, now).unwrap_or_default()
+                    };
+                    self.resume_grants(grants);
+                }
+                Action::AbortLocal { txn, rm_durability } => {
+                    let now = self.now();
+                    let grants = {
+                        let (rm, log) =
+                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
+                        rm.abort(txn, log, rm_durability, now).unwrap_or_default()
+                    };
+                    self.resume_grants(grants);
+                }
+                Action::ForgetLocal { txn } => {
+                    let now = self.now();
+                    let grants = self.rm.forget_read_only(txn, now).unwrap_or_default();
+                    self.resume_grants(grants);
+                }
+                Action::NotifyOutcome {
+                    txn,
+                    outcome,
+                    report,
+                    pending,
+                } => {
+                    if let Some(reply) = self.waiting.remove(&txn) {
+                        let _ = reply.send(CommitResult {
+                            outcome,
+                            report,
+                            pending,
+                        });
+                    }
+                }
+                Action::SetTimer { txn, kind, delay } => {
+                    self.next_gen += 1;
+                    let gen = self.next_gen;
+                    self.timer_gen.insert((txn, kind), gen);
+                    self.timers.push(TimerEntry {
+                        deadline: Instant::now() + Duration::from_micros(delay.as_micros()),
+                        txn,
+                        kind,
+                        gen,
+                    });
+                }
+                Action::CancelTimer { txn, kind } => {
+                    self.timer_gen.remove(&(txn, kind));
+                }
+                Action::TxnEnded { txn } => {
+                    self.pending_ops.remove(&txn);
+                    self.deadlocked.remove(&txn);
+                    self.prepare_waiting.remove(&txn);
+                }
+            }
+        }
+    }
+
+    fn local_prepare(&mut self, txn: TxnId, rm_durability: Durability) -> LocalVote {
+        if self.deadlocked.contains(&txn) || self.pending_ops.contains_key(&txn) {
+            // Incomplete or doomed local work cannot be guaranteed.
+            return LocalVote::no();
+        }
+        if self.rm.is_read_only(txn) {
+            return LocalVote {
+                disposition: LocalDisposition::ReadOnly,
+                reliable: self.reliable,
+                suspendable: self.suspendable,
+            };
+        }
+        {
+            let (rm, log) = (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
+            if rm.prepare(txn, log, rm_durability).is_err() {
+                return LocalVote::no();
+            }
+        }
+        LocalVote {
+            disposition: LocalDisposition::Yes,
+            reliable: self.reliable,
+            suspendable: self.suspendable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_heap_is_min_by_deadline() {
+        let base = Instant::now();
+        let mk = |ms: u64| TimerEntry {
+            deadline: base + Duration::from_millis(ms),
+            txn: TxnId::new(NodeId(0), 1),
+            kind: TimerKind::VoteCollection,
+            gen: 0,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(30));
+        heap.push(mk(10));
+        heap.push(mk(20));
+        assert_eq!(
+            heap.pop().unwrap().deadline,
+            base + Duration::from_millis(10)
+        );
+        assert_eq!(
+            heap.pop().unwrap().deadline,
+            base + Duration::from_millis(20)
+        );
+    }
+}

@@ -1,0 +1,1307 @@
+//! The simulated cluster: nodes, event loop, failure injection.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tpc_common::{
+    HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TxnId,
+};
+use tpc_core::{
+    Action, EngineConfig, Event, LocalDisposition, LocalVote, ProtocolMsg, Timeouts, TimerKind,
+    TmEngine,
+};
+use tpc_rm::{Access, ResourceManager, RmConfig};
+use tpc_simnet::{LatencyModel, Network, Partition, Scheduler};
+use tpc_wal::{Durability, FlushDecision, GroupCommitter, LogManager, MemLog, StreamId};
+
+use crate::report::{NodeReport, RunReport, TxnResult};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::verify;
+use crate::workload::{decode_ops, encode_ops, Op, TxnSpec, WorkEdge};
+
+/// Cluster-wide simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Default one-way link latency.
+    pub latency: LatencyModel,
+    /// Time one forced log write (physical flush) takes.
+    pub force_latency: SimDuration,
+    /// Seed for any randomized latency models.
+    pub seed: u64,
+    /// `true` → key-value operations run against real resource managers;
+    /// `false` (default) → abstract participation, exact paper counts.
+    pub real_mode: bool,
+    /// Time between a transaction's start and its commit request (the
+    /// data-flow window; must exceed the work-delivery depth).
+    pub work_window: SimDuration,
+    /// Gap between a root notification and the next scripted transaction.
+    pub inter_txn_delay: SimDuration,
+    /// Flush deferred (long-locks / implied) acks once the script ends,
+    /// so final transactions complete everyone's bookkeeping.
+    pub flush_acks_at_end: bool,
+    /// Hard stop for the virtual clock (bounds blocked scenarios).
+    pub horizon: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
+            force_latency: SimDuration::from_micros(200),
+            seed: 42,
+            real_mode: false,
+            work_window: SimDuration::from_millis(20),
+            inter_txn_delay: SimDuration::from_millis(1),
+            flush_acks_at_end: true,
+            horizon: SimDuration::from_secs(600),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Switches on real (key-value) execution mode.
+    pub fn real(mut self) -> Self {
+        self.real_mode = true;
+        self
+    }
+
+    /// Overrides the default latency.
+    pub fn with_latency(mut self, m: LatencyModel) -> Self {
+        self.latency = m;
+        self
+    }
+
+    /// Overrides the horizon.
+    pub fn with_horizon(mut self, h: SimDuration) -> Self {
+        self.horizon = h;
+        self
+    }
+}
+
+/// Per-node configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Protocol family this node's TM runs.
+    pub protocol: ProtocolKind,
+    /// Optimization switches.
+    pub opts: OptimizationConfig,
+    /// TM-level heuristic policy for in-doubt transactions.
+    pub heuristic: HeuristicPolicy,
+    /// Failure timers.
+    pub timeouts: Timeouts,
+    /// Local resources are reliable (vote-reliable qualifier).
+    pub reliable: bool,
+    /// The local application is a pure server (ok-to-leave-out basis).
+    pub suspendable: bool,
+    /// Volunteers unsolicited votes when its work is done.
+    pub unsolicited: bool,
+    /// Transaction sequence numbers this node refuses to prepare
+    /// (scripted NO votes for abort scenarios).
+    pub vote_no_seqs: HashSet<u64>,
+    /// Number of local resource managers (real mode). Keys are routed by
+    /// their first byte; each LRM has its own lock space and, unless the
+    /// shared-log optimization is on, its own log.
+    pub rm_count: usize,
+}
+
+impl NodeConfig {
+    /// A plain node running `protocol` with no optimizations.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        NodeConfig {
+            protocol,
+            opts: OptimizationConfig::none(),
+            heuristic: HeuristicPolicy::Never,
+            timeouts: Timeouts::default(),
+            reliable: false,
+            suspendable: false,
+            unsolicited: false,
+            vote_no_seqs: HashSet::new(),
+            rm_count: 1,
+        }
+    }
+
+    /// Sets the number of local resource managers (real mode).
+    pub fn with_rms(mut self, count: usize) -> Self {
+        self.rm_count = count.max(1);
+        self
+    }
+
+    /// Replaces the optimization switches.
+    pub fn with_opts(mut self, opts: OptimizationConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the heuristic policy.
+    pub fn with_heuristic(mut self, h: HeuristicPolicy) -> Self {
+        self.heuristic = h;
+        self
+    }
+
+    /// Sets the failure timeouts.
+    pub fn with_timeouts(mut self, t: Timeouts) -> Self {
+        self.timeouts = t;
+        self
+    }
+
+    /// Marks local resources reliable.
+    pub fn reliable(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+
+    /// Marks the node's application as a suspendable server.
+    pub fn suspendable(mut self) -> Self {
+        self.suspendable = true;
+        self
+    }
+
+    /// Enables unsolicited voting.
+    pub fn unsolicited(mut self) -> Self {
+        self.unsolicited = true;
+        self
+    }
+
+    /// Scripts a NO vote for the given transaction sequence number.
+    pub fn vote_no_on(mut self, seq: u64) -> Self {
+        self.vote_no_seqs.insert(seq);
+        self
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Participation {
+    updated: bool,
+}
+
+/// Routes a key to one of the node's local resource managers.
+fn route_rm(key: &[u8], rm_count: usize) -> usize {
+    debug_assert!(rm_count > 0);
+    key.first().copied().unwrap_or(0) as usize % rm_count
+}
+
+/// One local resource manager plus its (optional) private log. `log` is
+/// `None` under the shared-log optimization: records then go to the TM
+/// log and ride its forces.
+struct RmSlot {
+    rm: ResourceManager,
+    log: Option<MemLog>,
+}
+
+struct SimNode {
+    cfg: NodeConfig,
+    engine: TmEngine,
+    /// TM log; also carries RM records under the shared-log optimization.
+    log: MemLog,
+    rms: Vec<RmSlot>,
+    partners: Vec<NodeId>,
+    timer_gen: HashMap<(TxnId, TimerKind), u64>,
+    next_gen: u64,
+    participation: HashMap<TxnId, Participation>,
+    deadlocked: HashSet<TxnId>,
+    pending_ops: HashMap<TxnId, VecDeque<Op>>,
+    /// Prepares deferred until blocked local work completes (the
+    /// peer-to-peer "finish before you vote" rule).
+    prepare_waiting: HashMap<TxnId, Durability>,
+    suspended: HashMap<u64, Vec<Action>>,
+    group: Option<GroupCommitter<u64>>,
+    next_ticket: u64,
+    crashed: bool,
+}
+
+impl SimNode {
+    fn engine_config(&self, node: NodeId) -> EngineConfig {
+        EngineConfig {
+            node,
+            protocol: self.cfg.protocol,
+            opts: self.cfg.opts.clone(),
+            timeouts: self.cfg.timeouts,
+            heuristic: self.cfg.heuristic,
+        }
+    }
+}
+
+enum Ev {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msgs: Vec<ProtocolMsg>,
+    },
+    Engine {
+        node: NodeId,
+        event: Event,
+    },
+    Timer {
+        node: NodeId,
+        txn: TxnId,
+        kind: TimerKind,
+        gen: u64,
+    },
+    StartTxn,
+    StartSpec {
+        spec: Box<TxnSpec>,
+    },
+    LateEdges {
+        txn: TxnId,
+        edges: Vec<WorkEdge>,
+    },
+    SelfPrep {
+        node: NodeId,
+        txn: TxnId,
+    },
+    Finish {
+        node: NodeId,
+        txn: TxnId,
+        commit: bool,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Restart {
+        node: NodeId,
+    },
+    GroupDeadline {
+        node: NodeId,
+    },
+    ContinueBatch {
+        node: NodeId,
+        ticket: u64,
+    },
+    ResumeOps {
+        node: NodeId,
+        txn: TxnId,
+    },
+}
+
+/// The simulated cluster.
+pub struct Sim {
+    cfg: SimConfig,
+    nodes: Vec<SimNode>,
+    sched: Scheduler<Ev>,
+    net: Network,
+    script: VecDeque<TxnSpec>,
+    edges_from: HashMap<(TxnId, NodeId), Vec<WorkEdge>>,
+    txn_commit_flag: HashMap<TxnId, bool>,
+    txn_started: HashMap<TxnId, SimTime>,
+    next_seq: u64,
+    outcomes: Vec<TxnResult>,
+    trace: Vec<TraceEvent>,
+    pending_substantive: i64,
+}
+
+impl Sim {
+    /// An empty cluster.
+    pub fn new(cfg: SimConfig) -> Self {
+        let net = Network::new(cfg.latency, cfg.seed);
+        Sim {
+            cfg,
+            nodes: Vec::new(),
+            sched: Scheduler::new(),
+            net,
+            script: VecDeque::new(),
+            edges_from: HashMap::new(),
+            txn_commit_flag: HashMap::new(),
+            txn_started: HashMap::new(),
+            next_seq: 1,
+            outcomes: Vec::new(),
+            trace: Vec::new(),
+            pending_substantive: 0,
+        }
+    }
+
+    /// Adds a node; returns its id.
+    pub fn add_node(&mut self, cfg: NodeConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let engine_cfg = EngineConfig {
+            node: id,
+            protocol: cfg.protocol,
+            opts: cfg.opts.clone(),
+            timeouts: cfg.timeouts,
+            heuristic: cfg.heuristic,
+        };
+        let engine = TmEngine::new(engine_cfg).expect("valid node config");
+        let group = cfg.opts.group_commit.map(GroupCommitter::new);
+        let rms: Vec<RmSlot> = if self.cfg.real_mode {
+            (0..cfg.rm_count.max(1))
+                .map(|i| RmSlot {
+                    rm: ResourceManager::new(if cfg.reliable {
+                        RmConfig::new(tpc_common::RmId(i as u16)).reliable()
+                    } else {
+                        RmConfig::new(tpc_common::RmId(i as u16))
+                    }),
+                    log: if cfg.opts.shared_log {
+                        None // records go into the TM log
+                    } else {
+                        Some(MemLog::new())
+                    },
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.nodes.push(SimNode {
+            cfg,
+            engine,
+            log: MemLog::new(),
+            rms,
+            partners: Vec::new(),
+            timer_gen: HashMap::new(),
+            next_gen: 0,
+            participation: HashMap::new(),
+            deadlocked: HashSet::new(),
+            pending_ops: HashMap::new(),
+            prepare_waiting: HashMap::new(),
+            suspended: HashMap::new(),
+            group,
+            next_ticket: 0,
+            crashed: false,
+        });
+        id
+    }
+
+    /// Adds `count` identical nodes.
+    pub fn add_nodes(&mut self, count: usize, cfg: NodeConfig) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node(cfg.clone())).collect()
+    }
+
+    /// Declares `child` a standing conversation partner downstream of
+    /// `parent`: enrolled in every commit `parent` coordinates unless the
+    /// leave-out rule exempts it.
+    pub fn declare_partner(&mut self, parent: NodeId, child: NodeId) {
+        let n = &mut self.nodes[parent.index()];
+        if !n.partners.contains(&child) {
+            n.partners.push(child);
+        }
+        n.engine.add_session_partner(child);
+    }
+
+    /// Appends a transaction to the script. Transactions run serially:
+    /// the next starts after the previous root is notified.
+    pub fn push_txn(&mut self, spec: TxnSpec) {
+        self.script.push_back(spec);
+    }
+
+    /// Schedules a transaction to start at an absolute virtual time,
+    /// independent of the serial script — the way scenarios create
+    /// *concurrent* transactions (lock contention, group commit batches).
+    pub fn push_txn_at(&mut self, spec: TxnSpec, at: SimTime) {
+        self.schedule_sub(at, Ev::StartSpec { spec: Box::new(spec) });
+    }
+
+    /// Schedules a crash of `node` at absolute virtual time `at`.
+    pub fn crash_at(&mut self, node: NodeId, at: SimTime) {
+        self.schedule_sub(at, Ev::Crash { node });
+    }
+
+    /// Schedules a restart (with recovery) of `node` at `at`.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) {
+        self.schedule_sub(at, Ev::Restart { node });
+    }
+
+    /// Installs a partition window between `a` and `b`.
+    pub fn partition(&mut self, a: NodeId, b: NodeId, from: SimTime, until: Option<SimTime>) {
+        self.net.add_partition(Partition { a, b, from, until });
+    }
+
+    /// Overrides one directed link's latency (e.g. a satellite hop).
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, model: LatencyModel) {
+        self.net.set_link(src, dst, model);
+    }
+
+    /// Sets a uniform random frame-loss probability (seeded,
+    /// deterministic). Exercises the retry/redelivery machinery.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.net.set_loss_rate(rate);
+    }
+
+    /// Read access to a node's engine, for assertions.
+    pub fn engine(&self, node: NodeId) -> &TmEngine {
+        &self.nodes[node.index()].engine
+    }
+
+    /// Read access to a node's first resource manager (real mode).
+    pub fn rm(&self, node: NodeId) -> Option<&ResourceManager> {
+        self.nodes[node.index()].rms.first().map(|s| &s.rm)
+    }
+
+    /// Read access to all of a node's resource managers (real mode).
+    pub fn rms(&self, node: NodeId) -> impl Iterator<Item = &ResourceManager> {
+        self.nodes[node.index()].rms.iter().map(|s| &s.rm)
+    }
+
+    /// Read access to a node's TM log.
+    pub fn log(&self, node: NodeId) -> &MemLog {
+        &self.nodes[node.index()].log
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn schedule_sub(&mut self, at: SimTime, ev: Ev) {
+        self.pending_substantive += 1;
+        self.sched.schedule(at, ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs the scenario to quiescence (or the horizon) and reports.
+    pub fn run(&mut self) -> RunReport {
+        self.schedule_sub(SimTime::ZERO, Ev::StartTxn);
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        while let Some((at, ev)) = self.sched.pop() {
+            if at > horizon {
+                break;
+            }
+            if !matches!(ev, Ev::Timer { .. }) {
+                self.pending_substantive -= 1;
+            }
+            self.dispatch(at, ev);
+            self.maybe_flush_acks(at);
+        }
+        self.build_report()
+    }
+
+    /// Once the script has drained and no substantive events remain,
+    /// flush deferred acks so the final transaction's partners can finish.
+    fn maybe_flush_acks(&mut self, now: SimTime) {
+        if !self.cfg.flush_acks_at_end
+            || !self.script.is_empty()
+            || self.pending_substantive != 0
+        {
+            return;
+        }
+        let any_owed = self.nodes.iter().any(|n| n.engine.owed_ack_count() > 0);
+        if !any_owed {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let actions = self.nodes[i].engine.flush_owed_acks();
+            if !actions.is_empty() {
+                self.exec_actions(NodeId(i as u32), actions, now);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::StartTxn => self.start_next_txn(now),
+            Ev::StartSpec { spec } => self.start_spec(*spec, now),
+            Ev::LateEdges { txn, edges } => {
+                for e in edges {
+                    if self.nodes[e.from.index()].crashed {
+                        continue;
+                    }
+                    self.exec_engine(
+                        e.from,
+                        Event::SendWork {
+                            txn,
+                            to: e.to,
+                            payload: encode_ops(&e.ops),
+                        },
+                        now,
+                    );
+                }
+            }
+            Ev::Engine { node, event } => {
+                if !self.nodes[node.index()].crashed {
+                    self.exec_engine(node, event, now);
+                }
+            }
+            Ev::Deliver { from, to, msgs } => self.deliver(from, to, msgs, now),
+            Ev::Timer {
+                node,
+                txn,
+                kind,
+                gen,
+            } => {
+                let n = &self.nodes[node.index()];
+                if n.crashed || n.timer_gen.get(&(txn, kind)).copied() != Some(gen) {
+                    return;
+                }
+                self.exec_engine(node, Event::TimerFired { txn, kind }, now);
+            }
+            Ev::SelfPrep { node, txn } => {
+                let n = &self.nodes[node.index()];
+                if n.crashed {
+                    return;
+                }
+                // Only meaningful if the work actually arrived.
+                let ready = n
+                    .engine
+                    .seat(txn)
+                    .map(|s| s.upstream.is_some())
+                    .unwrap_or(false);
+                if ready {
+                    self.exec_engine(node, Event::SelfPrepare { txn }, now);
+                }
+            }
+            Ev::Finish { node, txn, commit } => {
+                if self.nodes[node.index()].crashed {
+                    return;
+                }
+                let event = if commit {
+                    Event::CommitRequested { txn }
+                } else {
+                    Event::AbortRequested { txn }
+                };
+                self.exec_engine(node, event, now);
+            }
+            Ev::Crash { node } => self.do_crash(node, now),
+            Ev::Restart { node } => self.do_restart(node, now),
+            Ev::GroupDeadline { node } => self.gc_deadline(node, now),
+            Ev::ContinueBatch { node, ticket } => {
+                if self.nodes[node.index()].crashed {
+                    return;
+                }
+                if let Some(rest) = self.nodes[node.index()].suspended.remove(&ticket) {
+                    self.exec_actions(node, rest, now);
+                }
+            }
+            Ev::ResumeOps { node, txn } => {
+                if self.nodes[node.index()].crashed {
+                    return;
+                }
+                if let Some(ops) = self.nodes[node.index()].pending_ops.remove(&txn) {
+                    self.run_ops(node, txn, ops, now);
+                }
+                // A deferred prepare can vote once the work is done (or
+                // refuse, if the resume ended in deadlock).
+                let n = &mut self.nodes[node.index()];
+                if !n.pending_ops.contains_key(&txn) {
+                    if let Some(dur) = n.prepare_waiting.remove(&txn) {
+                        let mut cursor = now;
+                        let vote = self.local_prepare(node, txn, dur, &mut cursor);
+                        self.schedule_sub(cursor, Ev::Engine {
+                            node,
+                            event: Event::LocalPrepared { txn, vote },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario driving
+    // ------------------------------------------------------------------
+
+    fn start_next_txn(&mut self, now: SimTime) {
+        let Some(spec) = self.script.pop_front() else {
+            return;
+        };
+        self.start_spec(spec, now);
+    }
+
+    fn start_spec(&mut self, spec: TxnSpec, now: SimTime) {
+        let txn = TxnId::new(spec.root, self.next_seq);
+        self.next_seq += 1;
+        self.txn_started.insert(txn, now);
+        self.txn_commit_flag.insert(txn, spec.commit);
+
+        // Root participation and local work.
+        self.note_participation(spec.root, txn, &spec.root_ops);
+        self.run_ops(spec.root, txn, spec.root_ops.clone().into(), now);
+
+        // Index deeper edges; kick off the root's own.
+        let mut self_prep_targets: Vec<NodeId> = Vec::new();
+        for edge in &spec.edges {
+            if self.nodes[edge.to.index()].cfg.unsolicited
+                && !self_prep_targets.contains(&edge.to)
+            {
+                self_prep_targets.push(edge.to);
+            }
+        }
+        for edge in spec.edges.iter().filter(|e| e.from != spec.root) {
+            self.edges_from
+                .entry((txn, edge.from))
+                .or_default()
+                .push(edge.clone());
+        }
+        let root_edges: Vec<WorkEdge> = spec
+            .edges
+            .iter()
+            .filter(|e| e.from == spec.root)
+            .cloned()
+            .collect();
+        for e in root_edges {
+            self.exec_engine(
+                spec.root,
+                Event::SendWork {
+                    txn,
+                    to: e.to,
+                    payload: encode_ops(&e.ops),
+                },
+                now,
+            );
+        }
+
+        // Unsolicited voters self-prepare just before the commit point.
+        let window = self.cfg.work_window;
+        for node in self_prep_targets {
+            // Early enough that the volunteered vote beats the commit
+            // point even over slow links.
+            let self_prep_at = now + SimDuration::from_micros(window.as_micros() * 3 / 4);
+            self.schedule_sub(self_prep_at, Ev::SelfPrep { node, txn });
+        }
+        if !spec.late_edges.is_empty() {
+            let half = SimDuration::from_micros(window.as_micros() / 2);
+            self.schedule_sub(now + half, Ev::LateEdges {
+                txn,
+                edges: spec.late_edges.clone(),
+            });
+        }
+        self.schedule_sub(
+            now + window,
+            Ev::Finish {
+                node: spec.root,
+                txn,
+                commit: spec.commit,
+            },
+        );
+    }
+
+    fn note_participation(&mut self, node: NodeId, txn: TxnId, ops: &[Op]) {
+        let p = self.nodes[node.index()]
+            .participation
+            .entry(txn)
+            .or_default();
+        p.updated |= ops.iter().any(|o| o.is_update());
+    }
+
+    // ------------------------------------------------------------------
+    // Engine plumbing
+    // ------------------------------------------------------------------
+
+    fn exec_engine(&mut self, node: NodeId, event: Event, now: SimTime) {
+        let actions = self.nodes[node.index()]
+            .engine
+            .handle(now, event)
+            .unwrap_or_else(|e| panic!("engine error at {node}: {e}"));
+        self.exec_actions(node, actions, now);
+    }
+
+    fn exec_actions(&mut self, node: NodeId, actions: Vec<Action>, start: SimTime) {
+        let mut cursor = start;
+        let mut queue: VecDeque<Action> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                Action::Send { to, msgs } => {
+                    let desc = msgs
+                        .iter()
+                        .map(|m| m.kind_name())
+                        .collect::<Vec<_>>()
+                        .join("+");
+                    self.trace.push(TraceEvent {
+                        at: cursor,
+                        kind: TraceKind::Send {
+                            from: node,
+                            to,
+                            desc,
+                        },
+                    });
+                    if let Some(d) = self.net.delay(node, to, cursor) {
+                        self.schedule_sub(cursor + d, Ev::Deliver {
+                            from: node,
+                            to,
+                            msgs,
+                        });
+                    }
+                }
+                Action::Log { record, durability } => {
+                    self.trace.push(TraceEvent {
+                        at: cursor,
+                        kind: TraceKind::Log {
+                            node,
+                            kind: record.kind_name().to_string(),
+                            forced: durability.is_forced(),
+                        },
+                    });
+                    let forced = durability.is_forced();
+                    let force_latency = self.cfg.force_latency;
+                    let n = &mut self.nodes[node.index()];
+                    if forced && n.group.is_some() {
+                        n.log
+                            .append_deferred(StreamId::Tm, record, durability)
+                            .expect("log append");
+                        let ticket = n.next_ticket;
+                        n.next_ticket += 1;
+                        let Some(gc) = n.group.as_mut() else {
+                            unreachable!("guarded by is_some above");
+                        };
+                        let decision = gc.request(cursor, ticket);
+                        match decision {
+                            FlushDecision::FlushNow(tickets) => {
+                                n.log.note_physical_flush();
+                                cursor += force_latency;
+                                for t in tickets {
+                                    if t != ticket {
+                                        self.schedule_sub(
+                                            cursor,
+                                            Ev::ContinueBatch { node, ticket: t },
+                                        );
+                                    }
+                                }
+                            }
+                            FlushDecision::WaitUntil(deadline) => {
+                                n.suspended.insert(ticket, queue.drain(..).collect());
+                                self.schedule_sub(deadline, Ev::GroupDeadline { node });
+                                return;
+                            }
+                        }
+                    } else {
+                        n.log
+                            .append(StreamId::Tm, record, durability)
+                            .expect("log append");
+                        if forced {
+                            cursor += force_latency;
+                        }
+                    }
+                }
+                Action::PrepareLocal { txn, rm_durability } => {
+                    let n = &mut self.nodes[node.index()];
+                    if n.pending_ops.contains_key(&txn) && !n.deadlocked.contains(&txn) {
+                        // Blocked local work: finish before voting.
+                        n.prepare_waiting.insert(txn, rm_durability);
+                    } else {
+                        let vote = self.local_prepare(node, txn, rm_durability, &mut cursor);
+                        self.schedule_sub(cursor, Ev::Engine {
+                            node,
+                            event: Event::LocalPrepared { txn, vote },
+                        });
+                    }
+                }
+                Action::CommitLocal { txn, rm_durability } => {
+                    self.local_commit(node, txn, rm_durability, &mut cursor);
+                }
+                Action::AbortLocal { txn, rm_durability } => {
+                    self.local_abort(node, txn, rm_durability, &mut cursor);
+                }
+                Action::ForgetLocal { txn } => {
+                    self.local_forget(node, txn, cursor);
+                }
+                Action::NotifyOutcome {
+                    txn,
+                    outcome,
+                    report,
+                    pending,
+                } => {
+                    self.trace.push(TraceEvent {
+                        at: cursor,
+                        kind: TraceKind::Notify {
+                            node,
+                            outcome,
+                            pending,
+                        },
+                    });
+                    let started = self.txn_started.get(&txn).copied().unwrap_or(cursor);
+                    self.outcomes.push(TxnResult {
+                        txn,
+                        root: node,
+                        outcome,
+                        report,
+                        pending,
+                        started_at: started,
+                        notified_at: cursor,
+                    });
+                    let delay = self.cfg.inter_txn_delay;
+                    self.schedule_sub(cursor + delay, Ev::StartTxn);
+                }
+                Action::SetTimer { txn, kind, delay } => {
+                    let n = &mut self.nodes[node.index()];
+                    n.next_gen += 1;
+                    let gen = n.next_gen;
+                    n.timer_gen.insert((txn, kind), gen);
+                    self.sched.schedule(cursor + delay, Ev::Timer {
+                        node,
+                        txn,
+                        kind,
+                        gen,
+                    });
+                }
+                Action::CancelTimer { txn, kind } => {
+                    self.nodes[node.index()].timer_gen.remove(&(txn, kind));
+                }
+                Action::TxnEnded { txn } => {
+                    let n = &mut self.nodes[node.index()];
+                    n.pending_ops.remove(&txn);
+                    n.deadlocked.remove(&txn);
+                    n.prepare_waiting.remove(&txn);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message delivery and application behaviour
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msgs: Vec<ProtocolMsg>, now: SimTime) {
+        if self.nodes[to.index()].crashed {
+            return;
+        }
+        for msg in msgs {
+            if let ProtocolMsg::Work { txn, payload } = &msg {
+                let txn = *txn;
+                let ops = decode_ops(payload).expect("well-formed work payload");
+                self.note_participation(to, txn, &ops);
+                self.exec_engine(to, Event::MsgReceived { from, msg: msg.clone() }, now);
+                self.run_ops(to, txn, ops.into(), now);
+                if let Some(edges) = self.edges_from.remove(&(txn, to)) {
+                    for e in edges {
+                        self.exec_engine(
+                            to,
+                            Event::SendWork {
+                                txn,
+                                to: e.to,
+                                payload: encode_ops(&e.ops),
+                            },
+                            now,
+                        );
+                    }
+                }
+            } else {
+                self.exec_engine(to, Event::MsgReceived { from, msg }, now);
+            }
+        }
+    }
+
+    fn run_ops(&mut self, node: NodeId, txn: TxnId, mut ops: VecDeque<Op>, now: SimTime) {
+        if !self.cfg.real_mode {
+            return;
+        }
+        while let Some(op) = ops.pop_front() {
+            let access = {
+                let n = &mut self.nodes[node.index()];
+                if n.rms.is_empty() {
+                    return;
+                }
+                let key = match &op {
+                    Op::Read(k) | Op::Write(k, _) => k.as_slice(),
+                };
+                let idx = route_rm(key, n.rms.len());
+                let SimNode { rms, log, .. } = n;
+                let slot = &mut rms[idx];
+                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                match &op {
+                    Op::Read(k) => slot.rm.read(txn, k, now),
+                    Op::Write(k, v) => slot.rm.write(txn, k, v.clone(), the_log, now),
+                }
+            };
+            match access {
+                Ok(Access::Value(_)) => {}
+                Ok(Access::Wait) => {
+                    ops.push_front(op);
+                    self.nodes[node.index()].pending_ops.insert(txn, ops);
+                    return;
+                }
+                Ok(Access::Deadlock) => {
+                    // The victim's application is told immediately (the
+                    // RM returns an error to it); it rolls back locally
+                    // at every local RM, releasing its locks, and the
+                    // node will vote NO when the coordinator asks.
+                    self.nodes[node.index()].deadlocked.insert(txn);
+                    let grants = {
+                        let n = &mut self.nodes[node.index()];
+                        let SimNode { rms, log, .. } = n;
+                        let mut all = Vec::new();
+                        for slot in rms.iter_mut() {
+                            let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                            all.extend(
+                                slot.rm
+                                    .abort(txn, the_log, Durability::NonForced, now)
+                                    .unwrap_or_default(),
+                            );
+                        }
+                        all
+                    };
+                    self.schedule_resumes(node, grants, now);
+                    return;
+                }
+                Err(e) => panic!("rm op failed at {node}: {e}"),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Local resource operations (engine action handlers)
+    // ------------------------------------------------------------------
+
+    fn local_prepare(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        rm_durability: Durability,
+        cursor: &mut SimTime,
+    ) -> LocalVote {
+        let real = self.cfg.real_mode;
+        let force_latency = self.cfg.force_latency;
+        let n = &mut self.nodes[node.index()];
+        if n.cfg.vote_no_seqs.contains(&txn.seq) || n.deadlocked.contains(&txn) {
+            return LocalVote::no();
+        }
+        let updated = if real {
+            n.rms.iter().any(|s| !s.rm.is_read_only(txn))
+        } else {
+            n.participation
+                .get(&txn)
+                .map(|p| p.updated)
+                .unwrap_or(false)
+        };
+        if !updated {
+            return LocalVote {
+                disposition: LocalDisposition::ReadOnly,
+                reliable: n.cfg.reliable,
+                suspendable: n.cfg.suspendable,
+            };
+        }
+        if real {
+            // Every updating local RM prepares (forcing its own log
+            // unless it shares the TM's — §4 Sharing the Log).
+            let SimNode { rms, log, .. } = n;
+            for slot in rms.iter_mut() {
+                if slot.rm.is_read_only(txn) {
+                    continue;
+                }
+                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                slot.rm
+                    .prepare(txn, the_log, rm_durability)
+                    .expect("rm prepare");
+                if rm_durability.is_forced() {
+                    *cursor += force_latency;
+                }
+            }
+        }
+        LocalVote {
+            disposition: LocalDisposition::Yes,
+            reliable: n.cfg.reliable,
+            suspendable: n.cfg.suspendable,
+        }
+    }
+
+    fn local_commit(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        rm_durability: Durability,
+        cursor: &mut SimTime,
+    ) {
+        if !self.cfg.real_mode {
+            return;
+        }
+        let force_latency = self.cfg.force_latency;
+        let now = *cursor;
+        let grants = {
+            let n = &mut self.nodes[node.index()];
+            let SimNode { rms, log, .. } = n;
+            let mut all = Vec::new();
+            for slot in rms.iter_mut() {
+                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                match slot.rm.commit(txn, the_log, rm_durability, now) {
+                    Ok(g) => {
+                        if rm_durability.is_forced() {
+                            *cursor += force_latency;
+                        }
+                        all.extend(g);
+                    }
+                    Err(tpc_common::Error::UnknownTxn(_)) => {}
+                    Err(e) => panic!("rm commit failed at {node}: {e}"),
+                }
+            }
+            all
+        };
+        self.schedule_resumes(node, grants, *cursor);
+    }
+
+    fn local_abort(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        rm_durability: Durability,
+        cursor: &mut SimTime,
+    ) {
+        if !self.cfg.real_mode {
+            return;
+        }
+        let force_latency = self.cfg.force_latency;
+        let now = *cursor;
+        let grants = {
+            let n = &mut self.nodes[node.index()];
+            let SimNode { rms, log, .. } = n;
+            let mut all = Vec::new();
+            for slot in rms.iter_mut() {
+                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                match slot.rm.abort(txn, the_log, rm_durability, now) {
+                    Ok(g) => {
+                        if rm_durability.is_forced() {
+                            *cursor += force_latency;
+                        }
+                        all.extend(g);
+                    }
+                    Err(e) => panic!("rm abort failed at {node}: {e}"),
+                }
+            }
+            all
+        };
+        self.schedule_resumes(node, grants, *cursor);
+    }
+
+    fn local_forget(&mut self, node: NodeId, txn: TxnId, now: SimTime) {
+        if !self.cfg.real_mode {
+            return;
+        }
+        let grants = {
+            let n = &mut self.nodes[node.index()];
+            let mut all = Vec::new();
+            for slot in n.rms.iter_mut() {
+                if let Ok(g) = slot.rm.forget_read_only(txn, now) {
+                    all.extend(g);
+                }
+            }
+            all
+        };
+        self.schedule_resumes(node, grants, now);
+    }
+
+    fn schedule_resumes(
+        &mut self,
+        node: NodeId,
+        grants: Vec<tpc_locks::ReleaseGrant>,
+        at: SimTime,
+    ) {
+        let mut resumed: HashSet<TxnId> = HashSet::new();
+        for g in grants {
+            if resumed.insert(g.txn) {
+                self.schedule_sub(at, Ev::ResumeOps { node, txn: g.txn });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Group commit
+    // ------------------------------------------------------------------
+
+    fn gc_deadline(&mut self, node: NodeId, now: SimTime) {
+        if self.nodes[node.index()].crashed {
+            return;
+        }
+        let released = {
+            let n = &mut self.nodes[node.index()];
+            let Some(gc) = n.group.as_mut() else { return };
+            gc.expire(now)
+        };
+        if let Some(tickets) = released {
+            self.nodes[node.index()].log.note_physical_flush();
+            let resume_at = now + self.cfg.force_latency;
+            for t in tickets {
+                self.schedule_sub(resume_at, Ev::ContinueBatch { node, ticket: t });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failures
+    // ------------------------------------------------------------------
+
+    fn do_crash(&mut self, node: NodeId, now: SimTime) {
+        self.trace.push(TraceEvent {
+            at: now,
+            kind: TraceKind::Crash { node },
+        });
+        self.net.set_crashed(node, true);
+        let n = &mut self.nodes[node.index()];
+        n.crashed = true;
+        n.log.crash();
+        for slot in n.rms.iter_mut() {
+            if let Some(rl) = slot.log.as_mut() {
+                rl.crash();
+            }
+            slot.rm.crash();
+        }
+        n.timer_gen.clear();
+        n.pending_ops.clear();
+        n.prepare_waiting.clear();
+        n.suspended.clear();
+        n.deadlocked.clear();
+        if let Some(gc) = n.group.as_mut() {
+            let _ = gc.drain();
+        }
+        // LU 6.2 conversation-failure notification: surviving partners
+        // learn the conversation broke and abort work that has not voted.
+        for i in 0..self.nodes.len() {
+            let peer = NodeId(i as u32);
+            if peer == node || self.nodes[i].crashed {
+                continue;
+            }
+            self.exec_engine(peer, Event::PartnerFailed { peer: node }, now);
+        }
+    }
+
+    fn do_restart(&mut self, node: NodeId, now: SimTime) {
+        self.trace.push(TraceEvent {
+            at: now,
+            kind: TraceKind::Restart { node },
+        });
+        self.net.set_crashed(node, false);
+        let engine_cfg = self.nodes[node.index()].engine_config(node);
+        let partners = self.nodes[node.index()].partners.clone();
+        {
+            let n = &mut self.nodes[node.index()];
+            n.crashed = false;
+            n.log.restart();
+            for slot in n.rms.iter_mut() {
+                if let Some(rl) = slot.log.as_mut() {
+                    rl.restart();
+                }
+            }
+            n.engine = TmEngine::new(engine_cfg).expect("valid config");
+            for p in partners {
+                n.engine.add_session_partner(p);
+            }
+        }
+
+        // Resource-manager recovery first, so the engine's re-driven
+        // CommitLocal/AbortLocal actions find consistent RM state.
+        if self.cfg.real_mode {
+            let n = &mut self.nodes[node.index()];
+            let SimNode { rms, log, .. } = n;
+            for slot in rms.iter_mut() {
+                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                let durable = the_log.durable_records();
+                slot.rm.recover(&durable, now).expect("rm recovery");
+            }
+        }
+
+        let actions = {
+            let n = &mut self.nodes[node.index()];
+            let durable = n.log.durable_records();
+            n.engine.recover(&durable, now).expect("engine recovery")
+        };
+
+        // Now resolve RM in-doubt transactions against the recovered TM.
+        if self.cfg.real_mode {
+            let rm_count = self.nodes[node.index()].rms.len();
+            for idx in 0..rm_count {
+                let outcomes: Vec<(TxnId, Option<tpc_common::Outcome>, bool)> = {
+                    let n = &self.nodes[node.index()];
+                    n.rms[idx]
+                        .rm
+                        .in_doubt()
+                        .into_iter()
+                        .map(|t| {
+                            (
+                                t,
+                                n.engine.finished_outcome(t).or_else(|| {
+                                    n.engine.seat(t).and_then(|s| s.outcome)
+                                }),
+                                n.engine.seat(t).is_some(),
+                            )
+                        })
+                        .collect()
+                };
+                for (txn, outcome, seat_alive) in outcomes {
+                    let n = &mut self.nodes[node.index()];
+                    let SimNode { rms, log, .. } = n;
+                    let slot = &mut rms[idx];
+                    let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                    match outcome {
+                        Some(tpc_common::Outcome::Commit) => {
+                            let _ = slot.rm.commit(txn, the_log, Durability::Forced, now);
+                        }
+                        Some(tpc_common::Outcome::Abort) => {
+                            let _ = slot.rm.abort(txn, the_log, Durability::NonForced, now);
+                        }
+                        None if !seat_alive => {
+                            // The TM never voted: abort unilaterally —
+                            // safe under every protocol (the vote could
+                            // not have been sent without the TM's
+                            // prepared force).
+                            let _ = slot.rm.abort(txn, the_log, Durability::NonForced, now);
+                        }
+                        None => {} // genuinely in doubt; protocol resolves
+                    }
+                }
+            }
+        }
+
+        self.exec_actions(node, actions, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn build_report(&mut self) -> RunReport {
+        let mut per_node = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let (tm_writes, tm_forced) = n.log.stream_counts(StreamId::Tm);
+            let mut rm_writes = 0;
+            let mut rm_forced = 0;
+            let mut physical_flushes = n.log.stats().physical_flushes;
+            let mut locks = tpc_locks::LockStats::default();
+            for (idx, slot) in n.rms.iter().enumerate() {
+                let stream = StreamId::Rm(idx as u16);
+                let (w, f) = match &slot.log {
+                    Some(rl) => {
+                        physical_flushes += rl.stats().physical_flushes;
+                        rl.stream_counts(stream)
+                    }
+                    None => n.log.stream_counts(stream),
+                };
+                rm_writes += w;
+                rm_forced += f;
+                let s = slot.rm.lock_stats();
+                locks.requests += s.requests;
+                locks.immediate_grants += s.immediate_grants;
+                locks.waits += s.waits;
+                locks.deadlocks += s.deadlocks;
+                locks.releases += s.releases;
+                locks.total_hold_micros += s.total_hold_micros;
+                locks.max_hold_micros = locks.max_hold_micros.max(s.max_hold_micros);
+                locks.total_wait_micros += s.total_wait_micros;
+            }
+            per_node.push(NodeReport {
+                node,
+                tm_writes,
+                tm_forced,
+                rm_writes,
+                rm_forced,
+                physical_flushes,
+                engine: n.engine.metrics(),
+                locks,
+            });
+        }
+        let (violations, unresolved) = verify::check(self, &self.outcomes);
+        RunReport {
+            outcomes: self.outcomes.clone(),
+            per_node,
+            trace: self.trace.clone(),
+            violations,
+            unresolved,
+            finished_at: self.sched.now(),
+        }
+    }
+
+    pub(crate) fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &TmEngine)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), &n.engine))
+    }
+
+    pub(crate) fn rms_of(&self, node: NodeId) -> impl Iterator<Item = &ResourceManager> {
+        self.nodes[node.index()].rms.iter().map(|s| &s.rm)
+    }
+
+    pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+}

@@ -1,0 +1,205 @@
+//! Run reports: everything the paper's tables are computed from.
+
+use tpc_common::{DamageReport, NodeId, Outcome, SimDuration, SimTime, TxnId};
+use tpc_core::EngineMetrics;
+use tpc_locks::LockStats;
+
+use crate::trace::TraceEvent;
+
+/// The completion record of one transaction, captured at the root's
+/// `NotifyOutcome`.
+#[derive(Clone, Debug)]
+pub struct TxnResult {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Its root (commit initiator).
+    pub root: NodeId,
+    /// The outcome delivered to the application.
+    pub outcome: Outcome,
+    /// Damage report visible at the root.
+    pub report: DamageReport,
+    /// Wait-for-outcome completed with "recovery in progress".
+    pub pending: bool,
+    /// When the transaction started.
+    pub started_at: SimTime,
+    /// When the application learned the outcome.
+    pub notified_at: SimTime,
+}
+
+impl TxnResult {
+    /// Application-visible commit latency.
+    pub fn elapsed(&self) -> SimDuration {
+        self.notified_at.since(self.started_at)
+    }
+}
+
+/// Per-node accounting after a run.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// TM-stream log records written.
+    pub tm_writes: u64,
+    /// ... of which forced.
+    pub tm_forced: u64,
+    /// RM-stream log records written (all local RMs).
+    pub rm_writes: u64,
+    /// ... of which forced.
+    pub rm_forced: u64,
+    /// Physical flushes of the node's TM log (differs from logical forces
+    /// under group commit).
+    pub physical_flushes: u64,
+    /// Engine counters.
+    pub engine: EngineMetrics,
+    /// Lock statistics (real mode; zeros in abstract mode).
+    pub locks: LockStats,
+}
+
+impl NodeReport {
+    /// Total log writes (both streams).
+    pub fn writes(&self) -> u64 {
+        self.tm_writes + self.rm_writes
+    }
+
+    /// Total forced writes (both streams).
+    pub fn forced(&self) -> u64 {
+        self.tm_forced + self.rm_forced
+    }
+}
+
+/// The complete result of one simulated scenario.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-transaction completions, in completion order.
+    pub outcomes: Vec<TxnResult>,
+    /// Per-node accounting.
+    pub per_node: Vec<NodeReport>,
+    /// Full event trace.
+    pub trace: Vec<TraceEvent>,
+    /// Consistency violations found by the checker (empty = clean run).
+    pub violations: Vec<String>,
+    /// Transactions still unresolved at some node when the run ended
+    /// (in-doubt blocking — expected in some failure scenarios).
+    pub unresolved: Vec<(NodeId, TxnId)>,
+    /// Virtual time when the run went quiescent (or hit the horizon).
+    pub finished_at: SimTime,
+}
+
+impl RunReport {
+    /// Total network frames sent, *including* application data frames.
+    pub fn total_frames(&self) -> u64 {
+        self.per_node.iter().map(|n| n.engine.frames_sent).sum()
+    }
+
+    /// The paper's "message flows": commit-protocol frames only.
+    pub fn protocol_flows(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|n| n.engine.frames_sent - n.engine.work_frames)
+            .sum()
+    }
+
+    /// Total log writes across all nodes and streams.
+    pub fn total_writes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.writes()).sum()
+    }
+
+    /// Total TM-stream log writes (the paper's per-participant metric).
+    pub fn tm_writes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.tm_writes).sum()
+    }
+
+    /// Total forced writes across all nodes and streams.
+    pub fn total_forced(&self) -> u64 {
+        self.per_node.iter().map(|n| n.forced()).sum()
+    }
+
+    /// Total TM-stream forced writes.
+    pub fn tm_forced(&self) -> u64 {
+        self.per_node.iter().map(|n| n.tm_forced).sum()
+    }
+
+    /// Total physical log flushes (group commit's metric).
+    pub fn total_physical_flushes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.physical_flushes).sum()
+    }
+
+    /// Merged engine metrics over all nodes.
+    pub fn cluster_metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for n in &self.per_node {
+            total.merge(&n.engine);
+        }
+        total
+    }
+
+    /// The single transaction result of a one-transaction scenario.
+    pub fn single(&self) -> &TxnResult {
+        assert_eq!(
+            self.outcomes.len(),
+            1,
+            "scenario completed {} transactions, expected 1",
+            self.outcomes.len()
+        );
+        &self.outcomes[0]
+    }
+
+    /// Mean application-visible commit latency.
+    pub fn mean_elapsed(&self) -> SimDuration {
+        if self.outcomes.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.outcomes.iter().map(|o| o.elapsed().as_micros()).sum();
+        SimDuration::from_micros(total / self.outcomes.len() as u64)
+    }
+
+    /// Asserts the run was clean (no violations, nothing unresolved).
+    /// Panics with the violation list otherwise — used by tests.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "consistency violations: {:#?}",
+            self.violations
+        );
+        assert!(
+            self.unresolved.is_empty(),
+            "unresolved transactions: {:?}",
+            self.unresolved
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_report_totals() {
+        let n = NodeReport {
+            node: NodeId(0),
+            tm_writes: 3,
+            tm_forced: 2,
+            rm_writes: 4,
+            rm_forced: 1,
+            physical_flushes: 3,
+            engine: EngineMetrics::default(),
+            locks: LockStats::default(),
+        };
+        assert_eq!(n.writes(), 7);
+        assert_eq!(n.forced(), 3);
+    }
+
+    #[test]
+    fn txn_result_elapsed() {
+        let r = TxnResult {
+            txn: TxnId::new(NodeId(0), 1),
+            root: NodeId(0),
+            outcome: Outcome::Commit,
+            report: DamageReport::clean(),
+            pending: false,
+            started_at: SimTime(100),
+            notified_at: SimTime(350),
+        };
+        assert_eq!(r.elapsed(), SimDuration(250));
+    }
+}

@@ -1,0 +1,173 @@
+//! Canned scenarios reproducing the paper's figures and table rows.
+//!
+//! Each function builds a ready-to-run [`Sim`]; the figure generators and
+//! the golden-trace tests share them so the printed figures are exactly
+//! what the tests pin down.
+
+use tpc_common::{NodeId, OptimizationConfig, ProtocolKind};
+
+use crate::cluster::{NodeConfig, Sim, SimConfig};
+use crate::workload::{TxnSpec, WorkEdge};
+
+/// Figure 1: simple two-phase commit — one coordinator, one subordinate,
+/// both updating.
+pub fn fig1_basic_pair() -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::Basic);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "f1"));
+    sim
+}
+
+/// Figure 2: basic 2PC with a cascaded (intermediate) coordinator.
+pub fn fig2_basic_cascade() -> Sim {
+    cascade(ProtocolKind::Basic, OptimizationConfig::none())
+}
+
+/// Figure 3: Presumed Nothing with an intermediate coordinator — note the
+/// commit-pending forces ahead of each Prepare.
+pub fn fig3_pn_cascade() -> Sim {
+    cascade(ProtocolKind::PresumedNothing, OptimizationConfig::none())
+}
+
+fn cascade(protocol: ProtocolKind, opts: OptimizationConfig) -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol).with_opts(opts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n1, n2);
+    sim.push_txn(
+        TxnSpec::local_update(n0, "root", "1")
+            .with_edge(WorkEdge::update(n0, n1, "mid", "1"))
+            .with_edge(WorkEdge::update(n1, n2, "leaf", "1")),
+    );
+    sim
+}
+
+/// Figure 4: partial read-only — one updating and one read-only
+/// subordinate; the read-only one leaves Phase 2 entirely.
+pub fn fig4_partial_read_only() -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_opts(OptimizationConfig::none().with_read_only(true));
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n0, n2);
+    sim.push_txn(TxnSpec::star_mixed(n0, &[n1], &[n2], "f4"));
+    sim
+}
+
+/// Figure 6: last agent — the initiator prepares itself, then hands the
+/// commit decision to its single remote partner.
+pub fn fig6_last_agent() -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let initiator = NodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_opts(OptimizationConfig::none().with_last_agent(true));
+    let agent = NodeConfig::new(ProtocolKind::PresumedAbort);
+    let n0 = sim.add_node(initiator);
+    let n1 = sim.add_node(agent);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "f6"));
+    sim
+}
+
+/// Figure 7: long locks — two consecutive transactions; the first commit
+/// acknowledgment rides the second transaction's vote frame.
+pub fn fig7_long_locks() -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_opts(OptimizationConfig::none().with_long_locks(true));
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t2"));
+    sim
+}
+
+/// Figure 8: vote reliable — a reliable cascade acks early while keeping
+/// late-ack semantics.
+pub fn fig8_vote_reliable() -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing)
+        .with_opts(OptimizationConfig::none().with_vote_reliable(true))
+        .reliable();
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n1, n2);
+    sim.push_txn(
+        TxnSpec::local_update(n0, "root", "1")
+            .with_edge(WorkEdge::update(n0, n1, "mid", "1"))
+            .with_edge(WorkEdge::update(n1, n2, "leaf", "1")),
+    );
+    sim
+}
+
+/// Figure 5's hazard: two disjoint subtrees of one transaction commit
+/// independently after a partner was (incorrectly) left out in the fully
+/// general peer-to-peer case. The engine detects the broken tree when one
+/// node receives work for the same transaction from two parents and
+/// poisons the transaction — it aborts rather than splitting.
+pub fn fig5_partitioned_tree() -> (Sim, NodeId) {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing);
+    let pa = sim.add_node(cfg.clone()); // the shared partner
+    let pd = sim.add_node(cfg.clone()); // initiator 1
+    let pe = sim.add_node(cfg); // initiator 2
+    sim.declare_partner(pd, pa);
+    sim.declare_partner(pe, pa);
+    // One transaction: Pd works Pa directly and also through Pe, so Pa
+    // receives work for the same transaction from two different parents
+    // and poisons it.
+    sim.declare_partner(pd, pe);
+    sim.push_txn(
+        TxnSpec::local_update(pd, "d", "1")
+            .with_edge(WorkEdge::update(pd, pa, "a-from-d", "1"))
+            .with_edge(WorkEdge::update(pd, pe, "e", "1"))
+            .with_edge(WorkEdge::update(pe, pa, "a-from-e", "1")),
+    );
+    (sim, pa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::Outcome;
+
+    #[test]
+    fn all_figure_scenarios_run_clean() {
+        for (name, mut sim) in [
+            ("fig1", fig1_basic_pair()),
+            ("fig2", fig2_basic_cascade()),
+            ("fig3", fig3_pn_cascade()),
+            ("fig4", fig4_partial_read_only()),
+            ("fig6", fig6_last_agent()),
+            ("fig7", fig7_long_locks()),
+            ("fig8", fig8_vote_reliable()),
+        ] {
+            let report = sim.run();
+            assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
+            assert!(report.unresolved.is_empty(), "{name}: {:?}", report.unresolved);
+            assert!(
+                report.outcomes.iter().all(|o| o.outcome == Outcome::Commit),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_hazard_aborts_instead_of_splitting() {
+        let (mut sim, _pa) = fig5_partitioned_tree();
+        let report = sim.run();
+        assert_eq!(report.single().outcome, Outcome::Abort);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

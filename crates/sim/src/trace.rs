@@ -1,0 +1,217 @@
+//! Golden traces: the paper's figures as renderable event sequences.
+//!
+//! Figures 1–4 and 6–8 of the paper are time-sequence diagrams of message
+//! flows and log writes. The harness records every send, log write and
+//! notification with its virtual timestamp; [`render_trace`] prints them
+//! in the figures' style:
+//!
+//! ```text
+//!     12000us  N0  *log CommitPending (forced)
+//!     12200us  N0  --> N1  Prepare
+//!     13400us  N1  *log Prepared (forced)
+//!     ...
+//! ```
+//!
+//! Tests assert these sequences as goldens; `gen_figures` prints them.
+
+use tpc_common::{NodeId, Outcome, SimTime};
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A frame left `from` toward `to`; `desc` lists the message kinds.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Message kind names, `+`-joined for piggybacked frames.
+        desc: String,
+    },
+    /// A log record was appended.
+    Log {
+        /// Writing node.
+        node: NodeId,
+        /// Record kind name.
+        kind: String,
+        /// Whether the append forced.
+        forced: bool,
+    },
+    /// The application at `node` was told the outcome.
+    Notify {
+        /// Root node.
+        node: NodeId,
+        /// The outcome delivered.
+        outcome: Outcome,
+        /// Wait-for-outcome's "recovery in progress" indication.
+        pending: bool,
+    },
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node restarted and ran recovery.
+    Restart {
+        /// The restarted node.
+        node: NodeId,
+    },
+}
+
+/// One timestamped trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Compact single-line form without the timestamp, used in golden
+    /// assertions (timings shift with latency parameters; the *sequence*
+    /// is the figure).
+    pub fn compact(&self) -> String {
+        match &self.kind {
+            TraceKind::Send { from, to, desc } => format!("{from}->{to} {desc}"),
+            TraceKind::Log { node, kind, forced } => {
+                if *forced {
+                    format!("{node} *log {kind}")
+                } else {
+                    format!("{node} log {kind}")
+                }
+            }
+            TraceKind::Notify {
+                node,
+                outcome,
+                pending,
+            } => {
+                if *pending {
+                    format!("{node} notify {outcome} (pending)")
+                } else {
+                    format!("{node} notify {outcome}")
+                }
+            }
+            TraceKind::Crash { node } => format!("{node} CRASH"),
+            TraceKind::Restart { node } => format!("{node} RESTART"),
+        }
+    }
+}
+
+/// Renders a full trace with timestamps, one event per line.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let line = match &e.kind {
+            TraceKind::Send { from, to, desc } => {
+                format!("{:>10}  {}  --> {}  {}", e.at.to_string(), from, to, desc)
+            }
+            TraceKind::Log { node, kind, forced } => format!(
+                "{:>10}  {}  {}log {} {}",
+                e.at.to_string(),
+                node,
+                if *forced { "*" } else { " " },
+                kind,
+                if *forced { "(forced)" } else { "" }
+            ),
+            TraceKind::Notify {
+                node,
+                outcome,
+                pending,
+            } => format!(
+                "{:>10}  {}  ==> application: {}{}",
+                e.at.to_string(),
+                node,
+                outcome,
+                if *pending { " (outcome pending)" } else { "" }
+            ),
+            TraceKind::Crash { node } => {
+                format!("{:>10}  {}  !!! CRASH", e.at.to_string(), node)
+            }
+            TraceKind::Restart { node } => {
+                format!("{:>10}  {}  !!! RESTART + recovery", e.at.to_string(), node)
+            }
+        };
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Filters a trace to commit-protocol events only (drops `Work` data
+/// frames), which is what the paper's figures show.
+pub fn protocol_only(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| match &e.kind {
+            TraceKind::Send { desc, .. } => !desc.starts_with("Work"),
+            _ => true,
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: SimTime(10),
+                kind: TraceKind::Send {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    desc: "Work".into(),
+                },
+            },
+            TraceEvent {
+                at: SimTime(20),
+                kind: TraceKind::Log {
+                    node: NodeId(0),
+                    kind: "CommitPending".into(),
+                    forced: true,
+                },
+            },
+            TraceEvent {
+                at: SimTime(30),
+                kind: TraceKind::Send {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    desc: "Prepare".into(),
+                },
+            },
+            TraceEvent {
+                at: SimTime(90),
+                kind: TraceKind::Notify {
+                    node: NodeId(0),
+                    outcome: Outcome::Commit,
+                    pending: false,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn compact_forms() {
+        let t = sample();
+        assert_eq!(t[0].compact(), "N0->N1 Work");
+        assert_eq!(t[1].compact(), "N0 *log CommitPending");
+        assert_eq!(t[3].compact(), "N0 notify COMMIT");
+    }
+
+    #[test]
+    fn protocol_only_drops_work_frames() {
+        let filtered = protocol_only(&sample());
+        assert_eq!(filtered.len(), 3);
+        assert!(matches!(&filtered[0].kind, TraceKind::Log { .. }));
+    }
+
+    #[test]
+    fn render_contains_all_lines() {
+        let s = render_trace(&sample());
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("*log CommitPending (forced)"));
+        assert!(s.contains("==> application: COMMIT"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The end-of-run consistency checker.
+//!
+//! Verifies the properties the protocols promise:
+//!
+//! 1. **Atomicity** — every participant that reached an outcome reached
+//!    the *same* outcome as the root, unless it took a heuristic decision
+//!    (which is damage, not a protocol bug — but it must be accounted).
+//! 2. **No lock leakage** — once nothing is unresolved, every lock has
+//!    been released.
+//! 3. **Damage-report fidelity** — under PN with late acknowledgments,
+//!    every damaged participant appears in the root's report (§3: "the
+//!    root coordinator [must be] informed of any heuristic damage").
+//!
+//! Blocked in-doubt participants are reported as *unresolved* rather than
+//! violations: blocking is legitimate 2PC behaviour under failures.
+
+use tpc_common::{AckMode, NodeId, ProtocolKind, TxnId, Vote};
+use tpc_core::Stage;
+
+use crate::cluster::Sim;
+use crate::report::TxnResult;
+
+/// Runs all checks. Returns `(violations, unresolved)`.
+pub fn check(sim: &Sim, outcomes: &[TxnResult]) -> (Vec<String>, Vec<(NodeId, TxnId)>) {
+    let mut violations = Vec::new();
+    let mut unresolved = Vec::new();
+
+    // Unresolved seats (skip crashed nodes: they are down, not blocked).
+    for (node, engine) in sim.nodes_iter() {
+        if sim.is_crashed(node) {
+            continue;
+        }
+        for seat in engine.active_seats() {
+            // A delegate whose initiator's implied ack never arrived is
+            // bookkeeping debt, not a stuck transaction, once it knows
+            // the outcome.
+            if seat.stage == Stage::Deciding && seat.outcome.is_some() {
+                continue;
+            }
+            unresolved.push((node, seat.txn));
+        }
+    }
+    unresolved.sort();
+
+    // Outcome agreement per completed transaction.
+    for result in outcomes {
+        for (node, engine) in sim.nodes_iter() {
+            let Some(seat) = engine.completed_seat(result.txn) else {
+                continue;
+            };
+            if seat.sent_vote == Some(Vote::ReadOnly) {
+                // Read-only participants are compatible with either
+                // outcome by definition.
+                continue;
+            }
+            if let Some(h) = seat.heuristic {
+                // Heuristic decisions are checked for reporting, below.
+                let damaged = h.damages(result.outcome);
+                if damaged && must_report_damage(sim) {
+                    let reported = result.report.damaged.contains(&node);
+                    if !reported {
+                        violations.push(format!(
+                            "{}: heuristic damage at {node} not reported to root {} \
+                             (PN late-ack promises reliable damage reporting)",
+                            result.txn, result.root
+                        ));
+                    }
+                }
+                continue;
+            }
+            match seat.outcome {
+                Some(o) if o == result.outcome => {}
+                Some(o) => violations.push(format!(
+                    "{}: {node} finished {o} but root {} decided {}",
+                    result.txn, result.root, result.outcome
+                )),
+                None => violations.push(format!(
+                    "{}: {node} completed without an outcome",
+                    result.txn
+                )),
+            }
+        }
+    }
+
+    // Lock leakage: only meaningful when nothing is unresolved and no
+    // node is down.
+    let all_up = (0..sim.len()).all(|i| !sim.is_crashed(NodeId(i as u32)));
+    if unresolved.is_empty() && all_up {
+        for i in 0..sim.len() {
+            let node = NodeId(i as u32);
+            for rm in sim.rms_of(node) {
+                if rm.locked_keys() != 0 {
+                    violations.push(format!(
+                        "{node}/{}: {} keys still locked after quiescence",
+                        rm.config().id,
+                        rm.locked_keys()
+                    ));
+                }
+                if !rm.in_doubt().is_empty() {
+                    violations.push(format!(
+                        "{node}/{}: resource manager still in doubt on {:?}",
+                        rm.config().id,
+                        rm.in_doubt()
+                    ));
+                }
+            }
+        }
+    }
+
+    (violations, unresolved)
+}
+
+/// The configuration under which the paper promises the root sees every
+/// damage report: all nodes run PN with late acknowledgments and neither
+/// vote-reliable nor wait-for-outcome weakens the chain.
+fn must_report_damage(sim: &Sim) -> bool {
+    sim.nodes_iter().all(|(_, e)| {
+        let cfg = e.config();
+        cfg.protocol == ProtocolKind::PresumedNothing
+            && cfg.opts.ack_mode == AckMode::Late
+            && !cfg.opts.vote_reliable
+            && !cfg.opts.wait_for_outcome
+            && !cfg.opts.long_locks
+    })
+}

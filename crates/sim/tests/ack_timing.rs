@@ -1,0 +1,193 @@
+//! Commit-acknowledgment timing (§4): early vs late acks and the
+//! vote-reliable optimization that gets early-ack latency with late-ack
+//! semantics.
+
+use tpc_common::{
+    AckMode, HeuristicPolicy, NodeId, OptimizationConfig, Outcome, ProtocolKind, SimDuration,
+    SimTime,
+};
+use tpc_core::Timeouts;
+use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec, WorkEdge};
+
+/// Three-level chain with a slow link between the intermediate and the
+/// leaf, so ack timing at the intermediate visibly moves the root's
+/// completion time.
+fn chain(protocol: ProtocolKind, opts: OptimizationConfig, reliable_leaf: bool) -> RunReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol).with_opts(opts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone().reliable());
+    let n2 = sim.add_node(if reliable_leaf {
+        cfg.reliable()
+    } else {
+        cfg
+    });
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n1, n2);
+    // Slow far hop: 40 ms each way.
+    sim.set_link(n1, n2, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    sim.set_link(n2, n1, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    let spec = TxnSpec::local_update(n0, "r", "1")
+        .with_edge(WorkEdge::update(n0, n1, "m", "1"))
+        .with_edge(WorkEdge::update(n1, n2, "l", "1"));
+    sim.push_txn(spec);
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.single().outcome, Outcome::Commit);
+    report
+}
+
+#[test]
+fn early_acks_complete_the_root_sooner() {
+    let late = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none(),
+        false,
+    );
+    let early = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_ack_mode(AckMode::Early),
+        false,
+    );
+    // Late waits for the leaf's ack over the slow hop (2 × 40 ms more).
+    assert!(
+        early.single().elapsed() + SimDuration::from_millis(70) < late.single().elapsed(),
+        "early {} vs late {}",
+        early.single().elapsed(),
+        late.single().elapsed()
+    );
+}
+
+#[test]
+fn vote_reliable_matches_early_ack_latency_when_subtree_is_reliable() {
+    let late = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none(),
+        true,
+    );
+    let vr = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_vote_reliable(true),
+        true,
+    );
+    assert!(
+        vr.single().elapsed() + SimDuration::from_millis(70) < late.single().elapsed(),
+        "vote-reliable {} vs late {}",
+        vr.single().elapsed(),
+        late.single().elapsed()
+    );
+}
+
+#[test]
+fn vote_reliable_falls_back_to_late_acks_with_unreliable_resources() {
+    // The leaf is NOT reliable: the intermediate must keep late acks, so
+    // the root's completion includes the slow round trip.
+    let vr_unreliable = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_vote_reliable(true),
+        false,
+    );
+    let vr_reliable = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_vote_reliable(true),
+        true,
+    );
+    assert!(
+        vr_reliable.single().elapsed() + SimDuration::from_millis(70)
+            < vr_unreliable.single().elapsed(),
+        "reliable subtree {} must complete well before unreliable {}",
+        vr_reliable.single().elapsed(),
+        vr_unreliable.single().elapsed()
+    );
+}
+
+#[test]
+fn early_ack_loses_damage_reports_late_ack_keeps_them() {
+    // Figure 8 / Table 1 tradeoff measured: a damaged leaf under EARLY
+    // acks never reaches the root's report.
+    let run = |ack_mode: AckMode| {
+        let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(30)));
+        let timeouts = Timeouts {
+            vote_collection: SimDuration::from_secs(5),
+            ack_collection: SimDuration::from_millis(200),
+            in_doubt_query: SimDuration::from_secs(2),
+        };
+        let cfg = NodeConfig::new(ProtocolKind::PresumedNothing)
+            .with_timeouts(timeouts)
+            .with_opts(OptimizationConfig::none().with_ack_mode(ack_mode));
+        let n0 = sim.add_node(cfg.clone());
+        let n1 = sim.add_node(cfg.clone());
+        let n2 = sim.add_node(
+            cfg.with_heuristic(HeuristicPolicy::AbortAfter(SimDuration::from_millis(100))),
+        );
+        sim.declare_partner(n0, n1);
+        sim.declare_partner(n1, n2);
+        let spec = TxnSpec::local_update(n0, "r", "1")
+            .with_edge(WorkEdge::update(n0, n1, "m", "1"))
+            .with_edge(WorkEdge::update(n1, n2, "l", "1"));
+        sim.push_txn(spec);
+        sim.partition(n1, n2, SimTime(25_000), Some(SimTime(500_000)));
+        let report = sim.run();
+        (report, n2)
+    };
+
+    let (late_report, leaf) = run(AckMode::Late);
+    assert!(
+        late_report.single().report.damaged.contains(&leaf),
+        "late acks carry the damage to the root"
+    );
+
+    let (early_report, leaf) = run(AckMode::Early);
+    assert!(
+        !early_report.single().report.damaged.contains(&leaf),
+        "early acks cannot: the root acked before the leaf resolved"
+    );
+    // The damage still happened and was observed at the leaf.
+    assert_eq!(early_report.cluster_metrics().heuristic_damage, 1);
+}
+
+#[test]
+fn flow_counts_are_identical_across_ack_modes() {
+    // Ack timing moves *when* acks flow, not *how many* (Table 3's
+    // vote-reliable row notwithstanding — see EXPERIMENTS.md).
+    let late = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none(),
+        true,
+    );
+    let early = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_ack_mode(AckMode::Early),
+        true,
+    );
+    let vr = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none().with_vote_reliable(true),
+        true,
+    );
+    assert_eq!(late.protocol_flows(), early.protocol_flows());
+    assert_eq!(late.protocol_flows(), vr.protocol_flows());
+}
+
+#[test]
+fn pa_notifies_at_the_commit_point() {
+    // R*-style PA returns control to the application once the commit
+    // record forces, well before the slow leaf acknowledges.
+    let pa = chain(
+        ProtocolKind::PresumedAbort,
+        OptimizationConfig::none(),
+        false,
+    );
+    let pn = chain(
+        ProtocolKind::PresumedNothing,
+        OptimizationConfig::none(),
+        false,
+    );
+    assert!(
+        pa.single().elapsed() + SimDuration::from_millis(70) < pn.single().elapsed(),
+        "pa {} vs pn {}",
+        pa.single().elapsed(),
+        pn.single().elapsed()
+    );
+    let _ = NodeId(0);
+}

@@ -1,0 +1,173 @@
+//! Golden traces for the paper's protocol figures.
+//!
+//! The paper's Figures 1–4 and 6–8 are time-sequence diagrams; these
+//! tests pin the engine's message/log sequences to them. `Work` data
+//! frames are filtered out (the figures show commit processing only).
+
+use tpc_sim::scenarios::*;
+use tpc_sim::{protocol_only, Sim};
+
+fn compact_trace(mut sim: Sim) -> Vec<String> {
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    protocol_only(&report.trace)
+        .iter()
+        .map(|e| e.compact())
+        .collect()
+}
+
+#[test]
+fn figure_1_simple_two_phase_commit() {
+    assert_eq!(
+        compact_trace(fig1_basic_pair()),
+        vec![
+            "N0->N1 Prepare",
+            "N1 *log Prepared",
+            "N1->N0 VoteYes",
+            "N0 *log Committed",
+            "N0->N1 Commit",
+            "N1 *log Committed",
+            "N1 log End",
+            "N1->N0 Ack",
+            "N0 log End",
+            "N0 notify COMMIT",
+        ]
+    );
+}
+
+#[test]
+fn figure_2_cascaded_coordinator() {
+    // Same shape as Figure 1, one level deeper: the intermediate
+    // propagates the prepare down and the vote/ack up.
+    let trace = compact_trace(fig2_basic_cascade());
+    let expected = [
+        "N0->N1 Prepare",
+        "N1->N2 Prepare",
+        "N2 *log Prepared",
+        "N2->N1 VoteYes",
+        "N1 *log Prepared",
+        "N1->N0 VoteYes",
+        "N0 *log Committed",
+        "N0->N1 Commit",
+        "N1 *log Committed",
+        "N1->N2 Commit",
+        "N2 *log Committed",
+        "N2 log End",
+        "N2->N1 Ack",
+        "N1 log End",
+        "N1->N0 Ack",
+        "N0 log End",
+        "N0 notify COMMIT",
+    ];
+    assert_eq!(trace, expected);
+}
+
+#[test]
+fn figure_3_presumed_nothing_with_intermediate() {
+    // §3 / Figure 3: every (cascaded) coordinator force-logs
+    // commit-pending *before* sending Prepare.
+    assert_eq!(
+        compact_trace(fig3_pn_cascade()),
+        vec![
+            "N0 *log CommitPending",
+            "N0->N1 Prepare",
+            "N1 *log CommitPending",
+            "N1->N2 Prepare",
+            "N2 *log Prepared",
+            "N2->N1 VoteYes",
+            "N1 *log Prepared",
+            "N1->N0 VoteYes",
+            "N0 *log Committed",
+            "N0->N1 Commit",
+            "N1 *log Committed",
+            "N1->N2 Commit",
+            "N2 *log Committed",
+            "N2 log End",
+            "N2->N1 Ack",
+            "N1 log End",
+            "N1->N0 Ack",
+            "N0 log End",
+            "N0 notify COMMIT",
+        ]
+    );
+}
+
+#[test]
+fn figure_4_partial_read_only() {
+    // The read-only subordinate (N2) votes READ-ONLY, writes nothing, and
+    // is left out of the second phase entirely.
+    assert_eq!(
+        compact_trace(fig4_partial_read_only()),
+        vec![
+            "N0->N1 Prepare",
+            "N0->N2 Prepare",
+            "N1 *log Prepared",
+            "N1->N0 VoteYes",
+            "N2->N0 VoteReadOnly",
+            "N0 *log Committed",
+            "N0->N1 Commit",
+            "N0 notify COMMIT", // PA: app control at the commit point
+            "N1 *log Committed",
+            "N1 log End",
+            "N1->N0 Ack",
+            "N0 log End",
+        ]
+    );
+}
+
+#[test]
+fn figure_6_last_agent() {
+    // The initiator prepares itself (forced), delegates via its YES vote,
+    // and the last agent decides. The initiator's ack is implied — here
+    // it appears as the end-of-script flush frame.
+    assert_eq!(
+        compact_trace(fig6_last_agent()),
+        vec![
+            "N0 *log Prepared",
+            "N0->N1 VoteYes(last-agent)",
+            "N1 *log Committed",
+            "N1->N0 Commit",
+            "N0 *log Committed",
+            "N0 notify COMMIT",
+            "N0 log End",
+            "N0->N1 Ack",
+            "N1 log End",
+        ]
+    );
+}
+
+#[test]
+fn figure_7_long_locks_piggybacks_the_ack() {
+    // Two consecutive transactions: transaction 1's ack rides transaction
+    // 2's vote frame ("VoteYes+Ack") — the saved flow of Table 4.
+    let trace = compact_trace(fig7_long_locks());
+    assert!(
+        trace.iter().any(|l| l == "N1->N0 VoteYes+Ack"),
+        "expected the piggybacked ack frame; trace = {trace:#?}"
+    );
+    // Exactly one explicit-Ack frame: the final flush.
+    let explicit_acks = trace.iter().filter(|l| *l == "N1->N0 Ack").count();
+    assert_eq!(explicit_acks, 1, "trace = {trace:#?}");
+}
+
+#[test]
+fn figure_8_vote_reliable_early_ack() {
+    // Figure 8: all resources reliable — the intermediate acks its
+    // coordinator immediately after its own commit force, before the leaf
+    // confirms; the root's application is released at that point.
+    let trace = compact_trace(fig8_vote_reliable());
+    let pos = |needle: &str| {
+        trace
+            .iter()
+            .position(|l| l == needle)
+            .unwrap_or_else(|| panic!("missing {needle:?} in {trace:#?}"))
+    };
+    assert!(
+        pos("N1->N0 Ack") < pos("N2->N1 Ack"),
+        "the intermediate must ack before the leaf does: {trace:#?}"
+    );
+    assert!(
+        pos("N0 notify COMMIT") < pos("N2 *log Committed"),
+        "the root completes before the leaf has committed: {trace:#?}"
+    );
+}

@@ -1,0 +1,118 @@
+//! The leave-out vote is a *protected variable*: "it takes effect only if
+//! the transaction commits" (§4 Leaving Inactive Partners Out). These
+//! scenarios pin the eligibility lifecycle and the Figure 5 hazard.
+
+use tpc_common::{OptimizationConfig, Outcome, ProtocolKind};
+use tpc_sim::{NodeConfig, Sim, SimConfig, TxnSpec};
+
+fn leave_out_cfg(protocol: ProtocolKind) -> NodeConfig {
+    NodeConfig::new(protocol).with_opts(OptimizationConfig::none().with_leave_out(true))
+}
+
+#[test]
+fn eligibility_takes_effect_only_on_commit() {
+    // The priming transaction ABORTS, so the partner's ok-to-leave-out
+    // vote must NOT take effect: the next untouched transaction still
+    // enrolls it.
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedNothing));
+    let n1 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedNothing).suspendable());
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "prime").aborting());
+    sim.push_txn(TxnSpec::local_update(n0, "solo", "x"));
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.outcomes[0].outcome, Outcome::Abort);
+    assert_eq!(report.outcomes[1].outcome, Outcome::Commit);
+    // The aborted priming transaction did NOT establish eligibility, so
+    // N1 was enrolled in (untouched) transaction 2 — the key protected-
+    // variable behaviour.
+    let txn2 = report.outcomes[1].txn;
+    assert!(
+        sim.engine(n1).completed_seat(txn2).is_some(),
+        "the partner participates until a COMMITTED vote exempts it"
+    );
+    // Transaction 2 itself committed with N1's ok-to-leave-out vote, so
+    // eligibility is established from now on.
+    assert!(sim.engine(n0).is_leave_out_eligible(n1));
+}
+
+#[test]
+fn eligibility_established_on_commit_and_revoked_when_touched() {
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedAbort));
+    let n1 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedAbort).suspendable());
+    sim.declare_partner(n0, n1);
+    // 1: touch + commit → eligible.
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
+    // 2: untouched → left out entirely.
+    sim.push_txn(TxnSpec::local_update(n0, "solo", "x"));
+    // 3: touched again → participates (and re-votes eligibility).
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t3"));
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.outcomes.len(), 3);
+
+    let txn2 = report.outcomes[1].txn;
+    let txn3 = report.outcomes[2].txn;
+    assert!(
+        sim.engine(n1).completed_seat(txn2).is_none(),
+        "txn 2 must never reach the exempt partner"
+    );
+    assert_eq!(
+        sim.engine(n1)
+            .completed_seat(txn3)
+            .expect("touched again")
+            .outcome,
+        Some(Outcome::Commit)
+    );
+    assert!(sim.engine(n0).is_leave_out_eligible(n1));
+    // The coordinator skipped exactly one enrollment.
+    assert_eq!(
+        report
+            .per_node
+            .iter()
+            .find(|n| n.node == n0)
+            .expect("root")
+            .engine
+            .left_out_of,
+        1
+    );
+}
+
+#[test]
+fn non_suspendable_partners_are_never_left_out() {
+    // The LU 6.2 default is "not OK to leave out": without the
+    // application-level suspendable declaration the partner is enrolled
+    // in every commit.
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedAbort));
+    let n1 = sim.add_node(leave_out_cfg(ProtocolKind::PresumedAbort)); // not suspendable
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
+    sim.push_txn(TxnSpec::local_update(n0, "solo", "x"));
+    let report = sim.run();
+    report.assert_clean();
+    assert!(!sim.engine(n0).is_leave_out_eligible(n1));
+    let txn2 = report.outcomes[1].txn;
+    assert!(
+        sim.engine(n1).completed_seat(txn2).is_some(),
+        "a non-suspendable partner is enrolled even when untouched"
+    );
+}
+
+#[test]
+fn leave_out_without_the_optimization_enrolls_everyone() {
+    // Same topology, optimization off at the coordinator: the suspendable
+    // partner still participates in the untouched transaction.
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort));
+    let n1 = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).suspendable());
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
+    sim.push_txn(TxnSpec::local_update(n0, "solo", "x"));
+    let report = sim.run();
+    report.assert_clean();
+    let txn2 = report.outcomes[1].txn;
+    assert!(sim.engine(n1).completed_seat(txn2).is_some());
+}

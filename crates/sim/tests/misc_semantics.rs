@@ -1,0 +1,143 @@
+//! Odds and ends the paper states in passing, verified.
+
+use tpc_common::{NodeId, OptimizationConfig, Outcome, ProtocolKind, SimDuration, SimTime};
+use tpc_core::Timeouts;
+use tpc_sim::{NodeConfig, Sim, SimConfig, TxnSpec, WorkEdge};
+
+#[test]
+fn read_only_voters_release_before_global_termination() {
+    // Table 1's disadvantage of read-only voting: "potential
+    // serializability problems" — because the read-only participant
+    // releases its locks at its vote, *before* the transaction terminates
+    // globally. Observable: the RO participant finishes well before the
+    // root is notified.
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing)
+        .with_opts(OptimizationConfig::none().with_read_only(true));
+    let root = sim.add_node(cfg.clone());
+    let reader = sim.add_node(cfg.clone());
+    let slow_updater = sim.add_node(cfg);
+    sim.declare_partner(root, reader);
+    sim.declare_partner(root, slow_updater);
+    // The updater sits behind a slow link, stretching global termination.
+    sim.set_link(
+        root,
+        slow_updater,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(30)),
+    );
+    sim.set_link(
+        slow_updater,
+        root,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(30)),
+    );
+    sim.push_txn(TxnSpec::star_mixed(root, &[slow_updater], &[reader], "t"));
+    let report = sim.run();
+    report.assert_clean();
+    let result = report.single();
+    assert_eq!(result.outcome, Outcome::Commit);
+    let reader_done = sim
+        .engine(reader)
+        .completed_seat(result.txn)
+        .expect("reader done")
+        .finished_at
+        .expect("finished");
+    assert!(
+        reader_done + SimDuration::from_millis(50) < result.notified_at,
+        "the reader left the transaction long before global termination: \
+         reader at {reader_done:?}, root notified {:?}",
+        result.notified_at
+    );
+}
+
+#[test]
+fn losing_the_unforced_end_record_only_costs_redundant_recovery() {
+    // §2: "the END log record does not need to be forced because the only
+    // effect of its absence following a failure is redundant recovery
+    // processing, which takes extra recovery time but does no other
+    // harm." Crash the coordinator right after the subordinate's ack
+    // (END written, unforced, lost); restart re-propagates the decision,
+    // the subordinate re-acks, and everything converges — again.
+    let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(20)));
+    let timeouts = Timeouts {
+        vote_collection: SimDuration::from_secs(2),
+        ack_collection: SimDuration::from_millis(200),
+        in_doubt_query: SimDuration::from_millis(300),
+    };
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(timeouts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t"));
+    // The ack lands ~24.8 ms and END is appended unforced; crash at 25 ms
+    // destroys the volatile tail.
+    sim.crash_at(n0, SimTime(25_000));
+    sim.restart_at(n0, SimTime(500_000));
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.unresolved.is_empty(), "{:?}", report.unresolved);
+    // Redundant recovery is visible: the Commit decision crossed the wire
+    // at least twice.
+    let commit_sends = report
+        .trace
+        .iter()
+        .filter(|e| {
+            matches!(&e.kind, tpc_sim::TraceKind::Send { from, desc, .. }
+                if *from == n0 && desc.contains("Commit"))
+        })
+        .count();
+    assert!(
+        commit_sends >= 2,
+        "expected a redundant re-propagation, saw {commit_sends}"
+    );
+    // ... and did no harm.
+    let seat = sim
+        .engine(n1)
+        .completed_seats()
+        .find(|s| s.txn.origin == n0)
+        .expect("resolved");
+    assert_eq!(seat.outcome, Some(Outcome::Commit));
+}
+
+#[test]
+fn early_notification_is_never_earlier_than_the_decision() {
+    // Sanity across every notification-timing mode: the application can
+    // never learn an outcome before it exists.
+    for protocol in ProtocolKind::ALL {
+        let mut sim = Sim::new(SimConfig::default());
+        let cfg = NodeConfig::new(protocol);
+        let n0 = sim.add_node(cfg.clone());
+        let n1 = sim.add_node(cfg);
+        sim.declare_partner(n0, n1);
+        sim.push_txn(TxnSpec::star_update(n0, &[n1], "t"));
+        let report = sim.run();
+        report.assert_clean();
+        let result = report.single();
+        let seat = sim
+            .engine(n0)
+            .completed_seat(result.txn)
+            .expect("root seat");
+        assert!(
+            seat.decided_at.expect("decided") <= result.notified_at,
+            "{protocol}"
+        );
+    }
+}
+
+#[test]
+fn work_to_an_unknown_transaction_after_completion_is_harmless() {
+    // Stray data frames for finished transactions (e.g. duplicated by the
+    // network) must not resurrect state.
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedAbort);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
+    sim.push_txn(
+        TxnSpec::local_update(n0, "k", "v").with_edge(WorkEdge::update(n0, n1, "x", "y")),
+    );
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.outcomes.len(), 2);
+    assert_eq!(sim.engine(NodeId(1)).active_txns(), 0);
+}

@@ -1,0 +1,127 @@
+//! Table 4 of the paper: long locks over r consecutive 2-member
+//! transactions with small inter-transaction delays.
+//!
+//! | variant                        | flows (paper) | our measured |
+//! |--------------------------------|---------------|--------------|
+//! | basic 2PC                      | 4r            | 4r           |
+//! | PA & long locks                | 3r            | 3r (+1 final flush) |
+//! | PA & long locks & last agent   | 3r/2          | 2r (+1): see EXPERIMENTS.md |
+//!
+//! The 3r/2 figure assumes the last agent opens the next transaction in
+//! the same frame that carries its commit decision; our driver starts
+//! transactions from the root's notification, which costs the extra
+//! half-flow but preserves the ordering LL+LA < LL < basic.
+
+use tpc_common::{OptimizationConfig, Outcome, ProtocolKind};
+use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec};
+
+const R: u64 = 12;
+
+fn run_sequence(cfg0: NodeConfig, cfg1: NodeConfig, alternate_roots: bool) -> RunReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(cfg0);
+    let n1 = sim.add_node(cfg1);
+    sim.declare_partner(n0, n1);
+    if alternate_roots {
+        sim.declare_partner(n1, n0);
+    }
+    for i in 0..R {
+        let root = if alternate_roots && i % 2 == 1 { n1 } else { n0 };
+        let other = if root == n0 { n1 } else { n0 };
+        sim.push_txn(TxnSpec::star_update(root, &[other], &format!("t{i}")));
+    }
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.outcomes.len(), R as usize);
+    assert!(report.outcomes.iter().all(|o| o.outcome == Outcome::Commit));
+    report
+}
+
+#[test]
+fn basic_sequence_is_4r_flows() {
+    let cfg = NodeConfig::new(ProtocolKind::Basic);
+    let r = run_sequence(cfg.clone(), cfg, false);
+    assert_eq!(r.protocol_flows(), 4 * R);
+    // Table 4: 5r log writes (coordinator 2 + subordinate 3), 3r forced.
+    assert_eq!(r.tm_writes(), 5 * R);
+    assert_eq!(r.tm_forced(), 3 * R);
+}
+
+#[test]
+fn long_locks_sequence_is_3r_flows() {
+    // Each transaction's ack rides the next transaction's vote frame;
+    // only the final ack pays its own frame at the end-of-script flush.
+    let opts = OptimizationConfig::none().with_long_locks(true);
+    let cfg = NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts);
+    let r = run_sequence(cfg.clone(), cfg, false);
+    assert_eq!(r.protocol_flows(), 3 * R + 1, "3r plus the final flush");
+    // Logging is unchanged (Table 4: 5r writes, 3r forced).
+    assert_eq!(r.tm_writes(), 5 * R);
+    assert_eq!(r.tm_forced(), 3 * R);
+    // Eleven of the twelve acks piggybacked.
+    let m = r.cluster_metrics();
+    assert!(m.piggybacked_messages >= R - 1, "{:?}", m);
+}
+
+#[test]
+fn long_locks_last_agent_beats_long_locks_alone() {
+    let opts = OptimizationConfig::none()
+        .with_long_locks(true)
+        .with_last_agent(true);
+    let cfg = NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts);
+    let combined = run_sequence(cfg.clone(), cfg, true);
+
+    let ll_only = {
+        let opts = OptimizationConfig::none().with_long_locks(true);
+        let cfg = NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts);
+        run_sequence(cfg.clone(), cfg, false)
+    };
+
+    // Paper ordering: LL+LA (3r/2) < LL (3r) < basic (4r). Our driver
+    // measures 2r+1 for the combination.
+    assert!(
+        combined.protocol_flows() < ll_only.protocol_flows(),
+        "LL+LA {} should beat LL {}",
+        combined.protocol_flows(),
+        ll_only.protocol_flows()
+    );
+    assert_eq!(combined.protocol_flows(), 2 * R + 1);
+}
+
+#[test]
+fn long_locks_defers_but_never_loses_acks() {
+    // After the run every coordinator seat completed: no ack was lost to
+    // deferral.
+    let opts = OptimizationConfig::none().with_long_locks(true);
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing).with_opts(opts);
+    let mut sim = Sim::new(SimConfig::default());
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    for i in 0..4u64 {
+        sim.push_txn(TxnSpec::star_update(n0, &[n1], &format!("t{i}")));
+    }
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(sim.engine(n0).active_txns(), 0);
+    assert_eq!(sim.engine(n1).active_txns(), 0);
+    assert_eq!(sim.engine(n1).owed_ack_count(), 0);
+}
+
+#[test]
+fn long_locks_trades_commit_latency_for_flows() {
+    // The subordinate's bookkeeping (END) is deferred with the ack; the
+    // root application, however, regains control at the decision point.
+    let base_cfg = NodeConfig::new(ProtocolKind::PresumedAbort);
+    let base = run_sequence(base_cfg.clone(), base_cfg, false);
+    let ll_cfg = NodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_opts(OptimizationConfig::none().with_long_locks(true));
+    let ll = run_sequence(ll_cfg.clone(), ll_cfg, false);
+    // Application-visible latency must not regress under long locks.
+    assert!(
+        ll.mean_elapsed() <= base.mean_elapsed(),
+        "ll {} vs base {}",
+        ll.mean_elapsed(),
+        base.mean_elapsed()
+    );
+}

@@ -1,0 +1,21 @@
+//! # tpc-simnet
+//!
+//! Deterministic discrete-event simulation substrate: a virtual-time event
+//! scheduler and a point-to-point network model with per-link latency,
+//! partitions and crash windows.
+//!
+//! The paper's evaluation counts message flows and log writes and reasons
+//! about elapsed/lock time as a function of network delay. A deterministic
+//! simulator reproduces those counts *exactly* and repeatably (every run
+//! with the same seed is identical), which is why the whole test and
+//! benchmark suite drives the sans-IO engine through this crate rather
+//! than through sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod scheduler;
+
+pub use network::{LatencyModel, Network, Partition};
+pub use scheduler::Scheduler;

@@ -1,0 +1,243 @@
+//! Point-to-point network model: latency, partitions, crashed nodes.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpc_common::{NodeId, SimDuration, SimTime};
+
+/// Per-link one-way latency model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Constant one-way delay.
+    Fixed(SimDuration),
+    /// Uniformly distributed in `[lo, hi]` (seeded, deterministic).
+    Uniform(SimDuration, SimDuration),
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut StdRng) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                let (lo, hi) = (lo.as_micros(), hi.as_micros().max(lo.as_micros()));
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+        }
+    }
+}
+
+/// A bidirectional communication cut between two nodes for a time window.
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: NodeId,
+    /// The other side.
+    pub b: NodeId,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive); `None` = forever.
+    pub until: Option<SimTime>,
+}
+
+impl Partition {
+    fn blocks(&self, x: NodeId, y: NodeId, at: SimTime) -> bool {
+        let pair = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        pair && at >= self.from && self.until.map(|u| at < u).unwrap_or(true)
+    }
+}
+
+/// The network: computes delivery delay (or loss) for each frame.
+#[derive(Debug)]
+pub struct Network {
+    default_latency: LatencyModel,
+    overrides: HashMap<(NodeId, NodeId), LatencyModel>,
+    partitions: Vec<Partition>,
+    crashed: HashSet<NodeId>,
+    /// Probability in [0, 1] that any frame is silently lost.
+    loss_rate: f64,
+    rng: StdRng,
+    /// Frames offered for delivery.
+    pub frames_offered: u64,
+    /// Frames dropped by partitions or crashed receivers.
+    pub frames_dropped: u64,
+}
+
+impl Network {
+    /// A network where every link has `default_latency`; `seed` fixes the
+    /// randomness of any `Uniform` links.
+    pub fn new(default_latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            default_latency,
+            overrides: HashMap::new(),
+            partitions: Vec::new(),
+            crashed: HashSet::new(),
+            loss_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            frames_offered: 0,
+            frames_dropped: 0,
+        }
+    }
+
+    /// Overrides the latency of the directed link `src → dst` (set both
+    /// directions for a symmetric link). Used for the paper's "satellite
+    /// link" scenarios (§4 Last Agent).
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, model: LatencyModel) {
+        self.overrides.insert((src, dst), model);
+    }
+
+    /// Installs a partition window.
+    pub fn add_partition(&mut self, p: Partition) {
+        self.partitions.push(p);
+    }
+
+    /// Sets a uniform random frame-loss probability (deterministic given
+    /// the seed). Exercises the at-least-once retry machinery.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.loss_rate = rate.clamp(0.0, 1.0);
+    }
+
+    /// Marks a node crashed (frames to and from it are dropped).
+    pub fn set_crashed(&mut self, node: NodeId, crashed: bool) {
+        if crashed {
+            self.crashed.insert(node);
+        } else {
+            self.crashed.remove(&node);
+        }
+    }
+
+    /// Is `node` currently marked crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Computes the delivery delay for a frame sent `src → dst` at `now`,
+    /// or `None` if the frame is lost (partition or crash).
+    pub fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> Option<SimDuration> {
+        self.frames_offered += 1;
+        if self.crashed.contains(&src) || self.crashed.contains(&dst) {
+            self.frames_dropped += 1;
+            return None;
+        }
+        if self.partitions.iter().any(|p| p.blocks(src, dst, now)) {
+            self.frames_dropped += 1;
+            return None;
+        }
+        if self.loss_rate > 0.0 && self.rng.gen_bool(self.loss_rate) {
+            self.frames_dropped += 1;
+            return None;
+        }
+        let model = self
+            .overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_latency);
+        Some(model.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn fixed_latency_is_constant() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(100)), 1);
+        for _ in 0..5 {
+            assert_eq!(net.delay(n(0), n(1), SimTime(0)), Some(SimDuration(100)));
+        }
+        assert_eq!(net.frames_offered, 5);
+        assert_eq!(net.frames_dropped, 0);
+    }
+
+    #[test]
+    fn uniform_latency_is_bounded_and_deterministic() {
+        let mut a = Network::new(LatencyModel::Uniform(SimDuration(10), SimDuration(20)), 42);
+        let mut b = Network::new(LatencyModel::Uniform(SimDuration(10), SimDuration(20)), 42);
+        for _ in 0..100 {
+            let da = a.delay(n(0), n(1), SimTime(0)).unwrap();
+            let db = b.delay(n(0), n(1), SimTime(0)).unwrap();
+            assert_eq!(da, db);
+            assert!(da >= SimDuration(10) && da <= SimDuration(20));
+        }
+    }
+
+    #[test]
+    fn link_override_applies_one_direction() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 1);
+        net.set_link(n(0), n(1), LatencyModel::Fixed(SimDuration(500_000)));
+        assert_eq!(
+            net.delay(n(0), n(1), SimTime(0)),
+            Some(SimDuration(500_000))
+        );
+        assert_eq!(net.delay(n(1), n(0), SimTime(0)), Some(SimDuration(10)));
+    }
+
+    #[test]
+    fn partition_window_drops_frames_both_ways() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 1);
+        net.add_partition(Partition {
+            a: n(0),
+            b: n(1),
+            from: SimTime(100),
+            until: Some(SimTime(200)),
+        });
+        assert!(net.delay(n(0), n(1), SimTime(50)).is_some());
+        assert!(net.delay(n(0), n(1), SimTime(100)).is_none());
+        assert!(net.delay(n(1), n(0), SimTime(150)).is_none());
+        assert!(net.delay(n(0), n(1), SimTime(200)).is_some());
+        assert_eq!(net.frames_dropped, 2);
+    }
+
+    #[test]
+    fn permanent_partition() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 1);
+        net.add_partition(Partition {
+            a: n(2),
+            b: n(3),
+            from: SimTime(0),
+            until: None,
+        });
+        assert!(net.delay(n(2), n(3), SimTime(999_999)).is_none());
+        // Other links unaffected.
+        assert!(net.delay(n(2), n(4), SimTime(0)).is_some());
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_that_fraction() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 7);
+        net.set_loss_rate(0.3);
+        let mut lost = 0;
+        for _ in 0..1000 {
+            if net.delay(n(0), n(1), SimTime(0)).is_none() {
+                lost += 1;
+            }
+        }
+        assert!((200..400).contains(&lost), "lost {lost} of 1000");
+        assert_eq!(net.frames_dropped, lost);
+    }
+
+    #[test]
+    fn loss_rate_zero_drops_nothing() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 7);
+        net.set_loss_rate(0.0);
+        for _ in 0..100 {
+            assert!(net.delay(n(0), n(1), SimTime(0)).is_some());
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_drop_traffic() {
+        let mut net = Network::new(LatencyModel::Fixed(SimDuration(10)), 1);
+        net.set_crashed(n(1), true);
+        assert!(net.is_crashed(n(1)));
+        assert!(net.delay(n(0), n(1), SimTime(0)).is_none());
+        assert!(net.delay(n(1), n(0), SimTime(0)).is_none());
+        net.set_crashed(n(1), false);
+        assert!(net.delay(n(0), n(1), SimTime(0)).is_some());
+    }
+}

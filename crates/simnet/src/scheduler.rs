@@ -1,0 +1,151 @@
+//! A virtual-time event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tpc_common::SimTime;
+
+/// Internal heap entry: ordered by time, then by insertion sequence so
+/// same-time events run in a deterministic FIFO order.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same instant are delivered in insertion order,
+/// so a simulation's behaviour is a pure function of its inputs and seed.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling into the past
+    /// is clamped to `now` (the event runs next).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pops the next event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime(30), "c");
+        s.schedule(SimTime(10), "a");
+        s.schedule(SimTime(20), "b");
+        assert_eq!(s.pop(), Some((SimTime(10), "a")));
+        assert_eq!(s.pop(), Some((SimTime(20), "b")));
+        assert_eq!(s.pop(), Some((SimTime(30), "c")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimTime(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(s.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime(100), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime(100));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime(50), "first");
+        s.pop();
+        s.schedule(SimTime(10), "late");
+        let (at, e) = s.pop().unwrap();
+        assert_eq!(at, SimTime(50));
+        assert_eq!(e, "late");
+    }
+
+    #[test]
+    fn interleaved_scheduling() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime(10), 1);
+        let (t, _) = s.pop().unwrap();
+        s.schedule(t + SimDuration(5), 2);
+        s.schedule(t + SimDuration(1), 3);
+        assert_eq!(s.pop().unwrap().1, 3);
+        assert_eq!(s.pop().unwrap().1, 2);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

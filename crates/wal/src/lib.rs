@@ -1,0 +1,35 @@
+//! # tpc-wal
+//!
+//! Write-ahead logging substrate for the twopc workspace.
+//!
+//! The paper's cost metric is the *number of log writes, forced and
+//! non-forced* (§2, "Logging"). This crate supplies:
+//!
+//! * [`record::LogRecord`] — every record type the protocols of §2–§4 write
+//!   (commit-pending, prepared, committed, heuristic, END, plus resource-
+//!   manager undo/redo records), with a checksummed binary encoding;
+//! * [`log::LogManager`] — the force/non-force append interface, with
+//!   precise [`log::LogStats`] counters;
+//! * [`mem::MemLog`] — the simulator's log: non-forced records live in a
+//!   volatile tail that a simulated crash destroys, exactly matching the
+//!   paper's definition ("non-forced log writes ... are not guaranteed to
+//!   survive a system failure");
+//! * [`file::FileLog`] — a real on-disk log with fsync and a recovery scan
+//!   that tolerates a torn tail;
+//! * [`group::GroupCommitter`] — the §4 *Group Commits* batching policy as
+//!   a pure, clock-driven state machine the simulator and the live runtime
+//!   both drive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod group;
+pub mod log;
+pub mod mem;
+pub mod record;
+
+pub use group::{FlushDecision, GroupCommitter};
+pub use log::{Durability, LogManager, LogStats, StreamId};
+pub use mem::MemLog;
+pub use record::LogRecord;

@@ -1,0 +1,106 @@
+//! Property tests for the file-backed log: the recovery scan never
+//! panics and always returns a prefix of the appended history, whatever
+//! corruption the tail suffers.
+
+use proptest::prelude::*;
+use tpc_common::{NodeId, TxnId};
+use tpc_wal::file::{scan, FileLog};
+use tpc_wal::{Durability, LogManager, LogRecord, StreamId};
+
+fn tmp(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "tpc-wal-prop-{}-{tag}.log",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    /// Corrupting any suffix of the file leaves a clean prefix: scan
+    /// returns the first k records for some k, never garbage and never a
+    /// panic.
+    #[test]
+    fn scan_survives_arbitrary_tail_corruption(
+        n_records in 1usize..20,
+        cut in 0usize..2000,
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+        tag in any::<u64>(),
+    ) {
+        let path = tmp(tag);
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            for i in 0..n_records {
+                log.append(
+                    StreamId::Tm,
+                    LogRecord::Committed {
+                        txn: TxnId::new(NodeId(0), i as u64),
+                        subordinates: vec![NodeId(1)],
+                    },
+                    Durability::Forced,
+                ).unwrap();
+            }
+        }
+        let original = std::fs::read(&path).unwrap();
+        let cut = cut.min(original.len());
+        let mut mutated = original[..cut].to_vec();
+        mutated.extend_from_slice(&garbage);
+        std::fs::write(&path, &mutated).unwrap();
+
+        let recovered = scan(&path).unwrap();
+        // Prefix property: recovered records are exactly 0..k in order.
+        for (i, (_, stream, rec)) in recovered.iter().enumerate() {
+            prop_assert_eq!(*stream, StreamId::Tm);
+            match rec {
+                LogRecord::Committed { txn, .. } => {
+                    prop_assert_eq!(txn.seq, i as u64);
+                }
+                other => prop_assert!(false, "unexpected record {other:?}"),
+            }
+        }
+        prop_assert!(recovered.len() <= n_records);
+        // Reopening after corruption keeps working (torn tail truncated).
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            log.append(
+                StreamId::Tm,
+                LogRecord::End { txn: TxnId::new(NodeId(0), 999) },
+                Durability::Forced,
+            ).unwrap();
+        }
+        let after = scan(&path).unwrap();
+        prop_assert_eq!(after.len(), recovered.len() + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A single flipped bit anywhere in a record's frame confines the
+    /// damage: everything before the flip's frame still scans.
+    #[test]
+    fn single_bit_flip_is_detected(
+        n_records in 2usize..10,
+        flip_byte in any::<usize>(),
+        flip_bit in 0usize..8,
+        tag in any::<u64>(),
+    ) {
+        let path = tmp(tag.wrapping_add(1));
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            for i in 0..n_records {
+                log.append(
+                    StreamId::Tm,
+                    LogRecord::End { txn: TxnId::new(NodeId(0), i as u64) },
+                    Durability::Forced,
+                ).unwrap();
+            }
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        let idx = flip_byte % raw.len();
+        raw[idx] ^= 1 << flip_bit;
+        std::fs::write(&path, &raw).unwrap();
+        let recovered = scan(&path).unwrap();
+        // Whatever survives is a correct prefix.
+        for (i, (_, _, rec)) in recovered.iter().enumerate() {
+            prop_assert_eq!(rec.txn().seq, i as u64);
+        }
+        prop_assert!(recovered.len() < n_records || recovered.len() == n_records);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,78 @@
+//! Failure theatre: a coordinator crash mid-commit, recovery by
+//! presumption, and a heuristic decision with reliable damage reporting —
+//! the §1/§3 material, shown as a protocol trace.
+//!
+//! ```text
+//! cargo run --example crash_recovery
+//! ```
+
+use twopc::prelude::*;
+use twopc::sim::{protocol_only, render_trace};
+
+fn coordinator_crash() {
+    println!("=== PN coordinator crashes mid-voting; its commit-pending record drives recovery ===\n");
+    let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(20)));
+    let timeouts = twopc::core::Timeouts {
+        vote_collection: SimDuration::from_secs(2),
+        ack_collection: SimDuration::from_millis(200),
+        in_doubt_query: SimDuration::from_millis(300),
+    };
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(timeouts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t"));
+    // Crash right after the subordinate forced its prepared record.
+    sim.crash_at(n0, SimTime(22_000));
+    sim.restart_at(n0, SimTime(1_000_000));
+    let report = sim.run();
+    print!("{}", render_trace(&protocol_only(&report.trace)));
+    let seat = sim
+        .engine(n1)
+        .completed_seats()
+        .next()
+        .expect("subordinate resolved");
+    println!("\nsubordinate's final outcome: {}\n", seat.outcome.unwrap());
+    assert_eq!(seat.outcome, Some(Outcome::Abort));
+}
+
+fn heuristic_damage() {
+    println!("=== a partitioned leaf decides heuristically; PN reports the damage to the root ===\n");
+    let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(30)));
+    let timeouts = twopc::core::Timeouts {
+        vote_collection: SimDuration::from_secs(5),
+        ack_collection: SimDuration::from_millis(200),
+        in_doubt_query: SimDuration::from_secs(2),
+    };
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(timeouts);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(
+        cfg.with_heuristic(HeuristicPolicy::AbortAfter(SimDuration::from_millis(100))),
+    );
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n1, n2);
+    sim.push_txn(
+        TxnSpec::local_update(n0, "r", "1")
+            .with_edge(WorkEdge::update(n0, n1, "m", "1"))
+            .with_edge(WorkEdge::update(n1, n2, "l", "1")),
+    );
+    // The leaf is cut off after voting; it gives up waiting and aborts
+    // heuristically while the rest of the tree commits.
+    sim.partition(n1, n2, SimTime(25_000), Some(SimTime(500_000)));
+    let report = sim.run();
+    let result = report.single();
+    println!("global outcome     : {}", result.outcome);
+    println!("damaged participants reported to the root: {:?}", result.report.damaged);
+    println!(
+        "heuristic decisions: {}, of which damaging: {}",
+        report.cluster_metrics().heuristic_decisions,
+        report.cluster_metrics().heuristic_damage,
+    );
+    assert!(result.report.damaged.contains(&n2));
+}
+
+fn main() {
+    coordinator_crash();
+    heuristic_damage();
+}

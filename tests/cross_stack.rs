@@ -1,0 +1,162 @@
+//! Cross-crate integration: the same transaction run through the
+//! deterministic simulator and the live threaded runtime must produce the
+//! same outcomes and the same per-participant log costs — the engine is
+//! the single source of protocol truth.
+
+use twopc::prelude::*;
+
+/// One updating transaction, coordinator + two subordinates.
+fn sim_costs(protocol: ProtocolKind) -> (Outcome, Vec<(u64, u64)>) {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n0, n2);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1, n2], "x"));
+    let report = sim.run();
+    report.assert_clean();
+    (
+        report.single().outcome,
+        report
+            .per_node
+            .iter()
+            .map(|n| (n.tm_writes, n.tm_forced))
+            .collect(),
+    )
+}
+
+fn live_costs(protocol: ProtocolKind) -> (Outcome, Vec<(u64, u64)>) {
+    let cluster = LiveCluster::start(vec![LiveNodeConfig::new(protocol); 3]);
+    let txn = cluster.begin(NodeId(0));
+    txn.work(NodeId(0), vec![Op::put("x/n0", "x")]);
+    txn.work(NodeId(1), vec![Op::put("x/n1", "x")]);
+    txn.work(NodeId(2), vec![Op::put("x/n2", "x")]);
+    let result = txn.commit();
+    // PA/PC return control at the commit point; give the background ack
+    // collection a moment so END records land before we read the logs.
+    for _ in 0..200 {
+        let settled = (0..3).all(|i| {
+            cluster
+                .summary(NodeId(i))
+                .map(|s| s.active_txns == 0)
+                .unwrap_or(false)
+        });
+        if settled {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let summaries = cluster.shutdown();
+    (
+        result.outcome,
+        summaries
+            .iter()
+            .map(|s| (s.log.writes, s.log.forced_writes))
+            .collect(),
+    )
+}
+
+#[test]
+fn simulator_and_live_runtime_agree_on_protocol_costs() {
+    for protocol in ProtocolKind::ALL {
+        let (sim_outcome, sim_logs) = sim_costs(protocol);
+        let (live_outcome, live_logs) = live_costs(protocol);
+        assert_eq!(sim_outcome, live_outcome, "{protocol}");
+        assert_eq!(
+            sim_logs, live_logs,
+            "{protocol}: TM log costs must match between harnesses"
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Exercise the prelude end to end: engine types, sim, runtime.
+    let cfg = EngineConfig::new(NodeId(9), ProtocolKind::PresumedAbort);
+    let engine = TmEngine::new(cfg).expect("valid");
+    assert_eq!(engine.node(), NodeId(9));
+
+    let mut sim = Sim::new(SimConfig::default().real());
+    let a = sim.add_node(NodeConfig::new(ProtocolKind::PresumedNothing));
+    let b = sim.add_node(NodeConfig::new(ProtocolKind::PresumedNothing));
+    sim.declare_partner(a, b);
+    sim.push_txn(
+        TxnSpec::local_update(a, "k", "1").with_edge(WorkEdge::update(a, b, "r", "2")),
+    );
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.single().outcome, Outcome::Commit);
+    assert_eq!(
+        sim.rm(b).unwrap().store().get(b"r"),
+        Some(&b"2"[..])
+    );
+}
+
+#[test]
+fn mixed_protocol_cluster_interoperates() {
+    // The wire protocol is shared; nodes running different presumption
+    // regimes can still commit together (each follows its own logging and
+    // ack discipline). PA subordinates under a PN coordinator is the
+    // realistic commercial mix the paper's vendor list implies.
+    let mut sim = Sim::new(SimConfig::default());
+    let coord = sim.add_node(NodeConfig::new(ProtocolKind::PresumedNothing));
+    let sub_pa = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort));
+    let sub_basic = sim.add_node(NodeConfig::new(ProtocolKind::Basic));
+    sim.declare_partner(coord, sub_pa);
+    sim.declare_partner(coord, sub_basic);
+    sim.push_txn(TxnSpec::star_update(coord, &[sub_pa, sub_basic], "mix"));
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.single().outcome, Outcome::Commit);
+    // PN coordinator: CommitPending* + Committed* + End.
+    assert_eq!(report.per_node[0].tm_forced, 2);
+    // Both subordinates: Prepared* + Committed* + End.
+    assert_eq!(report.per_node[1].tm_forced, 2);
+    assert_eq!(report.per_node[2].tm_forced, 2);
+}
+
+#[test]
+fn all_optimizations_stack_together() {
+    // The paper's teaser: "better performance can be achieved by
+    // combining the different optimizations". Run the kitchen sink.
+    let opts = OptimizationConfig::all();
+    let mut sim = Sim::new(SimConfig::default().real());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing)
+        .with_opts(opts)
+        .reliable()
+        .suspendable();
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n0, n2);
+    for i in 0..5 {
+        sim.push_txn(TxnSpec::star_mixed(
+            n0,
+            &[n1],
+            &[n2],
+            &format!("combo{i}"),
+        ));
+    }
+    let report = sim.run();
+    report.assert_clean();
+    assert_eq!(report.outcomes.len(), 5);
+    assert!(report.outcomes.iter().all(|o| o.outcome == Outcome::Commit));
+    // The stack beats the bare protocol.
+    let mut bare = Sim::new(SimConfig::default().real());
+    let cfg = NodeConfig::new(ProtocolKind::PresumedNothing);
+    let m0 = bare.add_node(cfg.clone());
+    let m1 = bare.add_node(cfg.clone());
+    let m2 = bare.add_node(cfg);
+    bare.declare_partner(m0, m1);
+    bare.declare_partner(m0, m2);
+    for i in 0..5 {
+        bare.push_txn(TxnSpec::star_mixed(m0, &[m1], &[m2], &format!("combo{i}")));
+    }
+    let bare_report = bare.run();
+    bare_report.assert_clean();
+    assert!(report.protocol_flows() < bare_report.protocol_flows());
+    assert!(report.total_forced() < bare_report.total_forced());
+}
