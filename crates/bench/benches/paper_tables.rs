@@ -13,9 +13,7 @@ fn table2_costs(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(protocol.short_name()),
             &protocol,
-            |b, &p| {
-                b.iter(|| run_pair(p, OptimizationConfig::none(), Some(true), false, false))
-            },
+            |b, &p| b.iter(|| run_pair(p, OptimizationConfig::none(), Some(true), false, false)),
         );
     }
     g.bench_function("PA+read-only", |b| {

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpc_common::wire::{Decode, Encode};
-use tpc_common::{
-    DamageReport, NodeId, Outcome, ProtocolKind, SimTime, TxnId, Vote, VoteFlags,
-};
+use tpc_common::{DamageReport, NodeId, Outcome, ProtocolKind, SimTime, TxnId, Vote, VoteFlags};
 use tpc_core::{EngineConfig, Event, LocalVote, ProtocolMsg, TmEngine};
 use tpc_locks::{LockManager, LockMode};
 use tpc_wal::{Durability, GroupCommitter, LogManager, LogRecord, MemLog, StreamId};
@@ -136,8 +134,7 @@ fn engine(c: &mut Criterion) {
                 let mut seq = 0u64;
                 b.iter(|| {
                     seq += 1;
-                    let mut coord =
-                        TmEngine::new(EngineConfig::new(NodeId(0), p)).expect("cfg");
+                    let mut coord = TmEngine::new(EngineConfig::new(NodeId(0), p)).expect("cfg");
                     let mut sub = TmEngine::new(EngineConfig::new(NodeId(1), p)).expect("cfg");
                     let txn = TxnId::new(NodeId(0), seq);
                     let t = SimTime(1);
@@ -167,8 +164,7 @@ fn engine(c: &mut Criterion) {
 
 /// Minimal two-node action pump for the raw-engine bench.
 fn pump(coord: &mut TmEngine, sub: &mut TmEngine, actions: Vec<tpc_core::Action>, t: SimTime) {
-    let mut queue: Vec<(bool, tpc_core::Action)> =
-        actions.into_iter().map(|a| (true, a)).collect();
+    let mut queue: Vec<(bool, tpc_core::Action)> = actions.into_iter().map(|a| (true, a)).collect();
     while let Some((at_coord, action)) = queue.pop() {
         match action {
             tpc_core::Action::Send { to, msgs } => {

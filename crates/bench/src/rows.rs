@@ -189,8 +189,8 @@ pub fn run_contended(
     };
     let server = sim.add_node(server_cfg);
     for i in 0..ROOTS {
-        let root = sim
-            .add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(root_opts.clone()));
+        let root =
+            sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(root_opts.clone()));
         sim.declare_partner(root, server);
         sim.push_txn_at(
             TxnSpec {
@@ -226,16 +226,32 @@ pub fn run_contended(
 
 /// The elapsed time the root application waits, for ack-timing
 /// comparisons, over a slow far link.
-pub fn run_latency_chain(protocol: ProtocolKind, opts: OptimizationConfig, reliable: bool) -> SimDuration {
+pub fn run_latency_chain(
+    protocol: ProtocolKind,
+    opts: OptimizationConfig,
+    reliable: bool,
+) -> SimDuration {
     let mut sim = Sim::new(SimConfig::default());
     let base = NodeConfig::new(protocol).with_opts(opts);
     let n0 = sim.add_node(base.clone());
-    let n1 = sim.add_node(if reliable { base.clone().reliable() } else { base.clone() });
+    let n1 = sim.add_node(if reliable {
+        base.clone().reliable()
+    } else {
+        base.clone()
+    });
     let n2 = sim.add_node(if reliable { base.reliable() } else { base });
     sim.declare_partner(n0, n1);
     sim.declare_partner(n1, n2);
-    sim.set_link(n1, n2, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
-    sim.set_link(n2, n1, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    sim.set_link(
+        n1,
+        n2,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)),
+    );
+    sim.set_link(
+        n2,
+        n1,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)),
+    );
     sim.push_txn(
         TxnSpec::local_update(n0, "r", "1")
             .with_edge(WorkEdge::update(n0, n1, "m", "1"))

@@ -41,7 +41,14 @@ pub fn table2() -> String {
         ));
     };
     let none = OptimizationConfig::none;
-    row("Basic 2PC", ProtocolKind::Basic, none(), Some(true), false, false);
+    row(
+        "Basic 2PC",
+        ProtocolKind::Basic,
+        none(),
+        Some(true),
+        false,
+        false,
+    );
     row(
         "PN",
         ProtocolKind::PresumedNothing,
@@ -157,7 +164,12 @@ pub fn table3() -> String {
         },
         |root, subs| TxnSpec::star_update(root, subs, "t"),
     );
-    push(&mut out, "PA & unsolicited (m=4)", &unsolicited, "4(n-1) - m = 36");
+    push(
+        &mut out,
+        "PA & unsolicited (m=4)",
+        &unsolicited,
+        "4(n-1) - m = 36",
+    );
 
     let last_agent = run_star(
         N,
@@ -171,7 +183,12 @@ pub fn table3() -> String {
         },
         |root, subs| TxnSpec::star_update(root, subs, "t"),
     );
-    push(&mut out, "PA & last agent (m=1)", &last_agent, "4(n-1) - 2m = 38");
+    push(
+        &mut out,
+        "PA & last agent (m=1)",
+        &last_agent,
+        "4(n-1) - 2m = 38",
+    );
 
     // Leave-out needs a priming transaction; isolate the second txn.
     let leave_out_delta = {
@@ -438,10 +455,7 @@ pub fn ablation() -> String {
                 .with_last_agent(true)
                 .with_long_locks(true),
         ),
-        (
-            "+ vote reliable (all)",
-            OptimizationConfig::all(),
-        ),
+        ("+ vote reliable (all)", OptimizationConfig::all()),
     ];
     for (name, opts) in stacks {
         let report = run_ablation_stack(opts);
@@ -480,18 +494,16 @@ pub fn run_ablation_stack(opts: OptimizationConfig) -> tpc_sim::RunReport {
         // process should be the commit coordinator", §3). Partners 2 and
         // 3 stay untouched (leave-out candidates after the prime).
         let tag = format!("a{i}");
-        sim.push_txn(
-            TxnSpec {
-                root,
-                root_ops: vec![tpc_common::Op::put(&format!("{tag}/root"), &tag)],
-                edges: vec![
-                    tpc_sim::WorkEdge::read(root, partners[1], &format!("{tag}/r")),
-                    tpc_sim::WorkEdge::update(root, partners[0], &format!("{tag}/u"), &tag),
-                ],
-                late_edges: vec![],
-                commit: true,
-            },
-        );
+        sim.push_txn(TxnSpec {
+            root,
+            root_ops: vec![tpc_common::Op::put(&format!("{tag}/root"), &tag)],
+            edges: vec![
+                tpc_sim::WorkEdge::read(root, partners[1], &format!("{tag}/r")),
+                tpc_sim::WorkEdge::update(root, partners[0], &format!("{tag}/u"), &tag),
+            ],
+            late_edges: vec![],
+            commit: true,
+        });
     }
     let report = sim.run();
     assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -508,14 +520,23 @@ pub fn contention() -> String {
         "variant", "makespan", "server lock wait"
     ));
     let (m, w) = run_contended(OptimizationConfig::none(), false);
-    out.push_str(&format!("{:<28} {m:>12} {w:>16}
-", "PA baseline"));
+    out.push_str(&format!(
+        "{:<28} {m:>12} {w:>16}
+",
+        "PA baseline"
+    ));
     let (m, w) = run_contended(OptimizationConfig::none(), true);
-    out.push_str(&format!("{:<28} {m:>12} {w:>16}
-", "PA + unsolicited server"));
+    out.push_str(&format!(
+        "{:<28} {m:>12} {w:>16}
+",
+        "PA + unsolicited server"
+    ));
     let (m, w) = run_contended(OptimizationConfig::none().with_last_agent(true), false);
-    out.push_str(&format!("{:<28} {m:>12} {w:>16}
-", "PA + server as last agent"));
+    out.push_str(&format!(
+        "{:<28} {m:>12} {w:>16}
+",
+        "PA + server as last agent"
+    ));
     out
 }
 
@@ -599,7 +620,10 @@ mod tests {
             flows.windows(2).all(|w| w[1] <= w[0]),
             "each added optimization must not regress flows: {flows:?}"
         );
-        assert!(all.protocol_flows() * 2 < bare.protocol_flows(), "{flows:?}");
+        assert!(
+            all.protocol_flows() * 2 < bare.protocol_flows(),
+            "{flows:?}"
+        );
         // PN + last agent adds no forced writes (the commit-pending force
         // already covers the delegation) and the delegate skips its
         // prepared force.

@@ -113,7 +113,8 @@ impl DamageReport {
         self.heuristic_no_damage
             .extend_from_slice(&other.heuristic_no_damage);
         self.damaged.extend_from_slice(&other.damaged);
-        self.outcome_pending.extend_from_slice(&other.outcome_pending);
+        self.outcome_pending
+            .extend_from_slice(&other.outcome_pending);
     }
 }
 

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use tpc_common::wire::{crc32, Decode, Decoder, Encode, Encoder};
-use tpc_common::{
-    DamageReport, HeuristicOutcome, NodeId, Op, Outcome, TxnId, Vote, VoteFlags,
-};
+use tpc_common::{DamageReport, HeuristicOutcome, NodeId, Op, Outcome, TxnId, Vote, VoteFlags};
 
 fn arb_node() -> impl Strategy<Value = NodeId> {
     any::<u32>().prop_map(NodeId)
@@ -16,14 +14,14 @@ fn arb_txn() -> impl Strategy<Value = TxnId> {
 }
 
 fn arb_flags() -> impl Strategy<Value = VoteFlags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(a, b, c, d)| VoteFlags {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(a, b, c, d)| {
+        VoteFlags {
             ok_to_leave_out: a,
             reliable: b,
             unsolicited: c,
             last_agent_delegation: d,
-        },
-    )
+        }
+    })
 }
 
 fn arb_vote() -> impl Strategy<Value = Vote> {

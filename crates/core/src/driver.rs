@@ -1,0 +1,515 @@
+//! The node driver: the single interpreter of engine [`Action`]s.
+//!
+//! The engine is sans-IO — [`crate::TmEngine::handle`] returns a list of
+//! [`Action`]s and performs none of them. Every harness therefore needs
+//! an interpreter that turns actions into effects: frames on a wire, log
+//! appends, resource-manager round-trips, timers, application
+//! notifications. The paper's methodology is *exact counting* of those
+//! effects (message flows and forced log writes per protocol variant,
+//! Tables 2–4), so the reproduction lives or dies on every harness
+//! interpreting the stream identically.
+//!
+//! This module owns that interpreter once. [`Driver::apply`] walks the
+//! action stream and calls out through five small traits — [`Wire`],
+//! [`LogHost`], [`RmHost`], [`TimerHost`], [`AppSink`] — that isolate
+//! exactly the seams where the simulator (virtual time, scheduler,
+//! in-memory network) and the live runtime (wall clock, threads, real
+//! transports) legitimately differ. Everything environment-independent —
+//! timer generations for stale-timer invalidation, flow and forced-write
+//! counters, damage-report accounting, the recursion order of local
+//! prepare votes, group-commit suspension — lives here and cannot drift
+//! between harnesses.
+//!
+//! A harness embeds a [`Driver`] per node and feeds it events:
+//!
+//! ```text
+//! driver.handle(&mut host, now, event)?      // engine + interpret
+//! driver.timer_is_current(txn, kind, gen)    // before firing a timer
+//! driver.stats(), driver.engine().metrics()  // uniform observability
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use tpc_common::{DamageReport, NodeId, Outcome, Result, SimDuration, SimTime, TxnId};
+use tpc_wal::{Durability, LogManager, LogRecord, MemLog};
+
+use crate::engine::{EngineConfig, TmEngine};
+use crate::event::{Action, Event, LocalVote, TimerKind};
+use crate::messages::ProtocolMsg;
+use crate::metrics::EngineMetrics;
+
+/// Picks the log a resource manager writes to: its own, or (under the
+/// shared-log optimization, §4 *Sharing the Log*) the TM's, whose forces
+/// then cover the RM records.
+///
+/// Both harnesses route through this one function, so the optimization
+/// cannot be wired differently in sim and live.
+pub fn rm_log_of<'a>(
+    rm_log: Option<&'a mut MemLog>,
+    tm_log: &'a mut dyn LogManager,
+) -> &'a mut dyn LogManager {
+    match rm_log {
+        Some(own) => own,
+        None => tm_log,
+    }
+}
+
+/// What the host did with a TM log append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogControl {
+    /// The record is appended (and flushed if forced); keep going.
+    Done,
+    /// The record joined a group-commit batch that is still filling. The
+    /// driver hands the *rest* of the action stream to
+    /// [`LogHost::suspend_rest`] and stops; the host resumes it when the
+    /// batch flushes.
+    Suspend,
+}
+
+/// What the host did with a local-prepare request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrepareControl {
+    /// The local vote is known now; the driver feeds
+    /// [`Event::LocalPrepared`] straight back to the engine and splices
+    /// the resulting actions in front of the remaining stream (the same
+    /// order direct recursion would produce).
+    Vote(LocalVote),
+    /// The vote will arrive later as an [`Event::LocalPrepared`] the
+    /// host delivers itself (deferred voting, or a harness that models
+    /// prepare latency by scheduling the reply).
+    Async,
+}
+
+/// Frame egress.
+pub trait Wire {
+    /// Sends one frame (one *flow* in the paper's counting) to `to`.
+    fn send(&mut self, now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>);
+}
+
+/// TM log appends (the forced/non-forced distinction the paper counts).
+pub trait LogHost {
+    /// Appends `record` to the TM stream. `now` is a cursor: a host that
+    /// models flush latency advances it so later effects of the same
+    /// action batch happen after the force completes.
+    fn append_tm(
+        &mut self,
+        now: &mut SimTime,
+        record: LogRecord,
+        durability: Durability,
+    ) -> LogControl;
+
+    /// Receives the remainder of the action stream after `append_tm`
+    /// returned [`LogControl::Suspend`]. Hosts that never suspend keep
+    /// the default.
+    fn suspend_rest(&mut self, rest: Vec<Action>) {
+        debug_assert!(
+            rest.is_empty(),
+            "host returned LogControl::Suspend but does not store suspended actions"
+        );
+    }
+}
+
+/// Local resource-manager round-trips.
+pub trait RmHost {
+    /// Prepares all local RMs for `txn` and reports how the vote will be
+    /// delivered. `now` is the same advancing cursor as in
+    /// [`LogHost::append_tm`].
+    fn prepare_local(
+        &mut self,
+        now: &mut SimTime,
+        txn: TxnId,
+        rm_durability: Durability,
+    ) -> PrepareControl;
+
+    /// Commits all local RMs (fire-and-forget).
+    fn commit_local(&mut self, now: &mut SimTime, txn: TxnId, rm_durability: Durability);
+
+    /// Aborts all local RMs (fire-and-forget).
+    fn abort_local(&mut self, now: &mut SimTime, txn: TxnId, rm_durability: Durability);
+
+    /// Releases a read-only transaction's local resources without
+    /// logging.
+    fn forget_local(&mut self, now: SimTime, txn: TxnId);
+
+    /// Commit processing finished at this node; per-transaction harness
+    /// state can be dropped.
+    fn txn_ended(&mut self, txn: TxnId);
+}
+
+/// Timer arm/cancel.
+///
+/// The driver assigns a generation to every armed timer and owns the
+/// staleness bookkeeping; the host only has to remember `(txn, kind,
+/// gen)` alongside its deadline representation and ask
+/// [`Driver::timer_is_current`] before firing.
+pub trait TimerHost {
+    /// Arms (or re-arms) a timer `delay` from `now`.
+    fn set_timer(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        kind: TimerKind,
+        delay: SimDuration,
+        gen: u64,
+    );
+
+    /// Cancels a timer. The driver already invalidated the generation,
+    /// so lazily-cancelling hosts (heap + generation check) keep the
+    /// default no-op.
+    fn cancel_timer(&mut self, _txn: TxnId, _kind: TimerKind) {}
+}
+
+/// Outcome delivery to the application.
+pub trait AppSink {
+    /// Reports the transaction outcome (with damage report and the
+    /// wait-for-outcome `pending` indication).
+    fn notify_outcome(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        outcome: Outcome,
+        report: DamageReport,
+        pending: bool,
+    );
+}
+
+/// The full set of environment seams a harness provides.
+pub trait NodeHost: Wire + LogHost + RmHost + TimerHost + AppSink {}
+
+impl<T: Wire + LogHost + RmHost + TimerHost + AppSink> NodeHost for T {}
+
+/// Effect counters maintained by the driver, identically for every
+/// harness. Previously the simulator kept (some of) these privately; the
+/// live runtime now reports them too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Frames handed to the wire (paper *flows*, including Work frames).
+    pub flows_sent: u64,
+    /// TM log appends.
+    pub log_writes: u64,
+    /// TM log appends that were forced.
+    pub forced_writes: u64,
+    /// Outcomes delivered to the application.
+    pub outcomes: u64,
+    /// Outcomes whose damage report recorded conflicting heuristic
+    /// decisions.
+    pub damaged_outcomes: u64,
+    /// Outcomes delivered with "recovery in progress" pending.
+    pub pending_outcomes: u64,
+}
+
+/// One node's engine plus the shared action interpreter.
+pub struct Driver {
+    engine: TmEngine,
+    timer_gen: HashMap<(TxnId, TimerKind), u64>,
+    next_gen: u64,
+    stats: DriverStats,
+}
+
+impl Driver {
+    /// Builds a driver around a fresh engine.
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        Ok(Driver {
+            engine: TmEngine::new(config)?,
+            timer_gen: HashMap::new(),
+            next_gen: 0,
+            stats: DriverStats::default(),
+        })
+    }
+
+    /// Read access to the engine (metrics, seats, assertions).
+    pub fn engine(&self) -> &TmEngine {
+        &self.engine
+    }
+
+    /// Write access to the engine (partner declarations).
+    pub fn engine_mut(&mut self) -> &mut TmEngine {
+        &mut self.engine
+    }
+
+    /// The engine's protocol counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.engine.metrics()
+    }
+
+    /// The driver's effect counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Feeds one event to the engine and interprets the resulting
+    /// actions against `host`.
+    pub fn handle<H: NodeHost + ?Sized>(
+        &mut self,
+        host: &mut H,
+        now: SimTime,
+        event: Event,
+    ) -> Result<()> {
+        let actions = self.engine.handle(now, event)?;
+        self.apply(host, now, actions)
+    }
+
+    /// Interprets an action stream against `host`, starting the time
+    /// cursor at `start`.
+    ///
+    /// This is *the* interpreter: exactly one match over [`Action`]
+    /// exists outside the engine's own unit-test pump, and this is it.
+    pub fn apply<H: NodeHost + ?Sized>(
+        &mut self,
+        host: &mut H,
+        start: SimTime,
+        actions: Vec<Action>,
+    ) -> Result<()> {
+        let mut cursor = start;
+        let mut queue: VecDeque<Action> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                Action::Send { to, msgs } => {
+                    self.stats.flows_sent += 1;
+                    host.send(cursor, to, msgs);
+                }
+                Action::Log { record, durability } => {
+                    self.stats.log_writes += 1;
+                    if durability.is_forced() {
+                        self.stats.forced_writes += 1;
+                    }
+                    match host.append_tm(&mut cursor, record, durability) {
+                        LogControl::Done => {}
+                        LogControl::Suspend => {
+                            host.suspend_rest(queue.drain(..).collect());
+                            return Ok(());
+                        }
+                    }
+                }
+                Action::PrepareLocal { txn, rm_durability } => {
+                    match host.prepare_local(&mut cursor, txn, rm_durability) {
+                        PrepareControl::Vote(vote) => {
+                            let nested = self
+                                .engine
+                                .handle(cursor, Event::LocalPrepared { txn, vote })?;
+                            for a in nested.into_iter().rev() {
+                                queue.push_front(a);
+                            }
+                        }
+                        PrepareControl::Async => {}
+                    }
+                }
+                Action::CommitLocal { txn, rm_durability } => {
+                    host.commit_local(&mut cursor, txn, rm_durability);
+                }
+                Action::AbortLocal { txn, rm_durability } => {
+                    host.abort_local(&mut cursor, txn, rm_durability);
+                }
+                Action::ForgetLocal { txn } => {
+                    host.forget_local(cursor, txn);
+                }
+                Action::NotifyOutcome {
+                    txn,
+                    outcome,
+                    report,
+                    pending,
+                } => {
+                    self.stats.outcomes += 1;
+                    if report.has_damage() {
+                        self.stats.damaged_outcomes += 1;
+                    }
+                    if pending {
+                        self.stats.pending_outcomes += 1;
+                    }
+                    host.notify_outcome(cursor, txn, outcome, report, pending);
+                }
+                Action::SetTimer { txn, kind, delay } => {
+                    self.next_gen += 1;
+                    let gen = self.next_gen;
+                    self.timer_gen.insert((txn, kind), gen);
+                    host.set_timer(cursor, txn, kind, delay, gen);
+                }
+                Action::CancelTimer { txn, kind } => {
+                    self.timer_gen.remove(&(txn, kind));
+                    host.cancel_timer(txn, kind);
+                }
+                Action::TxnEnded { txn } => {
+                    host.txn_ended(txn);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `(txn, kind, gen)` still the armed generation? Hosts call this
+    /// when a stored deadline comes due; a `false` answer means the
+    /// timer was cancelled or re-armed since.
+    pub fn timer_is_current(&self, txn: TxnId, kind: TimerKind, gen: u64) -> bool {
+        self.timer_gen.get(&(txn, kind)).copied() == Some(gen)
+    }
+
+    /// Invalidates every armed timer (crash handling).
+    pub fn clear_timers(&mut self) {
+        self.timer_gen.clear();
+    }
+
+    /// Runs engine recovery from the durable log and returns the actions
+    /// to re-drive. They are returned rather than applied because the
+    /// harness must recover its resource managers first (so the re-driven
+    /// `CommitLocal`/`AbortLocal` find consistent RM state), then call
+    /// [`Driver::apply`].
+    pub fn recover(
+        &mut self,
+        durable: &[(tpc_common::Lsn, tpc_wal::StreamId, LogRecord)],
+        now: SimTime,
+    ) -> Result<Vec<Action>> {
+        self.engine.recover(durable, now)
+    }
+
+    /// Flushes deferred (long-locks / implied) acknowledgments through
+    /// the interpreter.
+    pub fn flush_owed_acks<H: NodeHost + ?Sized>(
+        &mut self,
+        host: &mut H,
+        now: SimTime,
+    ) -> Result<()> {
+        let actions = self.engine.flush_owed_acks();
+        self.apply(host, now, actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::ProtocolKind;
+    use tpc_wal::StreamId;
+
+    #[test]
+    fn rm_log_routing_prefers_private_log() {
+        let mut tm = MemLog::new();
+        let mut private = MemLog::new();
+
+        // With a private RM log, records land there...
+        rm_log_of(Some(&mut private), &mut tm)
+            .append(
+                StreamId::Rm(0),
+                LogRecord::End {
+                    txn: TxnId::new(NodeId(0), 1),
+                },
+                Durability::NonForced,
+            )
+            .unwrap();
+        assert_eq!(private.stats().writes, 1);
+        assert_eq!(tm.stats().writes, 0);
+
+        // ...without one (shared-log optimization), the TM log absorbs
+        // them.
+        rm_log_of(None, &mut tm)
+            .append(
+                StreamId::Rm(0),
+                LogRecord::End {
+                    txn: TxnId::new(NodeId(0), 1),
+                },
+                Durability::NonForced,
+            )
+            .unwrap();
+        assert_eq!(private.stats().writes, 1);
+        assert_eq!(tm.stats().writes, 1);
+    }
+
+    /// A trivial host recording effects, for driver unit tests.
+    #[derive(Default)]
+    struct RecordingHost {
+        frames: Vec<(NodeId, usize)>,
+        logs: Vec<(String, bool)>,
+        votes: Vec<TxnId>,
+        outcomes: Vec<(TxnId, Outcome)>,
+        timers: Vec<(TxnId, TimerKind, u64)>,
+    }
+
+    impl Wire for RecordingHost {
+        fn send(&mut self, _now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
+            self.frames.push((to, msgs.len()));
+        }
+    }
+    impl LogHost for RecordingHost {
+        fn append_tm(
+            &mut self,
+            _now: &mut SimTime,
+            record: LogRecord,
+            durability: Durability,
+        ) -> LogControl {
+            self.logs
+                .push((record.kind_name().to_string(), durability.is_forced()));
+            LogControl::Done
+        }
+    }
+    impl RmHost for RecordingHost {
+        fn prepare_local(
+            &mut self,
+            _now: &mut SimTime,
+            txn: TxnId,
+            _rm_durability: Durability,
+        ) -> PrepareControl {
+            self.votes.push(txn);
+            PrepareControl::Vote(LocalVote::yes())
+        }
+        fn commit_local(&mut self, _now: &mut SimTime, _txn: TxnId, _d: Durability) {}
+        fn abort_local(&mut self, _now: &mut SimTime, _txn: TxnId, _d: Durability) {}
+        fn forget_local(&mut self, _now: SimTime, _txn: TxnId) {}
+        fn txn_ended(&mut self, _txn: TxnId) {}
+    }
+    impl TimerHost for RecordingHost {
+        fn set_timer(
+            &mut self,
+            _now: SimTime,
+            txn: TxnId,
+            kind: TimerKind,
+            _delay: SimDuration,
+            gen: u64,
+        ) {
+            self.timers.push((txn, kind, gen));
+        }
+    }
+    impl AppSink for RecordingHost {
+        fn notify_outcome(
+            &mut self,
+            _now: SimTime,
+            txn: TxnId,
+            outcome: Outcome,
+            _report: DamageReport,
+            _pending: bool,
+        ) {
+            self.outcomes.push((txn, outcome));
+        }
+    }
+
+    #[test]
+    fn driver_counts_and_timer_generations() {
+        let mut host = RecordingHost::default();
+        let mut driver =
+            Driver::new(EngineConfig::new(NodeId(0), ProtocolKind::PresumedAbort)).unwrap();
+        let txn = TxnId::new(NodeId(0), 1);
+        let now = SimTime(1);
+
+        driver
+            .handle(
+                &mut host,
+                now,
+                Event::SendWork {
+                    txn,
+                    to: NodeId(1),
+                    payload: vec![],
+                },
+            )
+            .unwrap();
+        driver
+            .handle(&mut host, now, Event::CommitRequested { txn })
+            .unwrap();
+
+        // Work frame + Prepare frame left the wire; the vote round-trip
+        // happened through the host.
+        assert_eq!(driver.stats().flows_sent, 2);
+        assert_eq!(host.votes, vec![txn]);
+        // A vote-collection timer is armed and current.
+        let &(t, k, gen) = host.timers.first().expect("timer armed");
+        assert!(driver.timer_is_current(t, k, gen));
+        driver.clear_timers();
+        assert!(!driver.timer_is_current(t, k, gen));
+    }
+}

@@ -706,9 +706,14 @@ impl TmEngine {
         if let Some(done) = self.completed.get(&txn) {
             match done.sent_vote {
                 Some(v) => self.push_send(out, from, ProtocolMsg::VoteMsg { txn, vote: v }),
-                None => {
-                    self.push_send(out, from, ProtocolMsg::VoteMsg { txn, vote: Vote::No })
-                }
+                None => self.push_send(
+                    out,
+                    from,
+                    ProtocolMsg::VoteMsg {
+                        txn,
+                        vote: Vote::No,
+                    },
+                ),
             }
             return Ok(());
         }
@@ -724,7 +729,14 @@ impl TmEngine {
             // We initiated commit ourselves and now someone prepares us:
             // two coordinators own the decision. Abort.
             seat.poisoned = true;
-            self.push_send(out, from, ProtocolMsg::VoteMsg { txn, vote: Vote::No });
+            self.push_send(
+                out,
+                from,
+                ProtocolMsg::VoteMsg {
+                    txn,
+                    vote: Vote::No,
+                },
+            );
             if self.seats[&txn].stage == Stage::Voting {
                 self.try_advance_voting(txn, now, out);
             }
@@ -996,7 +1008,9 @@ impl TmEngine {
     /// Central Phase 1 progress check, called whenever a vote or the local
     /// prepare result arrives.
     fn try_advance_voting(&mut self, txn: TxnId, now: SimTime, out: &mut Vec<Action>) {
-        let Some(seat) = self.seats.get(&txn) else { return };
+        let Some(seat) = self.seats.get(&txn) else {
+            return;
+        };
         if seat.stage != Stage::Voting {
             return;
         }
@@ -1129,7 +1143,14 @@ impl TmEngine {
         let seat = self.seats.get_mut(&txn).expect("checked");
         let upstream = seat.upstream.expect("subordinate has upstream");
         seat.sent_vote = Some(Vote::No);
-        self.push_send(out, upstream, ProtocolMsg::VoteMsg { txn, vote: Vote::No });
+        self.push_send(
+            out,
+            upstream,
+            ProtocolMsg::VoteMsg {
+                txn,
+                vote: Vote::No,
+            },
+        );
         // Drive our own subtree to abort. decide() handles protocol
         // logging and child propagation; it will keep the seat alive to
         // answer the coordinator's Abort with an Ack where required.
@@ -1441,8 +1462,16 @@ impl TmEngine {
 
     /// A participant learns the outcome from its coordinator (or, as a
     /// delegating initiator, from its delegate).
-    fn apply_decision(&mut self, txn: TxnId, outcome: Outcome, now: SimTime, out: &mut Vec<Action>) {
-        let Some(seat) = self.seats.get_mut(&txn) else { return };
+    fn apply_decision(
+        &mut self,
+        txn: TxnId,
+        outcome: Outcome,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(seat) = self.seats.get_mut(&txn) else {
+            return;
+        };
         match seat.stage {
             Stage::InDoubt | Stage::Delegated => {}
             Stage::Voting | Stage::Working => {
@@ -1509,8 +1538,7 @@ impl TmEngine {
                     },
                     durability,
                 });
-                let read_only_local =
-                    self.seats[&txn].local == LocalState::ReadOnly;
+                let read_only_local = self.seats[&txn].local == LocalState::ReadOnly;
                 if read_only_local {
                     out.push(Action::ForgetLocal { txn });
                 } else {
@@ -1542,8 +1570,7 @@ impl TmEngine {
                         durability: Durability::Forced,
                     });
                 }
-                let read_only_local =
-                    self.seats[&txn].local == LocalState::ReadOnly;
+                let read_only_local = self.seats[&txn].local == LocalState::ReadOnly;
                 if read_only_local {
                     out.push(Action::ForgetLocal { txn });
                 } else {
@@ -1622,9 +1649,7 @@ impl TmEngine {
         }
         let use_early = match self.cfg.opts.ack_mode {
             tpc_common::AckMode::Early => true,
-            tpc_common::AckMode::Late => {
-                self.cfg.opts.vote_reliable && seat.subtree_reliable
-            }
+            tpc_common::AckMode::Late => self.cfg.opts.vote_reliable && seat.subtree_reliable,
         };
         if !use_early {
             return;
@@ -1655,7 +1680,11 @@ impl TmEngine {
             report,
             pending,
         };
-        let defer = self.seats.get(&txn).map(|s| s.long_locks_deferred_ack).unwrap_or(false)
+        let defer = self
+            .seats
+            .get(&txn)
+            .map(|s| s.long_locks_deferred_ack)
+            .unwrap_or(false)
             || self
                 .completed
                 .get(&txn)
@@ -1704,7 +1733,9 @@ impl TmEngine {
 
     /// Central Phase 2 progress check.
     fn try_advance_deciding(&mut self, txn: TxnId, now: SimTime, out: &mut Vec<Action>) {
-        let Some(seat) = self.seats.get(&txn) else { return };
+        let Some(seat) = self.seats.get(&txn) else {
+            return;
+        };
         if seat.stage != Stage::Deciding {
             return;
         }
@@ -1727,8 +1758,7 @@ impl TmEngine {
 
         // END record: written wherever we logged anything. A PA abort
         // wrote nothing and writes nothing now (the whole point).
-        let pa_presumed_abort =
-            outcome == Outcome::Abort && !self.cfg.protocol.abort_needs_acks();
+        let pa_presumed_abort = outcome == Outcome::Abort && !self.cfg.protocol.abort_needs_acks();
         let read_only_participant = seat.sent_vote == Some(Vote::ReadOnly);
         if !pa_presumed_abort && !read_only_participant {
             out.push(Action::Log {
@@ -1844,8 +1874,7 @@ impl TmEngine {
         }
 
         // PA's presumption: aborted transactions leave no trace.
-        let pa_presumed_abort =
-            outcome == Outcome::Abort && !self.cfg.protocol.abort_needs_acks();
+        let pa_presumed_abort = outcome == Outcome::Abort && !self.cfg.protocol.abort_needs_acks();
         if !pa_presumed_abort {
             self.finished.insert(txn, outcome);
         }
@@ -1899,10 +1928,8 @@ impl TmEngine {
                     // Missing votes count as NO.
                     if seat.is_root || seat.is_delegate {
                         self.decide(txn, Outcome::Abort, now, out);
-                    } else if !matches!(
-                        seat.local,
-                        LocalState::Preparing | LocalState::Unprepared
-                    ) {
+                    } else if !matches!(seat.local, LocalState::Preparing | LocalState::Unprepared)
+                    {
                         self.subordinate_vote_no(txn, now, out);
                     }
                 }

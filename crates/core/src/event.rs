@@ -241,9 +241,7 @@ impl Action {
         match self {
             Action::Log { record, durability } => {
                 record.kind_name() == kind
-                    && forced
-                        .map(|f| durability.is_forced() == f)
-                        .unwrap_or(true)
+                    && forced.map(|f| durability.is_forced() == f).unwrap_or(true)
             }
             _ => false,
         }

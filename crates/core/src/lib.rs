@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod engine;
 pub mod event;
 pub mod messages;
@@ -50,7 +51,11 @@ pub mod recovery;
 pub mod seat;
 pub mod testkit;
 
-pub use engine::{EngineConfig, TmEngine, Timeouts};
+pub use driver::{
+    rm_log_of, AppSink, Driver, DriverStats, LogControl, LogHost, NodeHost, PrepareControl, RmHost,
+    TimerHost, Wire,
+};
+pub use engine::{EngineConfig, Timeouts, TmEngine};
 pub use event::{Action, Event, LocalDisposition, LocalVote, TimerKind};
 pub use messages::ProtocolMsg;
 pub use metrics::EngineMetrics;

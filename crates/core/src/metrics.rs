@@ -53,8 +53,7 @@ impl EngineMetrics {
             aborted: later.aborted - self.aborted,
             heuristic_decisions: later.heuristic_decisions - self.heuristic_decisions,
             heuristic_damage: later.heuristic_damage - self.heuristic_damage,
-            damage_reports_absorbed: later.damage_reports_absorbed
-                - self.damage_reports_absorbed,
+            damage_reports_absorbed: later.damage_reports_absorbed - self.damage_reports_absorbed,
             outcome_pending_completions: later.outcome_pending_completions
                 - self.outcome_pending_completions,
             left_out_of: later.left_out_of - self.left_out_of,

@@ -136,8 +136,12 @@ mod tests {
             Durability::Forced,
         )
         .unwrap();
-        log.append(StreamId::Tm, LogRecord::End { txn: t(1) }, Durability::NonForced)
-            .unwrap();
+        log.append(
+            StreamId::Tm,
+            LogRecord::End { txn: t(1) },
+            Durability::NonForced,
+        )
+        .unwrap();
         log.flush().unwrap();
         let s = summarize(&log.durable_records());
         let sum = &s[&t(1)];
@@ -246,8 +250,12 @@ mod tests {
             )
             .unwrap();
         }
-        log.append(StreamId::Tm, LogRecord::End { txn: t(2) }, Durability::Forced)
-            .unwrap();
+        log.append(
+            StreamId::Tm,
+            LogRecord::End { txn: t(2) },
+            Durability::Forced,
+        )
+        .unwrap();
         let s = summarize(&log.durable_records());
         assert_eq!(s.len(), 3);
         assert!(!s[&t(1)].end);

@@ -230,9 +230,7 @@ impl Seat {
 
     /// True if any child voted NO.
     pub fn any_vote_no(&self) -> bool {
-        self.children
-            .iter()
-            .any(|c| c.state == ChildState::VotedNo)
+        self.children.iter().any(|c| c.state == ChildState::VotedNo)
     }
 
     /// True when every child voted READ-ONLY.

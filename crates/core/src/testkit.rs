@@ -164,9 +164,8 @@ impl Pump {
                     pending,
                 }),
                 Action::SetTimer { txn, kind, delay } => {
-                    self.timers.retain(|t| {
-                        !(t.node == node && t.txn == txn && t.kind == kind)
-                    });
+                    self.timers
+                        .retain(|t| !(t.node == node && t.txn == txn && t.kind == kind));
                     self.timers.push(ArmedTimer {
                         node,
                         txn,
@@ -191,10 +190,13 @@ impl Pump {
     pub fn deliver_next(&mut self) -> Option<QueuedFrame> {
         let frame = self.queue.pop_front()?;
         for msg in frame.msgs.clone() {
-            self.feed(frame.to, Event::MsgReceived {
-                from: frame.from,
-                msg,
-            });
+            self.feed(
+                frame.to,
+                Event::MsgReceived {
+                    from: frame.from,
+                    msg,
+                },
+            );
         }
         Some(frame)
     }
@@ -207,10 +209,13 @@ impl Pump {
     /// Re-delivers a frame (duplicate delivery testing).
     pub fn redeliver(&mut self, frame: &QueuedFrame) {
         for msg in frame.msgs.clone() {
-            self.feed(frame.to, Event::MsgReceived {
-                from: frame.from,
-                msg,
-            });
+            self.feed(
+                frame.to,
+                Event::MsgReceived {
+                    from: frame.from,
+                    msg,
+                },
+            );
         }
     }
 
@@ -257,11 +262,14 @@ mod tests {
     fn pump_drives_a_pair_commit() {
         let mut p = Pump::homogeneous(2, ProtocolKind::PresumedAbort);
         let txn = TxnId::new(NodeId(0), 1);
-        p.feed(NodeId(0), Event::SendWork {
-            txn,
-            to: NodeId(1),
-            payload: vec![],
-        });
+        p.feed(
+            NodeId(0),
+            Event::SendWork {
+                txn,
+                to: NodeId(1),
+                payload: vec![],
+            },
+        );
         p.feed(NodeId(0), Event::CommitRequested { txn });
         p.run_to_quiescence();
         assert_eq!(
@@ -274,9 +282,6 @@ mod tests {
         );
         assert_eq!(p.notifications.len(), 1);
         assert_eq!(p.log_kinds(NodeId(0)), vec!["Committed", "End"]);
-        assert_eq!(
-            p.log_kinds(NodeId(1)),
-            vec!["Prepared", "Committed", "End"]
-        );
+        assert_eq!(p.log_kinds(NodeId(1)), vec!["Prepared", "Committed", "End"]);
     }
 }

@@ -13,11 +13,14 @@ fn txn0() -> TxnId {
 }
 
 fn start_pair_commit(p: &mut Pump) {
-    p.feed(NodeId(0), Event::SendWork {
-        txn: txn0(),
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn: txn0(),
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.feed(NodeId(0), Event::CommitRequested { txn: txn0() });
 }
 
@@ -73,7 +76,10 @@ fn lost_commit_is_recovered_by_ack_timer_retry() {
     p.deliver_next(); // Vote — coordinator decides, queues Commit
     let dropped = p.drop_next().expect("commit frame dropped");
     assert!(dropped.msgs.iter().any(|m| m.kind_name() == "Commit"));
-    assert_eq!(p.engine(NodeId(1)).seat(txn0()).unwrap().stage, Stage::InDoubt);
+    assert_eq!(
+        p.engine(NodeId(1)).seat(txn0()).unwrap().stage,
+        Stage::InDoubt
+    );
     // The coordinator's ack-collection timer retries the decision.
     assert!(p.fire_timer(NodeId(0), txn0(), TimerKind::AckCollection));
     p.run_to_quiescence();
@@ -113,13 +119,16 @@ fn two_initiators_abort_the_transaction() {
     // processing independently for the same transaction".
     let mut p = Pump::homogeneous(2, ProtocolKind::PresumedNothing);
     let txn = txn0();
-    p.feed(NodeId(0), Event::SendWork {
-        txn,
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn,
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.deliver_next(); // Work arrives at N1
-    // Both nodes now ask to commit the same transaction.
+                      // Both nodes now ask to commit the same transaction.
     p.feed(NodeId(0), Event::CommitRequested { txn });
     p.feed(NodeId(1), Event::CommitRequested { txn });
     p.run_to_quiescence();
@@ -144,10 +153,13 @@ fn query_answers_follow_the_presumption() {
         let mut p = Pump::homogeneous(2, protocol);
         // N1 queries N0 about a transaction N0 has never heard of.
         let txn = TxnId::new(NodeId(0), 99);
-        p.feed(NodeId(0), Event::MsgReceived {
-            from: NodeId(1),
-            msg: ProtocolMsg::Query { txn },
-        });
+        p.feed(
+            NodeId(0),
+            Event::MsgReceived {
+                from: NodeId(1),
+                msg: ProtocolMsg::Query { txn },
+            },
+        );
         let reply = p.queue.pop_front().expect("a reply is always sent");
         match (&reply.msgs[0], expected) {
             (ProtocolMsg::Decision { outcome, .. }, Some("Abort")) => {
@@ -170,35 +182,46 @@ fn vote_flags_aggregate_across_a_cascade() {
     // middle itself is not suspendable).
     let mut configs: Vec<tpc_core::EngineConfig> = (0..3)
         .map(|i| {
-            tpc_core::EngineConfig::new(NodeId(i), ProtocolKind::PresumedNothing).with_opts(
-                tpc_common::OptimizationConfig::none().with_leave_out(true),
-            )
+            tpc_core::EngineConfig::new(NodeId(i), ProtocolKind::PresumedNothing)
+                .with_opts(tpc_common::OptimizationConfig::none().with_leave_out(true))
         })
         .collect();
     configs[0].opts = configs[0].opts.clone();
     let mut p = Pump::new(configs);
-    p.set_local_vote(NodeId(1), LocalVote {
-        disposition: tpc_core::LocalDisposition::Yes,
-        reliable: true,
-        suspendable: false,
-    });
-    p.set_local_vote(NodeId(2), LocalVote {
-        disposition: tpc_core::LocalDisposition::Yes,
-        reliable: true,
-        suspendable: true,
-    });
+    p.set_local_vote(
+        NodeId(1),
+        LocalVote {
+            disposition: tpc_core::LocalDisposition::Yes,
+            reliable: true,
+            suspendable: false,
+        },
+    );
+    p.set_local_vote(
+        NodeId(2),
+        LocalVote {
+            disposition: tpc_core::LocalDisposition::Yes,
+            reliable: true,
+            suspendable: true,
+        },
+    );
     let txn = txn0();
-    p.feed(NodeId(0), Event::SendWork {
-        txn,
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn,
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.deliver_next(); // work to 1
-    p.feed(NodeId(1), Event::SendWork {
-        txn,
-        to: NodeId(2),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(1),
+        Event::SendWork {
+            txn,
+            to: NodeId(2),
+            payload: vec![],
+        },
+    );
     p.deliver_next(); // work to 2
     p.feed(NodeId(0), Event::CommitRequested { txn });
     // Drain until the middle's vote to the root appears.
@@ -230,13 +253,16 @@ fn vote_flags_aggregate_across_a_cascade() {
 fn unsolicited_vote_reaches_a_coordinator_still_working() {
     let mut p = Pump::homogeneous(2, ProtocolKind::PresumedAbort);
     let txn = txn0();
-    p.feed(NodeId(0), Event::SendWork {
-        txn,
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn,
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.deliver_next(); // Work
-    // The server self-prepares before any Prepare is sent.
+                      // The server self-prepares before any Prepare is sent.
     p.feed(NodeId(1), Event::SelfPrepare { txn });
     let vote_frame = p.deliver_next().expect("unsolicited vote");
     assert!(vote_frame
@@ -252,7 +278,10 @@ fn unsolicited_vote_reaches_a_coordinator_still_working() {
         next.msgs
     );
     p.run_to_quiescence();
-    assert_eq!(p.engine(NodeId(0)).finished_outcome(txn), Some(Outcome::Commit));
+    assert_eq!(
+        p.engine(NodeId(0)).finished_outcome(txn),
+        Some(Outcome::Commit)
+    );
 }
 
 #[test]
@@ -289,8 +318,8 @@ fn heuristic_decision_is_logged_forced_and_reported() {
     start_pair_commit(&mut p);
     p.deliver_next(); // Work
     p.deliver_next(); // Prepare
-    // The commit decision is delayed: drop the vote's consequences by
-    // holding the queue, and fire the heuristic deadline first.
+                      // The commit decision is delayed: drop the vote's consequences by
+                      // holding the queue, and fire the heuristic deadline first.
     let vote = p.drop_next().expect("vote withheld");
     assert!(p.fire_timer(NodeId(1), txn0(), TimerKind::HeuristicDeadline));
     assert!(p.log_kinds(NodeId(1)).contains(&"Heuristic".to_string()));
@@ -343,32 +372,50 @@ fn partner_failure_aborts_only_unvoted_transactions() {
     let t_voted = TxnId::new(NodeId(0), 1);
     let t_working = TxnId::new(NodeId(0), 2);
     // Transaction 1 reaches the in-doubt stage at N1.
-    p.feed(NodeId(0), Event::SendWork {
-        txn: t_voted,
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn: t_voted,
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.deliver_next();
     p.feed(NodeId(0), Event::CommitRequested { txn: t_voted });
     p.deliver_next(); // Prepare
-    assert_eq!(p.engine(NodeId(1)).seat(t_voted).unwrap().stage, Stage::InDoubt);
+    assert_eq!(
+        p.engine(NodeId(1)).seat(t_voted).unwrap().stage,
+        Stage::InDoubt
+    );
     // The vote for transaction 1 is lost (its coordinator never hears
     // it, matching the partner-failure scenario).
     p.drop_next();
     // Transaction 2 is still working at N1.
-    p.feed(NodeId(0), Event::SendWork {
-        txn: t_working,
-        to: NodeId(1),
-        payload: vec![],
-    });
+    p.feed(
+        NodeId(0),
+        Event::SendWork {
+            txn: t_working,
+            to: NodeId(1),
+            payload: vec![],
+        },
+    );
     p.deliver_next();
-    assert_eq!(p.engine(NodeId(1)).seat(t_working).unwrap().stage, Stage::Working);
+    assert_eq!(
+        p.engine(NodeId(1)).seat(t_working).unwrap().stage,
+        Stage::Working
+    );
     // The coordinator's conversation fails.
     p.feed(NodeId(1), Event::PartnerFailed { peer: NodeId(0) });
     // The unvoted transaction aborted; the in-doubt one is untouched.
     assert_eq!(
-        p.engine(NodeId(1)).completed_seat(t_working).unwrap().outcome,
+        p.engine(NodeId(1))
+            .completed_seat(t_working)
+            .unwrap()
+            .outcome,
         Some(Outcome::Abort)
     );
-    assert_eq!(p.engine(NodeId(1)).seat(t_voted).unwrap().stage, Stage::InDoubt);
+    assert_eq!(
+        p.engine(NodeId(1)).seat(t_voted).unwrap().stage,
+        Stage::InDoubt
+    );
 }

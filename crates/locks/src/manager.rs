@@ -59,7 +59,11 @@ pub struct LockStats {
 impl LockStats {
     /// Mean lock hold time across released locks.
     pub fn mean_hold(&self) -> SimDuration {
-        SimDuration::from_micros(self.total_hold_micros.checked_div(self.releases).unwrap_or(0))
+        SimDuration::from_micros(
+            self.total_hold_micros
+                .checked_div(self.releases)
+                .unwrap_or(0),
+        )
     }
 }
 
@@ -156,10 +160,7 @@ impl LockManager {
             return self.queue_or_deadlock(txn, key);
         }
 
-        let compatible_with_holders = entry
-            .holders
-            .iter()
-            .all(|h| h.mode.compatible(mode));
+        let compatible_with_holders = entry.holders.iter().all(|h| h.mode.compatible(mode));
         // FIFO fairness: a fresh request must also not overtake queued
         // waiters (otherwise writers starve behind a stream of readers).
         if compatible_with_holders && entry.waiters.is_empty() {
@@ -346,8 +347,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), K, LockMode::Shared, SimTime(0)), Acquired::Granted);
-        assert_eq!(lm.acquire(t(2), K, LockMode::Shared, SimTime(0)), Acquired::Granted);
+        assert_eq!(
+            lm.acquire(t(1), K, LockMode::Shared, SimTime(0)),
+            Acquired::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), K, LockMode::Shared, SimTime(0)),
+            Acquired::Granted
+        );
         assert_eq!(lm.stats().immediate_grants, 2);
     }
 
@@ -358,7 +365,10 @@ mod tests {
             lm.acquire(t(1), K, LockMode::Exclusive, SimTime(0)),
             Acquired::Granted
         );
-        assert_eq!(lm.acquire(t(2), K, LockMode::Shared, SimTime(1)), Acquired::Wait);
+        assert_eq!(
+            lm.acquire(t(2), K, LockMode::Shared, SimTime(1)),
+            Acquired::Wait
+        );
         assert_eq!(
             lm.acquire(t(3), K, LockMode::Exclusive, SimTime(2)),
             Acquired::Wait
@@ -401,14 +411,20 @@ mod tests {
         );
         // t3's shared request is compatible with the holder but must queue
         // behind the writer.
-        assert_eq!(lm.acquire(t(3), K, LockMode::Shared, SimTime(2)), Acquired::Wait);
+        assert_eq!(
+            lm.acquire(t(3), K, LockMode::Shared, SimTime(2)),
+            Acquired::Wait
+        );
     }
 
     #[test]
     fn reentrant_and_covering_grants() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), K, LockMode::Exclusive, SimTime(0));
-        assert_eq!(lm.acquire(t(1), K, LockMode::Shared, SimTime(1)), Acquired::Granted);
+        assert_eq!(
+            lm.acquire(t(1), K, LockMode::Shared, SimTime(1)),
+            Acquired::Granted
+        );
         assert_eq!(
             lm.acquire(t(1), K, LockMode::Exclusive, SimTime(2)),
             Acquired::Granted
@@ -481,8 +497,14 @@ mod tests {
         lm.acquire(t(1), b"a", LockMode::Exclusive, SimTime(0));
         lm.acquire(t(2), b"b", LockMode::Exclusive, SimTime(0));
         lm.acquire(t(3), b"c", LockMode::Exclusive, SimTime(0));
-        assert_eq!(lm.acquire(t(1), b"b", LockMode::Exclusive, SimTime(1)), Acquired::Wait);
-        assert_eq!(lm.acquire(t(2), b"c", LockMode::Exclusive, SimTime(2)), Acquired::Wait);
+        assert_eq!(
+            lm.acquire(t(1), b"b", LockMode::Exclusive, SimTime(1)),
+            Acquired::Wait
+        );
+        assert_eq!(
+            lm.acquire(t(2), b"c", LockMode::Exclusive, SimTime(2)),
+            Acquired::Wait
+        );
         assert_eq!(
             lm.acquire(t(3), b"a", LockMode::Exclusive, SimTime(3)),
             Acquired::Deadlock

@@ -3,9 +3,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use tpc_common::{
-    Error, HeuristicOutcome, HeuristicPolicy, Lsn, Result, RmId, SimTime, TxnId,
-};
+use tpc_common::{Error, HeuristicOutcome, HeuristicPolicy, Lsn, Result, RmId, SimTime, TxnId};
 use tpc_locks::{Acquired, LockManager, LockMode, LockStats, ReleaseGrant};
 use tpc_wal::{Durability, LogManager, LogRecord, StreamId};
 
@@ -155,7 +153,10 @@ impl ResourceManager {
     /// True if `txn` performed no updates here (eligible for a READ-ONLY
     /// vote under §4 *Read Only*).
     pub fn is_read_only(&self, txn: TxnId) -> bool {
-        self.txns.get(&txn).map(|c| c.updates.is_empty()).unwrap_or(true)
+        self.txns
+            .get(&txn)
+            .map(|c| c.updates.is_empty())
+            .unwrap_or(true)
     }
 
     fn ctx(&mut self, txn: TxnId) -> &mut TxnCtx {
@@ -214,7 +215,8 @@ impl ResourceManager {
             Durability::NonForced,
         )?;
         let ctx = self.ctx(txn);
-        ctx.updates.push((key.to_vec(), before.clone(), value.clone()));
+        ctx.updates
+            .push((key.to_vec(), before.clone(), value.clone()));
         ctx.workspace.insert(key.to_vec(), value);
         Ok(Access::Value(before))
     }
@@ -245,17 +247,17 @@ impl ResourceManager {
         log: &mut dyn LogManager,
         durability: Durability,
     ) -> Result<Lsn> {
-        let ctx = self
-            .txns
-            .get_mut(&txn)
-            .ok_or(Error::UnknownTxn(txn))?;
+        let ctx = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
         if ctx.prepared {
             return Err(Error::InvalidState(format!("{txn} already prepared")));
         }
         ctx.prepared = true;
         log.append(
             StreamId::Rm(self.cfg.id.0),
-            LogRecord::RmPrepared { rm: self.cfg.id, txn },
+            LogRecord::RmPrepared {
+                rm: self.cfg.id,
+                txn,
+            },
             durability,
         )
     }
@@ -286,7 +288,10 @@ impl ResourceManager {
         let ctx = self.txns.remove(&txn).ok_or(Error::UnknownTxn(txn))?;
         log.append(
             StreamId::Rm(self.cfg.id.0),
-            LogRecord::RmCommitted { rm: self.cfg.id, txn },
+            LogRecord::RmCommitted {
+                rm: self.cfg.id,
+                txn,
+            },
             durability,
         )?;
         for (key, value) in ctx.workspace {
@@ -309,7 +314,10 @@ impl ResourceManager {
         self.txns.remove(&txn);
         log.append(
             StreamId::Rm(self.cfg.id.0),
-            LogRecord::RmAborted { rm: self.cfg.id, txn },
+            LogRecord::RmAborted {
+                rm: self.cfg.id,
+                txn,
+            },
             durability,
         )?;
         self.finished.insert(txn, RmPhase::Aborted);
@@ -338,7 +346,10 @@ impl ResourceManager {
             HeuristicOutcome::Commit => {
                 log.append(
                     StreamId::Rm(self.cfg.id.0),
-                    LogRecord::RmCommitted { rm: self.cfg.id, txn },
+                    LogRecord::RmCommitted {
+                        rm: self.cfg.id,
+                        txn,
+                    },
                     Durability::Forced,
                 )?;
                 for (key, value) in ctx.workspace {
@@ -348,7 +359,10 @@ impl ResourceManager {
             HeuristicOutcome::Abort | HeuristicOutcome::Mixed => {
                 log.append(
                     StreamId::Rm(self.cfg.id.0),
-                    LogRecord::RmAborted { rm: self.cfg.id, txn },
+                    LogRecord::RmAborted {
+                        rm: self.cfg.id,
+                        txn,
+                    },
                     Durability::Forced,
                 )?;
             }
@@ -393,10 +407,15 @@ impl ResourceManager {
             }
             match record {
                 LogRecord::RmUpdate {
-                    txn, key, before, after, ..
+                    txn,
+                    key,
+                    before,
+                    after,
+                    ..
                 } => {
                     let ctx = pending.entry(*txn).or_default();
-                    ctx.updates.push((key.clone(), before.clone(), after.clone()));
+                    ctx.updates
+                        .push((key.clone(), before.clone(), after.clone()));
                     ctx.workspace.insert(key.clone(), after.clone());
                 }
                 LogRecord::RmPrepared { txn, .. } => {
@@ -456,14 +475,11 @@ mod tests {
         ResourceManager::new(RmConfig::new(RmId(1)))
     }
 
-    fn write_ok(
-        rm: &mut ResourceManager,
-        txn: TxnId,
-        key: &[u8],
-        val: &[u8],
-        log: &mut MemLog,
-    ) {
-        match rm.write(txn, key, Some(val.to_vec()), log, SimTime(0)).unwrap() {
+    fn write_ok(rm: &mut ResourceManager, txn: TxnId, key: &[u8], val: &[u8], log: &mut MemLog) {
+        match rm
+            .write(txn, key, Some(val.to_vec()), log, SimTime(0))
+            .unwrap()
+        {
             Access::Value(_) => {}
             other => panic!("write blocked: {other:?}"),
         }
@@ -488,7 +504,8 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(5)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(5))
+            .unwrap();
         assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
         assert_eq!(r.phase(t(1)), Some(RmPhase::Committed));
         assert!(!r.locks.holds_any(t(1)));
@@ -499,7 +516,8 @@ mod tests {
         let mut r = rm();
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
-        r.abort(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        r.abort(t(1), &mut log, Durability::Forced, SimTime(1))
+            .unwrap();
         assert_eq!(r.store().get(b"k"), None);
         assert_eq!(r.phase(t(1)), Some(RmPhase::Aborted));
     }
@@ -508,7 +526,9 @@ mod tests {
     fn abort_of_unknown_txn_is_legal() {
         let mut r = rm();
         let mut log = MemLog::new();
-        assert!(r.abort(t(9), &mut log, Durability::NonForced, SimTime(0)).is_ok());
+        assert!(r
+            .abort(t(9), &mut log, Durability::NonForced, SimTime(0))
+            .is_ok());
     }
 
     #[test]
@@ -531,7 +551,8 @@ mod tests {
         // Seed committed data.
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(0)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(0))
+            .unwrap();
         let before = log.stats();
 
         assert_eq!(
@@ -560,11 +581,14 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"a", &mut log);
         assert_eq!(
-            r.write(t(2), b"k", Some(b"b".to_vec()), &mut log, SimTime(1)).unwrap(),
+            r.write(t(2), b"k", Some(b"b".to_vec()), &mut log, SimTime(1))
+                .unwrap(),
             Access::Wait
         );
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        let grants = r.commit(t(1), &mut log, Durability::Forced, SimTime(10)).unwrap();
+        let grants = r
+            .commit(t(1), &mut log, Durability::Forced, SimTime(10))
+            .unwrap();
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].txn, t(2));
     }
@@ -593,11 +617,13 @@ mod tests {
         assert_eq!(in_doubt, vec![t(1)]);
         // Data still protected: another transaction blocks.
         assert_eq!(
-            r.write(t(2), b"k", Some(b"w".to_vec()), &mut log, SimTime(1)).unwrap(),
+            r.write(t(2), b"k", Some(b"w".to_vec()), &mut log, SimTime(1))
+                .unwrap(),
             Access::Wait
         );
         // Resolving commit applies the recovered workspace.
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(2)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(2))
+            .unwrap();
         assert_eq!(r.store().get(b"k"), Some(&b"v"[..]));
     }
 
@@ -607,7 +633,8 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1))
+            .unwrap();
         log.crash();
         log.restart();
         let in_doubt = r.recover(&log.durable_records(), SimTime(2)).unwrap();
@@ -625,7 +652,8 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::NonForced, SimTime(1)).unwrap();
+        r.commit(t(1), &mut log, Durability::NonForced, SimTime(1))
+            .unwrap();
         log.crash();
         log.restart();
         let in_doubt = r.recover(&log.durable_records(), SimTime(2)).unwrap();
@@ -664,7 +692,8 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1))
+            .unwrap();
         log.crash();
         log.restart();
         r.recover(&log.durable_records(), SimTime(2)).unwrap();
@@ -679,14 +708,16 @@ mod tests {
         let mut log = MemLog::new();
         write_ok(&mut r, t(1), b"k", b"v", &mut log);
         r.prepare(t(1), &mut log, Durability::Forced).unwrap();
-        r.commit(t(1), &mut log, Durability::Forced, SimTime(1)).unwrap();
+        r.commit(t(1), &mut log, Durability::Forced, SimTime(1))
+            .unwrap();
         // t2 deletes it.
         match r.write(t(2), b"k", None, &mut log, SimTime(2)).unwrap() {
             Access::Value(before) => assert_eq!(before, Some(b"v".to_vec())),
             other => panic!("{other:?}"),
         }
         r.prepare(t(2), &mut log, Durability::Forced).unwrap();
-        r.commit(t(2), &mut log, Durability::Forced, SimTime(3)).unwrap();
+        r.commit(t(2), &mut log, Durability::Forced, SimTime(3))
+            .unwrap();
         assert_eq!(r.store().get(b"k"), None);
     }
 }

@@ -263,10 +263,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 for i in 0..10 {
                     let t = c2.begin(NodeId(root));
-                    t.work(
-                        NodeId(2),
-                        vec![Op::put("hot", &format!("{root}-{i}"))],
-                    );
+                    t.work(NodeId(2), vec![Op::put("hot", &format!("{root}-{i}"))]);
                     let r = t.commit();
                     assert_eq!(r.outcome, Outcome::Commit);
                 }

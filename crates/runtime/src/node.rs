@@ -1,5 +1,11 @@
-//! The node worker: one thread owning an engine, a log and a resource
-//! manager, fed by an inbound channel.
+//! The node worker: one thread owning an engine (via the shared
+//! [`Driver`]), a log and a resource manager, fed by an inbound channel.
+//!
+//! Action interpretation is NOT done here: every engine action runs
+//! through the shared [`Driver`] in `tpc-core`, exactly as in the
+//! simulator. This module only supplies the live seams — a real
+//! transport, a wall-clock timer heap, the application reply channels —
+//! through the driver's host traits.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -8,16 +14,17 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use tpc_common::wire::{Decode, Encode};
 use tpc_common::{
     decode_ops, DamageReport, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
-    ProtocolKind, RmId, SimTime, TxnId,
+    ProtocolKind, RmId, SimDuration, SimTime, TxnId,
 };
+use tpc_core::driver::rm_log_of;
 use tpc_core::messages::Bundle;
 use tpc_core::{
-    Action, EngineConfig, EngineMetrics, Event, LocalDisposition, LocalVote, ProtocolMsg,
-    Timeouts, TimerKind, TmEngine,
+    AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, LocalDisposition, LocalVote,
+    LogControl, LogHost, PrepareControl, ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_wal::file::FileLog;
-use tpc_wal::{Durability, LogManager, LogStats, MemLog, StreamId};
+use tpc_wal::{Durability, LogManager, LogRecord, LogStats, MemLog, StreamId};
 
 /// Where a live node keeps its write-ahead log.
 #[derive(Clone, Debug, Default)]
@@ -28,18 +35,6 @@ pub enum LogBackend {
     /// A real file under the given directory, with fsync on every forced
     /// write. The file is named `node-<id>.log`.
     File(std::path::PathBuf),
-}
-
-/// Picks the log the resource manager writes to: its own, or (under the
-/// shared-log optimization) the TM's.
-fn rm_log_of<'a>(
-    rm_log: &'a mut Option<MemLog>,
-    tm_log: &'a mut Box<dyn LogManager + Send>,
-) -> &'a mut dyn LogManager {
-    match rm_log.as_mut() {
-        Some(l) => l,
-        None => tm_log.as_mut(),
-    }
 }
 
 /// How frames leave a node.
@@ -157,28 +152,16 @@ pub struct NodeSummary {
     pub node: NodeId,
     /// Engine counters.
     pub metrics: EngineMetrics,
+    /// Driver-level effect counters (flows, forced writes, outcomes) —
+    /// the same counters the simulator reports.
+    pub driver: DriverStats,
     /// TM log statistics.
     pub log: LogStats,
+    /// RM log statistics (zeroed under the shared-log optimization,
+    /// where RM records ride the TM log).
+    pub rm_log: LogStats,
     /// Transactions still unresolved.
     pub active_txns: usize,
-}
-
-/// Messages arriving at a node's inbound channel.
-pub enum Inbound {
-    /// An encoded frame from a peer.
-    Frame {
-        /// Sending node.
-        from: NodeId,
-        /// Encoded [`Bundle`].
-        bytes: Vec<u8>,
-    },
-    /// An application command.
-    App(AppCmd),
-    /// Stop the worker; it replies with its final summary.
-    Shutdown {
-        /// Reply channel for the final summary.
-        reply: Sender<NodeSummary>,
-    },
 }
 
 struct TimerEntry {
@@ -206,19 +189,15 @@ impl Ord for TimerEntry {
     }
 }
 
-/// One node of the live cluster.
-pub struct NodeWorker<T: Transport> {
+/// The driver's view of one live node: a real transport, wall-clock
+/// timers, the local RM and the application's reply channels.
+struct LiveHost<T: Transport> {
     node: NodeId,
-    engine: TmEngine,
+    transport: T,
     log: Box<dyn LogManager + Send>,
     rm_log: Option<MemLog>,
     rm: ResourceManager,
-    transport: T,
-    rx: Receiver<Inbound>,
-    epoch: Instant,
     timers: BinaryHeap<TimerEntry>,
-    timer_gen: HashMap<(TxnId, TimerKind), u64>,
-    next_gen: u64,
     pending_ops: HashMap<TxnId, VecDeque<Op>>,
     deadlocked: HashSet<TxnId>,
     /// Prepare requests deferred until blocked local work completes
@@ -227,6 +206,239 @@ pub struct NodeWorker<T: Transport> {
     waiting: HashMap<TxnId, Sender<CommitResult>>,
     suspendable: bool,
     reliable: bool,
+    epoch: Instant,
+    /// Engine events produced while the driver was already borrowed
+    /// (votes unblocked by lock releases); the worker drains these after
+    /// every driver call.
+    followups: VecDeque<Event>,
+}
+
+impl<T: Transport> LiveHost<T> {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn run_ops(&mut self, txn: TxnId, mut ops: VecDeque<Op>) {
+        let now = self.now();
+        while let Some(op) = ops.pop_front() {
+            let access = {
+                let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+                match &op {
+                    Op::Read(k) => self.rm.read(txn, k, now),
+                    Op::Write(k, v) => self.rm.write(txn, k, v.clone(), log, now),
+                }
+            };
+            match access {
+                Ok(Access::Value(_)) => {}
+                Ok(Access::Wait) => {
+                    ops.push_front(op);
+                    self.pending_ops.insert(txn, ops);
+                    return;
+                }
+                Ok(Access::Deadlock) => {
+                    self.deadlocked.insert(txn);
+                    let now = self.now();
+                    let grants = {
+                        let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+                        self.rm
+                            .abort(txn, log, Durability::NonForced, now)
+                            .unwrap_or_default()
+                    };
+                    self.resume_grants(grants);
+                    if self.prepare_waiting.remove(&txn).is_some() {
+                        self.followups.push_back(Event::LocalPrepared {
+                            txn,
+                            vote: LocalVote::no(),
+                        });
+                    }
+                    return;
+                }
+                Err(_) => return, // op against a finished txn: drop
+            }
+        }
+    }
+
+    fn resume_grants(&mut self, grants: Vec<tpc_locks::ReleaseGrant>) {
+        let mut resumed: HashSet<TxnId> = HashSet::new();
+        for g in grants {
+            if resumed.insert(g.txn) {
+                if let Some(ops) = self.pending_ops.remove(&g.txn) {
+                    self.run_ops(g.txn, ops);
+                }
+                // If a Prepare was waiting on this work, vote now.
+                if !self.pending_ops.contains_key(&g.txn) {
+                    if let Some(dur) = self.prepare_waiting.remove(&g.txn) {
+                        let vote = self.local_vote(g.txn, dur);
+                        self.followups
+                            .push_back(Event::LocalPrepared { txn: g.txn, vote });
+                    }
+                }
+            }
+        }
+    }
+
+    fn local_vote(&mut self, txn: TxnId, rm_durability: Durability) -> LocalVote {
+        if self.deadlocked.contains(&txn) || self.pending_ops.contains_key(&txn) {
+            // Incomplete or doomed local work cannot be guaranteed.
+            return LocalVote::no();
+        }
+        if self.rm.is_read_only(txn) {
+            return LocalVote {
+                disposition: LocalDisposition::ReadOnly,
+                reliable: self.reliable,
+                suspendable: self.suspendable,
+            };
+        }
+        {
+            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            if self.rm.prepare(txn, log, rm_durability).is_err() {
+                return LocalVote::no();
+            }
+        }
+        LocalVote {
+            disposition: LocalDisposition::Yes,
+            reliable: self.reliable,
+            suspendable: self.suspendable,
+        }
+    }
+}
+
+impl<T: Transport> Wire for LiveHost<T> {
+    fn send(&mut self, _now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
+        let bytes = Bundle(msgs).encode_to_bytes().to_vec();
+        self.transport.send(to, bytes);
+    }
+}
+
+impl<T: Transport> LogHost for LiveHost<T> {
+    fn append_tm(
+        &mut self,
+        _now: &mut SimTime,
+        record: LogRecord,
+        durability: Durability,
+    ) -> LogControl {
+        self.log
+            .as_mut()
+            .append(StreamId::Tm, record, durability)
+            .expect("live log append");
+        LogControl::Done
+    }
+}
+
+impl<T: Transport> RmHost for LiveHost<T> {
+    fn prepare_local(
+        &mut self,
+        _now: &mut SimTime,
+        txn: TxnId,
+        rm_durability: Durability,
+    ) -> PrepareControl {
+        if self.pending_ops.contains_key(&txn) && !self.deadlocked.contains(&txn) {
+            // Local work is lock-blocked: finish before voting (§4 Read
+            // Only's serialization caveat is about exactly this window).
+            self.prepare_waiting.insert(txn, rm_durability);
+            PrepareControl::Async
+        } else {
+            PrepareControl::Vote(self.local_vote(txn, rm_durability))
+        }
+    }
+
+    fn commit_local(&mut self, _now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
+        let now = self.now();
+        let grants = {
+            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            self.rm
+                .commit(txn, log, rm_durability, now)
+                .unwrap_or_default()
+        };
+        self.resume_grants(grants);
+    }
+
+    fn abort_local(&mut self, _now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
+        let now = self.now();
+        let grants = {
+            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            self.rm
+                .abort(txn, log, rm_durability, now)
+                .unwrap_or_default()
+        };
+        self.resume_grants(grants);
+    }
+
+    fn forget_local(&mut self, _now: SimTime, txn: TxnId) {
+        let now = self.now();
+        let grants = self.rm.forget_read_only(txn, now).unwrap_or_default();
+        self.resume_grants(grants);
+    }
+
+    fn txn_ended(&mut self, txn: TxnId) {
+        self.pending_ops.remove(&txn);
+        self.deadlocked.remove(&txn);
+        self.prepare_waiting.remove(&txn);
+    }
+}
+
+impl<T: Transport> TimerHost for LiveHost<T> {
+    fn set_timer(
+        &mut self,
+        _now: SimTime,
+        txn: TxnId,
+        kind: TimerKind,
+        delay: SimDuration,
+        gen: u64,
+    ) {
+        self.timers.push(TimerEntry {
+            deadline: Instant::now() + Duration::from_micros(delay.as_micros()),
+            txn,
+            kind,
+            gen,
+        });
+    }
+    // cancel_timer: default no-op — the heap is lazily cleaned by the
+    // driver's generation check.
+}
+
+impl<T: Transport> AppSink for LiveHost<T> {
+    fn notify_outcome(
+        &mut self,
+        _now: SimTime,
+        txn: TxnId,
+        outcome: Outcome,
+        report: DamageReport,
+        pending: bool,
+    ) {
+        if let Some(reply) = self.waiting.remove(&txn) {
+            let _ = reply.send(CommitResult {
+                outcome,
+                report,
+                pending,
+            });
+        }
+    }
+}
+
+/// One node of the live cluster.
+pub struct NodeWorker<T: Transport> {
+    driver: Driver,
+    host: LiveHost<T>,
+    rx: Receiver<Inbound>,
+}
+
+/// Messages arriving at a node's inbound channel.
+pub enum Inbound {
+    /// An encoded frame from a peer.
+    Frame {
+        /// Sending node.
+        from: NodeId,
+        /// Encoded [`Bundle`].
+        bytes: Vec<u8>,
+    },
+    /// An application command.
+    App(AppCmd),
+    /// Stop the worker; it replies with its final summary.
+    Shutdown {
+        /// Reply channel for the final summary.
+        reply: Sender<NodeSummary>,
+    },
 }
 
 impl<T: Transport> NodeWorker<T> {
@@ -246,9 +458,9 @@ impl<T: Transport> NodeWorker<T> {
             timeouts: cfg.timeouts,
             heuristic: cfg.heuristic,
         };
-        let mut engine = TmEngine::new(engine_cfg).expect("valid live config");
+        let mut driver = Driver::new(engine_cfg).expect("valid live config");
         for p in partners {
-            engine.add_session_partner(p);
+            driver.engine_mut().add_session_partner(p);
         }
         let rm = ResourceManager::new(if cfg.reliable {
             RmConfig::new(RmId(0)).reliable()
@@ -271,34 +483,32 @@ impl<T: Transport> NodeWorker<T> {
             }
         };
         NodeWorker {
-            node,
-            engine,
-            log,
-            rm_log,
-            rm,
-            transport,
+            driver,
+            host: LiveHost {
+                node,
+                transport,
+                log,
+                rm_log,
+                rm,
+                timers: BinaryHeap::new(),
+                pending_ops: HashMap::new(),
+                deadlocked: HashSet::new(),
+                prepare_waiting: HashMap::new(),
+                waiting: HashMap::new(),
+                suspendable: cfg.suspendable,
+                reliable: cfg.reliable,
+                epoch,
+                followups: VecDeque::new(),
+            },
             rx,
-            epoch,
-            timers: BinaryHeap::new(),
-            timer_gen: HashMap::new(),
-            next_gen: 0,
-            pending_ops: HashMap::new(),
-            deadlocked: HashSet::new(),
-            prepare_waiting: HashMap::new(),
-            waiting: HashMap::new(),
-            suspendable: cfg.suspendable,
-            reliable: cfg.reliable,
         }
-    }
-
-    fn now(&self) -> SimTime {
-        SimTime(self.epoch.elapsed().as_micros() as u64)
     }
 
     /// The worker's main loop; returns the final summary at shutdown.
     pub fn run(mut self) -> NodeSummary {
         loop {
             let timeout = self
+                .host
                 .timers
                 .peek()
                 .map(|t| t.deadline.saturating_duration_since(Instant::now()))
@@ -314,26 +524,50 @@ impl<T: Transport> NodeWorker<T> {
                 Err(RecvTimeoutError::Disconnected) => return self.summary(),
             }
             self.fire_due_timers();
+            self.flush_acks_if_idle();
         }
+    }
+
+    /// The live analogue of the simulator's end-of-script ack flush:
+    /// once the inbound queue drains, deferred (long-locks / implied)
+    /// acknowledgments go out rather than waiting to piggyback on
+    /// traffic that may never come.
+    fn flush_acks_if_idle(&mut self) {
+        if !self.rx.is_empty() || self.driver.engine().owed_ack_count() == 0 {
+            return;
+        }
+        let now = self.host.now();
+        if let Err(e) = self.driver.flush_owed_acks(&mut self.host, now) {
+            debug_assert!(false, "ack flush error at {}: {e}", self.host.node);
+            let _ = e;
+        }
+        self.drain_followups();
     }
 
     fn summary(&self) -> NodeSummary {
         NodeSummary {
-            node: self.node,
-            metrics: self.engine.metrics(),
-            log: self.log.stats(),
-            active_txns: self.engine.active_txns(),
+            node: self.host.node,
+            metrics: self.driver.engine().metrics(),
+            driver: self.driver.stats(),
+            log: self.host.log.stats(),
+            rm_log: self
+                .host
+                .rm_log
+                .as_ref()
+                .map(|l| l.stats())
+                .unwrap_or_default(),
+            active_txns: self.driver.engine().active_txns(),
         }
     }
 
     fn fire_due_timers(&mut self) {
         let now = Instant::now();
-        while let Some(t) = self.timers.peek() {
+        while let Some(t) = self.host.timers.peek() {
             if t.deadline > now {
                 break;
             }
-            let t = self.timers.pop().expect("peeked");
-            if self.timer_gen.get(&(t.txn, t.kind)).copied() != Some(t.gen) {
+            let t = self.host.timers.pop().expect("peeked");
+            if !self.driver.timer_is_current(t.txn, t.kind, t.gen) {
                 continue; // cancelled or superseded
             }
             self.drive(Event::TimerFired {
@@ -355,7 +589,8 @@ impl<T: Transport> NodeWorker<T> {
                     from,
                     msg: msg.clone(),
                 });
-                self.run_ops(txn, ops.into());
+                self.host.run_ops(txn, ops.into());
+                self.drain_followups();
             } else {
                 self.drive(Event::MsgReceived { from, msg });
             }
@@ -367,10 +602,11 @@ impl<T: Transport> NodeWorker<T> {
             AppCmd::Work { txn, to, ops } => {
                 // The root executes nothing locally here; callers that
                 // want local work address ops to their own node.
-                if to == self.node {
+                if to == self.host.node {
                     // Local work: run it directly and make sure a seat
                     // exists so the commit will include it.
-                    self.run_ops(txn, ops.into());
+                    self.host.run_ops(txn, ops.into());
+                    self.drain_followups();
                 } else {
                     self.drive(Event::SendWork {
                         txn,
@@ -380,15 +616,15 @@ impl<T: Transport> NodeWorker<T> {
                 }
             }
             AppCmd::Commit { txn, reply } => {
-                self.waiting.insert(txn, reply);
+                self.host.waiting.insert(txn, reply);
                 self.drive(Event::CommitRequested { txn });
             }
             AppCmd::Abort { txn, reply } => {
-                self.waiting.insert(txn, reply);
+                self.host.waiting.insert(txn, reply);
                 self.drive(Event::AbortRequested { txn });
             }
             AppCmd::Read { key, reply } => {
-                let _ = reply.send(self.rm.store().get(&key).map(|v| v.to_vec()));
+                let _ = reply.send(self.host.rm.store().get(&key).map(|v| v.to_vec()));
             }
             AppCmd::Summary { reply } => {
                 let _ = reply.send(self.summary());
@@ -397,181 +633,25 @@ impl<T: Transport> NodeWorker<T> {
     }
 
     fn drive(&mut self, event: Event) {
-        let now = self.now();
-        match self.engine.handle(now, event) {
-            Ok(actions) => self.exec(actions),
-            Err(e) => {
-                // Application misuse surfaces on the waiting channel if
-                // any; protocol noise is dropped.
-                debug_assert!(false, "engine error at {}: {e}", self.node);
-            }
+        let now = self.host.now();
+        if let Err(e) = self.driver.handle(&mut self.host, now, event) {
+            // Application misuse surfaces on the waiting channel if any;
+            // protocol noise is dropped.
+            debug_assert!(false, "engine error at {}: {e}", self.host.node);
+            let _ = e;
         }
+        self.drain_followups();
     }
 
-    fn run_ops(&mut self, txn: TxnId, mut ops: VecDeque<Op>) {
-        let now = self.now();
-        while let Some(op) = ops.pop_front() {
-            let access = {
-                let (rm, log) = (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
-                match &op {
-                    Op::Read(k) => rm.read(txn, k, now),
-                    Op::Write(k, v) => rm.write(txn, k, v.clone(), log, now),
-                }
-            };
-            match access {
-                Ok(Access::Value(_)) => {}
-                Ok(Access::Wait) => {
-                    ops.push_front(op);
-                    self.pending_ops.insert(txn, ops);
-                    return;
-                }
-                Ok(Access::Deadlock) => {
-                    self.deadlocked.insert(txn);
-                    let now = self.now();
-                    let grants = {
-                        let (rm, log) =
-                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
-                        rm.abort(txn, log, Durability::NonForced, now)
-                            .unwrap_or_default()
-                    };
-                    self.resume_grants(grants);
-                    if self.prepare_waiting.remove(&txn).is_some() {
-                        self.drive(Event::LocalPrepared {
-                            txn,
-                            vote: LocalVote::no(),
-                        });
-                    }
-                    return;
-                }
-                Err(_) => return, // op against a finished txn: drop
+    /// Delivers engine events that host callbacks produced while the
+    /// driver was busy (deferred votes unblocked by lock releases).
+    fn drain_followups(&mut self) {
+        while let Some(event) = self.host.followups.pop_front() {
+            let now = self.host.now();
+            if let Err(e) = self.driver.handle(&mut self.host, now, event) {
+                debug_assert!(false, "engine error at {}: {e}", self.host.node);
+                let _ = e;
             }
-        }
-    }
-
-    fn resume_grants(&mut self, grants: Vec<tpc_locks::ReleaseGrant>) {
-        let mut resumed: HashSet<TxnId> = HashSet::new();
-        for g in grants {
-            if resumed.insert(g.txn) {
-                if let Some(ops) = self.pending_ops.remove(&g.txn) {
-                    self.run_ops(g.txn, ops);
-                }
-                // If a Prepare was waiting on this work, vote now.
-                if !self.pending_ops.contains_key(&g.txn) {
-                    if let Some(dur) = self.prepare_waiting.remove(&g.txn) {
-                        let vote = self.local_prepare(g.txn, dur);
-                        self.drive(Event::LocalPrepared { txn: g.txn, vote });
-                    }
-                }
-            }
-        }
-    }
-
-    fn exec(&mut self, actions: Vec<Action>) {
-        for action in actions {
-            match action {
-                Action::Send { to, msgs } => {
-                    let bytes = Bundle(msgs).encode_to_bytes().to_vec();
-                    self.transport.send(to, bytes);
-                }
-                Action::Log { record, durability } => {
-                    self.log
-                        .as_mut()
-                        .append(StreamId::Tm, record, durability)
-                        .expect("live log append");
-                }
-                Action::PrepareLocal { txn, rm_durability } => {
-                    if self.pending_ops.contains_key(&txn) && !self.deadlocked.contains(&txn) {
-                        // Local work is lock-blocked: finish before
-                        // voting (§4 Read Only's serialization caveat is
-                        // about exactly this window).
-                        self.prepare_waiting.insert(txn, rm_durability);
-                    } else {
-                        let vote = self.local_prepare(txn, rm_durability);
-                        self.drive(Event::LocalPrepared { txn, vote });
-                    }
-                }
-                Action::CommitLocal { txn, rm_durability } => {
-                    let now = self.now();
-                    let grants = {
-                        let (rm, log) =
-                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
-                        rm.commit(txn, log, rm_durability, now).unwrap_or_default()
-                    };
-                    self.resume_grants(grants);
-                }
-                Action::AbortLocal { txn, rm_durability } => {
-                    let now = self.now();
-                    let grants = {
-                        let (rm, log) =
-                            (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
-                        rm.abort(txn, log, rm_durability, now).unwrap_or_default()
-                    };
-                    self.resume_grants(grants);
-                }
-                Action::ForgetLocal { txn } => {
-                    let now = self.now();
-                    let grants = self.rm.forget_read_only(txn, now).unwrap_or_default();
-                    self.resume_grants(grants);
-                }
-                Action::NotifyOutcome {
-                    txn,
-                    outcome,
-                    report,
-                    pending,
-                } => {
-                    if let Some(reply) = self.waiting.remove(&txn) {
-                        let _ = reply.send(CommitResult {
-                            outcome,
-                            report,
-                            pending,
-                        });
-                    }
-                }
-                Action::SetTimer { txn, kind, delay } => {
-                    self.next_gen += 1;
-                    let gen = self.next_gen;
-                    self.timer_gen.insert((txn, kind), gen);
-                    self.timers.push(TimerEntry {
-                        deadline: Instant::now() + Duration::from_micros(delay.as_micros()),
-                        txn,
-                        kind,
-                        gen,
-                    });
-                }
-                Action::CancelTimer { txn, kind } => {
-                    self.timer_gen.remove(&(txn, kind));
-                }
-                Action::TxnEnded { txn } => {
-                    self.pending_ops.remove(&txn);
-                    self.deadlocked.remove(&txn);
-                    self.prepare_waiting.remove(&txn);
-                }
-            }
-        }
-    }
-
-    fn local_prepare(&mut self, txn: TxnId, rm_durability: Durability) -> LocalVote {
-        if self.deadlocked.contains(&txn) || self.pending_ops.contains_key(&txn) {
-            // Incomplete or doomed local work cannot be guaranteed.
-            return LocalVote::no();
-        }
-        if self.rm.is_read_only(txn) {
-            return LocalVote {
-                disposition: LocalDisposition::ReadOnly,
-                reliable: self.reliable,
-                suspendable: self.suspendable,
-            };
-        }
-        {
-            let (rm, log) = (&mut self.rm, rm_log_of(&mut self.rm_log, &mut self.log));
-            if rm.prepare(txn, log, rm_durability).is_err() {
-                return LocalVote::no();
-            }
-        }
-        LocalVote {
-            disposition: LocalDisposition::Yes,
-            reliable: self.reliable,
-            suspendable: self.suspendable,
         }
     }
 }

@@ -16,7 +16,9 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use tpc_common::{NodeId, Op, TxnId};
 
-use crate::node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport};
+use crate::node::{
+    AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
+};
 
 /// Lazily-connecting TCP sender.
 pub struct TcpTransport {
@@ -66,7 +68,9 @@ fn reader(mut stream: TcpStream, tx: Sender<Inbound>) {
             return;
         }
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-        let from = NodeId(u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")));
+        let from = NodeId(u32::from_le_bytes(
+            header[4..8].try_into().expect("4 bytes"),
+        ));
         if len > 64 * 1024 * 1024 {
             return; // absurd frame: drop the connection
         }

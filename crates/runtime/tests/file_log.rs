@@ -43,10 +43,7 @@ fn file_backed_cluster_commits_and_logs_durably() {
         .filter(|(_, s, _)| *s == StreamId::Tm)
         .map(|(_, _, r)| r.kind_name())
         .collect();
-    assert_eq!(
-        kinds.iter().filter(|k| **k == "CommitPending").count(),
-        3
-    );
+    assert_eq!(kinds.iter().filter(|k| **k == "CommitPending").count(), 3);
     assert_eq!(kinds.iter().filter(|k| **k == "Committed").count(), 3);
 
     let sub_records = scan(dir.join("node-1.log")).expect("scan subordinate log");

@@ -1,9 +1,19 @@
 //! The simulated cluster: nodes, event loop, failure injection.
+//!
+//! Action interpretation is NOT done here: every engine action runs
+//! through the shared [`Driver`] in `tpc-core`, exactly as in the live
+//! runtime. This module only supplies the simulation-specific seams —
+//! virtual-time scheduling, the in-memory network, group-commit batching
+//! against the virtual clock, and scripted workload driving — through
+//! the driver's host traits.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use tpc_common::{
     HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TxnId,
+};
+use tpc_core::driver::{
+    rm_log_of, AppSink, Driver, LogControl, LogHost, PrepareControl, RmHost, TimerHost, Wire,
 };
 use tpc_core::{
     Action, EngineConfig, Event, LocalDisposition, LocalVote, ProtocolMsg, Timeouts, TimerKind,
@@ -11,7 +21,7 @@ use tpc_core::{
 };
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_simnet::{LatencyModel, Network, Partition, Scheduler};
-use tpc_wal::{Durability, FlushDecision, GroupCommitter, LogManager, MemLog, StreamId};
+use tpc_wal::{Durability, FlushDecision, GroupCommitter, LogManager, LogRecord, MemLog, StreamId};
 
 use crate::report::{NodeReport, RunReport, TxnResult};
 use crate::trace::{TraceEvent, TraceKind};
@@ -181,31 +191,39 @@ fn route_rm(key: &[u8], rm_count: usize) -> usize {
 
 /// One local resource manager plus its (optional) private log. `log` is
 /// `None` under the shared-log optimization: records then go to the TM
-/// log and ride its forces.
+/// log and ride its forces (see [`rm_log_of`]).
 struct RmSlot {
     rm: ResourceManager,
     log: Option<MemLog>,
 }
 
-struct SimNode {
-    cfg: NodeConfig,
-    engine: TmEngine,
+/// Everything simulation-specific about a node — the driver's host state.
+struct SimNodeState {
     /// TM log; also carries RM records under the shared-log optimization.
     log: MemLog,
     rms: Vec<RmSlot>,
     partners: Vec<NodeId>,
-    timer_gen: HashMap<(TxnId, TimerKind), u64>,
-    next_gen: u64,
     participation: HashMap<TxnId, Participation>,
     deadlocked: HashSet<TxnId>,
     pending_ops: HashMap<TxnId, VecDeque<Op>>,
     /// Prepares deferred until blocked local work completes (the
     /// peer-to-peer "finish before you vote" rule).
     prepare_waiting: HashMap<TxnId, Durability>,
+    /// Action-stream tails suspended behind a filling group-commit batch,
+    /// keyed by ticket.
     suspended: HashMap<u64, Vec<Action>>,
     group: Option<GroupCommitter<u64>>,
     next_ticket: u64,
+    /// Ticket of the append that just suspended (bridges the driver's
+    /// `append_tm` → `suspend_rest` pair).
+    suspending_ticket: Option<u64>,
     crashed: bool,
+}
+
+struct SimNode {
+    cfg: NodeConfig,
+    driver: Driver,
+    state: SimNodeState,
 }
 
 impl SimNode {
@@ -272,6 +290,356 @@ enum Ev {
     },
 }
 
+/// Computes a node's local vote for `txn`, preparing every updating RM
+/// (and advancing the virtual-time cursor per forced RM write). Shared
+/// between the driver host and the deferred-prepare resume path.
+fn compute_local_vote(
+    sim_cfg: &SimConfig,
+    cfg: &NodeConfig,
+    st: &mut SimNodeState,
+    txn: TxnId,
+    rm_durability: Durability,
+    cursor: &mut SimTime,
+) -> LocalVote {
+    if cfg.vote_no_seqs.contains(&txn.seq) || st.deadlocked.contains(&txn) {
+        return LocalVote::no();
+    }
+    let updated = if sim_cfg.real_mode {
+        st.rms.iter().any(|s| !s.rm.is_read_only(txn))
+    } else {
+        st.participation
+            .get(&txn)
+            .map(|p| p.updated)
+            .unwrap_or(false)
+    };
+    if !updated {
+        return LocalVote {
+            disposition: LocalDisposition::ReadOnly,
+            reliable: cfg.reliable,
+            suspendable: cfg.suspendable,
+        };
+    }
+    if sim_cfg.real_mode {
+        // Every updating local RM prepares (forcing its own log unless it
+        // shares the TM's — §4 Sharing the Log).
+        let SimNodeState { rms, log, .. } = st;
+        for slot in rms.iter_mut() {
+            if slot.rm.is_read_only(txn) {
+                continue;
+            }
+            slot.rm
+                .prepare(txn, rm_log_of(slot.log.as_mut(), log), rm_durability)
+                .expect("rm prepare");
+            if rm_durability.is_forced() {
+                *cursor += sim_cfg.force_latency;
+            }
+        }
+    }
+    LocalVote {
+        disposition: LocalDisposition::Yes,
+        reliable: cfg.reliable,
+        suspendable: cfg.suspendable,
+    }
+}
+
+/// The driver's view of one simulated node: virtual-time wire, log with
+/// group commit, real-mode RMs, scheduler-backed timers, and the
+/// scripted application.
+struct SimHost<'a> {
+    node: NodeId,
+    sim_cfg: &'a SimConfig,
+    cfg: &'a NodeConfig,
+    state: &'a mut SimNodeState,
+    sched: &'a mut Scheduler<Ev>,
+    net: &'a mut Network,
+    trace: &'a mut Vec<TraceEvent>,
+    txn_started: &'a HashMap<TxnId, SimTime>,
+    outcomes: &'a mut Vec<TxnResult>,
+    pending_substantive: &'a mut i64,
+}
+
+impl SimHost<'_> {
+    fn schedule_sub(&mut self, at: SimTime, ev: Ev) {
+        *self.pending_substantive += 1;
+        self.sched.schedule(at, ev);
+    }
+
+    fn schedule_resumes(&mut self, grants: Vec<tpc_locks::ReleaseGrant>, at: SimTime) {
+        let node = self.node;
+        let mut resumed: HashSet<TxnId> = HashSet::new();
+        for g in grants {
+            if resumed.insert(g.txn) {
+                self.schedule_sub(at, Ev::ResumeOps { node, txn: g.txn });
+            }
+        }
+    }
+}
+
+impl Wire for SimHost<'_> {
+    fn send(&mut self, now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
+        let desc = msgs
+            .iter()
+            .map(|m| m.kind_name())
+            .collect::<Vec<_>>()
+            .join("+");
+        self.trace.push(TraceEvent {
+            at: now,
+            kind: TraceKind::Send {
+                from: self.node,
+                to,
+                desc,
+            },
+        });
+        if let Some(d) = self.net.delay(self.node, to, now) {
+            self.schedule_sub(
+                now + d,
+                Ev::Deliver {
+                    from: self.node,
+                    to,
+                    msgs,
+                },
+            );
+        }
+    }
+}
+
+impl LogHost for SimHost<'_> {
+    fn append_tm(
+        &mut self,
+        now: &mut SimTime,
+        record: LogRecord,
+        durability: Durability,
+    ) -> LogControl {
+        self.trace.push(TraceEvent {
+            at: *now,
+            kind: TraceKind::Log {
+                node: self.node,
+                kind: record.kind_name().to_string(),
+                forced: durability.is_forced(),
+            },
+        });
+        let forced = durability.is_forced();
+        let force_latency = self.sim_cfg.force_latency;
+        if forced && self.state.group.is_some() {
+            self.state
+                .log
+                .append_deferred(StreamId::Tm, record, durability)
+                .expect("log append");
+            let ticket = self.state.next_ticket;
+            self.state.next_ticket += 1;
+            let decision = {
+                let Some(gc) = self.state.group.as_mut() else {
+                    unreachable!("guarded by is_some above");
+                };
+                gc.request(*now, ticket)
+            };
+            match decision {
+                FlushDecision::FlushNow(tickets) => {
+                    self.state.log.note_physical_flush();
+                    *now += force_latency;
+                    let node = self.node;
+                    for t in tickets {
+                        if t != ticket {
+                            self.schedule_sub(*now, Ev::ContinueBatch { node, ticket: t });
+                        }
+                    }
+                    LogControl::Done
+                }
+                FlushDecision::WaitUntil(deadline) => {
+                    self.state.suspending_ticket = Some(ticket);
+                    let node = self.node;
+                    self.schedule_sub(deadline, Ev::GroupDeadline { node });
+                    LogControl::Suspend
+                }
+            }
+        } else {
+            self.state
+                .log
+                .append(StreamId::Tm, record, durability)
+                .expect("log append");
+            if forced {
+                *now += force_latency;
+            }
+            LogControl::Done
+        }
+    }
+
+    fn suspend_rest(&mut self, rest: Vec<Action>) {
+        let ticket = self
+            .state
+            .suspending_ticket
+            .take()
+            .expect("suspend_rest without a suspending append");
+        self.state.suspended.insert(ticket, rest);
+    }
+}
+
+impl RmHost for SimHost<'_> {
+    fn prepare_local(
+        &mut self,
+        now: &mut SimTime,
+        txn: TxnId,
+        rm_durability: Durability,
+    ) -> PrepareControl {
+        if self.state.pending_ops.contains_key(&txn) && !self.state.deadlocked.contains(&txn) {
+            // Blocked local work: finish before voting.
+            self.state.prepare_waiting.insert(txn, rm_durability);
+            return PrepareControl::Async;
+        }
+        let vote = compute_local_vote(self.sim_cfg, self.cfg, self.state, txn, rm_durability, now);
+        // The vote is delivered through the scheduler (at the advanced
+        // cursor) rather than recursively, so it interleaves with other
+        // pending virtual-time events exactly as a real prepare
+        // round-trip would.
+        let node = self.node;
+        self.schedule_sub(
+            *now,
+            Ev::Engine {
+                node,
+                event: Event::LocalPrepared { txn, vote },
+            },
+        );
+        PrepareControl::Async
+    }
+
+    fn commit_local(&mut self, now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
+        if !self.sim_cfg.real_mode {
+            return;
+        }
+        let force_latency = self.sim_cfg.force_latency;
+        let at = *now;
+        let node = self.node;
+        let grants = {
+            let SimNodeState { rms, log, .. } = &mut *self.state;
+            let mut all = Vec::new();
+            for slot in rms.iter_mut() {
+                match slot
+                    .rm
+                    .commit(txn, rm_log_of(slot.log.as_mut(), log), rm_durability, at)
+                {
+                    Ok(g) => {
+                        if rm_durability.is_forced() {
+                            *now += force_latency;
+                        }
+                        all.extend(g);
+                    }
+                    Err(tpc_common::Error::UnknownTxn(_)) => {}
+                    Err(e) => panic!("rm commit failed at {node}: {e}"),
+                }
+            }
+            all
+        };
+        self.schedule_resumes(grants, *now);
+    }
+
+    fn abort_local(&mut self, now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
+        if !self.sim_cfg.real_mode {
+            return;
+        }
+        let force_latency = self.sim_cfg.force_latency;
+        let at = *now;
+        let node = self.node;
+        let grants = {
+            let SimNodeState { rms, log, .. } = &mut *self.state;
+            let mut all = Vec::new();
+            for slot in rms.iter_mut() {
+                match slot
+                    .rm
+                    .abort(txn, rm_log_of(slot.log.as_mut(), log), rm_durability, at)
+                {
+                    Ok(g) => {
+                        if rm_durability.is_forced() {
+                            *now += force_latency;
+                        }
+                        all.extend(g);
+                    }
+                    Err(e) => panic!("rm abort failed at {node}: {e}"),
+                }
+            }
+            all
+        };
+        self.schedule_resumes(grants, *now);
+    }
+
+    fn forget_local(&mut self, now: SimTime, txn: TxnId) {
+        if !self.sim_cfg.real_mode {
+            return;
+        }
+        let grants = {
+            let mut all = Vec::new();
+            for slot in self.state.rms.iter_mut() {
+                if let Ok(g) = slot.rm.forget_read_only(txn, now) {
+                    all.extend(g);
+                }
+            }
+            all
+        };
+        self.schedule_resumes(grants, now);
+    }
+
+    fn txn_ended(&mut self, txn: TxnId) {
+        self.state.pending_ops.remove(&txn);
+        self.state.deadlocked.remove(&txn);
+        self.state.prepare_waiting.remove(&txn);
+    }
+}
+
+impl TimerHost for SimHost<'_> {
+    fn set_timer(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        kind: TimerKind,
+        delay: SimDuration,
+        gen: u64,
+    ) {
+        // Timers are non-substantive: a pending timer alone does not keep
+        // the simulation's end-of-script ack flushing from running, so
+        // this schedules directly instead of through `schedule_sub`.
+        self.sched.schedule(
+            now + delay,
+            Ev::Timer {
+                node: self.node,
+                txn,
+                kind,
+                gen,
+            },
+        );
+    }
+}
+
+impl AppSink for SimHost<'_> {
+    fn notify_outcome(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        outcome: tpc_common::Outcome,
+        report: tpc_common::DamageReport,
+        pending: bool,
+    ) {
+        self.trace.push(TraceEvent {
+            at: now,
+            kind: TraceKind::Notify {
+                node: self.node,
+                outcome,
+                pending,
+            },
+        });
+        let started = self.txn_started.get(&txn).copied().unwrap_or(now);
+        self.outcomes.push(TxnResult {
+            txn,
+            root: self.node,
+            outcome,
+            report,
+            pending,
+            started_at: started,
+            notified_at: now,
+        });
+        let delay = self.sim_cfg.inter_txn_delay;
+        self.schedule_sub(now + delay, Ev::StartTxn);
+    }
+}
+
 /// The simulated cluster.
 pub struct Sim {
     cfg: SimConfig,
@@ -318,7 +686,7 @@ impl Sim {
             timeouts: cfg.timeouts,
             heuristic: cfg.heuristic,
         };
-        let engine = TmEngine::new(engine_cfg).expect("valid node config");
+        let driver = Driver::new(engine_cfg).expect("valid node config");
         let group = cfg.opts.group_commit.map(GroupCommitter::new);
         let rms: Vec<RmSlot> = if self.cfg.real_mode {
             (0..cfg.rm_count.max(1))
@@ -340,20 +708,21 @@ impl Sim {
         };
         self.nodes.push(SimNode {
             cfg,
-            engine,
-            log: MemLog::new(),
-            rms,
-            partners: Vec::new(),
-            timer_gen: HashMap::new(),
-            next_gen: 0,
-            participation: HashMap::new(),
-            deadlocked: HashSet::new(),
-            pending_ops: HashMap::new(),
-            prepare_waiting: HashMap::new(),
-            suspended: HashMap::new(),
-            group,
-            next_ticket: 0,
-            crashed: false,
+            driver,
+            state: SimNodeState {
+                log: MemLog::new(),
+                rms,
+                partners: Vec::new(),
+                participation: HashMap::new(),
+                deadlocked: HashSet::new(),
+                pending_ops: HashMap::new(),
+                prepare_waiting: HashMap::new(),
+                suspended: HashMap::new(),
+                group,
+                next_ticket: 0,
+                suspending_ticket: None,
+                crashed: false,
+            },
         });
         id
     }
@@ -368,10 +737,10 @@ impl Sim {
     /// leave-out rule exempts it.
     pub fn declare_partner(&mut self, parent: NodeId, child: NodeId) {
         let n = &mut self.nodes[parent.index()];
-        if !n.partners.contains(&child) {
-            n.partners.push(child);
+        if !n.state.partners.contains(&child) {
+            n.state.partners.push(child);
         }
-        n.engine.add_session_partner(child);
+        n.driver.engine_mut().add_session_partner(child);
     }
 
     /// Appends a transaction to the script. Transactions run serially:
@@ -384,7 +753,12 @@ impl Sim {
     /// independent of the serial script — the way scenarios create
     /// *concurrent* transactions (lock contention, group commit batches).
     pub fn push_txn_at(&mut self, spec: TxnSpec, at: SimTime) {
-        self.schedule_sub(at, Ev::StartSpec { spec: Box::new(spec) });
+        self.schedule_sub(
+            at,
+            Ev::StartSpec {
+                spec: Box::new(spec),
+            },
+        );
     }
 
     /// Schedules a crash of `node` at absolute virtual time `at`.
@@ -415,22 +789,27 @@ impl Sim {
 
     /// Read access to a node's engine, for assertions.
     pub fn engine(&self, node: NodeId) -> &TmEngine {
-        &self.nodes[node.index()].engine
+        self.nodes[node.index()].driver.engine()
+    }
+
+    /// Read access to a node's driver-level effect counters.
+    pub fn driver_stats(&self, node: NodeId) -> tpc_core::DriverStats {
+        self.nodes[node.index()].driver.stats()
     }
 
     /// Read access to a node's first resource manager (real mode).
     pub fn rm(&self, node: NodeId) -> Option<&ResourceManager> {
-        self.nodes[node.index()].rms.first().map(|s| &s.rm)
+        self.nodes[node.index()].state.rms.first().map(|s| &s.rm)
     }
 
     /// Read access to all of a node's resource managers (real mode).
     pub fn rms(&self, node: NodeId) -> impl Iterator<Item = &ResourceManager> {
-        self.nodes[node.index()].rms.iter().map(|s| &s.rm)
+        self.nodes[node.index()].state.rms.iter().map(|s| &s.rm)
     }
 
     /// Read access to a node's TM log.
     pub fn log(&self, node: NodeId) -> &MemLog {
-        &self.nodes[node.index()].log
+        &self.nodes[node.index()].state.log
     }
 
     /// Number of nodes.
@@ -446,6 +825,36 @@ impl Sim {
     fn schedule_sub(&mut self, at: SimTime, ev: Ev) {
         self.pending_substantive += 1;
         self.sched.schedule(at, ev);
+    }
+
+    /// Runs `f` with a node's driver and its simulation host assembled
+    /// from split borrows of the cluster.
+    fn with_host<R>(&mut self, node: NodeId, f: impl FnOnce(&mut Driver, &mut SimHost) -> R) -> R {
+        let Sim {
+            cfg,
+            nodes,
+            sched,
+            net,
+            txn_started,
+            outcomes,
+            trace,
+            pending_substantive,
+            ..
+        } = self;
+        let n = &mut nodes[node.index()];
+        let mut host = SimHost {
+            node,
+            sim_cfg: cfg,
+            cfg: &n.cfg,
+            state: &mut n.state,
+            sched,
+            net,
+            trace,
+            txn_started,
+            outcomes,
+            pending_substantive,
+        };
+        f(&mut n.driver, &mut host)
     }
 
     // ------------------------------------------------------------------
@@ -472,21 +881,23 @@ impl Sim {
     /// Once the script has drained and no substantive events remain,
     /// flush deferred acks so the final transaction's partners can finish.
     fn maybe_flush_acks(&mut self, now: SimTime) {
-        if !self.cfg.flush_acks_at_end
-            || !self.script.is_empty()
-            || self.pending_substantive != 0
-        {
+        if !self.cfg.flush_acks_at_end || !self.script.is_empty() || self.pending_substantive != 0 {
             return;
         }
-        let any_owed = self.nodes.iter().any(|n| n.engine.owed_ack_count() > 0);
+        let any_owed = self
+            .nodes
+            .iter()
+            .any(|n| n.driver.engine().owed_ack_count() > 0);
         if !any_owed {
             return;
         }
         for i in 0..self.nodes.len() {
-            let actions = self.nodes[i].engine.flush_owed_acks();
-            if !actions.is_empty() {
-                self.exec_actions(NodeId(i as u32), actions, now);
-            }
+            let node = NodeId(i as u32);
+            self.with_host(node, |driver, host| {
+                driver
+                    .flush_owed_acks(host, now)
+                    .unwrap_or_else(|e| panic!("ack flush failed at {node}: {e}"));
+            });
         }
     }
 
@@ -496,7 +907,7 @@ impl Sim {
             Ev::StartSpec { spec } => self.start_spec(*spec, now),
             Ev::LateEdges { txn, edges } => {
                 for e in edges {
-                    if self.nodes[e.from.index()].crashed {
+                    if self.nodes[e.from.index()].state.crashed {
                         continue;
                     }
                     self.exec_engine(
@@ -511,7 +922,7 @@ impl Sim {
                 }
             }
             Ev::Engine { node, event } => {
-                if !self.nodes[node.index()].crashed {
+                if !self.nodes[node.index()].state.crashed {
                     self.exec_engine(node, event, now);
                 }
             }
@@ -523,19 +934,20 @@ impl Sim {
                 gen,
             } => {
                 let n = &self.nodes[node.index()];
-                if n.crashed || n.timer_gen.get(&(txn, kind)).copied() != Some(gen) {
+                if n.state.crashed || !n.driver.timer_is_current(txn, kind, gen) {
                     return;
                 }
                 self.exec_engine(node, Event::TimerFired { txn, kind }, now);
             }
             Ev::SelfPrep { node, txn } => {
                 let n = &self.nodes[node.index()];
-                if n.crashed {
+                if n.state.crashed {
                     return;
                 }
                 // Only meaningful if the work actually arrived.
                 let ready = n
-                    .engine
+                    .driver
+                    .engine()
                     .seat(txn)
                     .map(|s| s.upstream.is_some())
                     .unwrap_or(false);
@@ -544,7 +956,7 @@ impl Sim {
                 }
             }
             Ev::Finish { node, txn, commit } => {
-                if self.nodes[node.index()].crashed {
+                if self.nodes[node.index()].state.crashed {
                     return;
                 }
                 let event = if commit {
@@ -558,31 +970,42 @@ impl Sim {
             Ev::Restart { node } => self.do_restart(node, now),
             Ev::GroupDeadline { node } => self.gc_deadline(node, now),
             Ev::ContinueBatch { node, ticket } => {
-                if self.nodes[node.index()].crashed {
+                if self.nodes[node.index()].state.crashed {
                     return;
                 }
-                if let Some(rest) = self.nodes[node.index()].suspended.remove(&ticket) {
+                if let Some(rest) = self.nodes[node.index()].state.suspended.remove(&ticket) {
                     self.exec_actions(node, rest, now);
                 }
             }
             Ev::ResumeOps { node, txn } => {
-                if self.nodes[node.index()].crashed {
+                if self.nodes[node.index()].state.crashed {
                     return;
                 }
-                if let Some(ops) = self.nodes[node.index()].pending_ops.remove(&txn) {
+                if let Some(ops) = self.nodes[node.index()].state.pending_ops.remove(&txn) {
                     self.run_ops(node, txn, ops, now);
                 }
                 // A deferred prepare can vote once the work is done (or
                 // refuse, if the resume ended in deadlock).
+                let sim_cfg = self.cfg.clone();
                 let n = &mut self.nodes[node.index()];
-                if !n.pending_ops.contains_key(&txn) {
-                    if let Some(dur) = n.prepare_waiting.remove(&txn) {
+                if !n.state.pending_ops.contains_key(&txn) {
+                    if let Some(dur) = n.state.prepare_waiting.remove(&txn) {
                         let mut cursor = now;
-                        let vote = self.local_prepare(node, txn, dur, &mut cursor);
-                        self.schedule_sub(cursor, Ev::Engine {
-                            node,
-                            event: Event::LocalPrepared { txn, vote },
-                        });
+                        let vote = compute_local_vote(
+                            &sim_cfg,
+                            &n.cfg,
+                            &mut n.state,
+                            txn,
+                            dur,
+                            &mut cursor,
+                        );
+                        self.schedule_sub(
+                            cursor,
+                            Ev::Engine {
+                                node,
+                                event: Event::LocalPrepared { txn, vote },
+                            },
+                        );
                     }
                 }
             }
@@ -613,8 +1036,7 @@ impl Sim {
         // Index deeper edges; kick off the root's own.
         let mut self_prep_targets: Vec<NodeId> = Vec::new();
         for edge in &spec.edges {
-            if self.nodes[edge.to.index()].cfg.unsolicited
-                && !self_prep_targets.contains(&edge.to)
+            if self.nodes[edge.to.index()].cfg.unsolicited && !self_prep_targets.contains(&edge.to)
             {
                 self_prep_targets.push(edge.to);
             }
@@ -653,10 +1075,13 @@ impl Sim {
         }
         if !spec.late_edges.is_empty() {
             let half = SimDuration::from_micros(window.as_micros() / 2);
-            self.schedule_sub(now + half, Ev::LateEdges {
-                txn,
-                edges: spec.late_edges.clone(),
-            });
+            self.schedule_sub(
+                now + half,
+                Ev::LateEdges {
+                    txn,
+                    edges: spec.late_edges.clone(),
+                },
+            );
         }
         self.schedule_sub(
             now + window,
@@ -670,6 +1095,7 @@ impl Sim {
 
     fn note_participation(&mut self, node: NodeId, txn: TxnId, ops: &[Op]) {
         let p = self.nodes[node.index()]
+            .state
             .participation
             .entry(txn)
             .or_default();
@@ -677,166 +1103,23 @@ impl Sim {
     }
 
     // ------------------------------------------------------------------
-    // Engine plumbing
+    // Engine plumbing (all interpretation happens in the shared driver)
     // ------------------------------------------------------------------
 
     fn exec_engine(&mut self, node: NodeId, event: Event, now: SimTime) {
-        let actions = self.nodes[node.index()]
-            .engine
-            .handle(now, event)
-            .unwrap_or_else(|e| panic!("engine error at {node}: {e}"));
-        self.exec_actions(node, actions, now);
+        self.with_host(node, |driver, host| {
+            driver
+                .handle(host, now, event)
+                .unwrap_or_else(|e| panic!("engine error at {node}: {e}"));
+        });
     }
 
-    fn exec_actions(&mut self, node: NodeId, actions: Vec<Action>, start: SimTime) {
-        let mut cursor = start;
-        let mut queue: VecDeque<Action> = actions.into();
-        while let Some(action) = queue.pop_front() {
-            match action {
-                Action::Send { to, msgs } => {
-                    let desc = msgs
-                        .iter()
-                        .map(|m| m.kind_name())
-                        .collect::<Vec<_>>()
-                        .join("+");
-                    self.trace.push(TraceEvent {
-                        at: cursor,
-                        kind: TraceKind::Send {
-                            from: node,
-                            to,
-                            desc,
-                        },
-                    });
-                    if let Some(d) = self.net.delay(node, to, cursor) {
-                        self.schedule_sub(cursor + d, Ev::Deliver {
-                            from: node,
-                            to,
-                            msgs,
-                        });
-                    }
-                }
-                Action::Log { record, durability } => {
-                    self.trace.push(TraceEvent {
-                        at: cursor,
-                        kind: TraceKind::Log {
-                            node,
-                            kind: record.kind_name().to_string(),
-                            forced: durability.is_forced(),
-                        },
-                    });
-                    let forced = durability.is_forced();
-                    let force_latency = self.cfg.force_latency;
-                    let n = &mut self.nodes[node.index()];
-                    if forced && n.group.is_some() {
-                        n.log
-                            .append_deferred(StreamId::Tm, record, durability)
-                            .expect("log append");
-                        let ticket = n.next_ticket;
-                        n.next_ticket += 1;
-                        let Some(gc) = n.group.as_mut() else {
-                            unreachable!("guarded by is_some above");
-                        };
-                        let decision = gc.request(cursor, ticket);
-                        match decision {
-                            FlushDecision::FlushNow(tickets) => {
-                                n.log.note_physical_flush();
-                                cursor += force_latency;
-                                for t in tickets {
-                                    if t != ticket {
-                                        self.schedule_sub(
-                                            cursor,
-                                            Ev::ContinueBatch { node, ticket: t },
-                                        );
-                                    }
-                                }
-                            }
-                            FlushDecision::WaitUntil(deadline) => {
-                                n.suspended.insert(ticket, queue.drain(..).collect());
-                                self.schedule_sub(deadline, Ev::GroupDeadline { node });
-                                return;
-                            }
-                        }
-                    } else {
-                        n.log
-                            .append(StreamId::Tm, record, durability)
-                            .expect("log append");
-                        if forced {
-                            cursor += force_latency;
-                        }
-                    }
-                }
-                Action::PrepareLocal { txn, rm_durability } => {
-                    let n = &mut self.nodes[node.index()];
-                    if n.pending_ops.contains_key(&txn) && !n.deadlocked.contains(&txn) {
-                        // Blocked local work: finish before voting.
-                        n.prepare_waiting.insert(txn, rm_durability);
-                    } else {
-                        let vote = self.local_prepare(node, txn, rm_durability, &mut cursor);
-                        self.schedule_sub(cursor, Ev::Engine {
-                            node,
-                            event: Event::LocalPrepared { txn, vote },
-                        });
-                    }
-                }
-                Action::CommitLocal { txn, rm_durability } => {
-                    self.local_commit(node, txn, rm_durability, &mut cursor);
-                }
-                Action::AbortLocal { txn, rm_durability } => {
-                    self.local_abort(node, txn, rm_durability, &mut cursor);
-                }
-                Action::ForgetLocal { txn } => {
-                    self.local_forget(node, txn, cursor);
-                }
-                Action::NotifyOutcome {
-                    txn,
-                    outcome,
-                    report,
-                    pending,
-                } => {
-                    self.trace.push(TraceEvent {
-                        at: cursor,
-                        kind: TraceKind::Notify {
-                            node,
-                            outcome,
-                            pending,
-                        },
-                    });
-                    let started = self.txn_started.get(&txn).copied().unwrap_or(cursor);
-                    self.outcomes.push(TxnResult {
-                        txn,
-                        root: node,
-                        outcome,
-                        report,
-                        pending,
-                        started_at: started,
-                        notified_at: cursor,
-                    });
-                    let delay = self.cfg.inter_txn_delay;
-                    self.schedule_sub(cursor + delay, Ev::StartTxn);
-                }
-                Action::SetTimer { txn, kind, delay } => {
-                    let n = &mut self.nodes[node.index()];
-                    n.next_gen += 1;
-                    let gen = n.next_gen;
-                    n.timer_gen.insert((txn, kind), gen);
-                    self.sched.schedule(cursor + delay, Ev::Timer {
-                        node,
-                        txn,
-                        kind,
-                        gen,
-                    });
-                }
-                Action::CancelTimer { txn, kind } => {
-                    self.nodes[node.index()].timer_gen.remove(&(txn, kind));
-                }
-                Action::TxnEnded { txn } => {
-                    let n = &mut self.nodes[node.index()];
-                    n.pending_ops.remove(&txn);
-                    n.deadlocked.remove(&txn);
-                    n.prepare_waiting.remove(&txn);
-                }
-            }
-        }
+    fn exec_actions(&mut self, node: NodeId, actions: Vec<Action>, now: SimTime) {
+        self.with_host(node, |driver, host| {
+            driver
+                .apply(host, now, actions)
+                .unwrap_or_else(|e| panic!("action replay failed at {node}: {e}"));
+        });
     }
 
     // ------------------------------------------------------------------
@@ -844,7 +1127,7 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn deliver(&mut self, from: NodeId, to: NodeId, msgs: Vec<ProtocolMsg>, now: SimTime) {
-        if self.nodes[to.index()].crashed {
+        if self.nodes[to.index()].state.crashed {
             return;
         }
         for msg in msgs {
@@ -852,7 +1135,14 @@ impl Sim {
                 let txn = *txn;
                 let ops = decode_ops(payload).expect("well-formed work payload");
                 self.note_participation(to, txn, &ops);
-                self.exec_engine(to, Event::MsgReceived { from, msg: msg.clone() }, now);
+                self.exec_engine(
+                    to,
+                    Event::MsgReceived {
+                        from,
+                        msg: msg.clone(),
+                    },
+                    now,
+                );
                 self.run_ops(to, txn, ops.into(), now);
                 if let Some(edges) = self.edges_from.remove(&(txn, to)) {
                     for e in edges {
@@ -879,17 +1169,17 @@ impl Sim {
         }
         while let Some(op) = ops.pop_front() {
             let access = {
-                let n = &mut self.nodes[node.index()];
-                if n.rms.is_empty() {
+                let st = &mut self.nodes[node.index()].state;
+                if st.rms.is_empty() {
                     return;
                 }
                 let key = match &op {
                     Op::Read(k) | Op::Write(k, _) => k.as_slice(),
                 };
-                let idx = route_rm(key, n.rms.len());
-                let SimNode { rms, log, .. } = n;
+                let idx = route_rm(key, st.rms.len());
+                let SimNodeState { rms, log, .. } = st;
                 let slot = &mut rms[idx];
-                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                let the_log = rm_log_of(slot.log.as_mut(), log);
                 match &op {
                     Op::Read(k) => slot.rm.read(txn, k, now),
                     Op::Write(k, v) => slot.rm.write(txn, k, v.clone(), the_log, now),
@@ -899,7 +1189,7 @@ impl Sim {
                 Ok(Access::Value(_)) => {}
                 Ok(Access::Wait) => {
                     ops.push_front(op);
-                    self.nodes[node.index()].pending_ops.insert(txn, ops);
+                    self.nodes[node.index()].state.pending_ops.insert(txn, ops);
                     return;
                 }
                 Ok(Access::Deadlock) => {
@@ -907,13 +1197,13 @@ impl Sim {
                     // RM returns an error to it); it rolls back locally
                     // at every local RM, releasing its locks, and the
                     // node will vote NO when the coordinator asks.
-                    self.nodes[node.index()].deadlocked.insert(txn);
+                    self.nodes[node.index()].state.deadlocked.insert(txn);
                     let grants = {
-                        let n = &mut self.nodes[node.index()];
-                        let SimNode { rms, log, .. } = n;
+                        let st = &mut self.nodes[node.index()].state;
+                        let SimNodeState { rms, log, .. } = st;
                         let mut all = Vec::new();
                         for slot in rms.iter_mut() {
-                            let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                            let the_log = rm_log_of(slot.log.as_mut(), log);
                             all.extend(
                                 slot.rm
                                     .abort(txn, the_log, Durability::NonForced, now)
@@ -928,146 +1218,6 @@ impl Sim {
                 Err(e) => panic!("rm op failed at {node}: {e}"),
             }
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Local resource operations (engine action handlers)
-    // ------------------------------------------------------------------
-
-    fn local_prepare(
-        &mut self,
-        node: NodeId,
-        txn: TxnId,
-        rm_durability: Durability,
-        cursor: &mut SimTime,
-    ) -> LocalVote {
-        let real = self.cfg.real_mode;
-        let force_latency = self.cfg.force_latency;
-        let n = &mut self.nodes[node.index()];
-        if n.cfg.vote_no_seqs.contains(&txn.seq) || n.deadlocked.contains(&txn) {
-            return LocalVote::no();
-        }
-        let updated = if real {
-            n.rms.iter().any(|s| !s.rm.is_read_only(txn))
-        } else {
-            n.participation
-                .get(&txn)
-                .map(|p| p.updated)
-                .unwrap_or(false)
-        };
-        if !updated {
-            return LocalVote {
-                disposition: LocalDisposition::ReadOnly,
-                reliable: n.cfg.reliable,
-                suspendable: n.cfg.suspendable,
-            };
-        }
-        if real {
-            // Every updating local RM prepares (forcing its own log
-            // unless it shares the TM's — §4 Sharing the Log).
-            let SimNode { rms, log, .. } = n;
-            for slot in rms.iter_mut() {
-                if slot.rm.is_read_only(txn) {
-                    continue;
-                }
-                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
-                slot.rm
-                    .prepare(txn, the_log, rm_durability)
-                    .expect("rm prepare");
-                if rm_durability.is_forced() {
-                    *cursor += force_latency;
-                }
-            }
-        }
-        LocalVote {
-            disposition: LocalDisposition::Yes,
-            reliable: n.cfg.reliable,
-            suspendable: n.cfg.suspendable,
-        }
-    }
-
-    fn local_commit(
-        &mut self,
-        node: NodeId,
-        txn: TxnId,
-        rm_durability: Durability,
-        cursor: &mut SimTime,
-    ) {
-        if !self.cfg.real_mode {
-            return;
-        }
-        let force_latency = self.cfg.force_latency;
-        let now = *cursor;
-        let grants = {
-            let n = &mut self.nodes[node.index()];
-            let SimNode { rms, log, .. } = n;
-            let mut all = Vec::new();
-            for slot in rms.iter_mut() {
-                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
-                match slot.rm.commit(txn, the_log, rm_durability, now) {
-                    Ok(g) => {
-                        if rm_durability.is_forced() {
-                            *cursor += force_latency;
-                        }
-                        all.extend(g);
-                    }
-                    Err(tpc_common::Error::UnknownTxn(_)) => {}
-                    Err(e) => panic!("rm commit failed at {node}: {e}"),
-                }
-            }
-            all
-        };
-        self.schedule_resumes(node, grants, *cursor);
-    }
-
-    fn local_abort(
-        &mut self,
-        node: NodeId,
-        txn: TxnId,
-        rm_durability: Durability,
-        cursor: &mut SimTime,
-    ) {
-        if !self.cfg.real_mode {
-            return;
-        }
-        let force_latency = self.cfg.force_latency;
-        let now = *cursor;
-        let grants = {
-            let n = &mut self.nodes[node.index()];
-            let SimNode { rms, log, .. } = n;
-            let mut all = Vec::new();
-            for slot in rms.iter_mut() {
-                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
-                match slot.rm.abort(txn, the_log, rm_durability, now) {
-                    Ok(g) => {
-                        if rm_durability.is_forced() {
-                            *cursor += force_latency;
-                        }
-                        all.extend(g);
-                    }
-                    Err(e) => panic!("rm abort failed at {node}: {e}"),
-                }
-            }
-            all
-        };
-        self.schedule_resumes(node, grants, *cursor);
-    }
-
-    fn local_forget(&mut self, node: NodeId, txn: TxnId, now: SimTime) {
-        if !self.cfg.real_mode {
-            return;
-        }
-        let grants = {
-            let n = &mut self.nodes[node.index()];
-            let mut all = Vec::new();
-            for slot in n.rms.iter_mut() {
-                if let Ok(g) = slot.rm.forget_read_only(txn, now) {
-                    all.extend(g);
-                }
-            }
-            all
-        };
-        self.schedule_resumes(node, grants, now);
     }
 
     fn schedule_resumes(
@@ -1089,16 +1239,16 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn gc_deadline(&mut self, node: NodeId, now: SimTime) {
-        if self.nodes[node.index()].crashed {
+        if self.nodes[node.index()].state.crashed {
             return;
         }
         let released = {
-            let n = &mut self.nodes[node.index()];
-            let Some(gc) = n.group.as_mut() else { return };
+            let st = &mut self.nodes[node.index()].state;
+            let Some(gc) = st.group.as_mut() else { return };
             gc.expire(now)
         };
         if let Some(tickets) = released {
-            self.nodes[node.index()].log.note_physical_flush();
+            self.nodes[node.index()].state.log.note_physical_flush();
             let resume_at = now + self.cfg.force_latency;
             for t in tickets {
                 self.schedule_sub(resume_at, Ev::ContinueBatch { node, ticket: t });
@@ -1117,27 +1267,28 @@ impl Sim {
         });
         self.net.set_crashed(node, true);
         let n = &mut self.nodes[node.index()];
-        n.crashed = true;
-        n.log.crash();
-        for slot in n.rms.iter_mut() {
+        n.state.crashed = true;
+        n.state.log.crash();
+        for slot in n.state.rms.iter_mut() {
             if let Some(rl) = slot.log.as_mut() {
                 rl.crash();
             }
             slot.rm.crash();
         }
-        n.timer_gen.clear();
-        n.pending_ops.clear();
-        n.prepare_waiting.clear();
-        n.suspended.clear();
-        n.deadlocked.clear();
-        if let Some(gc) = n.group.as_mut() {
+        n.driver.clear_timers();
+        n.state.pending_ops.clear();
+        n.state.prepare_waiting.clear();
+        n.state.suspended.clear();
+        n.state.suspending_ticket = None;
+        n.state.deadlocked.clear();
+        if let Some(gc) = n.state.group.as_mut() {
             let _ = gc.drain();
         }
         // LU 6.2 conversation-failure notification: surviving partners
         // learn the conversation broke and abort work that has not voted.
         for i in 0..self.nodes.len() {
             let peer = NodeId(i as u32);
-            if peer == node || self.nodes[i].crashed {
+            if peer == node || self.nodes[i].state.crashed {
                 continue;
             }
             self.exec_engine(peer, Event::PartnerFailed { peer: node }, now);
@@ -1151,66 +1302,66 @@ impl Sim {
         });
         self.net.set_crashed(node, false);
         let engine_cfg = self.nodes[node.index()].engine_config(node);
-        let partners = self.nodes[node.index()].partners.clone();
+        let partners = self.nodes[node.index()].state.partners.clone();
         {
             let n = &mut self.nodes[node.index()];
-            n.crashed = false;
-            n.log.restart();
-            for slot in n.rms.iter_mut() {
+            n.state.crashed = false;
+            n.state.log.restart();
+            for slot in n.state.rms.iter_mut() {
                 if let Some(rl) = slot.log.as_mut() {
                     rl.restart();
                 }
             }
-            n.engine = TmEngine::new(engine_cfg).expect("valid config");
+            n.driver = Driver::new(engine_cfg).expect("valid config");
             for p in partners {
-                n.engine.add_session_partner(p);
+                n.driver.engine_mut().add_session_partner(p);
             }
         }
 
         // Resource-manager recovery first, so the engine's re-driven
         // CommitLocal/AbortLocal actions find consistent RM state.
         if self.cfg.real_mode {
-            let n = &mut self.nodes[node.index()];
-            let SimNode { rms, log, .. } = n;
+            let st = &mut self.nodes[node.index()].state;
+            let SimNodeState { rms, log, .. } = st;
             for slot in rms.iter_mut() {
-                let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
-                let durable = the_log.durable_records();
+                let durable = rm_log_of(slot.log.as_mut(), log).durable_records();
                 slot.rm.recover(&durable, now).expect("rm recovery");
             }
         }
 
         let actions = {
             let n = &mut self.nodes[node.index()];
-            let durable = n.log.durable_records();
-            n.engine.recover(&durable, now).expect("engine recovery")
+            let durable = n.state.log.durable_records();
+            n.driver.recover(&durable, now).expect("engine recovery")
         };
 
         // Now resolve RM in-doubt transactions against the recovered TM.
         if self.cfg.real_mode {
-            let rm_count = self.nodes[node.index()].rms.len();
+            let rm_count = self.nodes[node.index()].state.rms.len();
             for idx in 0..rm_count {
                 let outcomes: Vec<(TxnId, Option<tpc_common::Outcome>, bool)> = {
                     let n = &self.nodes[node.index()];
-                    n.rms[idx]
+                    let engine = n.driver.engine();
+                    n.state.rms[idx]
                         .rm
                         .in_doubt()
                         .into_iter()
                         .map(|t| {
                             (
                                 t,
-                                n.engine.finished_outcome(t).or_else(|| {
-                                    n.engine.seat(t).and_then(|s| s.outcome)
-                                }),
-                                n.engine.seat(t).is_some(),
+                                engine
+                                    .finished_outcome(t)
+                                    .or_else(|| engine.seat(t).and_then(|s| s.outcome)),
+                                engine.seat(t).is_some(),
                             )
                         })
                         .collect()
                 };
                 for (txn, outcome, seat_alive) in outcomes {
-                    let n = &mut self.nodes[node.index()];
-                    let SimNode { rms, log, .. } = n;
+                    let st = &mut self.nodes[node.index()].state;
+                    let SimNodeState { rms, log, .. } = st;
                     let slot = &mut rms[idx];
-                    let the_log: &mut MemLog = slot.log.as_mut().unwrap_or(log);
+                    let the_log = rm_log_of(slot.log.as_mut(), log);
                     match outcome {
                         Some(tpc_common::Outcome::Commit) => {
                             let _ = slot.rm.commit(txn, the_log, Durability::Forced, now);
@@ -1242,19 +1393,19 @@ impl Sim {
         let mut per_node = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
             let node = NodeId(i as u32);
-            let (tm_writes, tm_forced) = n.log.stream_counts(StreamId::Tm);
+            let (tm_writes, tm_forced) = n.state.log.stream_counts(StreamId::Tm);
             let mut rm_writes = 0;
             let mut rm_forced = 0;
-            let mut physical_flushes = n.log.stats().physical_flushes;
+            let mut physical_flushes = n.state.log.stats().physical_flushes;
             let mut locks = tpc_locks::LockStats::default();
-            for (idx, slot) in n.rms.iter().enumerate() {
+            for (idx, slot) in n.state.rms.iter().enumerate() {
                 let stream = StreamId::Rm(idx as u16);
                 let (w, f) = match &slot.log {
                     Some(rl) => {
                         physical_flushes += rl.stats().physical_flushes;
                         rl.stream_counts(stream)
                     }
-                    None => n.log.stream_counts(stream),
+                    None => n.state.log.stream_counts(stream),
                 };
                 rm_writes += w;
                 rm_forced += f;
@@ -1275,7 +1426,7 @@ impl Sim {
                 rm_writes,
                 rm_forced,
                 physical_flushes,
-                engine: n.engine.metrics(),
+                engine: n.driver.engine().metrics(),
                 locks,
             });
         }
@@ -1294,14 +1445,14 @@ impl Sim {
         self.nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| (NodeId(i as u32), &n.engine))
+            .map(|(i, n)| (NodeId(i as u32), n.driver.engine()))
     }
 
     pub(crate) fn rms_of(&self, node: NodeId) -> impl Iterator<Item = &ResourceManager> {
-        self.nodes[node.index()].rms.iter().map(|s| &s.rm)
+        self.nodes[node.index()].state.rms.iter().map(|s| &s.rm)
     }
 
     pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].crashed
+        self.nodes[node.index()].state.crashed
     }
 }

@@ -154,8 +154,16 @@ mod tests {
             ("fig8", fig8_vote_reliable()),
         ] {
             let report = sim.run();
-            assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
-            assert!(report.unresolved.is_empty(), "{name}: {:?}", report.unresolved);
+            assert!(
+                report.violations.is_empty(),
+                "{name}: {:?}",
+                report.violations
+            );
+            assert!(
+                report.unresolved.is_empty(),
+                "{name}: {:?}",
+                report.unresolved
+            );
             assert!(
                 report.outcomes.iter().all(|o| o.outcome == Outcome::Commit),
                 "{name}"

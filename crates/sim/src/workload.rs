@@ -95,12 +95,8 @@ impl TxnSpec {
             commit: true,
         };
         for s in subs {
-            spec.edges.push(WorkEdge::update(
-                root,
-                *s,
-                &format!("{tag}/n{}", s.0),
-                tag,
-            ));
+            spec.edges
+                .push(WorkEdge::update(root, *s, &format!("{tag}/n{}", s.0), tag));
         }
         spec
     }
@@ -134,19 +130,11 @@ mod tests {
 
     #[test]
     fn star_builder_shapes() {
-        let spec = TxnSpec::star_mixed(
-            NodeId(0),
-            &[NodeId(1)],
-            &[NodeId(2)],
-            "t1",
-        );
+        let spec = TxnSpec::star_mixed(NodeId(0), &[NodeId(1)], &[NodeId(2)], "t1");
         assert_eq!(spec.edges.len(), 2);
         assert!(spec.edges[0].ops[0].is_update());
         assert!(!spec.edges[1].ops[0].is_update());
-        assert_eq!(
-            spec.participants(),
-            vec![NodeId(0), NodeId(1), NodeId(2)]
-        );
+        assert_eq!(spec.participants(), vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
     #[test]

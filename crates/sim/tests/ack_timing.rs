@@ -17,16 +17,20 @@ fn chain(protocol: ProtocolKind, opts: OptimizationConfig, reliable_leaf: bool) 
     let cfg = NodeConfig::new(protocol).with_opts(opts);
     let n0 = sim.add_node(cfg.clone());
     let n1 = sim.add_node(cfg.clone().reliable());
-    let n2 = sim.add_node(if reliable_leaf {
-        cfg.reliable()
-    } else {
-        cfg
-    });
+    let n2 = sim.add_node(if reliable_leaf { cfg.reliable() } else { cfg });
     sim.declare_partner(n0, n1);
     sim.declare_partner(n1, n2);
     // Slow far hop: 40 ms each way.
-    sim.set_link(n1, n2, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
-    sim.set_link(n2, n1, tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)));
+    sim.set_link(
+        n1,
+        n2,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)),
+    );
+    sim.set_link(
+        n2,
+        n1,
+        tpc_simnet::LatencyModel::Fixed(SimDuration::from_millis(40)),
+    );
     let spec = TxnSpec::local_update(n0, "r", "1")
         .with_edge(WorkEdge::update(n0, n1, "m", "1"))
         .with_edge(WorkEdge::update(n1, n2, "l", "1"));

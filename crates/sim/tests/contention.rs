@@ -30,7 +30,8 @@ fn run_contended(
     };
     let server = sim.add_node(server_cfg);
     for i in 0..ROOTS {
-        let root = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(root_opts.clone()));
+        let root =
+            sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(root_opts.clone()));
         sim.declare_partner(root, server);
         sim.push_txn_at(
             TxnSpec {
@@ -80,8 +81,7 @@ fn last_agent_releases_the_hot_lock_sooner() {
     // With the server as last agent, it decides the outcome itself and
     // releases the hot lock without waiting for a decision round trip.
     let (base, base_wait) = run_contended(OptimizationConfig::none(), false);
-    let (la, la_wait) =
-        run_contended(OptimizationConfig::none().with_last_agent(true), false);
+    let (la, la_wait) = run_contended(OptimizationConfig::none().with_last_agent(true), false);
     assert!(
         la < base,
         "last agent should shrink the makespan: {la} vs {base}"

@@ -39,12 +39,7 @@ fn chain_with_partitioned_leaf(
     sim.push_txn(spec);
     // Cut N1↔N2 after the leaf has voted (~24 ms in) but before the
     // commit decision reaches it; heal at 500 ms.
-    sim.partition(
-        n1,
-        n2,
-        SimTime(25_000),
-        Some(SimTime(500_000)),
-    );
+    sim.partition(n1, n2, SimTime(25_000), Some(SimTime(500_000)));
     let report = sim.run();
     (report, n0, n1, n2)
 }
@@ -201,7 +196,10 @@ fn wait_for_outcome_completes_with_pending_indication() {
     let report = sim.run();
     let result = report.single();
     assert_eq!(result.outcome, Outcome::Commit);
-    assert!(result.pending, "completion must carry the pending indication");
+    assert!(
+        result.pending,
+        "completion must carry the pending indication"
+    );
     assert!(
         result.report.outcome_pending.contains(&n1),
         "the unreachable subordinate is named: {:?}",

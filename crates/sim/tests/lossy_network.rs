@@ -15,13 +15,11 @@ fn fast() -> Timeouts {
 }
 
 fn run_lossy(protocol: ProtocolKind, loss: f64, seed: u64, txns: usize) -> (usize, usize) {
-    let mut sim = Sim::new(
-        SimConfig {
-            seed,
-            horizon: SimDuration::from_secs(300),
-            ..SimConfig::default()
-        },
-    );
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        horizon: SimDuration::from_secs(300),
+        ..SimConfig::default()
+    });
     let cfg = NodeConfig::new(protocol).with_timeouts(fast());
     let n0 = sim.add_node(cfg.clone());
     let n1 = sim.add_node(cfg.clone());

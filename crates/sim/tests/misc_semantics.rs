@@ -133,9 +133,7 @@ fn work_to_an_unknown_transaction_after_completion_is_harmless() {
     let n1 = sim.add_node(cfg);
     sim.declare_partner(n0, n1);
     sim.push_txn(TxnSpec::star_update(n0, &[n1], "t1"));
-    sim.push_txn(
-        TxnSpec::local_update(n0, "k", "v").with_edge(WorkEdge::update(n0, n1, "x", "y")),
-    );
+    sim.push_txn(TxnSpec::local_update(n0, "k", "v").with_edge(WorkEdge::update(n0, n1, "x", "y")));
     let report = sim.run();
     report.assert_clean();
     assert_eq!(report.outcomes.len(), 2);

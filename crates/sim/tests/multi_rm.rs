@@ -86,7 +86,11 @@ fn shared_log_savings_scale_per_lrm() {
 #[test]
 fn multi_rm_recovery_rebuilds_every_store() {
     use tpc_common::{SimDuration, SimTime};
-    let mut sim = Sim::new(SimConfig::default().real().with_horizon(SimDuration::from_secs(20)));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .real()
+            .with_horizon(SimDuration::from_secs(20)),
+    );
     let root = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort));
     let server = sim.add_node(NodeConfig::new(ProtocolKind::PresumedAbort).with_rms(3));
     sim.declare_partner(root, server);

@@ -17,16 +17,15 @@ fn run_binary_tree(protocol: ProtocolKind, opts: OptimizationConfig) -> (Sim, Ru
     }
     let mut spec = TxnSpec::local_update(ids[0], "k0", "v");
     for (a, b) in edges {
-        spec = spec.with_edge(WorkEdge::update(
-            ids[a],
-            ids[b],
-            &format!("k{b}"),
-            "v",
-        ));
+        spec = spec.with_edge(WorkEdge::update(ids[a], ids[b], &format!("k{b}"), "v"));
     }
     sim.push_txn(spec);
     let report = sim.run();
-    assert!(report.violations.is_empty(), "{protocol}: {:?}", report.violations);
+    assert!(
+        report.violations.is_empty(),
+        "{protocol}: {:?}",
+        report.violations
+    );
     (sim, report)
 }
 
@@ -106,9 +105,7 @@ fn pc_commit_beats_pa_commit_on_flows() {
         report.assert_clean();
         report.protocol_flows()
     };
-    assert!(
-        run_commit(ProtocolKind::PresumedCommit) < run_commit(ProtocolKind::PresumedAbort)
-    );
+    assert!(run_commit(ProtocolKind::PresumedCommit) < run_commit(ProtocolKind::PresumedAbort));
 }
 
 #[test]
@@ -142,7 +139,10 @@ fn read_only_cascade_collapses_a_whole_subtree() {
     assert_eq!(mid_report.tm_writes, 0);
     assert_eq!(leaf_report.tm_writes, 0);
     // ... and exchanged exactly two flows each (prepare down, RO vote up).
-    assert_eq!(mid_report.engine.frames_sent - mid_report.engine.work_frames, 2);
+    assert_eq!(
+        mid_report.engine.frames_sent - mid_report.engine.work_frames,
+        2
+    );
     assert_eq!(
         leaf_report.engine.frames_sent - leaf_report.engine.work_frames,
         1,

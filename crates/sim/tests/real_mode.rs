@@ -5,7 +5,6 @@ use tpc_common::config::GroupCommitConfig;
 use tpc_common::{OptimizationConfig, Outcome, ProtocolKind, SimDuration, SimTime};
 use tpc_sim::{NodeConfig, Op, Sim, SimConfig, TxnSpec, WorkEdge};
 
-
 fn store_value(sim: &Sim, node: tpc_common::NodeId, key: &str) -> Option<Vec<u8>> {
     sim.rm(node)
         .expect("real mode")
@@ -88,8 +87,12 @@ fn sequential_transactions_see_each_others_effects() {
     let n0 = sim.add_node(cfg.clone());
     let n1 = sim.add_node(cfg);
     sim.declare_partner(n0, n1);
-    sim.push_txn(TxnSpec::local_update(n0, "k", "v1").with_edge(WorkEdge::update(n0, n1, "r", "1")));
-    sim.push_txn(TxnSpec::local_update(n0, "k", "v2").with_edge(WorkEdge::update(n0, n1, "r", "2")));
+    sim.push_txn(
+        TxnSpec::local_update(n0, "k", "v1").with_edge(WorkEdge::update(n0, n1, "r", "1")),
+    );
+    sim.push_txn(
+        TxnSpec::local_update(n0, "k", "v2").with_edge(WorkEdge::update(n0, n1, "r", "2")),
+    );
     sim.push_txn(TxnSpec {
         root: n0,
         root_ops: vec![Op::del("k")],
@@ -245,7 +248,11 @@ fn shared_log_crash_between_rm_write_and_tm_force_stays_atomic() {
     // The subordinate crashes right after the (unforced, shared-log) RM
     // prepared record but before the TM prepared force: recovery must
     // find nothing and the transaction aborts cleanly.
-    let mut sim = Sim::new(SimConfig::default().real().with_horizon(SimDuration::from_secs(20)));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .real()
+            .with_horizon(SimDuration::from_secs(20)),
+    );
     let opts = OptimizationConfig::none().with_shared_log(true);
     let timeouts = tpc_core::Timeouts {
         vote_collection: SimDuration::from_secs(1),
@@ -273,7 +280,11 @@ fn shared_log_crash_between_rm_write_and_tm_force_stays_atomic() {
 fn crashed_subordinate_recovers_committed_data_from_its_log() {
     // Commit fully; crash the subordinate afterwards; restart: the store
     // is rebuilt from the durable log (redo).
-    let mut sim = Sim::new(SimConfig::default().real().with_horizon(SimDuration::from_secs(20)));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .real()
+            .with_horizon(SimDuration::from_secs(20)),
+    );
     let cfg = NodeConfig::new(ProtocolKind::PresumedAbort);
     let n0 = sim.add_node(cfg.clone());
     let n1 = sim.add_node(cfg);
@@ -337,5 +348,176 @@ fn group_commit_batches_concurrent_forces() {
             store_value(&sim, server, &format!("k{i}")),
             Some(b"v".to_vec())
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sim ↔ live equivalence: both harnesses interpret engine actions
+// through the one shared driver in tpc-core, so for the same scenario
+// they must produce *identical* flow and log-write counts per node.
+// ---------------------------------------------------------------------
+
+mod equivalence {
+    use super::*;
+    use tpc_common::NodeId;
+    use tpc_runtime::{LiveCluster, LiveNodeConfig};
+
+    /// The scenario both harnesses run: root n0 updates locally, n1
+    /// updates, n2 updates — or only reads when `readonly_sub` (the
+    /// read-only-optimization variant, where n2's vote drops it from
+    /// Phase 2).
+    const ROOT_KEY: &str = "r";
+    const N1_KEY: &str = "a";
+    const N2_KEY: &str = "b";
+
+    struct PerNode {
+        flows_sent: u64,
+        log_writes: u64,
+        forced_writes: u64,
+        rm_forced: u64,
+    }
+
+    fn run_sim(
+        protocol: ProtocolKind,
+        opts: &OptimizationConfig,
+        readonly_sub: bool,
+    ) -> Vec<PerNode> {
+        let mut sim = Sim::new(SimConfig::default().real());
+        let cfg = NodeConfig::new(protocol).with_opts(opts.clone());
+        let n0 = sim.add_node(cfg.clone());
+        let n1 = sim.add_node(cfg.clone());
+        let n2 = sim.add_node(cfg);
+        sim.declare_partner(n0, n1);
+        sim.declare_partner(n0, n2);
+        let mut spec = TxnSpec::local_update(n0, ROOT_KEY, "v")
+            .with_edge(WorkEdge::update(n0, n1, N1_KEY, "1"));
+        spec = if readonly_sub {
+            spec.with_edge(WorkEdge::read(n0, n2, N2_KEY))
+        } else {
+            spec.with_edge(WorkEdge::update(n0, n2, N2_KEY, "2"))
+        };
+        sim.push_txn(spec);
+        let report = sim.run();
+        report.assert_clean();
+        assert_eq!(report.single().outcome, Outcome::Commit, "{protocol} (sim)");
+        [n0, n1, n2]
+            .iter()
+            .map(|&n| {
+                let stats = sim.driver_stats(n);
+                let rm_forced = report
+                    .per_node
+                    .iter()
+                    .find(|r| r.node == n)
+                    .map(|r| r.rm_forced)
+                    .unwrap();
+                PerNode {
+                    flows_sent: stats.flows_sent,
+                    log_writes: stats.log_writes,
+                    forced_writes: stats.forced_writes,
+                    rm_forced,
+                }
+            })
+            .collect()
+    }
+
+    fn run_live(
+        protocol: ProtocolKind,
+        opts: &OptimizationConfig,
+        readonly_sub: bool,
+    ) -> Vec<PerNode> {
+        let cfg = LiveNodeConfig::new(protocol).with_opts(opts.clone());
+        let c = LiveCluster::start_with_topology(vec![cfg; 3], &[(0, 1), (0, 2)]);
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(0), vec![Op::put(ROOT_KEY, "v")]);
+        t.work(NodeId(1), vec![Op::put(N1_KEY, "1")]);
+        if readonly_sub {
+            t.work(NodeId(2), vec![Op::get(N2_KEY)]);
+        } else {
+            t.work(NodeId(2), vec![Op::put(N2_KEY, "2")]);
+        }
+        let result = t.commit();
+        assert_eq!(result.outcome, Outcome::Commit, "{protocol} (live)");
+        assert!(result.report.is_clean());
+        // The root's reply races the tail of Phase 2 (acks, End records):
+        // wait for every node to fully retire the transaction before
+        // freezing counters.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let done = (0..3).all(|i| {
+                c.summary(NodeId(i))
+                    .map(|s| s.active_txns == 0)
+                    .unwrap_or(false)
+            });
+            if done || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        c.shutdown()
+            .into_iter()
+            .map(|s| PerNode {
+                flows_sent: s.driver.flows_sent,
+                log_writes: s.driver.log_writes,
+                forced_writes: s.driver.forced_writes,
+                rm_forced: s.rm_log.forced_writes,
+            })
+            .collect()
+    }
+
+    fn assert_equivalent(protocol: ProtocolKind, opts: OptimizationConfig, readonly_sub: bool) {
+        let sim = run_sim(protocol, &opts, readonly_sub);
+        let live = run_live(protocol, &opts, readonly_sub);
+        assert_eq!(sim.len(), live.len());
+        for (i, (s, l)) in sim.iter().zip(live.iter()).enumerate() {
+            let ctx = format!("{protocol}, readonly_sub={readonly_sub}, node {i}");
+            assert_eq!(s.flows_sent, l.flows_sent, "flows diverge: {ctx}");
+            assert_eq!(s.log_writes, l.log_writes, "log writes diverge: {ctx}");
+            assert_eq!(
+                s.forced_writes, l.forced_writes,
+                "forced writes diverge: {ctx}"
+            );
+            assert_eq!(s.rm_forced, l.rm_forced, "RM forces diverge: {ctx}");
+        }
+    }
+
+    #[test]
+    fn sim_and_live_counts_match_no_opts() {
+        for protocol in [
+            ProtocolKind::Basic,
+            ProtocolKind::PresumedAbort,
+            ProtocolKind::PresumedNothing,
+        ] {
+            assert_equivalent(protocol, OptimizationConfig::none(), false);
+        }
+    }
+
+    #[test]
+    fn sim_and_live_counts_match_read_only() {
+        for protocol in [
+            ProtocolKind::Basic,
+            ProtocolKind::PresumedAbort,
+            ProtocolKind::PresumedNothing,
+        ] {
+            assert_equivalent(
+                protocol,
+                OptimizationConfig::none().with_read_only(true),
+                true,
+            );
+        }
+    }
+
+    #[test]
+    fn sim_and_live_counts_match_last_agent() {
+        for protocol in [
+            ProtocolKind::Basic,
+            ProtocolKind::PresumedAbort,
+            ProtocolKind::PresumedNothing,
+        ] {
+            assert_equivalent(
+                protocol,
+                OptimizationConfig::none().with_last_agent(true),
+                false,
+            );
+        }
     }
 }

@@ -26,7 +26,9 @@ fn fast_timeouts() -> Timeouts {
 
 /// Coordinator crashes after the subordinate prepared but before any
 /// decision was logged.
-fn coordinator_crash_mid_vote(protocol: ProtocolKind) -> (Sim, tpc_common::NodeId, tpc_common::NodeId) {
+fn coordinator_crash_mid_vote(
+    protocol: ProtocolKind,
+) -> (Sim, tpc_common::NodeId, tpc_common::NodeId) {
     let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(20)));
     let cfg = NodeConfig::new(protocol).with_timeouts(fast_timeouts());
     let n0 = sim.add_node(cfg.clone());

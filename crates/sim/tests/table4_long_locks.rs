@@ -26,7 +26,11 @@ fn run_sequence(cfg0: NodeConfig, cfg1: NodeConfig, alternate_roots: bool) -> Ru
         sim.declare_partner(n1, n0);
     }
     for i in 0..R {
-        let root = if alternate_roots && i % 2 == 1 { n1 } else { n0 };
+        let root = if alternate_roots && i % 2 == 1 {
+            n1
+        } else {
+            n0
+        };
         let other = if root == n0 { n1 } else { n0 };
         sim.push_txn(TxnSpec::star_update(root, &[other], &format!("t{i}")));
     }

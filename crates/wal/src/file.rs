@@ -221,7 +221,8 @@ mod tests {
         let path = tmp("basic");
         {
             let mut log = FileLog::create(&path).unwrap();
-            log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
             log.append(StreamId::Rm(2), end(2), Durability::Forced)
                 .unwrap();
         }
@@ -251,8 +252,10 @@ mod tests {
         let path = tmp("torn");
         {
             let mut log = FileLog::create(&path).unwrap();
-            log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
-            log.append(StreamId::Tm, end(2), Durability::Forced).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
+            log.append(StreamId::Tm, end(2), Durability::Forced)
+                .unwrap();
         }
         // Corrupt the second frame's payload byte.
         let mut raw = std::fs::read(&path).unwrap();
@@ -271,7 +274,8 @@ mod tests {
         let path = tmp("shorthdr");
         {
             let mut log = FileLog::create(&path).unwrap();
-            log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
         }
         let mut raw = std::fs::read(&path).unwrap();
         raw.extend_from_slice(&[0x12, 0x34]); // partial next header
@@ -285,11 +289,13 @@ mod tests {
         let path = tmp("continue");
         {
             let mut log = FileLog::create(&path).unwrap();
-            log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
         }
         {
             let mut log = FileLog::open(&path).unwrap();
-            log.append(StreamId::Tm, end(2), Durability::Forced).unwrap();
+            log.append(StreamId::Tm, end(2), Durability::Forced)
+                .unwrap();
         }
         let recovered = scan(&path).unwrap();
         assert_eq!(recovered.len(), 2);
@@ -303,7 +309,8 @@ mod tests {
         let mut log = FileLog::create(&path).unwrap();
         log.append(StreamId::Tm, end(1), Durability::NonForced)
             .unwrap();
-        log.append(StreamId::Tm, end(2), Durability::Forced).unwrap();
+        log.append(StreamId::Tm, end(2), Durability::Forced)
+            .unwrap();
         let s = log.stats();
         assert_eq!(s.writes, 2);
         assert_eq!(s.forced_writes, 1);

@@ -85,8 +85,12 @@ impl LogStats {
 /// contract the *Sharing the Log* optimization exploits).
 pub trait LogManager {
     /// Appends a record; returns its LSN.
-    fn append(&mut self, stream: StreamId, record: LogRecord, durability: Durability)
-        -> Result<Lsn>;
+    fn append(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn>;
 
     /// Forces everything appended so far to stable storage.
     fn flush(&mut self) -> Result<()>;

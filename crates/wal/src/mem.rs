@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn forced_append_is_durable_immediately() {
         let mut log = MemLog::new();
-        log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+        log.append(StreamId::Tm, end(1), Durability::Forced)
+            .unwrap();
         assert_eq!(log.durable_records().len(), 1);
         assert_eq!(log.stats().forced_writes, 1);
         assert_eq!(log.stats().physical_flushes, 1);
@@ -217,7 +218,8 @@ mod tests {
         let mut log = MemLog::new();
         log.append(StreamId::Rm(0), end(1), Durability::NonForced)
             .unwrap();
-        log.append(StreamId::Tm, end(2), Durability::Forced).unwrap();
+        log.append(StreamId::Tm, end(2), Durability::Forced)
+            .unwrap();
         let durable = log.durable_records();
         assert_eq!(durable.len(), 2);
         assert_eq!(durable[0].1, StreamId::Rm(0));
@@ -227,7 +229,8 @@ mod tests {
     #[test]
     fn crash_loses_volatile_tail_only() {
         let mut log = MemLog::new();
-        log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+        log.append(StreamId::Tm, end(1), Durability::Forced)
+            .unwrap();
         log.append(StreamId::Tm, end(2), Durability::NonForced)
             .unwrap();
         log.crash();
@@ -246,20 +249,22 @@ mod tests {
             .is_err());
         assert!(log.flush().is_err());
         log.restart();
-        assert!(log
-            .append(StreamId::Tm, end(1), Durability::Forced)
-            .is_ok());
+        assert!(log.append(StreamId::Tm, end(1), Durability::Forced).is_ok());
     }
 
     #[test]
     fn lsns_are_monotonic_across_restart() {
         let mut log = MemLog::new();
-        let a = log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+        let a = log
+            .append(StreamId::Tm, end(1), Durability::Forced)
+            .unwrap();
         log.append(StreamId::Tm, end(2), Durability::NonForced)
             .unwrap();
         log.crash();
         log.restart();
-        let c = log.append(StreamId::Tm, end(3), Durability::Forced).unwrap();
+        let c = log
+            .append(StreamId::Tm, end(3), Durability::Forced)
+            .unwrap();
         assert!(c > a);
         // LSN of the lost record may be reused; durable order stays correct.
         let durable = log.durable_records();
@@ -298,7 +303,8 @@ mod tests {
     #[test]
     fn stats_track_bytes() {
         let mut log = MemLog::new();
-        log.append(StreamId::Tm, end(1), Durability::Forced).unwrap();
+        log.append(StreamId::Tm, end(1), Durability::Forced)
+            .unwrap();
         assert!(log.stats().bytes > 0);
     }
 }

@@ -8,10 +8,7 @@ use tpc_wal::file::{scan, FileLog};
 use tpc_wal::{Durability, LogManager, LogRecord, StreamId};
 
 fn tmp(tag: u64) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "tpc-wal-prop-{}-{tag}.log",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("tpc-wal-prop-{}-{tag}.log", std::process::id()))
 }
 
 proptest! {

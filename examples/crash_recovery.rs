@@ -10,7 +10,9 @@ use twopc::prelude::*;
 use twopc::sim::{protocol_only, render_trace};
 
 fn coordinator_crash() {
-    println!("=== PN coordinator crashes mid-voting; its commit-pending record drives recovery ===\n");
+    println!(
+        "=== PN coordinator crashes mid-voting; its commit-pending record drives recovery ===\n"
+    );
     let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(20)));
     let timeouts = twopc::core::Timeouts {
         vote_collection: SimDuration::from_secs(2),
@@ -37,7 +39,9 @@ fn coordinator_crash() {
 }
 
 fn heuristic_damage() {
-    println!("=== a partitioned leaf decides heuristically; PN reports the damage to the root ===\n");
+    println!(
+        "=== a partitioned leaf decides heuristically; PN reports the damage to the root ===\n"
+    );
     let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(30)));
     let timeouts = twopc::core::Timeouts {
         vote_collection: SimDuration::from_secs(5),
@@ -47,9 +51,8 @@ fn heuristic_damage() {
     let cfg = NodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(timeouts);
     let n0 = sim.add_node(cfg.clone());
     let n1 = sim.add_node(cfg.clone());
-    let n2 = sim.add_node(
-        cfg.with_heuristic(HeuristicPolicy::AbortAfter(SimDuration::from_millis(100))),
-    );
+    let n2 = sim
+        .add_node(cfg.with_heuristic(HeuristicPolicy::AbortAfter(SimDuration::from_millis(100))));
     sim.declare_partner(n0, n1);
     sim.declare_partner(n1, n2);
     sim.push_txn(
@@ -63,7 +66,10 @@ fn heuristic_damage() {
     let report = sim.run();
     let result = report.single();
     println!("global outcome     : {}", result.outcome);
-    println!("damaged participants reported to the root: {:?}", result.report.damaged);
+    println!(
+        "damaged participants reported to the root: {:?}",
+        result.report.damaged
+    );
     println!(
         "heuristic decisions: {}, of which damaging: {}",
         report.cluster_metrics().heuristic_decisions,

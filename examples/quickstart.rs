@@ -18,7 +18,10 @@ fn main() {
     // Move 10 units from alice (node 1) to bob (node 2), with an audit
     // record at the coordinator (node 0) — atomically.
     let txn = cluster.begin(NodeId(0));
-    txn.work(NodeId(0), vec![Op::put("audit/transfer-1", "alice->bob:10")]);
+    txn.work(
+        NodeId(0),
+        vec![Op::put("audit/transfer-1", "alice->bob:10")],
+    );
     txn.work(NodeId(1), vec![Op::put("accounts/alice", "90")]);
     txn.work(NodeId(2), vec![Op::put("accounts/bob", "110")]);
     let result = txn.commit();

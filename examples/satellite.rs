@@ -29,8 +29,16 @@ fn run(last_agent: bool) -> SimDuration {
     for n in [local_a, local_b, remote] {
         sim.declare_partner(hq, n);
     }
-    sim.set_link(hq, remote, twopc::simnet::LatencyModel::Fixed(SATELLITE_HOP));
-    sim.set_link(remote, hq, twopc::simnet::LatencyModel::Fixed(SATELLITE_HOP));
+    sim.set_link(
+        hq,
+        remote,
+        twopc::simnet::LatencyModel::Fixed(SATELLITE_HOP),
+    );
+    sim.set_link(
+        remote,
+        hq,
+        twopc::simnet::LatencyModel::Fixed(SATELLITE_HOP),
+    );
 
     let spec = TxnSpec {
         root: hq,

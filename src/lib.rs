@@ -69,8 +69,8 @@ pub use tpc_wal as wal;
 /// The names most programs need.
 pub mod prelude {
     pub use tpc_common::{
-        AckMode, DamageReport, HeuristicOutcome, HeuristicPolicy, NodeId, Op,
-        OptimizationConfig, Outcome, ProtocolKind, SimDuration, SimTime, TxnId, Vote, VoteFlags,
+        AckMode, DamageReport, HeuristicOutcome, HeuristicPolicy, NodeId, Op, OptimizationConfig,
+        Outcome, ProtocolKind, SimDuration, SimTime, TxnId, Vote, VoteFlags,
     };
     pub use tpc_core::{EngineConfig, TmEngine};
     pub use tpc_runtime::{CommitResult, LiveCluster, LiveNodeConfig};

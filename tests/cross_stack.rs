@@ -82,16 +82,11 @@ fn facade_reexports_compose() {
     let a = sim.add_node(NodeConfig::new(ProtocolKind::PresumedNothing));
     let b = sim.add_node(NodeConfig::new(ProtocolKind::PresumedNothing));
     sim.declare_partner(a, b);
-    sim.push_txn(
-        TxnSpec::local_update(a, "k", "1").with_edge(WorkEdge::update(a, b, "r", "2")),
-    );
+    sim.push_txn(TxnSpec::local_update(a, "k", "1").with_edge(WorkEdge::update(a, b, "r", "2")));
     let report = sim.run();
     report.assert_clean();
     assert_eq!(report.single().outcome, Outcome::Commit);
-    assert_eq!(
-        sim.rm(b).unwrap().store().get(b"r"),
-        Some(&b"2"[..])
-    );
+    assert_eq!(sim.rm(b).unwrap().store().get(b"r"), Some(&b"2"[..]));
 }
 
 #[test]
@@ -133,12 +128,7 @@ fn all_optimizations_stack_together() {
     sim.declare_partner(n0, n1);
     sim.declare_partner(n0, n2);
     for i in 0..5 {
-        sim.push_txn(TxnSpec::star_mixed(
-            n0,
-            &[n1],
-            &[n2],
-            &format!("combo{i}"),
-        ));
+        sim.push_txn(TxnSpec::star_mixed(n0, &[n1], &[n2], &format!("combo{i}")));
     }
     let report = sim.run();
     report.assert_clean();
