@@ -43,6 +43,11 @@ pub enum Error {
     Config(String),
     /// Transport failure in the live runtime.
     Transport(String),
+    /// A blocking request did not complete within its deadline.
+    Timeout(String),
+    /// The addressed node is down (killed, crashed, or its worker
+    /// exited) and cannot serve the request.
+    NodeDown(NodeId),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +68,8 @@ impl fmt::Display for Error {
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Transport(m) => write!(f, "transport error: {m}"),
+            Error::Timeout(m) => write!(f, "timed out: {m}"),
+            Error::NodeDown(n) => write!(f, "node {n} is down"),
         }
     }
 }

@@ -31,7 +31,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use tpc_common::{DamageReport, NodeId, Outcome, Result, SimDuration, SimTime, TxnId};
-use tpc_wal::{Durability, LogManager, LogRecord, MemLog};
+use tpc_wal::{Durability, LogManager, LogRecord};
 
 use crate::engine::{EngineConfig, TmEngine};
 use crate::event::{Action, Event, LocalVote, TimerKind};
@@ -45,13 +45,22 @@ use crate::metrics::EngineMetrics;
 /// Both harnesses route through this one function, so the optimization
 /// cannot be wired differently in sim and live.
 pub fn rm_log_of<'a>(
-    rm_log: Option<&'a mut MemLog>,
-    tm_log: &'a mut dyn LogManager,
-) -> &'a mut dyn LogManager {
+    rm_log: Option<&'a mut (dyn LogManager + 'a)>,
+    tm_log: &'a mut (dyn LogManager + 'a),
+) -> &'a mut (dyn LogManager + 'a) {
     match rm_log {
         Some(own) => own,
         None => tm_log,
     }
+}
+
+/// [`rm_log_of`] for the common `Option<ConcreteLog>` (or boxed trait
+/// object) storage shape.
+pub fn rm_log_slot<'a, L: LogManager + 'a>(
+    rm_log: Option<&'a mut L>,
+    tm_log: &'a mut (dyn LogManager + 'a),
+) -> &'a mut (dyn LogManager + 'a) {
+    rm_log_of(rm_log.map(|l| l as &mut dyn LogManager), tm_log)
 }
 
 /// What the host did with a TM log append.
@@ -377,7 +386,7 @@ impl Driver {
 mod tests {
     use super::*;
     use tpc_common::ProtocolKind;
-    use tpc_wal::StreamId;
+    use tpc_wal::{MemLog, StreamId};
 
     #[test]
     fn rm_log_routing_prefers_private_log() {
@@ -385,7 +394,7 @@ mod tests {
         let mut private = MemLog::new();
 
         // With a private RM log, records land there...
-        rm_log_of(Some(&mut private), &mut tm)
+        rm_log_slot(Some(&mut private), &mut tm)
             .append(
                 StreamId::Rm(0),
                 LogRecord::End {

@@ -51,6 +51,20 @@ impl Default for Timeouts {
     }
 }
 
+/// How a recovered TM resolves one of its resource managers' in-doubt
+/// transactions after restart (see [`TmEngine::recovered_disposition`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InDoubtDisposition {
+    /// The durable TM state says the transaction committed.
+    Commit,
+    /// The durable TM state says it aborted — or the TM never voted, so
+    /// abort is safe under every protocol (the vote could not have been
+    /// sent without the TM's prepared force).
+    Abort,
+    /// Genuinely in doubt: the distributed protocol resolves it.
+    AwaitOutcome,
+}
+
 /// Static configuration of one node's transaction manager.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -797,6 +811,20 @@ impl TmEngine {
             // Vote for a transaction we already decided (e.g. duplicate).
             return Ok(());
         };
+        if let Some(outcome) = seat.outcome {
+            // The vote lost a race with the decision (the vote-collection
+            // timeout counted it NO, or the frame was delayed in
+            // transit). The child's state already reflects the decision
+            // re-drive — DecisionSent under ack-collecting protocols —
+            // and recording the vote now would clobber that and silence
+            // the retries the child depends on to learn the outcome
+            // (fatal under PN, where subordinates never query). A YES
+            // voter is in doubt: answer it directly instead.
+            if matches!(vote, Vote::Yes(_)) {
+                self.push_send(out, from, ProtocolMsg::Decision { txn, outcome });
+            }
+            return Ok(());
+        }
         // Record the child's vote.
         match vote {
             Vote::Yes(flags) => {
@@ -2208,6 +2236,25 @@ impl TmEngine {
             // Only a heuristic record with nothing else — ignore.
         }
         Ok(self.coalesce(out))
+    }
+
+    /// After [`TmEngine::recover`], classifies one of the local resource
+    /// managers' in-doubt transactions against the recovered TM state.
+    /// Both harnesses resolve RM recovery through this one rule, so the
+    /// unilateral-abort presumption cannot be wired differently in sim
+    /// and live.
+    pub fn recovered_disposition(&self, txn: TxnId) -> InDoubtDisposition {
+        let outcome = self
+            .finished_outcome(txn)
+            .or_else(|| self.seat(txn).and_then(|s| s.outcome));
+        match outcome {
+            Some(Outcome::Commit) => InDoubtDisposition::Commit,
+            Some(Outcome::Abort) => InDoubtDisposition::Abort,
+            // The TM has no seat and no outcome: it never voted, so the
+            // RM's prepared data can be rolled back unilaterally.
+            None if self.seat(txn).is_none() => InDoubtDisposition::Abort,
+            None => InDoubtDisposition::AwaitOutcome,
+        }
     }
 }
 

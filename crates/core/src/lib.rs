@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod driver;
 pub mod engine;
 pub mod event;
@@ -51,11 +52,12 @@ pub mod recovery;
 pub mod seat;
 pub mod testkit;
 
+pub use check::{NodeProtocolState, OutcomeRecord};
 pub use driver::{
-    rm_log_of, AppSink, Driver, DriverStats, LogControl, LogHost, NodeHost, PrepareControl, RmHost,
-    TimerHost, Wire,
+    rm_log_of, rm_log_slot, AppSink, Driver, DriverStats, LogControl, LogHost, NodeHost,
+    PrepareControl, RmHost, TimerHost, Wire,
 };
-pub use engine::{EngineConfig, Timeouts, TmEngine};
+pub use engine::{EngineConfig, InDoubtDisposition, Timeouts, TmEngine};
 pub use event::{Action, Event, LocalDisposition, LocalVote, TimerKind};
 pub use messages::ProtocolMsg;
 pub use metrics::EngineMetrics;

@@ -114,6 +114,40 @@ fn lost_vote_leads_to_vote_timeout_abort() {
 }
 
 #[test]
+fn late_vote_after_abort_decision_does_not_silence_the_redrive() {
+    // A YES vote delayed past the vote-collection timeout races the
+    // abort decision. Recording it must not clobber the child's
+    // DecisionSent state: under PN the subordinate never queries, so the
+    // coordinator's re-drive (or a direct answer) is its only way out of
+    // doubt.
+    let mut p = Pump::homogeneous(2, ProtocolKind::PresumedNothing);
+    start_pair_commit(&mut p);
+    p.deliver_next(); // Work
+    p.deliver_next(); // Prepare — N1 votes
+    let vote = p.drop_next().expect("vote delayed in transit");
+    assert!(vote.msgs.iter().any(|m| m.kind_name() == "VoteYes"));
+    // The missing vote counts NO; the abort goes to the un-voted child
+    // too — and is lost.
+    assert!(p.fire_timer(NodeId(0), txn0(), TimerKind::VoteCollection));
+    let abort = p.drop_next().expect("abort decision dropped");
+    assert!(abort.msgs.iter().any(|m| m.kind_name() == "Abort"));
+    assert_eq!(
+        p.engine(NodeId(1)).seat(txn0()).unwrap().stage,
+        Stage::InDoubt
+    );
+    // Now the delayed vote lands: the coordinator answers the in-doubt
+    // voter with the decision instead of silently recording the vote.
+    p.redeliver(&vote);
+    p.run_to_quiescence();
+    assert_eq!(
+        p.engine(NodeId(1)).completed_seat(txn0()).unwrap().outcome,
+        Some(Outcome::Abort)
+    );
+    assert_eq!(p.engine(NodeId(0)).active_txns(), 0);
+    assert_eq!(p.engine(NodeId(1)).active_txns(), 0);
+}
+
+#[test]
 fn two_initiators_abort_the_transaction() {
     // §3: "it is an error for two participants to initiate commit
     // processing independently for the same transaction".

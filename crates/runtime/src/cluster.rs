@@ -1,17 +1,24 @@
 //! The in-process live cluster: one thread per node, crossbeam channels
-//! as the network.
+//! as the network, with kill / restart / fault-injection controls for
+//! chaos testing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Sender};
-use tpc_common::{NodeId, Op, TxnId};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use tpc_common::{Error, NodeId, Op, Result, TxnId};
 
+use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
     AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
 };
+
+/// How long cluster-level blocking requests (commit, read, summary) wait
+/// for a reply before reporting [`Error::Timeout`] instead of hanging on
+/// a dead or wedged node.
+const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Transport over crossbeam channels: every node holds senders to all
 /// peers.
@@ -34,8 +41,19 @@ impl Transport for ChannelTransport {
 /// A running in-process cluster.
 pub struct LiveCluster {
     senders: Vec<Sender<Inbound>>,
-    handles: Vec<JoinHandle<NodeSummary>>,
+    /// Clones of the workers' inbound receivers, kept so a killed node's
+    /// channel survives and a restarted worker can resume reading it
+    /// (after the down-window backlog is drained — those frames are the
+    /// messages the dead "process" never received).
+    receivers: Vec<Receiver<Inbound>>,
+    /// `None` marks a dead (killed, not yet restarted) node.
+    handles: Vec<Option<JoinHandle<NodeSummary>>>,
+    configs: Vec<LiveNodeConfig>,
+    downstream: Vec<Vec<NodeId>>,
+    fault_stats: Vec<Option<Arc<FaultStats>>>,
+    epoch: Instant,
     next_seq: Arc<AtomicU64>,
+    reply_timeout: Duration,
 }
 
 impl LiveCluster {
@@ -50,6 +68,20 @@ impl LiveCluster {
 
     /// Starts the cluster with explicit partner edges `(parent, child)`.
     pub fn start_with_topology(configs: Vec<LiveNodeConfig>, partners: &[(usize, usize)]) -> Self {
+        let faults = vec![None; configs.len()];
+        Self::start_with_faults(configs, partners, faults)
+    }
+
+    /// Starts the cluster with a per-node outbound [`FaultPlan`] (`None`
+    /// for a clean wire). Fault plans apply to the node's original
+    /// incarnation only; a restarted node comes back with a clean wire so
+    /// recovery converges.
+    pub fn start_with_faults(
+        configs: Vec<LiveNodeConfig>,
+        partners: &[(usize, usize)],
+        faults: Vec<Option<FaultPlan>>,
+    ) -> Self {
+        assert_eq!(configs.len(), faults.len(), "one fault slot per node");
         let n = configs.len();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -58,31 +90,61 @@ impl LiveCluster {
             senders.push(tx);
             receivers.push(rx);
         }
+        let downstream: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| {
+                partners
+                    .iter()
+                    .filter(|(a, _)| *a == i)
+                    .map(|(_, b)| NodeId(*b as u32))
+                    .collect()
+            })
+            .collect();
         let epoch = Instant::now();
-        let mut handles = Vec::with_capacity(n);
-        for (i, (cfg, rx)) in configs.into_iter().zip(receivers).enumerate() {
-            let node = NodeId(i as u32);
-            let transport = ChannelTransport {
-                me: node,
-                peers: senders.clone(),
-            };
-            let downstream: Vec<NodeId> = partners
-                .iter()
-                .filter(|(a, _)| *a == i)
-                .map(|(_, b)| NodeId(*b as u32))
-                .collect();
-            let worker = NodeWorker::new(node, cfg, downstream, transport, rx, epoch);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("tpc-node-{i}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn node thread"),
-            );
-        }
-        LiveCluster {
+        let mut cluster = LiveCluster {
             senders,
-            handles,
+            receivers,
+            handles: (0..n).map(|_| None).collect(),
+            configs,
+            downstream,
+            fault_stats: vec![None; n],
+            epoch,
             next_seq: Arc::new(AtomicU64::new(1)),
+            reply_timeout: DEFAULT_REPLY_TIMEOUT,
+        };
+        for (i, plan) in faults.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let transport = cluster.make_transport(node, plan.clone());
+            let worker = NodeWorker::new(
+                node,
+                cluster.configs[i].clone(),
+                cluster.downstream[i].clone(),
+                transport,
+                cluster.receivers[i].clone(),
+                epoch,
+            );
+            cluster.handles[i] = Some(spawn_worker(i, worker));
+        }
+        cluster
+    }
+
+    /// Replaces the reply deadline used by blocking requests.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    fn make_transport(&mut self, node: NodeId, plan: Option<FaultPlan>) -> Box<dyn Transport> {
+        let base = ChannelTransport {
+            me: node,
+            peers: self.senders.clone(),
+        };
+        match plan {
+            Some(plan) => {
+                let wire = FaultyWire::new(base, plan);
+                self.fault_stats[node.index()] = Some(wire.stats());
+                Box::new(wire)
+            }
+            None => Box::new(base),
         }
     }
 
@@ -96,6 +158,92 @@ impl LiveCluster {
         self.senders.is_empty()
     }
 
+    /// True while `node`'s worker is running.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.handles[node.index()]
+            .as_ref()
+            .is_some_and(|h| !h.is_finished())
+    }
+
+    /// Fault counters for `node`'s outbound wire, when it has one.
+    pub fn fault_stats(&self, node: NodeId) -> Option<&FaultStats> {
+        self.fault_stats[node.index()].as_deref()
+    }
+
+    /// Kills `node` mid-protocol: the worker crashes (volatile state and
+    /// buffered log tails lost, in-flight replies dropped) and its
+    /// partners are told the sessions failed, exactly as the simulator's
+    /// crash event does. Returns the dying worker's last summary.
+    pub fn kill(&mut self, node: NodeId) -> Result<NodeSummary> {
+        let handle = self.handles[node.index()]
+            .take()
+            .ok_or(Error::NodeDown(node))?;
+        let _ = self.senders[node.index()].send(Inbound::Kill);
+        let summary = handle
+            .join()
+            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        self.broadcast_partner_down(node);
+        Ok(summary)
+    }
+
+    /// Waits for a node armed with
+    /// [`kill_after_frames`](LiveNodeConfig::kill_after_frames) to crash
+    /// itself, then notifies its partners. Fails with [`Error::Timeout`]
+    /// if the node is still alive after `timeout`.
+    pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let finished = self.handles[node.index()]
+                .as_ref()
+                .ok_or(Error::NodeDown(node))?
+                .is_finished();
+            if finished {
+                let handle = self.handles[node.index()].take().expect("checked above");
+                let summary = handle
+                    .join()
+                    .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+                self.broadcast_partner_down(node);
+                return Ok(summary);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout(format!(
+                    "{node} still alive after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Restarts a killed node from its durable file WAL: stale frames
+    /// that piled up while it was down are discarded (the dead process
+    /// never received them), then [`NodeWorker::restart`] replays RM and
+    /// engine recovery and re-drives the protocol over the transport.
+    pub fn restart(&mut self, node: NodeId) -> Result<()> {
+        if self.handles[node.index()].is_some() {
+            return Err(Error::InvalidState(format!("{node} is already running")));
+        }
+        while self.receivers[node.index()].try_recv().is_ok() {}
+        let transport = self.make_transport(node, None);
+        let worker = NodeWorker::restart(
+            node,
+            self.configs[node.index()].clone(),
+            self.downstream[node.index()].clone(),
+            transport,
+            self.receivers[node.index()].clone(),
+            self.epoch,
+        )?;
+        self.handles[node.index()] = Some(spawn_worker(node.index(), worker));
+        Ok(())
+    }
+
+    fn broadcast_partner_down(&self, peer: NodeId) {
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i != peer.index() && self.handles[i].is_some() {
+                let _ = tx.send(Inbound::PartnerDown { peer });
+            }
+        }
+    }
+
     /// Begins a transaction rooted at `root`.
     pub fn begin(&self, root: NodeId) -> TxnHandle<'_> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
@@ -106,35 +254,93 @@ impl LiveCluster {
         }
     }
 
-    /// Reads a committed value from `node`'s store (blocking).
-    pub fn read(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+    fn request<R>(&self, node: NodeId, make: impl FnOnce(Sender<R>) -> AppCmd) -> Result<R> {
+        if self.handles[node.index()].is_none() {
+            return Err(Error::NodeDown(node));
+        }
         let (tx, rx) = bounded(1);
         self.senders[node.index()]
-            .send(Inbound::App(AppCmd::Read {
-                key: key.as_bytes().to_vec(),
-                reply: tx,
-            }))
-            .ok()?;
-        rx.recv().ok()?
+            .send(Inbound::App(make(tx)))
+            .map_err(|_| Error::NodeDown(node))?;
+        recv_reply(&rx, node, self.reply_timeout)
+    }
+
+    /// Reads a committed value from `node`'s store (blocking).
+    pub fn read(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+        self.try_read(node, key).ok().flatten()
+    }
+
+    /// Reads a committed value, distinguishing "no such key" from "node
+    /// down / no reply".
+    pub fn try_read(&self, node: NodeId, key: &str) -> Result<Option<Vec<u8>>> {
+        self.request(node, |reply| AppCmd::Read {
+            key: key.as_bytes().to_vec(),
+            reply,
+        })
+    }
+
+    /// Polls `node`'s store until `key` holds a value or `timeout`
+    /// elapses. The root's outcome reply races decision propagation to
+    /// subordinates (it may answer while acks are still in flight), so
+    /// visibility at another node is asserted with a deadline, not a
+    /// single read.
+    pub fn read_eventually(&self, node: NodeId, key: &str, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.read(node, key) {
+                return Some(v);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Polls until every live node reports zero active transactions, or
+    /// `timeout` passes. Returns `true` on quiescence — chaos runs call
+    /// this before handing final state to [`crate::verify::check`].
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let busy = (0..self.handles.len()).any(|i| {
+                self.handles[i].is_some()
+                    && self
+                        .summary(NodeId(i as u32))
+                        .is_none_or(|s| s.active_txns > 0)
+            });
+            if !busy {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Fetches a node's live summary.
     pub fn summary(&self, node: NodeId) -> Option<NodeSummary> {
-        let (tx, rx) = bounded(1);
-        self.senders[node.index()]
-            .send(Inbound::App(AppCmd::Summary { reply: tx }))
-            .ok()?;
-        rx.recv().ok()
+        self.try_summary(node).ok()
     }
 
-    /// Stops every node and returns their final summaries.
+    /// Fetches a node's live summary with a typed error on failure.
+    pub fn try_summary(&self, node: NodeId) -> Result<NodeSummary> {
+        self.request(node, |reply| AppCmd::Summary { reply })
+    }
+
+    /// Stops every live node and returns their final summaries (killed
+    /// nodes are absent — their last summary was returned by
+    /// [`LiveCluster::kill`] / [`LiveCluster::await_death`]).
     pub fn shutdown(self) -> Vec<NodeSummary> {
         let mut summaries = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
-            let (reply, _rx) = bounded(1);
-            let _ = tx.send(Inbound::Shutdown { reply });
+        for (i, tx) in self.senders.iter().enumerate() {
+            if self.handles[i].is_some() {
+                let (reply, _rx) = bounded(1);
+                let _ = tx.send(Inbound::Shutdown { reply });
+            }
         }
-        for h in self.handles {
+        for h in self.handles.into_iter().flatten() {
             if let Ok(s) = h.join() {
                 summaries.push(s);
             }
@@ -144,6 +350,40 @@ impl LiveCluster {
 
     pub(crate) fn send_app(&self, node: NodeId, cmd: AppCmd) {
         let _ = self.senders[node.index()].send(Inbound::App(cmd));
+    }
+}
+
+fn spawn_worker<T: Transport>(index: usize, worker: NodeWorker<T>) -> JoinHandle<NodeSummary> {
+    std::thread::Builder::new()
+        .name(format!("tpc-node-{index}"))
+        .spawn(move || worker.run())
+        .expect("spawn node thread")
+}
+
+pub(crate) fn recv_reply<R>(rx: &Receiver<R>, node: NodeId, timeout: Duration) -> Result<R> {
+    match rx.recv_timeout(timeout) {
+        Ok(r) => Ok(r),
+        Err(RecvTimeoutError::Disconnected) => Err(Error::NodeDown(node)),
+        Err(RecvTimeoutError::Timeout) => Err(Error::Timeout(format!(
+            "no reply from {node} within {timeout:?}"
+        ))),
+    }
+}
+
+/// An in-flight commit/abort whose caller kept control: wait on it after
+/// scripting faults (kills, restarts) that must happen while the
+/// protocol runs.
+pub struct CommitWait {
+    rx: Receiver<CommitResult>,
+    node: NodeId,
+}
+
+impl CommitWait {
+    /// Blocks until the outcome arrives; [`Error::NodeDown`] if the root
+    /// died with the request in flight, [`Error::Timeout`] after
+    /// `timeout`.
+    pub fn wait(self, timeout: Duration) -> Result<CommitResult> {
+        recv_reply(&self.rx, self.node, timeout)
     }
 }
 
@@ -173,8 +413,18 @@ impl TxnHandle<'_> {
         );
     }
 
-    /// Requests commit and blocks for the outcome.
-    pub fn commit(self) -> CommitResult {
+    /// Requests commit and blocks for the outcome. Fails with
+    /// [`Error::NodeDown`] / [`Error::Timeout`] instead of hanging when
+    /// the root is dead or never answers.
+    pub fn commit(self) -> Result<CommitResult> {
+        let timeout = self.cluster.reply_timeout;
+        self.commit_async().wait(timeout)
+    }
+
+    /// Requests commit and returns immediately with a [`CommitWait`],
+    /// releasing the cluster borrow so the caller can kill and restart
+    /// nodes while the protocol runs.
+    pub fn commit_async(self) -> CommitWait {
         let (tx, rx) = bounded(1);
         self.cluster.send_app(
             self.root,
@@ -183,20 +433,25 @@ impl TxnHandle<'_> {
                 reply: tx,
             },
         );
-        rx.recv().expect("node alive")
+        CommitWait {
+            rx,
+            node: self.root,
+        }
     }
 
     /// Requests rollback and blocks for the confirmation.
-    pub fn abort(self) -> CommitResult {
+    pub fn abort(self) -> Result<CommitResult> {
+        let timeout = self.cluster.reply_timeout;
         let (tx, rx) = bounded(1);
+        let node = self.root;
         self.cluster.send_app(
-            self.root,
+            node,
             AppCmd::Abort {
                 txn: self.txn,
                 reply: tx,
             },
         );
-        rx.recv().expect("node alive")
+        recv_reply(&rx, node, timeout)
     }
 }
 
@@ -216,7 +471,7 @@ mod tests {
         t.work(NodeId(0), vec![Op::put("root-key", "r")]);
         t.work(NodeId(1), vec![Op::put("a", "1")]);
         t.work(NodeId(2), vec![Op::put("b", "2")]);
-        let result = t.commit();
+        let result = t.commit().expect("root alive");
         assert_eq!(result.outcome, Outcome::Commit);
         assert!(result.report.is_clean());
         assert_eq!(c.read(NodeId(0), "root-key"), Some(b"r".to_vec()));
@@ -233,7 +488,7 @@ mod tests {
         let t = c.begin(NodeId(0));
         t.work(NodeId(0), vec![Op::put("x", "1")]);
         t.work(NodeId(1), vec![Op::put("y", "1")]);
-        let result = t.abort();
+        let result = t.abort().expect("root alive");
         assert_eq!(result.outcome, Outcome::Abort);
         assert_eq!(c.read(NodeId(0), "x"), None);
         assert_eq!(c.read(NodeId(1), "y"), None);
@@ -247,7 +502,8 @@ mod tests {
             for i in 0..5 {
                 let t = c.begin(NodeId(0));
                 t.work(NodeId(1), vec![Op::put("counter", &i.to_string())]);
-                assert_eq!(t.commit().outcome, Outcome::Commit, "{protocol}");
+                let r = t.commit().expect("root alive");
+                assert_eq!(r.outcome, Outcome::Commit, "{protocol}");
             }
             assert_eq!(c.read(NodeId(1), "counter"), Some(b"4".to_vec()));
             c.shutdown();
@@ -264,7 +520,7 @@ mod tests {
                 for i in 0..10 {
                     let t = c2.begin(NodeId(root));
                     t.work(NodeId(2), vec![Op::put("hot", &format!("{root}-{i}"))]);
-                    let r = t.commit();
+                    let r = t.commit().expect("root alive");
                     assert_eq!(r.outcome, Outcome::Commit);
                 }
             }));
@@ -287,16 +543,76 @@ mod tests {
         // Seed data.
         let t = c.begin(NodeId(0));
         t.work(NodeId(1), vec![Op::put("k", "v")]);
-        assert_eq!(t.commit().outcome, Outcome::Commit);
+        assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
         let before = c.summary(NodeId(1)).unwrap().log;
 
         let t = c.begin(NodeId(0));
         t.work(NodeId(1), vec![Op::get("k")]);
-        assert_eq!(t.commit().outcome, Outcome::Commit);
+        assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
         let after = c.summary(NodeId(1)).unwrap().log;
         assert_eq!(
             before.writes, after.writes,
             "read-only participation must not log"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn committing_at_a_killed_root_errors_instead_of_hanging() {
+        let mut c =
+            cluster(2, ProtocolKind::PresumedAbort).with_reply_timeout(Duration::from_secs(2));
+        let victim = NodeId(0);
+        let s = c.kill(victim).expect("first kill succeeds");
+        assert!(s.protocol_state.crashed);
+        assert!(!c.is_alive(victim));
+        assert!(matches!(c.kill(victim), Err(Error::NodeDown(n)) if n == victim));
+
+        let t = c.begin(victim);
+        match t.commit() {
+            Err(Error::Timeout(_)) | Err(Error::NodeDown(_)) => {}
+            other => panic!("expected a typed submit failure, got {other:?}"),
+        }
+        // The surviving node still answers.
+        assert!(c.summary(NodeId(1)).is_some());
+        c.shutdown();
+    }
+
+    #[test]
+    fn fault_injected_wire_still_commits_via_retries() {
+        // Drop a third of the root's outbound frames: vote-collection and
+        // ack-collection retries must still converge every transaction.
+        let configs = vec![
+            LiveNodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(
+                tpc_core::Timeouts {
+                    vote_collection: tpc_common::SimDuration::from_millis(50),
+                    ack_collection: tpc_common::SimDuration::from_millis(50),
+                    in_doubt_query: tpc_common::SimDuration::from_millis(80),
+                },
+            );
+            2
+        ];
+        let faults = vec![Some(FaultPlan::clean(0xC0FFEE).with_drops(0.33)), None];
+        let c = LiveCluster::start_with_faults(configs, &[], faults);
+        for i in 0..5 {
+            let key = format!("k{i}");
+            let t = c.begin(NodeId(0));
+            t.work(NodeId(1), vec![Op::put(&key, &i.to_string())]);
+            // Outcome may be Commit or Abort (a dropped vote aborts the
+            // txn), but it must never hang or violate atomicity.
+            let r = t.commit().expect("typed result");
+            if r.outcome == Outcome::Commit {
+                // The decision frame itself may be dropped; the re-drive
+                // must land it within the retry budget.
+                assert_eq!(
+                    c.read_eventually(NodeId(1), &key, Duration::from_secs(5)),
+                    Some(i.to_string().into_bytes()),
+                    "committed write must become visible at the subordinate"
+                );
+            }
+        }
+        assert!(
+            c.fault_stats(NodeId(0)).expect("wire wrapped").lost() > 0,
+            "the fault plan should actually have fired"
         );
         c.shutdown();
     }

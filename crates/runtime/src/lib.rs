@@ -25,17 +25,31 @@
 //! ]);
 //! let txn = cluster.begin(tpc_common::NodeId(0));
 //! txn.work(tpc_common::NodeId(1), vec![Op::put("k", "v")]);
-//! let result = txn.commit();
+//! let result = txn.commit().expect("node alive");
 //! assert_eq!(result.outcome, Outcome::Commit);
 //! cluster.shutdown();
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! The live runtime is built to be killed. [`LiveCluster::kill`] crashes
+//! a node mid-protocol (buffered log tails are lost, exactly like a
+//! power failure), [`LiveCluster::restart`] rebuilds it from its durable
+//! file WAL and re-drives recovery over the real transport, and
+//! [`fault::FaultyWire`] injects seeded drops / duplicates / delays /
+//! disconnects into any transport. After a run, [`verify::check`]
+//! asserts the same atomicity invariants the simulator's verifier
+//! checks, from live node state and WAL scans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod fault;
 mod node;
 pub mod tcp;
+pub mod verify;
 
-pub use cluster::{LiveCluster, TxnHandle};
+pub use cluster::{CommitWait, LiveCluster, TxnHandle};
+pub use fault::{FaultPlan, FaultStats, FaultyWire};
 pub use node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport};

@@ -13,14 +13,15 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use tpc_common::wire::{Decode, Encode};
 use tpc_common::{
-    decode_ops, DamageReport, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
-    ProtocolKind, RmId, SimDuration, SimTime, TxnId,
+    decode_ops, DamageReport, Error, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
+    ProtocolKind, Result, RmId, SimDuration, SimTime, TxnId,
 };
-use tpc_core::driver::rm_log_of;
+use tpc_core::driver::rm_log_slot;
 use tpc_core::messages::Bundle;
 use tpc_core::{
-    AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, LocalDisposition, LocalVote,
-    LogControl, LogHost, PrepareControl, ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
+    AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, InDoubtDisposition,
+    LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, PrepareControl,
+    ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_wal::file::FileLog;
@@ -43,6 +44,12 @@ pub trait Transport: Send + 'static {
     fn send(&mut self, to: NodeId, bytes: Vec<u8>);
 }
 
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        (**self).send(to, bytes)
+    }
+}
+
 /// Per-node configuration for the live runtime.
 #[derive(Clone, Debug)]
 pub struct LiveNodeConfig {
@@ -60,6 +67,12 @@ pub struct LiveNodeConfig {
     pub suspendable: bool,
     /// Log storage backend.
     pub log_backend: LogBackend,
+    /// Chaos knob: the worker crashes itself (as if killed) immediately
+    /// after processing this many protocol frames. Counted over `Frame`
+    /// messages only, so a scripted scenario is deterministic regardless
+    /// of timer wall-clock jitter. Cleared on restart so a recovered node
+    /// does not crash again.
+    pub kill_after_frames: Option<u32>,
 }
 
 impl LiveNodeConfig {
@@ -73,6 +86,7 @@ impl LiveNodeConfig {
             reliable: false,
             suspendable: false,
             log_backend: LogBackend::Memory,
+            kill_after_frames: None,
         }
     }
 
@@ -91,6 +105,25 @@ impl LiveNodeConfig {
     /// Marks local resources reliable.
     pub fn reliable(mut self) -> Self {
         self.reliable = true;
+        self
+    }
+
+    /// Replaces the failure timers (chaos tests use short ones).
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Replaces the heuristic policy.
+    pub fn with_heuristic(mut self, heuristic: HeuristicPolicy) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Arms the self-kill chaos knob: the node crashes after processing
+    /// `frames` protocol frames.
+    pub fn kill_after_frames(mut self, frames: u32) -> Self {
+        self.kill_after_frames = Some(frames);
         self
     }
 }
@@ -162,6 +195,10 @@ pub struct NodeSummary {
     pub rm_log: LogStats,
     /// Transactions still unresolved.
     pub active_txns: usize,
+    /// Snapshot of the engine's protocol state for the shared consistency
+    /// checker ([`tpc_core::check`]) — the same structure the simulator's
+    /// verifier consumes, so chaos runs assert identical invariants.
+    pub protocol_state: NodeProtocolState,
 }
 
 struct TimerEntry {
@@ -195,7 +232,7 @@ struct LiveHost<T: Transport> {
     node: NodeId,
     transport: T,
     log: Box<dyn LogManager + Send>,
-    rm_log: Option<MemLog>,
+    rm_log: Option<Box<dyn LogManager + Send>>,
     rm: ResourceManager,
     timers: BinaryHeap<TimerEntry>,
     pending_ops: HashMap<TxnId, VecDeque<Op>>,
@@ -222,7 +259,7 @@ impl<T: Transport> LiveHost<T> {
         let now = self.now();
         while let Some(op) = ops.pop_front() {
             let access = {
-                let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+                let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
                 match &op {
                     Op::Read(k) => self.rm.read(txn, k, now),
                     Op::Write(k, v) => self.rm.write(txn, k, v.clone(), log, now),
@@ -239,7 +276,7 @@ impl<T: Transport> LiveHost<T> {
                     self.deadlocked.insert(txn);
                     let now = self.now();
                     let grants = {
-                        let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+                        let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
                         self.rm
                             .abort(txn, log, Durability::NonForced, now)
                             .unwrap_or_default()
@@ -290,7 +327,7 @@ impl<T: Transport> LiveHost<T> {
             };
         }
         {
-            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
             if self.rm.prepare(txn, log, rm_durability).is_err() {
                 return LocalVote::no();
             }
@@ -345,7 +382,7 @@ impl<T: Transport> RmHost for LiveHost<T> {
     fn commit_local(&mut self, _now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
         let now = self.now();
         let grants = {
-            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
             self.rm
                 .commit(txn, log, rm_durability, now)
                 .unwrap_or_default()
@@ -356,7 +393,7 @@ impl<T: Transport> RmHost for LiveHost<T> {
     fn abort_local(&mut self, _now: &mut SimTime, txn: TxnId, rm_durability: Durability) {
         let now = self.now();
         let grants = {
-            let log = rm_log_of(self.rm_log.as_mut(), self.log.as_mut());
+            let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
             self.rm
                 .abort(txn, log, rm_durability, now)
                 .unwrap_or_default()
@@ -421,6 +458,8 @@ pub struct NodeWorker<T: Transport> {
     driver: Driver,
     host: LiveHost<T>,
     rx: Receiver<Inbound>,
+    frames_seen: u32,
+    kill_after_frames: Option<u32>,
 }
 
 /// Messages arriving at a node's inbound channel.
@@ -434,11 +473,31 @@ pub enum Inbound {
     },
     /// An application command.
     App(AppCmd),
+    /// Failure notification: `peer`'s sessions are gone. The engine
+    /// aborts what can still be aborted and re-drives the rest (the live
+    /// analogue of the simulator's crash broadcast, and what the TCP
+    /// transport reports when its retries are exhausted).
+    PartnerDown {
+        /// The failed partner.
+        peer: NodeId,
+    },
+    /// Crash the worker: volatile state and buffered log tails are lost,
+    /// in-flight application replies are dropped. Only the durable WAL
+    /// survives for [`NodeWorker::restart`].
+    Kill,
     /// Stop the worker; it replies with its final summary.
     Shutdown {
         /// Reply channel for the final summary.
         reply: Sender<NodeSummary>,
     },
+}
+
+pub(crate) fn tm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::PathBuf {
+    dir.join(format!("node-{}.log", node.0))
+}
+
+pub(crate) fn rm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::PathBuf {
+    dir.join(format!("node-{}.rm.log", node.0))
 }
 
 impl<T: Transport> NodeWorker<T> {
@@ -467,19 +526,27 @@ impl<T: Transport> NodeWorker<T> {
         } else {
             RmConfig::new(RmId(0))
         });
-        let rm_log = if cfg.opts.shared_log {
+        // The RM log must share the TM log's durability class: a node
+        // whose TM log survives a crash but whose RM log does not could
+        // not honour its prepared guarantee.
+        let rm_log: Option<Box<dyn LogManager + Send>> = if cfg.opts.shared_log {
             None
         } else {
-            Some(MemLog::new())
+            match &cfg.log_backend {
+                LogBackend::Memory => Some(Box::new(MemLog::new())),
+                LogBackend::File(dir) => {
+                    std::fs::create_dir_all(dir).expect("log directory");
+                    Some(Box::new(
+                        FileLog::create(rm_log_path(dir, node)).expect("create rm log file"),
+                    ))
+                }
+            }
         };
         let log: Box<dyn LogManager + Send> = match &cfg.log_backend {
             LogBackend::Memory => Box::new(MemLog::new()),
             LogBackend::File(dir) => {
                 std::fs::create_dir_all(dir).expect("log directory");
-                Box::new(
-                    FileLog::create(dir.join(format!("node-{}.log", node.0)))
-                        .expect("create log file"),
-                )
+                Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
             }
         };
         NodeWorker {
@@ -501,7 +568,119 @@ impl<T: Transport> NodeWorker<T> {
                 followups: VecDeque::new(),
             },
             rx,
+            frames_seen: 0,
+            kill_after_frames: cfg.kill_after_frames,
         }
+    }
+
+    /// Rebuilds a worker from its durable state after a kill, exactly as
+    /// a restarted process would:
+    ///
+    /// 1. reopen the file WAL(s), discarding any torn tail;
+    /// 2. replay resource-manager recovery (redo committed work, restore
+    ///    prepared transactions as in-doubt with their locks);
+    /// 3. run engine recovery over the durable TM stream — interrupted
+    ///    voting aborts, in-doubt seats query or await per the protocol's
+    ///    presumption, decided-but-unacknowledged outcomes re-drive;
+    /// 4. resolve RM in-doubt transactions the TM already decided through
+    ///    the shared [`TmEngine::recovered_disposition`] rule.
+    ///
+    /// The recovery protocol actions (queries, re-driven decisions) are
+    /// applied immediately, so they go out over the real transport before
+    /// the first inbound message is processed. Requires
+    /// [`LogBackend::File`]: a memory log dies with the node, leaving
+    /// nothing to recover from.
+    ///
+    /// [`TmEngine::recovered_disposition`]: tpc_core::TmEngine::recovered_disposition
+    pub fn restart(
+        node: NodeId,
+        cfg: LiveNodeConfig,
+        partners: Vec<NodeId>,
+        transport: T,
+        rx: Receiver<Inbound>,
+        epoch: Instant,
+    ) -> Result<Self> {
+        let LogBackend::File(dir) = &cfg.log_backend else {
+            return Err(Error::Config(
+                "restart requires LogBackend::File (a memory log dies with the node)".into(),
+            ));
+        };
+        let mut log: Box<dyn LogManager + Send> = Box::new(FileLog::open(tm_log_path(dir, node))?);
+        let mut rm_log: Option<Box<dyn LogManager + Send>> = if cfg.opts.shared_log {
+            None
+        } else {
+            Some(Box::new(FileLog::open(rm_log_path(dir, node))?))
+        };
+        let engine_cfg = EngineConfig {
+            node,
+            protocol: cfg.protocol,
+            opts: cfg.opts.clone(),
+            timeouts: cfg.timeouts,
+            heuristic: cfg.heuristic,
+        };
+        let mut driver = Driver::new(engine_cfg)?;
+        for p in partners {
+            driver.engine_mut().add_session_partner(p);
+        }
+
+        let now = SimTime(epoch.elapsed().as_micros() as u64);
+        // RM recovery first, so the re-driven CommitLocal/AbortLocal
+        // actions from engine recovery find consistent RM state (the same
+        // order the simulator's restart uses).
+        let mut rm = ResourceManager::new(if cfg.reliable {
+            RmConfig::new(RmId(0)).reliable()
+        } else {
+            RmConfig::new(RmId(0))
+        });
+        {
+            let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
+            let durable = l.durable_records();
+            rm.recover(&durable, now)?;
+        }
+        let actions = driver.recover(&log.durable_records(), now)?;
+        // RM in-doubt transactions the recovered TM already decided are
+        // settled here; genuinely in-doubt ones wait for the protocol.
+        for txn in rm.in_doubt() {
+            let disposition = driver.engine().recovered_disposition(txn);
+            let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
+            match disposition {
+                InDoubtDisposition::Commit => {
+                    let _ = rm.commit(txn, l, Durability::Forced, now);
+                }
+                InDoubtDisposition::Abort => {
+                    let _ = rm.abort(txn, l, Durability::NonForced, now);
+                }
+                InDoubtDisposition::AwaitOutcome => {}
+            }
+        }
+
+        let mut worker = NodeWorker {
+            driver,
+            host: LiveHost {
+                node,
+                transport,
+                log,
+                rm_log,
+                rm,
+                timers: BinaryHeap::new(),
+                pending_ops: HashMap::new(),
+                deadlocked: HashSet::new(),
+                prepare_waiting: HashMap::new(),
+                waiting: HashMap::new(),
+                suspendable: cfg.suspendable,
+                reliable: cfg.reliable,
+                epoch,
+                followups: VecDeque::new(),
+            },
+            rx,
+            frames_seen: 0,
+            // A restarted node must not crash again: the knob is one-shot.
+            kill_after_frames: None,
+        };
+        let now = worker.host.now();
+        worker.driver.apply(&mut worker.host, now, actions)?;
+        worker.drain_followups();
+        Ok(worker)
     }
 
     /// The worker's main loop; returns the final summary at shutdown.
@@ -514,18 +693,44 @@ impl<T: Transport> NodeWorker<T> {
                 .map(|t| t.deadline.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(250));
             match self.rx.recv_timeout(timeout) {
-                Ok(Inbound::Frame { from, bytes }) => self.on_frame(from, &bytes),
+                Ok(Inbound::Frame { from, bytes }) => {
+                    self.on_frame(from, &bytes);
+                    self.frames_seen += 1;
+                    if self
+                        .kill_after_frames
+                        .is_some_and(|n| self.frames_seen >= n)
+                    {
+                        return self.die();
+                    }
+                }
                 Ok(Inbound::App(cmd)) => self.on_app(cmd),
+                Ok(Inbound::PartnerDown { peer }) => {
+                    self.drive(Event::PartnerFailed { peer });
+                }
+                Ok(Inbound::Kill) => return self.die(),
                 Ok(Inbound::Shutdown { reply }) => {
-                    let _ = reply.send(self.summary());
-                    return self.summary();
+                    let _ = reply.send(self.summary(false));
+                    return self.summary(false);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return self.summary(),
+                Err(RecvTimeoutError::Disconnected) => return self.summary(false),
             }
             self.fire_due_timers();
             self.flush_acks_if_idle();
         }
+    }
+
+    /// Models a process crash: buffered (non-durable) log tails are
+    /// discarded so only what a real power failure would preserve
+    /// survives, and in-flight application replies are dropped so callers
+    /// observe the node as down rather than blocking forever.
+    fn die(mut self) -> NodeSummary {
+        self.host.log.crash_discard();
+        if let Some(rl) = self.host.rm_log.as_mut() {
+            rl.crash_discard();
+        }
+        self.host.waiting.clear();
+        self.summary(true)
     }
 
     /// The live analogue of the simulator's end-of-script ack flush:
@@ -544,7 +749,7 @@ impl<T: Transport> NodeWorker<T> {
         self.drain_followups();
     }
 
-    fn summary(&self) -> NodeSummary {
+    fn summary(&self, crashed: bool) -> NodeSummary {
         NodeSummary {
             node: self.host.node,
             metrics: self.driver.engine().metrics(),
@@ -557,6 +762,11 @@ impl<T: Transport> NodeWorker<T> {
                 .map(|l| l.stats())
                 .unwrap_or_default(),
             active_txns: self.driver.engine().active_txns(),
+            protocol_state: NodeProtocolState::from_engine(
+                self.host.node,
+                crashed,
+                self.driver.engine(),
+            ),
         }
     }
 
@@ -627,7 +837,7 @@ impl<T: Transport> NodeWorker<T> {
                 let _ = reply.send(self.host.rm.store().get(&key).map(|v| v.to_vec()));
             }
             AppCmd::Summary { reply } => {
-                let _ = reply.send(self.summary());
+                let _ = reply.send(self.summary(false));
             }
         }
     }

@@ -4,51 +4,158 @@
 //! bytes`. One outbound connection per (src, dst) pair, established
 //! lazily; one acceptor thread per node fans incoming frames into the
 //! node's inbound channel.
+//!
+//! The transport is hardened for chaos runs: connection and write
+//! failures never panic. A failed send reconnects with capped
+//! exponential backoff plus seeded jitter, bounded by
+//! [`RetryPolicy::max_attempts`]; when retries are exhausted the sender
+//! reports [`Inbound::PartnerDown`] to its own node so the engine aborts
+//! or re-drives the affected transactions instead of wedging.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Sender};
-use tpc_common::{NodeId, Op, TxnId};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use tpc_common::{Error, NodeId, Op, Result, TxnId};
 
+use crate::cluster::recv_reply;
+use crate::fault::{FaultPlan, FaultyWire};
 use crate::node::{
     AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
 };
 
-/// Lazily-connecting TCP sender.
+/// How long TCP cluster-level blocking requests wait before reporting
+/// [`Error::Timeout`].
+const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Reconnect discipline for a [`TcpTransport`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Connection/write attempts per frame before giving the peer up.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter generator (so a scripted run reproduces).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt` (1-based; attempt 0 is
+    /// immediate): `min(base << (attempt-1), max)`, scaled by a jitter
+    /// factor in `[0.5, 1.0]` drawn from `rng` so simultaneous retriers
+    /// do not stampede in lockstep.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_delay);
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = 0.5 + ((*rng >> 11) as f64 / (1u64 << 53) as f64) / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// Lazily-connecting TCP sender with bounded reconnect retries.
 pub struct TcpTransport {
     me: NodeId,
     addrs: Vec<SocketAddr>,
     conns: HashMap<NodeId, TcpStream>,
+    policy: RetryPolicy,
+    rng: u64,
+    /// The owning node's inbound channel, for failure notifications.
+    self_tx: Sender<Inbound>,
+    /// Peers already reported down (cleared when a connect succeeds, so
+    /// a recovered peer gets a fresh report if it fails again).
+    reported_down: HashSet<NodeId>,
 }
 
 impl TcpTransport {
-    fn conn(&mut self, to: NodeId) -> Option<&mut TcpStream> {
-        if !self.conns.contains_key(&to) {
-            let stream = TcpStream::connect(self.addrs[to.index()]).ok()?;
-            stream.set_nodelay(true).ok();
-            self.conns.insert(to, stream);
+    fn new(
+        me: NodeId,
+        addrs: Vec<SocketAddr>,
+        policy: RetryPolicy,
+        self_tx: Sender<Inbound>,
+    ) -> Self {
+        let rng = policy.seed.wrapping_add(u64::from(me.0)) | 1;
+        TcpTransport {
+            me,
+            addrs,
+            conns: HashMap::new(),
+            policy,
+            rng,
+            self_tx,
+            reported_down: HashSet::new(),
         }
-        self.conns.get_mut(&to)
+    }
+
+    fn connect(&mut self, to: NodeId) -> Option<()> {
+        if self.conns.contains_key(&to) {
+            return Some(());
+        }
+        let addr = *self.addrs.get(to.index())?;
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nodelay(true).ok();
+        self.conns.insert(to, stream);
+        self.reported_down.remove(&to);
+        Some(())
+    }
+
+    fn try_write(&mut self, to: NodeId, frame: &[u8]) -> bool {
+        match self.conns.get_mut(&to) {
+            Some(stream) => {
+                if stream.write_all(frame).is_ok() {
+                    true
+                } else {
+                    self.conns.remove(&to);
+                    false
+                }
+            }
+            None => false,
+        }
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
-        let me = self.me;
-        if let Some(stream) = self.conn(to) {
-            let mut frame = Vec::with_capacity(8 + bytes.len());
-            frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&me.0.to_le_bytes());
-            frame.extend_from_slice(&bytes);
-            if stream.write_all(&frame).is_err() {
-                self.conns.remove(&to);
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&self.me.0.to_le_bytes());
+        frame.extend_from_slice(&bytes);
+
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let backoff = self.policy.backoff(attempt, &mut self.rng);
+                std::thread::sleep(backoff);
             }
+            if self.connect(to).is_some() && self.try_write(to, &frame) {
+                return;
+            }
+        }
+        // Retries exhausted: the peer is unreachable. Tell our own engine
+        // so it can abort unvoted work and lean on timers for the rest,
+        // instead of silently losing the frame.
+        if self.reported_down.insert(to) {
+            let _ = self.self_tx.send(Inbound::PartnerDown { peer: to });
         }
     }
 }
@@ -57,7 +164,15 @@ fn acceptor(listener: TcpListener, tx: Sender<Inbound>) {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { break };
         let tx = tx.clone();
-        std::thread::spawn(move || reader(stream, tx));
+        if std::thread::Builder::new()
+            .name("tpc-tcp-reader".into())
+            .spawn(move || reader(stream, tx))
+            .is_err()
+        {
+            // Could not spawn a reader: drop the connection; the peer
+            // will reconnect and retry.
+            continue;
+        }
     }
 }
 
@@ -65,12 +180,12 @@ fn reader(mut stream: TcpStream, tx: Sender<Inbound>) {
     let mut header = [0u8; 8];
     loop {
         if stream.read_exact(&mut header).is_err() {
-            return;
+            return; // peer closed or died: reader ends quietly
         }
-        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-        let from = NodeId(u32::from_le_bytes(
-            header[4..8].try_into().expect("4 bytes"),
-        ));
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let from = NodeId(u32::from_le_bytes([
+            header[4], header[5], header[6], header[7],
+        ]));
         if len > 64 * 1024 * 1024 {
             return; // absurd frame: drop the connection
         }
@@ -87,8 +202,13 @@ fn reader(mut stream: TcpStream, tx: Sender<Inbound>) {
 /// A cluster whose nodes talk TCP over loopback.
 pub struct TcpCluster {
     senders: Vec<Sender<Inbound>>,
-    handles: Vec<JoinHandle<NodeSummary>>,
+    receivers: Vec<Receiver<Inbound>>,
+    handles: Vec<Option<JoinHandle<NodeSummary>>>,
+    configs: Vec<LiveNodeConfig>,
     next_seq: Arc<AtomicU64>,
+    policy: RetryPolicy,
+    epoch: Instant,
+    reply_timeout: Duration,
     /// The socket addresses the nodes listen on.
     pub addrs: Vec<SocketAddr>,
 }
@@ -96,6 +216,19 @@ pub struct TcpCluster {
 impl TcpCluster {
     /// Binds loopback listeners, spawns workers, full-mesh partnership.
     pub fn start(configs: Vec<LiveNodeConfig>) -> std::io::Result<Self> {
+        let faults = vec![None; configs.len()];
+        Self::start_with_faults(configs, faults, RetryPolicy::default())
+    }
+
+    /// Starts with per-node outbound fault plans (the [`FaultyWire`]
+    /// wraps the TCP transport itself, demonstrating injection below the
+    /// socket seam) and an explicit reconnect policy.
+    pub fn start_with_faults(
+        configs: Vec<LiveNodeConfig>,
+        faults: Vec<Option<FaultPlan>>,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        assert_eq!(configs.len(), faults.len(), "one fault slot per node");
         let n = configs.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -112,41 +245,131 @@ impl TcpCluster {
             receivers.push(rx);
         }
         let epoch = Instant::now();
-        let mut handles = Vec::with_capacity(n);
-        for (i, ((cfg, rx), listener)) in configs
-            .into_iter()
-            .zip(receivers)
-            .zip(listeners)
-            .enumerate()
-        {
+        let mut cluster = TcpCluster {
+            senders,
+            receivers,
+            handles: (0..n).map(|_| None).collect(),
+            configs,
+            next_seq: Arc::new(AtomicU64::new(1)),
+            policy,
+            epoch,
+            reply_timeout: DEFAULT_REPLY_TIMEOUT,
+            addrs,
+        };
+        for (i, listener) in listeners.into_iter().enumerate() {
             let node = NodeId(i as u32);
-            let tx = senders[i].clone();
+            let tx = cluster.senders[i].clone();
             std::thread::Builder::new()
                 .name(format!("tpc-acceptor-{i}"))
-                .spawn(move || acceptor(listener, tx))
-                .expect("spawn acceptor");
-            let transport = TcpTransport {
-                me: node,
-                addrs: addrs.clone(),
-                conns: HashMap::new(),
-            };
+                .spawn(move || acceptor(listener, tx))?;
+            let transport = cluster.make_transport(node, faults[i].clone());
             // Commit trees form from the work actually exchanged; no
             // standing partnership by default (it is directional and
             // tree-shaped — see LiveCluster::start_with_topology).
-            let worker = NodeWorker::new(node, cfg, Vec::new(), transport, rx, epoch);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("tpc-tcp-node-{i}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn node"),
+            let worker = NodeWorker::new(
+                node,
+                cluster.configs[i].clone(),
+                Vec::new(),
+                transport,
+                cluster.receivers[i].clone(),
+                epoch,
             );
+            cluster.handles[i] = Some(spawn_tcp_worker(i, worker)?);
         }
-        Ok(TcpCluster {
-            senders,
-            handles,
-            next_seq: Arc::new(AtomicU64::new(1)),
-            addrs,
-        })
+        Ok(cluster)
+    }
+
+    /// Replaces the reply deadline used by blocking requests.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    fn make_transport(&self, node: NodeId, plan: Option<FaultPlan>) -> Box<dyn Transport> {
+        let base = TcpTransport::new(
+            node,
+            self.addrs.clone(),
+            self.policy.clone(),
+            self.senders[node.index()].clone(),
+        );
+        match plan {
+            Some(plan) => Box::new(FaultyWire::new(base, plan)),
+            None => Box::new(base),
+        }
+    }
+
+    /// Kills `node`'s worker mid-protocol (its listener stays bound —
+    /// the model is a crashed transaction manager whose endpoint
+    /// reappears on restart, so peer frames sent meanwhile queue and are
+    /// discarded at restart like packets to a dead process). Partners are
+    /// notified so they abort or re-drive.
+    pub fn kill(&mut self, node: NodeId) -> Result<NodeSummary> {
+        let handle = self.handles[node.index()]
+            .take()
+            .ok_or(Error::NodeDown(node))?;
+        let _ = self.senders[node.index()].send(Inbound::Kill);
+        let summary = handle
+            .join()
+            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i != node.index() && self.handles[i].is_some() {
+                let _ = tx.send(Inbound::PartnerDown { peer: node });
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Waits for a node armed with
+    /// [`kill_after_frames`](LiveNodeConfig::kill_after_frames) to crash
+    /// itself, then notifies its partners. Fails with [`Error::Timeout`]
+    /// if the node is still alive after `timeout`.
+    pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let finished = self.handles[node.index()]
+                .as_ref()
+                .ok_or(Error::NodeDown(node))?
+                .is_finished();
+            if finished {
+                let handle = self.handles[node.index()].take().expect("checked above");
+                let summary = handle
+                    .join()
+                    .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+                for (i, tx) in self.senders.iter().enumerate() {
+                    if i != node.index() && self.handles[i].is_some() {
+                        let _ = tx.send(Inbound::PartnerDown { peer: node });
+                    }
+                }
+                return Ok(summary);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout(format!(
+                    "{node} still alive after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Restarts a killed node from its durable file WAL; recovery
+    /// messages go out over real sockets.
+    pub fn restart(&mut self, node: NodeId) -> Result<()> {
+        if self.handles[node.index()].is_some() {
+            return Err(Error::InvalidState(format!("{node} is already running")));
+        }
+        while self.receivers[node.index()].try_recv().is_ok() {}
+        let transport = self.make_transport(node, None);
+        let worker = NodeWorker::restart(
+            node,
+            self.configs[node.index()].clone(),
+            Vec::new(),
+            transport,
+            self.receivers[node.index()].clone(),
+            self.epoch,
+        )?;
+        self.handles[node.index()] =
+            Some(spawn_tcp_worker(node.index(), worker).map_err(Error::Io)?);
+        Ok(())
     }
 
     /// Begins a transaction rooted at `root`.
@@ -168,23 +391,81 @@ impl TcpCluster {
                 reply: tx,
             }))
             .ok()?;
-        rx.recv().ok()?
+        recv_reply(&rx, node, self.reply_timeout).ok()?
     }
 
-    /// Stops every node.
+    /// Polls `node`'s store until `key` holds a value or `timeout`
+    /// elapses — see [`crate::LiveCluster::read_eventually`] for why
+    /// cross-node visibility needs a deadline.
+    pub fn read_eventually(&self, node: NodeId, key: &str, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.read(node, key) {
+                return Some(v);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Polls until every live node reports zero active transactions, or
+    /// `timeout` passes. Returns `true` on quiescence.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let busy = (0..self.handles.len()).any(|i| {
+                self.handles[i].is_some()
+                    && self
+                        .summary(NodeId(i as u32))
+                        .is_none_or(|s| s.active_txns > 0)
+            });
+            if !busy {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Fetches a node's live summary.
+    pub fn summary(&self, node: NodeId) -> Option<NodeSummary> {
+        self.handles[node.index()].as_ref()?;
+        let (tx, rx) = bounded(1);
+        self.senders[node.index()]
+            .send(Inbound::App(AppCmd::Summary { reply: tx }))
+            .ok()?;
+        recv_reply(&rx, node, self.reply_timeout).ok()
+    }
+
+    /// Stops every live node.
     pub fn shutdown(self) -> Vec<NodeSummary> {
         let mut out = Vec::new();
-        for tx in &self.senders {
-            let (reply, _rx) = bounded(1);
-            let _ = tx.send(Inbound::Shutdown { reply });
+        for (i, tx) in self.senders.iter().enumerate() {
+            if self.handles[i].is_some() {
+                let (reply, _rx) = bounded(1);
+                let _ = tx.send(Inbound::Shutdown { reply });
+            }
         }
-        for h in self.handles {
+        for h in self.handles.into_iter().flatten() {
             if let Ok(s) = h.join() {
                 out.push(s);
             }
         }
         out
     }
+}
+
+fn spawn_tcp_worker<T: Transport>(
+    index: usize,
+    worker: NodeWorker<T>,
+) -> std::io::Result<JoinHandle<NodeSummary>> {
+    std::thread::Builder::new()
+        .name(format!("tpc-tcp-node-{index}"))
+        .spawn(move || worker.run())
 }
 
 /// A transaction in flight on a [`TcpCluster`].
@@ -195,6 +476,11 @@ pub struct TcpTxnHandle<'a> {
 }
 
 impl TcpTxnHandle<'_> {
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.txn
+    }
+
     /// Sends work to a partner.
     pub fn work(&self, to: NodeId, ops: Vec<Op>) {
         let _ = self.cluster.senders[self.root.index()].send(Inbound::App(AppCmd::Work {
@@ -204,14 +490,38 @@ impl TcpTxnHandle<'_> {
         }));
     }
 
-    /// Requests commit, blocking for the outcome.
-    pub fn commit(self) -> CommitResult {
+    /// Requests commit, blocking for the outcome; typed errors instead
+    /// of hanging on a dead root.
+    pub fn commit(self) -> Result<CommitResult> {
+        let timeout = self.cluster.reply_timeout;
+        self.commit_async().wait_with(timeout)
+    }
+
+    /// Requests commit and returns a waiter, releasing the cluster
+    /// borrow so the caller can kill/restart nodes meanwhile.
+    pub fn commit_async(self) -> TcpCommitWait {
         let (tx, rx) = bounded(1);
         let _ = self.cluster.senders[self.root.index()].send(Inbound::App(AppCmd::Commit {
             txn: self.txn,
             reply: tx,
         }));
-        rx.recv().expect("node alive")
+        TcpCommitWait {
+            rx,
+            node: self.root,
+        }
+    }
+}
+
+/// An in-flight commit on a [`TcpCluster`].
+pub struct TcpCommitWait {
+    rx: Receiver<CommitResult>,
+    node: NodeId,
+}
+
+impl TcpCommitWait {
+    /// Blocks until the outcome arrives or `timeout` passes.
+    pub fn wait_with(self, timeout: Duration) -> Result<CommitResult> {
+        recv_reply(&self.rx, self.node, timeout)
     }
 }
 
@@ -231,10 +541,17 @@ mod tests {
         let t = c.begin(NodeId(0));
         t.work(NodeId(1), vec![Op::put("tcp-a", "1")]);
         t.work(NodeId(2), vec![Op::put("tcp-b", "2")]);
-        let r = t.commit();
+        let r = t.commit().expect("root alive");
         assert_eq!(r.outcome, Outcome::Commit);
-        assert_eq!(c.read(NodeId(1), "tcp-a"), Some(b"1".to_vec()));
-        assert_eq!(c.read(NodeId(2), "tcp-b"), Some(b"2".to_vec()));
+        let wait = Duration::from_secs(5);
+        assert_eq!(
+            c.read_eventually(NodeId(1), "tcp-a", wait),
+            Some(b"1".to_vec())
+        );
+        assert_eq!(
+            c.read_eventually(NodeId(2), "tcp-b", wait),
+            Some(b"2".to_vec())
+        );
         c.shutdown();
     }
 
@@ -248,9 +565,83 @@ mod tests {
         for i in 0..5 {
             let t = c.begin(NodeId(0));
             t.work(NodeId(1), vec![Op::put("seq", &i.to_string())]);
-            assert_eq!(t.commit().outcome, Outcome::Commit);
+            assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
         }
-        assert_eq!(c.read(NodeId(1), "seq"), Some(b"4".to_vec()));
+        // "seq" is rewritten by each txn: poll until the last write lands.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let v = c.read(NodeId(1), "seq");
+            if v == Some(b"4".to_vec()) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "expected seq=4 at the subordinate, got {v:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
         c.shutdown();
+    }
+
+    #[test]
+    fn backoff_grows_and_caps_with_jitter_bounds() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            seed: 7,
+        };
+        let mut rng = 99u64;
+        let mut last = Duration::ZERO;
+        for attempt in 1..6 {
+            let d = policy.backoff(attempt, &mut rng);
+            let raw = policy
+                .base_delay
+                .saturating_mul(1 << (attempt - 1))
+                .min(policy.max_delay);
+            assert!(
+                d >= raw.mul_f64(0.5) && d <= raw,
+                "jitter within [0.5, 1.0]"
+            );
+            assert!(d >= last.mul_f64(0.25), "roughly monotone under jitter");
+            last = d;
+        }
+        // Capped: attempt 5 raw backoff is 160ms, clamped to 40ms.
+        let d = policy.backoff(5, &mut rng);
+        assert!(d <= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn unreachable_peer_reports_partner_down_after_bounded_retries() {
+        // A listener we bind then drop: connecting to it fails fast.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let (self_tx, self_rx) = unbounded();
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            seed: 11,
+        };
+        let mut t = TcpTransport::new(
+            NodeId(0),
+            vec![live.local_addr().unwrap(), dead_addr],
+            policy,
+            self_tx,
+        );
+        t.send(NodeId(1), vec![1, 2, 3]);
+        match self_rx.try_recv() {
+            Ok(Inbound::PartnerDown { peer }) => assert_eq!(peer, NodeId(1)),
+            other => panic!(
+                "expected PartnerDown after retry exhaustion, got {:?}",
+                other.is_ok()
+            ),
+        }
+        // Reported once, not per frame.
+        t.send(NodeId(1), vec![4, 5, 6]);
+        assert!(self_rx.try_recv().is_err(), "no duplicate report");
     }
 }

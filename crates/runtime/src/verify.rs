@@ -1,0 +1,96 @@
+//! Consistency checking for live (chaos) runs.
+//!
+//! Two independent views of the same promises:
+//!
+//! 1. [`check`] feeds the engines' final protocol state (carried in each
+//!    [`NodeSummary`]) and the outcomes the application observed through
+//!    the **same** [`tpc_core::check`] module the simulator's verifier
+//!    uses — atomicity, quiescence and damage-report fidelity are
+//!    asserted identically in both harnesses.
+//! 2. [`check_wal_agreement`] ignores in-memory state entirely and
+//!    re-reads every node's WAL file from disk, the way a recovering
+//!    process would: the durable (non-heuristic) decisions recorded for
+//!    one transaction must agree across the cluster.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use tpc_common::{NodeId, Outcome, Result, TxnId};
+use tpc_core::check::{NodeProtocolState, OutcomeRecord};
+use tpc_core::recovery::summarize;
+
+use crate::node::{tm_log_path, CommitResult, NodeSummary};
+
+/// Runs the shared protocol-invariant checker over live node summaries.
+/// Returns `(violations, unresolved)` exactly as the simulator's
+/// verifier does: violations are atomicity/reporting bugs, unresolved
+/// are transactions still blocked on a live node (legitimate under
+/// failures, fatal after the cluster should have quiesced).
+pub fn check(
+    summaries: &[NodeSummary],
+    outcomes: &[OutcomeRecord],
+) -> (Vec<String>, Vec<(NodeId, TxnId)>) {
+    let states: Vec<NodeProtocolState> =
+        summaries.iter().map(|s| s.protocol_state.clone()).collect();
+    tpc_core::check::check(&states, outcomes)
+}
+
+/// Builds the outcome record the checker wants from an application-side
+/// commit/abort completion.
+pub fn outcome_record(txn: TxnId, root: NodeId, result: &CommitResult) -> OutcomeRecord {
+    OutcomeRecord {
+        txn,
+        root,
+        outcome: result.outcome,
+        report: result.report.clone(),
+        pending: result.pending,
+    }
+}
+
+/// Scans every node's TM WAL file under `dir` (file-backed clusters
+/// only) and cross-checks the durable decisions: a transaction must not
+/// have one node with a durable commit and another with a durable
+/// non-heuristic abort. Returns the violations found; nodes whose log
+/// file does not exist are skipped (never started, or memory-backed).
+pub fn check_wal_agreement(dir: &Path, nodes: usize) -> Result<Vec<String>> {
+    let mut decisions: BTreeMap<TxnId, Vec<(NodeId, Outcome)>> = BTreeMap::new();
+    for i in 0..nodes {
+        let node = NodeId(i as u32);
+        let path = tm_log_path(dir, node);
+        if !path.exists() {
+            continue;
+        }
+        let records = tpc_wal::file::scan(&path)?;
+        for (txn, summary) in summarize(&records) {
+            if summary.heuristic.is_some() {
+                // A heuristic decision is damage, not a protocol bug; it
+                // is checked against the root's damage report by
+                // `check`, not here.
+                continue;
+            }
+            if let Some(outcome) = summary.outcome() {
+                decisions.entry(txn).or_default().push((node, outcome));
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    for (txn, list) in decisions {
+        let committed: Vec<NodeId> = list
+            .iter()
+            .filter(|(_, o)| *o == Outcome::Commit)
+            .map(|(n, _)| *n)
+            .collect();
+        let aborted: Vec<NodeId> = list
+            .iter()
+            .filter(|(_, o)| *o == Outcome::Abort)
+            .map(|(n, _)| *n)
+            .collect();
+        if !committed.is_empty() && !aborted.is_empty() {
+            violations.push(format!(
+                "{txn}: durable decisions disagree on disk — committed at {committed:?}, \
+                 aborted at {aborted:?}"
+            ));
+        }
+    }
+    Ok(violations)
+}

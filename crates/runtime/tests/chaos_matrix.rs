@@ -1,0 +1,296 @@
+//! Chaos matrix: kill a live node at every step of the commit protocol,
+//! restart it from its durable WAL, and assert the cluster converges
+//! with atomicity intact — for each of the paper's three protocols.
+//!
+//! The victim subordinate receives exactly three frames per transaction
+//! (`Work`, `Prepare`, `Decision`), so `kill_after_frames(k)` for
+//! k = 1..=3 crashes it at each distinct protocol stage:
+//!
+//! * k = 1 — dies holding unprepared work; it never votes, so the root
+//!   aborts (missing votes count NO, and the partner-failure signal
+//!   aborts the seat immediately).
+//! * k = 2 — dies just after forcing its Prepared record and voting YES;
+//!   it restarts in-doubt and must learn the commit via the root's
+//!   ack-collection re-drive (PN/Basic retention) or its own in-doubt
+//!   query (PA presumption).
+//! * k = 3 — dies just after applying the commit decision; the forced
+//!   Committed record must survive the crash (the §2 contract) so
+//!   restart cannot un-commit it.
+//!
+//! Every case ends with the shared invariant checker
+//! ([`tpc_runtime::verify::check`], the same module the simulator's
+//! verifier uses) plus an on-disk WAL cross-scan.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tpc_common::{NodeId, Op, Outcome, ProtocolKind, SimDuration};
+use tpc_core::Timeouts;
+use tpc_runtime::tcp::TcpCluster;
+use tpc_runtime::{verify, LiveCluster, LiveNodeConfig};
+
+/// Short protocol timers so retries and in-doubt queries fire quickly.
+fn chaos_timeouts() -> Timeouts {
+    Timeouts {
+        vote_collection: SimDuration::from_millis(300),
+        ack_collection: SimDuration::from_millis(150),
+        in_doubt_query: SimDuration::from_millis(200),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpc-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Basic,
+    ProtocolKind::PresumedAbort,
+    ProtocolKind::PresumedNothing,
+];
+
+#[test]
+fn kill_and_restart_the_subordinate_at_every_protocol_step() {
+    for protocol in PROTOCOLS {
+        for k in 1..=3u32 {
+            subordinate_case(protocol, k);
+        }
+    }
+}
+
+fn subordinate_case(protocol: ProtocolKind, k: u32) {
+    let ctx = format!("{protocol:?} k={k}");
+    let dir = temp_dir(&format!("sub-{protocol:?}-{k}"));
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let mut c = LiveCluster::start(vec![
+        LiveNodeConfig::new(protocol)
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(protocol)
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts())
+            .kill_after_frames(k),
+    ])
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(root);
+    let txn = t.id();
+    t.work(victim, vec![Op::put("chaos", "v")]);
+    let wait = t.commit_async();
+
+    let s = c
+        .await_death(victim, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("{ctx}: victim should die on schedule: {e}"));
+    assert!(s.protocol_state.crashed, "{ctx}");
+    c.restart(victim)
+        .unwrap_or_else(|e| panic!("{ctx}: restart from WAL: {e}"));
+
+    let result = wait
+        .wait(Duration::from_secs(20))
+        .unwrap_or_else(|e| panic!("{ctx}: root must answer: {e}"));
+    let expected = if k == 1 {
+        Outcome::Abort
+    } else {
+        Outcome::Commit
+    };
+    assert_eq!(result.outcome, expected, "{ctx}");
+
+    assert!(
+        c.quiesce(Duration::from_secs(20)),
+        "{ctx}: cluster must quiesce after recovery"
+    );
+
+    if expected == Outcome::Commit {
+        assert_eq!(
+            c.read_eventually(victim, "chaos", Duration::from_secs(10)),
+            Some(b"v".to_vec()),
+            "{ctx}: committed write must survive the crash and restart"
+        );
+    } else {
+        assert_eq!(
+            c.read(victim, "chaos"),
+            None,
+            "{ctx}: aborted write must not reappear after restart"
+        );
+    }
+
+    let outcomes = vec![verify::outcome_record(txn, root, &result)];
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{ctx}: {violations:?}");
+    assert!(unresolved.is_empty(), "{ctx}: {unresolved:?}");
+
+    let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal.is_empty(), "{ctx}: {wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn root_crash_after_deciding_recovers_and_completes_phase_two() {
+    // The root receives exactly one frame in a two-node commit: the
+    // subordinate's vote. Killing it there crashes it immediately after
+    // it forces the decision and emits the Decision frame — phase two
+    // (ack collection, End record) must be finished by recovery.
+    for protocol in PROTOCOLS {
+        let ctx = format!("{protocol:?} root-crash");
+        let dir = temp_dir(&format!("root-{protocol:?}"));
+        let root = NodeId(0);
+        let sub = NodeId(1);
+        let mut c = LiveCluster::start(vec![
+            LiveNodeConfig::new(protocol)
+                .with_file_log(&dir)
+                .with_timeouts(chaos_timeouts())
+                .kill_after_frames(1),
+            LiveNodeConfig::new(protocol)
+                .with_file_log(&dir)
+                .with_timeouts(chaos_timeouts()),
+        ])
+        .with_reply_timeout(Duration::from_secs(20));
+
+        let t = c.begin(root);
+        let txn = t.id();
+        t.work(sub, vec![Op::put("root-chaos", "v")]);
+        let wait = t.commit_async();
+
+        c.await_death(root, Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("{ctx}: root should die on its vote frame: {e}"));
+        c.restart(root)
+            .unwrap_or_else(|e| panic!("{ctx}: restart from WAL: {e}"));
+
+        // The decision was forced and announced before the crash, so the
+        // application either got the commit outcome before the root died
+        // or its reply channel died with the process — never a wrong
+        // outcome.
+        let result = match wait.wait(Duration::from_secs(20)) {
+            Ok(r) => {
+                assert_eq!(r.outcome, Outcome::Commit, "{ctx}");
+                Some(r)
+            }
+            Err(tpc_common::Error::NodeDown(_)) | Err(tpc_common::Error::Timeout(_)) => None,
+            Err(e) => panic!("{ctx}: unexpected error {e}"),
+        };
+
+        assert!(c.quiesce(Duration::from_secs(20)), "{ctx}: must quiesce");
+        assert_eq!(
+            c.read_eventually(sub, "root-chaos", Duration::from_secs(10)),
+            Some(b"v".to_vec()),
+            "{ctx}: decided commit must reach the subordinate"
+        );
+
+        let outcomes: Vec<_> = result
+            .iter()
+            .map(|r| verify::outcome_record(txn, root, r))
+            .collect();
+        let summaries = c.shutdown();
+        let (violations, unresolved) = verify::check(&summaries, &outcomes);
+        assert!(violations.is_empty(), "{ctx}: {violations:?}");
+        assert!(unresolved.is_empty(), "{ctx}: {unresolved:?}");
+        let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+        assert!(wal.is_empty(), "{ctx}: {wal:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn kill_and_restart_works_over_tcp_too() {
+    // The same crash/recovery choreography with frames on real loopback
+    // sockets: the victim dies in-doubt (k = 2) and must re-learn the
+    // outcome over TCP after restart.
+    let dir = temp_dir("tcp");
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let mut c = TcpCluster::start(vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts())
+            .kill_after_frames(2),
+    ])
+    .expect("bind loopback")
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(root);
+    let txn = t.id();
+    t.work(victim, vec![Op::put("tcp-chaos", "v")]);
+    let wait = t.commit_async();
+
+    let s = c
+        .await_death(victim, Duration::from_secs(10))
+        .expect("victim dies after voting");
+    assert!(s.protocol_state.crashed);
+    c.restart(victim).expect("restart over TCP");
+
+    let result = wait
+        .wait_with(Duration::from_secs(20))
+        .expect("root answers");
+    assert_eq!(result.outcome, Outcome::Commit);
+    assert!(c.quiesce(Duration::from_secs(20)), "must quiesce");
+    assert_eq!(
+        c.read_eventually(victim, "tcp-chaos", Duration::from_secs(10)),
+        Some(b"v".to_vec()),
+        "committed write must survive the crash on the TCP harness"
+    );
+
+    let outcomes = vec![verify::outcome_record(txn, root, &result)];
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(unresolved.is_empty(), "{unresolved:?}");
+    let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal.is_empty(), "{wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulty_wire_chaos_run_stays_atomic() {
+    // Seeded message chaos (drops + duplicates + delays on the root's
+    // outbound wire) across a batch of transactions: every outcome must
+    // be typed, and the shared checker must find the final state atomic.
+    let configs = vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(ProtocolKind::PresumedNothing).with_timeouts(chaos_timeouts()),
+    ];
+    let faults = vec![
+        Some(
+            tpc_runtime::FaultPlan::clean(0xDECAF)
+                .with_drops(0.2)
+                .with_duplicates(0.1)
+                .with_delays(0.1, 2),
+        ),
+        None,
+        None,
+    ];
+    let c = LiveCluster::start_with_faults(configs, &[], faults)
+        .with_reply_timeout(Duration::from_secs(20));
+
+    let mut outcomes = Vec::new();
+    for i in 0..8 {
+        let t = c.begin(NodeId(0));
+        let txn = t.id();
+        t.work(NodeId(1), vec![Op::put(&format!("a{i}"), "1")]);
+        t.work(NodeId(2), vec![Op::put(&format!("b{i}"), "2")]);
+        let r = t.commit().unwrap_or_else(|e| {
+            let root = c.summary(NodeId(0));
+            let s1 = c.summary(NodeId(1));
+            let s2 = c.summary(NodeId(2));
+            panic!(
+                "txn {i} ({txn}): typed outcome, never a hang: {e}\n\
+                 root: {root:#?}\nsub1: {s1:#?}\nsub2: {s2:#?}"
+            )
+        });
+        outcomes.push(verify::outcome_record(txn, NodeId(0), &r));
+    }
+    assert!(
+        c.quiesce(Duration::from_secs(20)),
+        "chaos batch must quiesce"
+    );
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(unresolved.is_empty(), "{unresolved:?}");
+}

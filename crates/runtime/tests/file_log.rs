@@ -17,21 +17,10 @@ fn file_backed_cluster_commits_and_logs_durably() {
     for i in 0..3 {
         let t = cluster.begin(NodeId(0));
         t.work(NodeId(1), vec![Op::put("durable", &i.to_string())]);
-        assert_eq!(t.commit().outcome, Outcome::Commit);
+        assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
     }
     // Let ack collection settle so END records land.
-    for _ in 0..200 {
-        let done = (0..2).all(|i| {
-            cluster
-                .summary(NodeId(i))
-                .map(|s| s.active_txns == 0)
-                .unwrap_or(false)
-        });
-        if done {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
+    assert!(cluster.quiesce(std::time::Duration::from_secs(2)));
     cluster.shutdown();
 
     // The coordinator's on-disk log holds the PN history for all three

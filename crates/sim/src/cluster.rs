@@ -13,11 +13,11 @@ use tpc_common::{
     HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TxnId,
 };
 use tpc_core::driver::{
-    rm_log_of, AppSink, Driver, LogControl, LogHost, PrepareControl, RmHost, TimerHost, Wire,
+    rm_log_slot, AppSink, Driver, LogControl, LogHost, PrepareControl, RmHost, TimerHost, Wire,
 };
 use tpc_core::{
-    Action, EngineConfig, Event, LocalDisposition, LocalVote, ProtocolMsg, Timeouts, TimerKind,
-    TmEngine,
+    Action, EngineConfig, Event, InDoubtDisposition, LocalDisposition, LocalVote, ProtocolMsg,
+    Timeouts, TimerKind, TmEngine,
 };
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_simnet::{LatencyModel, Network, Partition, Scheduler};
@@ -191,7 +191,7 @@ fn route_rm(key: &[u8], rm_count: usize) -> usize {
 
 /// One local resource manager plus its (optional) private log. `log` is
 /// `None` under the shared-log optimization: records then go to the TM
-/// log and ride its forces (see [`rm_log_of`]).
+/// log and ride its forces (see [`rm_log_slot`]).
 struct RmSlot {
     rm: ResourceManager,
     log: Option<MemLog>,
@@ -328,7 +328,7 @@ fn compute_local_vote(
                 continue;
             }
             slot.rm
-                .prepare(txn, rm_log_of(slot.log.as_mut(), log), rm_durability)
+                .prepare(txn, rm_log_slot(slot.log.as_mut(), log), rm_durability)
                 .expect("rm prepare");
             if rm_durability.is_forced() {
                 *cursor += sim_cfg.force_latency;
@@ -515,7 +515,7 @@ impl RmHost for SimHost<'_> {
             for slot in rms.iter_mut() {
                 match slot
                     .rm
-                    .commit(txn, rm_log_of(slot.log.as_mut(), log), rm_durability, at)
+                    .commit(txn, rm_log_slot(slot.log.as_mut(), log), rm_durability, at)
                 {
                     Ok(g) => {
                         if rm_durability.is_forced() {
@@ -545,7 +545,7 @@ impl RmHost for SimHost<'_> {
             for slot in rms.iter_mut() {
                 match slot
                     .rm
-                    .abort(txn, rm_log_of(slot.log.as_mut(), log), rm_durability, at)
+                    .abort(txn, rm_log_slot(slot.log.as_mut(), log), rm_durability, at)
                 {
                     Ok(g) => {
                         if rm_durability.is_forced() {
@@ -1179,7 +1179,7 @@ impl Sim {
                 let idx = route_rm(key, st.rms.len());
                 let SimNodeState { rms, log, .. } = st;
                 let slot = &mut rms[idx];
-                let the_log = rm_log_of(slot.log.as_mut(), log);
+                let the_log = rm_log_slot(slot.log.as_mut(), log);
                 match &op {
                     Op::Read(k) => slot.rm.read(txn, k, now),
                     Op::Write(k, v) => slot.rm.write(txn, k, v.clone(), the_log, now),
@@ -1203,7 +1203,7 @@ impl Sim {
                         let SimNodeState { rms, log, .. } = st;
                         let mut all = Vec::new();
                         for slot in rms.iter_mut() {
-                            let the_log = rm_log_of(slot.log.as_mut(), log);
+                            let the_log = rm_log_slot(slot.log.as_mut(), log);
                             all.extend(
                                 slot.rm
                                     .abort(txn, the_log, Durability::NonForced, now)
@@ -1324,7 +1324,7 @@ impl Sim {
             let st = &mut self.nodes[node.index()].state;
             let SimNodeState { rms, log, .. } = st;
             for slot in rms.iter_mut() {
-                let durable = rm_log_of(slot.log.as_mut(), log).durable_records();
+                let durable = rm_log_slot(slot.log.as_mut(), log).durable_records();
                 slot.rm.recover(&durable, now).expect("rm recovery");
             }
         }
@@ -1335,48 +1335,34 @@ impl Sim {
             n.driver.recover(&durable, now).expect("engine recovery")
         };
 
-        // Now resolve RM in-doubt transactions against the recovered TM.
+        // Now resolve RM in-doubt transactions against the recovered TM,
+        // through the shared disposition rule.
         if self.cfg.real_mode {
             let rm_count = self.nodes[node.index()].state.rms.len();
             for idx in 0..rm_count {
-                let outcomes: Vec<(TxnId, Option<tpc_common::Outcome>, bool)> = {
+                let dispositions: Vec<(TxnId, InDoubtDisposition)> = {
                     let n = &self.nodes[node.index()];
                     let engine = n.driver.engine();
                     n.state.rms[idx]
                         .rm
                         .in_doubt()
                         .into_iter()
-                        .map(|t| {
-                            (
-                                t,
-                                engine
-                                    .finished_outcome(t)
-                                    .or_else(|| engine.seat(t).and_then(|s| s.outcome)),
-                                engine.seat(t).is_some(),
-                            )
-                        })
+                        .map(|t| (t, engine.recovered_disposition(t)))
                         .collect()
                 };
-                for (txn, outcome, seat_alive) in outcomes {
+                for (txn, disposition) in dispositions {
                     let st = &mut self.nodes[node.index()].state;
                     let SimNodeState { rms, log, .. } = st;
                     let slot = &mut rms[idx];
-                    let the_log = rm_log_of(slot.log.as_mut(), log);
-                    match outcome {
-                        Some(tpc_common::Outcome::Commit) => {
+                    let the_log = rm_log_slot(slot.log.as_mut(), log);
+                    match disposition {
+                        InDoubtDisposition::Commit => {
                             let _ = slot.rm.commit(txn, the_log, Durability::Forced, now);
                         }
-                        Some(tpc_common::Outcome::Abort) => {
+                        InDoubtDisposition::Abort => {
                             let _ = slot.rm.abort(txn, the_log, Durability::NonForced, now);
                         }
-                        None if !seat_alive => {
-                            // The TM never voted: abort unilaterally —
-                            // safe under every protocol (the vote could
-                            // not have been sent without the TM's
-                            // prepared force).
-                            let _ = slot.rm.abort(txn, the_log, Durability::NonForced, now);
-                        }
-                        None => {} // genuinely in doubt; protocol resolves
+                        InDoubtDisposition::AwaitOutcome => {} // protocol resolves
                     }
                 }
             }

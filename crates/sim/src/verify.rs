@@ -1,86 +1,36 @@
 //! The end-of-run consistency checker.
 //!
-//! Verifies the properties the protocols promise:
-//!
-//! 1. **Atomicity** — every participant that reached an outcome reached
-//!    the *same* outcome as the root, unless it took a heuristic decision
-//!    (which is damage, not a protocol bug — but it must be accounted).
-//! 2. **No lock leakage** — once nothing is unresolved, every lock has
-//!    been released.
-//! 3. **Damage-report fidelity** — under PN with late acknowledgments,
-//!    every damaged participant appears in the root's report (§3: "the
-//!    root coordinator [must be] informed of any heuristic damage").
-//!
-//! Blocked in-doubt participants are reported as *unresolved* rather than
-//! violations: blocking is legitimate 2PC behaviour under failures.
+//! The protocol-level invariants (atomicity, quiescence, damage-report
+//! fidelity) are checked by the harness-independent
+//! [`tpc_core::check`] module — the same checker the live runtime's
+//! chaos harness runs, so a simulated scenario and a live chaos run
+//! assert identical promises. This module adds the simulation-only
+//! checks the core checker cannot see: resource-manager lock leakage
+//! and lingering RM in-doubt state after quiescence.
 
-use tpc_common::{AckMode, NodeId, ProtocolKind, TxnId, Vote};
-use tpc_core::Stage;
+use tpc_common::{NodeId, TxnId};
+use tpc_core::check::{self, NodeProtocolState, OutcomeRecord};
 
 use crate::cluster::Sim;
 use crate::report::TxnResult;
 
 /// Runs all checks. Returns `(violations, unresolved)`.
 pub fn check(sim: &Sim, outcomes: &[TxnResult]) -> (Vec<String>, Vec<(NodeId, TxnId)>) {
-    let mut violations = Vec::new();
-    let mut unresolved = Vec::new();
-
-    // Unresolved seats (skip crashed nodes: they are down, not blocked).
-    for (node, engine) in sim.nodes_iter() {
-        if sim.is_crashed(node) {
-            continue;
-        }
-        for seat in engine.active_seats() {
-            // A delegate whose initiator's implied ack never arrived is
-            // bookkeeping debt, not a stuck transaction, once it knows
-            // the outcome.
-            if seat.stage == Stage::Deciding && seat.outcome.is_some() {
-                continue;
-            }
-            unresolved.push((node, seat.txn));
-        }
-    }
-    unresolved.sort();
-
-    // Outcome agreement per completed transaction.
-    for result in outcomes {
-        for (node, engine) in sim.nodes_iter() {
-            let Some(seat) = engine.completed_seat(result.txn) else {
-                continue;
-            };
-            if seat.sent_vote == Some(Vote::ReadOnly) {
-                // Read-only participants are compatible with either
-                // outcome by definition.
-                continue;
-            }
-            if let Some(h) = seat.heuristic {
-                // Heuristic decisions are checked for reporting, below.
-                let damaged = h.damages(result.outcome);
-                if damaged && must_report_damage(sim) {
-                    let reported = result.report.damaged.contains(&node);
-                    if !reported {
-                        violations.push(format!(
-                            "{}: heuristic damage at {node} not reported to root {} \
-                             (PN late-ack promises reliable damage reporting)",
-                            result.txn, result.root
-                        ));
-                    }
-                }
-                continue;
-            }
-            match seat.outcome {
-                Some(o) if o == result.outcome => {}
-                Some(o) => violations.push(format!(
-                    "{}: {node} finished {o} but root {} decided {}",
-                    result.txn, result.root, result.outcome
-                )),
-                None => violations.push(format!(
-                    "{}: {node} completed without an outcome",
-                    result.txn
-                )),
-            }
-        }
-    }
+    let states: Vec<NodeProtocolState> = sim
+        .nodes_iter()
+        .map(|(node, engine)| NodeProtocolState::from_engine(node, sim.is_crashed(node), engine))
+        .collect();
+    let records: Vec<OutcomeRecord> = outcomes
+        .iter()
+        .map(|r| OutcomeRecord {
+            txn: r.txn,
+            root: r.root,
+            outcome: r.outcome,
+            report: r.report.clone(),
+            pending: r.pending,
+        })
+        .collect();
+    let (mut violations, unresolved) = check::check(&states, &records);
 
     // Lock leakage: only meaningful when nothing is unresolved and no
     // node is down.
@@ -108,18 +58,4 @@ pub fn check(sim: &Sim, outcomes: &[TxnResult]) -> (Vec<String>, Vec<(NodeId, Tx
     }
 
     (violations, unresolved)
-}
-
-/// The configuration under which the paper promises the root sees every
-/// damage report: all nodes run PN with late acknowledgments and neither
-/// vote-reliable nor wait-for-outcome weakens the chain.
-fn must_report_damage(sim: &Sim) -> bool {
-    sim.nodes_iter().all(|(_, e)| {
-        let cfg = e.config();
-        cfg.protocol == ProtocolKind::PresumedNothing
-            && cfg.opts.ack_mode == AckMode::Late
-            && !cfg.opts.vote_reliable
-            && !cfg.opts.wait_for_outcome
-            && !cfg.opts.long_locks
-    })
 }

@@ -435,24 +435,13 @@ mod equivalence {
         } else {
             t.work(NodeId(2), vec![Op::put(N2_KEY, "2")]);
         }
-        let result = t.commit();
+        let result = t.commit().expect("root alive");
         assert_eq!(result.outcome, Outcome::Commit, "{protocol} (live)");
         assert!(result.report.is_clean());
         // The root's reply races the tail of Phase 2 (acks, End records):
         // wait for every node to fully retire the transaction before
         // freezing counters.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        loop {
-            let done = (0..3).all(|i| {
-                c.summary(NodeId(i))
-                    .map(|s| s.active_txns == 0)
-                    .unwrap_or(false)
-            });
-            if done || std::time::Instant::now() > deadline {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        assert!(c.quiesce(std::time::Duration::from_secs(5)));
         c.shutdown()
             .into_iter()
             .map(|s| PerNode {

@@ -187,6 +187,26 @@ impl LogManager for FileLog {
     fn stats(&self) -> LogStats {
         self.stats
     }
+
+    fn crash_discard(&mut self) {
+        // A dropped `BufWriter` flushes its buffer, which would let
+        // non-forced records survive a "crash". Swap in a fresh writer and
+        // dismantle the old one without flushing, then resync in-memory
+        // state to what is actually on disk.
+        let Ok(file) = OpenOptions::new().write(true).open(&self.path) else {
+            return;
+        };
+        let old = std::mem::replace(&mut self.writer, BufWriter::new(file));
+        drop(old.into_parts()); // buffered bytes are discarded, not flushed
+        let durable = scan(&self.path).unwrap_or_default();
+        self.next_offset = durable
+            .last()
+            .map(|(lsn, _, rec)| lsn.0 + frame_len(rec) as u64)
+            .unwrap_or(0);
+        let _ = self.writer.get_mut().set_len(self.next_offset);
+        let _ = self.writer.seek(SeekFrom::Start(self.next_offset));
+        self.cache = durable;
+    }
 }
 
 impl std::fmt::Debug for FileLog {
@@ -300,6 +320,26 @@ mod tests {
         let recovered = scan(&path).unwrap();
         assert_eq!(recovered.len(), 2);
         assert!(recovered[0].0 < recovered[1].0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_discard_loses_exactly_the_unforced_tail() {
+        let path = tmp("crash-discard");
+        let mut log = FileLog::create(&path).unwrap();
+        log.append(StreamId::Tm, end(1), Durability::Forced)
+            .unwrap();
+        log.append(StreamId::Tm, end(2), Durability::NonForced)
+            .unwrap();
+        log.crash_discard();
+        assert_eq!(log.durable_records().len(), 1);
+        assert_eq!(log.records().len(), 1, "cache resynced to disk");
+        // The log keeps working after the simulated crash.
+        log.append(StreamId::Tm, end(3), Durability::Forced)
+            .unwrap();
+        let recovered = scan(&path).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[1].2.txn().seq, 3);
         std::fs::remove_file(&path).ok();
     }
 

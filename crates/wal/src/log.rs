@@ -105,6 +105,45 @@ pub trait LogManager {
 
     /// Cumulative statistics.
     fn stats(&self) -> LogStats;
+
+    /// Models a crash at this instant: buffered (non-durable) appends are
+    /// discarded instead of reaching stable storage. Implementations whose
+    /// teardown would otherwise flush the buffer (e.g. a buffered file
+    /// writer flushing on drop) must override this so that a killed node
+    /// loses exactly what a real power failure would lose. The default is
+    /// a no-op for logs with no such teardown flush.
+    fn crash_discard(&mut self) {}
+}
+
+impl<L: LogManager + ?Sized> LogManager for Box<L> {
+    fn append(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        (**self).append(stream, record, durability)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        (**self).flush()
+    }
+
+    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
+        (**self).records()
+    }
+
+    fn durable_records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
+        (**self).durable_records()
+    }
+
+    fn stats(&self) -> LogStats {
+        (**self).stats()
+    }
+
+    fn crash_discard(&mut self) {
+        (**self).crash_discard()
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,10 @@ impl LogManager for MemLog {
     fn stats(&self) -> LogStats {
         self.stats
     }
+
+    fn crash_discard(&mut self) {
+        self.volatile.clear();
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Chaos demo: crash a live node mid-commit, restart it from its WAL,
+//! and watch recovery finish the transaction over the real transport.
+//!
+//! ```text
+//! cargo run --example live_chaos
+//! ```
+//!
+//! Two acts:
+//!
+//! 1. **Crash in doubt.** A Presumed-Abort subordinate is armed to crash
+//!    right after it votes YES (its second frame). The coordinator
+//!    decides commit while the subordinate is dead; after restart, the
+//!    subordinate recovers in doubt from its forced Prepared record and
+//!    learns the outcome over the wire. The committed write survives.
+//! 2. **Message chaos.** A seeded faulty wire drops a third of the
+//!    coordinator's outbound commit-protocol frames across a batch of
+//!    transactions; retries and presumption still converge every one,
+//!    and the shared invariant checker signs off on the final state.
+
+use std::time::Duration;
+
+use twopc::prelude::*;
+use twopc::runtime::verify;
+use twopc::runtime::LiveCluster as Cluster;
+
+fn main() {
+    crash_and_recover();
+    message_chaos();
+}
+
+fn crash_and_recover() {
+    println!("== act 1: crash a subordinate in doubt, restart, recover ==");
+    let dir = std::env::temp_dir().join(format!("tpc-live-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let timeouts = twopc::core::Timeouts {
+        vote_collection: SimDuration::from_millis(300),
+        ack_collection: SimDuration::from_millis(150),
+        in_doubt_query: SimDuration::from_millis(200),
+    };
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let mut cluster = Cluster::start(vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(timeouts),
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(timeouts)
+            // Frame 1 is the work, frame 2 the Prepare: die right after
+            // forcing the Prepared record and voting YES.
+            .kill_after_frames(2),
+    ]);
+
+    let txn = cluster.begin(root);
+    txn.work(victim, vec![Op::put("ledger/balance", "100")]);
+    let wait = txn.commit_async();
+
+    let summary = cluster
+        .await_death(victim, Duration::from_secs(10))
+        .expect("the victim crashes on schedule");
+    println!(
+        "victim crashed in doubt (stage recorded in WAL); {} forced log writes survive",
+        summary.log.forced_writes
+    );
+
+    cluster
+        .restart(victim)
+        .expect("restart from the durable WAL");
+    println!("victim restarted; recovery re-drives over the transport");
+
+    let result = wait
+        .wait(Duration::from_secs(10))
+        .expect("the coordinator answers");
+    println!("outcome at the coordinator: {}", result.outcome);
+    assert_eq!(result.outcome, Outcome::Commit);
+
+    assert!(cluster.quiesce(Duration::from_secs(10)));
+    let recovered = cluster
+        .read_eventually(victim, "ledger/balance", Duration::from_secs(10))
+        .expect("committed write survives the crash");
+    println!(
+        "after crash + restart, victim reads ledger/balance = {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
+
+    let wal_violations = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal_violations.is_empty(), "{wal_violations:?}");
+    println!("on-disk WALs agree on every durable decision\n");
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn message_chaos() {
+    println!("== act 2: seeded message chaos on the coordinator's wire ==");
+    let cluster = Cluster::start_with_faults(
+        vec![LiveNodeConfig::new(ProtocolKind::PresumedNothing); 3],
+        &[],
+        vec![
+            Some(FaultPlan::clean(0xBADCAB).with_drops(0.33)),
+            None,
+            None,
+        ],
+    );
+
+    let mut outcomes = Vec::new();
+    for i in 0..6 {
+        let txn = cluster.begin(NodeId(0));
+        let id = txn.id();
+        txn.work(NodeId(1), vec![Op::put(&format!("a{i}"), "1")]);
+        txn.work(NodeId(2), vec![Op::put(&format!("b{i}"), "2")]);
+        let r = txn.commit().expect("typed outcome, never a hang");
+        println!("txn {i}: {}", r.outcome);
+        outcomes.push(verify::outcome_record(id, NodeId(0), &r));
+    }
+    assert!(cluster.quiesce(Duration::from_secs(10)));
+
+    let stats = cluster.fault_stats(NodeId(0)).expect("fault-wrapped wire");
+    println!(
+        "wire stats: {} delivered, {} dropped",
+        stats.delivered.load(std::sync::atomic::Ordering::Relaxed),
+        stats.lost(),
+    );
+
+    let summaries = cluster.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(unresolved.is_empty(), "{unresolved:?}");
+    println!("invariant checker: atomic, quiesced, no damage misreported");
+}

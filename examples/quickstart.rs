@@ -24,24 +24,36 @@ fn main() {
     );
     txn.work(NodeId(1), vec![Op::put("accounts/alice", "90")]);
     txn.work(NodeId(2), vec![Op::put("accounts/bob", "110")]);
-    let result = txn.commit();
+    let result = txn.commit().expect("root alive");
     println!("transfer outcome: {}", result.outcome);
     assert_eq!(result.outcome, Outcome::Commit);
 
-    // Atomicity: every node sees the committed state.
+    // Atomicity: every node sees the committed state (visibility at a
+    // subordinate can trail the root's reply by one decision frame).
+    let wait = std::time::Duration::from_secs(5);
     println!(
         "alice = {:?}",
-        String::from_utf8(cluster.read(NodeId(1), "accounts/alice").unwrap()).unwrap()
+        String::from_utf8(
+            cluster
+                .read_eventually(NodeId(1), "accounts/alice", wait)
+                .unwrap()
+        )
+        .unwrap()
     );
     println!(
         "bob   = {:?}",
-        String::from_utf8(cluster.read(NodeId(2), "accounts/bob").unwrap()).unwrap()
+        String::from_utf8(
+            cluster
+                .read_eventually(NodeId(2), "accounts/bob", wait)
+                .unwrap()
+        )
+        .unwrap()
     );
 
     // A rollback discards everywhere.
     let txn = cluster.begin(NodeId(0));
     txn.work(NodeId(1), vec![Op::put("accounts/alice", "0")]);
-    let result = txn.abort();
+    let result = txn.abort().expect("root alive");
     println!("rollback outcome: {}", result.outcome);
     assert_eq!(result.outcome, Outcome::Abort);
     assert_eq!(

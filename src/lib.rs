@@ -32,7 +32,7 @@
 //! let txn = cluster.begin(NodeId(0));
 //! txn.work(NodeId(1), vec![Op::put("accounts/alice", "90")]);
 //! txn.work(NodeId(2), vec![Op::put("accounts/bob", "110")]);
-//! let result = txn.commit();
+//! let result = txn.commit().expect("root node is alive");
 //! assert_eq!(result.outcome, Outcome::Commit);
 //! cluster.shutdown();
 //! ```
@@ -73,6 +73,6 @@ pub mod prelude {
         Outcome, ProtocolKind, SimDuration, SimTime, TxnId, Vote, VoteFlags,
     };
     pub use tpc_core::{EngineConfig, TmEngine};
-    pub use tpc_runtime::{CommitResult, LiveCluster, LiveNodeConfig};
+    pub use tpc_runtime::{CommitResult, FaultPlan, FaultStats, LiveCluster, LiveNodeConfig};
     pub use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec, WorkEdge};
 }

@@ -33,21 +33,10 @@ fn live_costs(protocol: ProtocolKind) -> (Outcome, Vec<(u64, u64)>) {
     txn.work(NodeId(0), vec![Op::put("x/n0", "x")]);
     txn.work(NodeId(1), vec![Op::put("x/n1", "x")]);
     txn.work(NodeId(2), vec![Op::put("x/n2", "x")]);
-    let result = txn.commit();
+    let result = txn.commit().expect("root alive");
     // PA/PC return control at the commit point; give the background ack
     // collection a moment so END records land before we read the logs.
-    for _ in 0..200 {
-        let settled = (0..3).all(|i| {
-            cluster
-                .summary(NodeId(i))
-                .map(|s| s.active_txns == 0)
-                .unwrap_or(false)
-        });
-        if settled {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
+    assert!(cluster.quiesce(std::time::Duration::from_secs(2)));
     let summaries = cluster.shutdown();
     (
         result.outcome,
