@@ -1,0 +1,210 @@
+//! Live-runtime throughput bench: txn/s and commit-latency percentiles
+//! for the concurrent closed-loop workload, across
+//! {Basic, PresumedAbort, PresumedNothing} × {group commit off, on} ×
+//! {mem, file} logs × {channel, tcp} transports.
+//!
+//! ```text
+//! cargo run --release -p tpc-bench --bin bench_throughput            # full run
+//! cargo run --release -p tpc-bench --bin bench_throughput -- --quick
+//! cargo run --release -p tpc-bench --bin bench_throughput -- --out /tmp/t.json
+//! ```
+//!
+//! Results are written as machine-readable JSON (default:
+//! `BENCH_throughput.json` at the repo root) so successive PRs have a
+//! throughput trajectory to compare against. The workload is
+//! deterministic in structure (fixed concurrency, fixed per-slot keys);
+//! wall-clock numbers of course vary with the host.
+//!
+//! The interesting comparison is `file` × group commit off/on: with the
+//! file backend every forced record costs a real `sync_data()`, and
+//! group commit (§4 *Group Commits*) amortizes those across concurrent
+//! transactions — `physical_flushes` drops well below `log_forces` and
+//! txn/s rises.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tpc_common::config::GroupCommitConfig;
+use tpc_common::{ProtocolKind, SimDuration};
+use tpc_runtime::tcp::TcpCluster;
+use tpc_runtime::{LiveCluster, LiveNodeConfig, NodeSummary, WorkloadReport, WorkloadSpec};
+
+/// One cell of the bench matrix.
+struct Case {
+    protocol: ProtocolKind,
+    group_commit: bool,
+    file_log: bool,
+    tcp: bool,
+}
+
+/// One finished measurement: the workload report plus the cluster's
+/// aggregated log/group counters.
+struct Measurement {
+    case: Case,
+    report: WorkloadReport,
+    /// Σ forced TM-log appends across nodes.
+    log_forces: u64,
+    /// Σ physical TM-log flushes across nodes.
+    physical_flushes: u64,
+    /// Σ group-committer force requests across nodes.
+    group_requests: u64,
+    /// Σ group-committer flushes across nodes.
+    group_flushes: u64,
+}
+
+const NODES: usize = 3; // two roots + one server
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("usage: bench_throughput [--quick] [--out PATH]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    // Default: the repo root, two levels above this crate's manifest.
+    let out = out.unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+    });
+    let spec = if quick {
+        WorkloadSpec::new(8, 64)
+    } else {
+        WorkloadSpec::new(16, 400)
+    };
+
+    let mut measurements = Vec::new();
+    for protocol in [
+        ProtocolKind::Basic,
+        ProtocolKind::PresumedAbort,
+        ProtocolKind::PresumedNothing,
+    ] {
+        for tcp in [false, true] {
+            for file_log in [false, true] {
+                for group_commit in [false, true] {
+                    let case = Case {
+                        protocol,
+                        group_commit,
+                        file_log,
+                        tcp,
+                    };
+                    eprintln!(
+                        "running {protocol:?} transport={} log={} group_commit={} …",
+                        if tcp { "tcp" } else { "channel" },
+                        if file_log { "file" } else { "mem" },
+                        group_commit
+                    );
+                    measurements.push(run_case(case, &spec));
+                }
+            }
+        }
+    }
+
+    let json = render_json(quick, &spec, &measurements);
+    std::fs::write(&out, json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {}", out.display());
+}
+
+fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
+    let gc = case.group_commit.then(|| GroupCommitConfig {
+        batch_size: spec.concurrency.max(2),
+        max_wait: SimDuration::from_millis(2),
+    });
+    let mut cfg = LiveNodeConfig::new(case.protocol).with_group_commit(gc);
+    // Log files go under target/ so fsync hits the real filesystem the
+    // build uses, not a tmpfs that would flatter the numbers.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(
+        "../../target/bench-throughput-{}",
+        std::process::id()
+    ));
+    if case.file_log {
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg = cfg.with_file_log(&dir);
+    }
+    let configs = vec![cfg; NODES];
+    let (report, summaries) = if case.tcp {
+        let c = TcpCluster::start(configs).expect("bind loopback");
+        let report = c.run_workload(spec);
+        assert!(c.quiesce(Duration::from_secs(30)), "cluster must quiesce");
+        (report, c.shutdown())
+    } else {
+        let c = LiveCluster::start(configs);
+        let report = c.run_workload(spec);
+        assert!(c.quiesce(Duration::from_secs(30)), "cluster must quiesce");
+        (report, c.shutdown())
+    };
+    if case.file_log {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(report.failed, 0, "throughput run must not drop requests");
+    let agg = |f: fn(&NodeSummary) -> u64| summaries.iter().map(f).sum();
+    Measurement {
+        case,
+        report,
+        log_forces: agg(|s| s.log.forced_writes),
+        physical_flushes: agg(|s| s.log.physical_flushes),
+        group_requests: agg(|s| s.group.requests),
+        group_flushes: agg(|s| s.group.flushes),
+    }
+}
+
+fn render_json(quick: bool, spec: &WorkloadSpec, measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"throughput\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"spec\": {{ \"nodes\": {NODES}, \"concurrency\": {}, \"txns\": {} }},",
+        spec.concurrency, spec.txns
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let c = &m.case;
+        let l = &m.report.latency;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"protocol\": \"{:?}\",", c.protocol);
+        let _ = writeln!(
+            s,
+            "      \"transport\": \"{}\",",
+            if c.tcp { "tcp" } else { "channel" }
+        );
+        let _ = writeln!(
+            s,
+            "      \"log\": \"{}\",",
+            if c.file_log { "file" } else { "mem" }
+        );
+        let _ = writeln!(s, "      \"group_commit\": {},", c.group_commit);
+        let _ = writeln!(s, "      \"committed\": {},", m.report.committed);
+        let _ = writeln!(s, "      \"aborted\": {},", m.report.aborted);
+        let _ = writeln!(s, "      \"failed\": {},", m.report.failed);
+        let _ = writeln!(
+            s,
+            "      \"elapsed_ms\": {:.3},",
+            m.report.elapsed.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(s, "      \"txns_per_sec\": {:.1},", m.report.txns_per_sec());
+        let _ = writeln!(
+            s,
+            "      \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},",
+            l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        );
+        let _ = writeln!(s, "      \"log_forces\": {},", m.log_forces);
+        let _ = writeln!(s, "      \"physical_flushes\": {},", m.physical_flushes);
+        let _ = writeln!(s, "      \"group_requests\": {},", m.group_requests);
+        let _ = writeln!(s, "      \"group_flushes\": {}", m.group_flushes);
+        s.push_str(if i + 1 < measurements.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -355,7 +355,7 @@ impl TmEngine {
                 seat.stage
             )));
         }
-        seat.child_mut(to);
+        seat.child_mut(to).worked = true;
         self.push_send(out, to, ProtocolMsg::Work { txn, payload });
         Ok(())
     }
@@ -445,19 +445,27 @@ impl TmEngine {
         // whose unsolicited vote already arrived.
         let long_locks = self.cfg.opts.long_locks;
         let seat = self.seats.get_mut(&txn).expect("present");
-        let targets: Vec<NodeId> = seat
+        let targets: Vec<(NodeId, bool)> = seat
             .children
             .iter()
             .filter(|c| c.state == ChildState::Enrolled)
-            .map(|c| c.node)
+            .map(|c| (c.node, c.worked))
             .collect();
-        for nodeid in targets {
+        for (nodeid, expect_work) in targets {
             self.seats
                 .get_mut(&txn)
                 .expect("present")
                 .child_mut(nodeid)
                 .state = ChildState::PrepareSent;
-            self.push_send(out, nodeid, ProtocolMsg::Prepare { txn, long_locks });
+            self.push_send(
+                out,
+                nodeid,
+                ProtocolMsg::Prepare {
+                    txn,
+                    long_locks,
+                    expect_work,
+                },
+            );
         }
 
         let seat = self.seats.get_mut(&txn).expect("present");
@@ -561,19 +569,27 @@ impl TmEngine {
         }
 
         let long_locks = self.cfg.opts.long_locks;
-        let targets: Vec<NodeId> = self.seats[&txn]
+        let targets: Vec<(NodeId, bool)> = self.seats[&txn]
             .children
             .iter()
             .filter(|c| c.state == ChildState::Enrolled)
-            .map(|c| c.node)
+            .map(|c| (c.node, c.worked))
             .collect();
-        for nodeid in targets {
+        for (nodeid, expect_work) in targets {
             self.seats
                 .get_mut(&txn)
                 .expect("present")
                 .child_mut(nodeid)
                 .state = ChildState::PrepareSent;
-            self.push_send(out, nodeid, ProtocolMsg::Prepare { txn, long_locks });
+            self.push_send(
+                out,
+                nodeid,
+                ProtocolMsg::Prepare {
+                    txn,
+                    long_locks,
+                    expect_work,
+                },
+            );
         }
         if has_children {
             out.push(Action::SetTimer {
@@ -643,9 +659,11 @@ impl TmEngine {
     ) -> Result<()> {
         match msg {
             ProtocolMsg::Work { txn, .. } => self.on_work_received(from, txn, now, out),
-            ProtocolMsg::Prepare { txn, long_locks } => {
-                self.on_prepare(from, txn, long_locks, now, out)
-            }
+            ProtocolMsg::Prepare {
+                txn,
+                long_locks,
+                expect_work,
+            } => self.on_prepare(from, txn, long_locks, expect_work, now, out),
             ProtocolMsg::VoteMsg { txn, vote } => self.on_vote(from, txn, vote, now, out),
             ProtocolMsg::Decision { txn, outcome } => {
                 self.on_decision(from, txn, outcome, now, out)
@@ -710,6 +728,7 @@ impl TmEngine {
         from: NodeId,
         txn: TxnId,
         long_locks: bool,
+        expect_work: bool,
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> Result<()> {
@@ -731,7 +750,18 @@ impl TmEngine {
             }
             return Ok(());
         }
+        let first_contact = !self.seats.contains_key(&txn);
         let seat = self.seats.entry(txn).or_insert_with(|| Seat::new(txn));
+        if first_contact && expect_work {
+            // The coordinator conversed with us during this transaction,
+            // but we have no trace of it: our state was lost in a crash,
+            // or the Work frame never arrived. Either way the work's
+            // local effects are gone, so a YES (or READ-ONLY) vote would
+            // commit a transaction missing its updates here. Poison the
+            // seat; Phase 1 below turns that into a NO vote with full
+            // bookkeeping.
+            seat.poisoned = true;
+        }
         match seat.upstream {
             None => seat.upstream = Some(from),
             Some(up) if up == from => {}

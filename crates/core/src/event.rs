@@ -274,6 +274,7 @@ mod tests {
             msgs: vec![ProtocolMsg::Prepare {
                 txn: t(),
                 long_locks: false,
+                expect_work: true,
             }],
         };
         assert!(send.is_send_of("Prepare"));

@@ -35,6 +35,14 @@ pub enum ProtocolMsg {
         txn: TxnId,
         /// Coordinator requests the long-locks ack deferral.
         long_locks: bool,
+        /// The coordinator conversed with this subordinate (sent it
+        /// `Work`) during the transaction. A receiver with no trace of
+        /// the transaction must then vote NO: its state was lost in a
+        /// crash, or the work never arrived — either way a YES would
+        /// commit a transaction whose effects at this node are gone. A
+        /// standing partner enrolled without work sees `false` and may
+        /// vote READ-ONLY as usual.
+        expect_work: bool,
     },
     /// A vote (Phase 1 response, or volunteered). The `Vote` carries the
     /// optimization qualifiers: `ok_to_leave_out`, `reliable`,
@@ -141,10 +149,15 @@ impl Encode for ProtocolMsg {
                 txn.encode(e);
                 e.put_bytes(payload);
             }
-            ProtocolMsg::Prepare { txn, long_locks } => {
+            ProtocolMsg::Prepare {
+                txn,
+                long_locks,
+                expect_work,
+            } => {
                 e.put_u8(TAG_PREPARE);
                 txn.encode(e);
                 e.put_bool(*long_locks);
+                e.put_bool(*expect_work);
             }
             ProtocolMsg::VoteMsg { txn, vote } => {
                 e.put_u8(TAG_VOTE);
@@ -188,6 +201,7 @@ impl Decode for ProtocolMsg {
             TAG_PREPARE => ProtocolMsg::Prepare {
                 txn: TxnId::decode(d)?,
                 long_locks: d.get_bool()?,
+                expect_work: d.get_bool()?,
             },
             TAG_VOTE => ProtocolMsg::VoteMsg {
                 txn: TxnId::decode(d)?,
@@ -259,6 +273,7 @@ mod tests {
             ProtocolMsg::Prepare {
                 txn: t(),
                 long_locks: true,
+                expect_work: true,
             },
             ProtocolMsg::VoteMsg {
                 txn: t(),

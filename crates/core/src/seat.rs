@@ -109,6 +109,11 @@ pub struct Child {
     pub node: NodeId,
     /// Protocol state.
     pub state: ChildState,
+    /// We sent this child `Work` in this transaction (as opposed to a
+    /// standing partner enrolled without a conversation). Carried in the
+    /// Prepare as `expect_work` so a subordinate that lost the work in a
+    /// crash refuses to vote YES on an empty seat.
+    pub worked: bool,
 }
 
 /// Per-transaction state at one node.
@@ -213,6 +218,7 @@ impl Seat {
             self.children.push(Child {
                 node,
                 state: ChildState::Enrolled,
+                worked: false,
             });
             self.children.last_mut().expect("just pushed")
         }

@@ -14,6 +14,8 @@ use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
     AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
 };
+use crate::signal::ClusterSignal;
+use crate::workload::{run_closed_loop, WorkloadReport, WorkloadSpec};
 
 /// How long cluster-level blocking requests (commit, read, summary) wait
 /// for a reply before reporting [`Error::Timeout`] instead of hanging on
@@ -54,6 +56,9 @@ pub struct LiveCluster {
     epoch: Instant,
     next_seq: Arc<AtomicU64>,
     reply_timeout: Duration,
+    /// Bumped by workers on observable progress; cluster-level waits
+    /// block on it instead of sleep-polling.
+    signal: Arc<ClusterSignal>,
 }
 
 impl LiveCluster {
@@ -110,6 +115,7 @@ impl LiveCluster {
             epoch,
             next_seq: Arc::new(AtomicU64::new(1)),
             reply_timeout: DEFAULT_REPLY_TIMEOUT,
+            signal: Arc::new(ClusterSignal::new()),
         };
         for (i, plan) in faults.iter().enumerate() {
             let node = NodeId(i as u32);
@@ -121,8 +127,9 @@ impl LiveCluster {
                 transport,
                 cluster.receivers[i].clone(),
                 epoch,
+                Arc::clone(&cluster.signal),
             );
-            cluster.handles[i] = Some(spawn_worker(i, worker));
+            cluster.handles[i] = Some(spawn_worker(i, worker, Arc::clone(&cluster.signal)));
         }
         cluster
     }
@@ -191,27 +198,26 @@ impl LiveCluster {
     /// itself, then notifies its partners. Fails with [`Error::Timeout`]
     /// if the node is still alive after `timeout`.
     pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let finished = self.handles[node.index()]
-                .as_ref()
-                .ok_or(Error::NodeDown(node))?
-                .is_finished();
-            if finished {
-                let handle = self.handles[node.index()].take().expect("checked above");
-                let summary = handle
-                    .join()
-                    .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
-                self.broadcast_partner_down(node);
-                return Ok(summary);
-            }
-            if Instant::now() >= deadline {
-                return Err(Error::Timeout(format!(
-                    "{node} still alive after {timeout:?}"
-                )));
-            }
-            std::thread::sleep(Duration::from_millis(2));
+        if self.handles[node.index()].is_none() {
+            return Err(Error::NodeDown(node));
         }
+        let finished = self.signal.wait_for(timeout, || {
+            self.handles[node.index()]
+                .as_ref()
+                .is_some_and(|h| h.is_finished())
+                .then_some(())
+        });
+        if finished.is_none() {
+            return Err(Error::Timeout(format!(
+                "{node} still alive after {timeout:?}"
+            )));
+        }
+        let handle = self.handles[node.index()].take().expect("checked above");
+        let summary = handle
+            .join()
+            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        self.broadcast_partner_down(node);
+        Ok(summary)
     }
 
     /// Restarts a killed node from its durable file WAL: stale frames
@@ -231,8 +237,10 @@ impl LiveCluster {
             transport,
             self.receivers[node.index()].clone(),
             self.epoch,
+            Arc::clone(&self.signal),
         )?;
-        self.handles[node.index()] = Some(spawn_worker(node.index(), worker));
+        self.handles[node.index()] =
+            Some(spawn_worker(node.index(), worker, Arc::clone(&self.signal)));
         Ok(())
     }
 
@@ -285,38 +293,44 @@ impl LiveCluster {
     /// visibility at another node is asserted with a deadline, not a
     /// single read.
     pub fn read_eventually(&self, node: NodeId, key: &str, timeout: Duration) -> Option<Vec<u8>> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if let Some(v) = self.read(node, key) {
-                return Some(v);
-            }
-            if Instant::now() >= deadline {
-                return None;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        self.signal.wait_for(timeout, || self.read(node, key))
     }
 
-    /// Polls until every live node reports zero active transactions, or
+    /// Waits until every live node reports zero active transactions, or
     /// `timeout` passes. Returns `true` on quiescence — chaos runs call
-    /// this before handing final state to [`crate::verify::check`].
+    /// this before handing final state to [`crate::verify::check`]. The
+    /// wait blocks on the cluster progress signal instead of sleeping.
     pub fn quiesce(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let busy = (0..self.handles.len()).any(|i| {
-                self.handles[i].is_some()
-                    && self
-                        .summary(NodeId(i as u32))
-                        .is_none_or(|s| s.active_txns > 0)
-            });
-            if !busy {
-                return true;
-            }
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        self.signal
+            .wait_for(timeout, || {
+                let busy = (0..self.handles.len()).any(|i| {
+                    self.handles[i].is_some()
+                        && self
+                            .summary(NodeId(i as u32))
+                            .is_none_or(|s| s.active_txns > 0)
+                });
+                (!busy).then_some(())
+            })
+            .is_some()
+    }
+
+    /// Drives a closed-loop concurrent workload: `spec.concurrency` slots
+    /// each keep one transaction in flight via `commit_async`, rooting at
+    /// nodes `0..n-1` round-robin and writing a disjoint key at the last
+    /// node (the shared "server" participant). This is what actually
+    /// fills group-commit batches — sequential commits never overlap at
+    /// the log.
+    pub fn run_workload(&self, spec: &WorkloadSpec) -> WorkloadReport {
+        assert!(self.len() >= 2, "workload needs a root and a server node");
+        let server = NodeId((self.len() - 1) as u32);
+        let roots = self.len() - 1;
+        run_closed_loop(spec.concurrency, spec.txns, |slot, i| {
+            let root = NodeId((slot % roots) as u32);
+            let t = self.begin(root);
+            let key = format!("{}-{slot}-{i}", spec.key_prefix);
+            t.work(server, vec![Op::put(&key, &i.to_string())]);
+            t.commit_async().wait(spec.reply_timeout)
+        })
     }
 
     /// Fetches a node's live summary.
@@ -353,10 +367,19 @@ impl LiveCluster {
     }
 }
 
-fn spawn_worker<T: Transport>(index: usize, worker: NodeWorker<T>) -> JoinHandle<NodeSummary> {
+fn spawn_worker<T: Transport>(
+    index: usize,
+    worker: NodeWorker<T>,
+    signal: Arc<ClusterSignal>,
+) -> JoinHandle<NodeSummary> {
     std::thread::Builder::new()
         .name(format!("tpc-node-{index}"))
-        .spawn(move || worker.run())
+        .spawn(move || {
+            let summary = worker.run();
+            // Final bump so await_death / quiesce observe the exit.
+            signal.bump();
+            summary
+        })
         .expect("spawn node thread")
 }
 

@@ -40,6 +40,15 @@
 //! disconnects into any transport. After a run, [`verify::check`]
 //! asserts the same atomicity invariants the simulator's verifier
 //! checks, from live node state and WAL scans.
+//!
+//! ## Throughput
+//!
+//! [`LiveNodeConfig::with_group_commit`] batches concurrent log forces
+//! into one physical flush per batch (the paper's group-commit
+//! optimization, live in the real WAL path), and
+//! [`LiveCluster::run_workload`] drives N closed-loop concurrent
+//! transactions to fill those batches. `cargo run -p tpc-bench --bin
+//! bench_throughput` measures the effect.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,9 +56,13 @@
 mod cluster;
 pub mod fault;
 mod node;
+pub mod signal;
 pub mod tcp;
 pub mod verify;
+mod workload;
 
 pub use cluster::{CommitWait, LiveCluster, TxnHandle};
 pub use fault::{FaultPlan, FaultStats, FaultyWire};
 pub use node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport};
+pub use signal::ClusterSignal;
+pub use workload::{LatencySummary, WorkloadReport, WorkloadSpec};

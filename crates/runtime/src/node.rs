@@ -8,9 +8,11 @@
 //! through the driver's host traits.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use tpc_common::config::GroupCommitConfig;
 use tpc_common::wire::{Decode, Encode};
 use tpc_common::{
     decode_ops, DamageReport, Error, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
@@ -19,13 +21,18 @@ use tpc_common::{
 use tpc_core::driver::rm_log_slot;
 use tpc_core::messages::Bundle;
 use tpc_core::{
-    AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, InDoubtDisposition,
+    Action, AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, InDoubtDisposition,
     LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, PrepareControl,
     ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_wal::file::FileLog;
-use tpc_wal::{Durability, LogManager, LogRecord, LogStats, MemLog, StreamId};
+use tpc_wal::{
+    Durability, FlushDecision, GroupCommitter, GroupStats, LogManager, LogRecord, LogStats, MemLog,
+    StreamId,
+};
+
+use crate::signal::ClusterSignal;
 
 /// Where a live node keeps its write-ahead log.
 #[derive(Clone, Debug, Default)]
@@ -99,6 +106,15 @@ impl LiveNodeConfig {
     /// Replaces the optimization switches.
     pub fn with_opts(mut self, opts: OptimizationConfig) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Sets the group-commit batching policy for the node's TM log
+    /// (shorthand for editing [`OptimizationConfig::group_commit`]):
+    /// concurrent forced writes join one batch and share a single
+    /// physical flush, per §4 *Group Commits*.
+    pub fn with_group_commit(mut self, cfg: Option<GroupCommitConfig>) -> Self {
+        self.opts.group_commit = cfg;
         self
     }
 
@@ -193,6 +209,10 @@ pub struct NodeSummary {
     /// RM log statistics (zeroed under the shared-log optimization,
     /// where RM records ride the TM log).
     pub rm_log: LogStats,
+    /// Group-commit batching statistics (zeroed when the node runs
+    /// without group commit): logical force requests vs physical flushes
+    /// actually performed on the TM log.
+    pub group: GroupStats,
     /// Transactions still unresolved.
     pub active_txns: usize,
     /// Snapshot of the engine's protocol state for the shared consistency
@@ -248,6 +268,72 @@ struct LiveHost<T: Transport> {
     /// (votes unblocked by lock releases); the worker drains these after
     /// every driver call.
     followups: VecDeque<Event>,
+    /// Group-commit batcher for TM-log forces; `None` runs one
+    /// `sync_data` per force.
+    group: Option<GroupCommitter<u64>>,
+    /// Action-stream tails suspended behind a filling batch, by ticket.
+    suspended: HashMap<u64, Vec<Action>>,
+    next_ticket: u64,
+    /// Ticket of the append that just suspended (bridges the driver's
+    /// `append_tm` → `suspend_rest` pair, which happen back to back on
+    /// this thread).
+    suspending_ticket: Option<u64>,
+    /// Wall-clock deadline of the pending batch; mirrors the
+    /// committer's internal deadline exactly (set on `WaitUntil`,
+    /// cleared on any flush).
+    group_deadline: Option<Instant>,
+    /// Tails released by a flush, waiting for the worker to re-apply
+    /// them through the driver (the host cannot re-enter the driver
+    /// from inside a host callback).
+    resume_ready: VecDeque<Vec<Action>>,
+}
+
+impl<T: Transport> LiveHost<T> {
+    fn new(
+        node: NodeId,
+        cfg: &LiveNodeConfig,
+        transport: T,
+        log: Box<dyn LogManager + Send>,
+        rm_log: Option<Box<dyn LogManager + Send>>,
+        rm: ResourceManager,
+        epoch: Instant,
+    ) -> Self {
+        LiveHost {
+            node,
+            transport,
+            log,
+            rm_log,
+            rm,
+            timers: BinaryHeap::new(),
+            pending_ops: HashMap::new(),
+            deadlocked: HashSet::new(),
+            prepare_waiting: HashMap::new(),
+            waiting: HashMap::new(),
+            suspendable: cfg.suspendable,
+            reliable: cfg.reliable,
+            epoch,
+            followups: VecDeque::new(),
+            group: cfg.opts.group_commit.map(GroupCommitter::new),
+            suspended: HashMap::new(),
+            next_ticket: 0,
+            suspending_ticket: None,
+            group_deadline: None,
+            resume_ready: VecDeque::new(),
+        }
+    }
+
+    /// Moves the released tickets' suspended tails to the resume queue,
+    /// in ticket (submission) order.
+    fn release_tickets(&mut self, tickets: Vec<u64>, skip: Option<u64>) {
+        for t in tickets {
+            if Some(t) == skip {
+                continue; // the in-flight append's own tail continues inline
+            }
+            if let Some(rest) = self.suspended.remove(&t) {
+                self.resume_ready.push_back(rest);
+            }
+        }
+    }
 }
 
 impl<T: Transport> LiveHost<T> {
@@ -354,11 +440,51 @@ impl<T: Transport> LogHost for LiveHost<T> {
         record: LogRecord,
         durability: Durability,
     ) -> LogControl {
-        self.log
-            .as_mut()
-            .append(StreamId::Tm, record, durability)
-            .expect("live log append");
-        LogControl::Done
+        if durability.is_forced() && self.group.is_some() {
+            // Group commit: the record is written (buffered) now, but the
+            // physical sync is owed to the batch. The action-stream tail
+            // behind this force suspends until the batch flushes, exactly
+            // as in the simulator host.
+            self.log
+                .as_mut()
+                .append_deferred(StreamId::Tm, record, durability)
+                .expect("live log append");
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            let now = self.now();
+            let decision = self
+                .group
+                .as_mut()
+                .expect("guarded by is_some above")
+                .request(now, ticket);
+            match decision {
+                FlushDecision::FlushNow(tickets) => {
+                    self.log.flush_batch().expect("live log flush");
+                    self.group_deadline = None;
+                    self.release_tickets(tickets, Some(ticket));
+                    LogControl::Done
+                }
+                FlushDecision::WaitUntil(deadline) => {
+                    self.suspending_ticket = Some(ticket);
+                    self.group_deadline = Some(self.epoch + Duration::from_micros(deadline.0));
+                    LogControl::Suspend
+                }
+            }
+        } else {
+            self.log
+                .as_mut()
+                .append(StreamId::Tm, record, durability)
+                .expect("live log append");
+            LogControl::Done
+        }
+    }
+
+    fn suspend_rest(&mut self, rest: Vec<Action>) {
+        let ticket = self
+            .suspending_ticket
+            .take()
+            .expect("suspend_rest without a suspending append");
+        self.suspended.insert(ticket, rest);
     }
 }
 
@@ -460,6 +586,10 @@ pub struct NodeWorker<T: Transport> {
     rx: Receiver<Inbound>,
     frames_seen: u32,
     kill_after_frames: Option<u32>,
+    /// Cluster-wide progress signal: bumped whenever this worker makes
+    /// observable progress, so cluster waiters (`read_eventually`,
+    /// `quiesce`, `await_death`) block on a condvar instead of polling.
+    signal: Arc<ClusterSignal>,
 }
 
 /// Messages arriving at a node's inbound channel.
@@ -509,6 +639,7 @@ impl<T: Transport> NodeWorker<T> {
         transport: T,
         rx: Receiver<Inbound>,
         epoch: Instant,
+        signal: Arc<ClusterSignal>,
     ) -> Self {
         let engine_cfg = EngineConfig {
             node,
@@ -549,27 +680,14 @@ impl<T: Transport> NodeWorker<T> {
                 Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
             }
         };
+        let kill_after_frames = cfg.kill_after_frames;
         NodeWorker {
             driver,
-            host: LiveHost {
-                node,
-                transport,
-                log,
-                rm_log,
-                rm,
-                timers: BinaryHeap::new(),
-                pending_ops: HashMap::new(),
-                deadlocked: HashSet::new(),
-                prepare_waiting: HashMap::new(),
-                waiting: HashMap::new(),
-                suspendable: cfg.suspendable,
-                reliable: cfg.reliable,
-                epoch,
-                followups: VecDeque::new(),
-            },
+            host: LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch),
             rx,
             frames_seen: 0,
-            kill_after_frames: cfg.kill_after_frames,
+            kill_after_frames,
+            signal,
         }
     }
 
@@ -599,6 +717,7 @@ impl<T: Transport> NodeWorker<T> {
         transport: T,
         rx: Receiver<Inbound>,
         epoch: Instant,
+        signal: Arc<ClusterSignal>,
     ) -> Result<Self> {
         let LogBackend::File(dir) = &cfg.log_backend else {
             return Err(Error::Config(
@@ -656,42 +775,32 @@ impl<T: Transport> NodeWorker<T> {
 
         let mut worker = NodeWorker {
             driver,
-            host: LiveHost {
-                node,
-                transport,
-                log,
-                rm_log,
-                rm,
-                timers: BinaryHeap::new(),
-                pending_ops: HashMap::new(),
-                deadlocked: HashSet::new(),
-                prepare_waiting: HashMap::new(),
-                waiting: HashMap::new(),
-                suspendable: cfg.suspendable,
-                reliable: cfg.reliable,
-                epoch,
-                followups: VecDeque::new(),
-            },
+            host: LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch),
             rx,
             frames_seen: 0,
             // A restarted node must not crash again: the knob is one-shot.
             kill_after_frames: None,
+            signal,
         };
         let now = worker.host.now();
         worker.driver.apply(&mut worker.host, now, actions)?;
-        worker.drain_followups();
+        worker.pump();
         Ok(worker)
     }
 
     /// The worker's main loop; returns the final summary at shutdown.
     pub fn run(mut self) -> NodeSummary {
         loop {
-            let timeout = self
+            let mut timeout = self
                 .host
                 .timers
                 .peek()
                 .map(|t| t.deadline.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(250));
+            if let Some(dl) = self.host.group_deadline {
+                timeout = timeout.min(dl.saturating_duration_since(Instant::now()));
+            }
+            let mut progressed = true;
             match self.rx.recv_timeout(timeout) {
                 Ok(Inbound::Frame { from, bytes }) => {
                     self.on_frame(from, &bytes);
@@ -709,15 +818,60 @@ impl<T: Transport> NodeWorker<T> {
                 }
                 Ok(Inbound::Kill) => return self.die(),
                 Ok(Inbound::Shutdown { reply }) => {
+                    // A clean shutdown is not a crash: the pending
+                    // group-commit batch (if any) flushes so in-flight
+                    // commits complete before the summary freezes.
+                    self.drain_group();
                     let _ = reply.send(self.summary(false));
                     return self.summary(false);
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return self.summary(false),
+                Err(RecvTimeoutError::Timeout) => progressed = false,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.drain_group();
+                    return self.summary(false);
+                }
             }
-            self.fire_due_timers();
+            progressed |= self.fire_due_timers();
+            progressed |= self.expire_group_if_due();
             self.flush_acks_if_idle();
+            if progressed {
+                self.signal.bump();
+            }
         }
+    }
+
+    /// Fires the batch deadline: if the pending group-commit batch has
+    /// outlived `max_wait`, one physical flush releases every suspended
+    /// action-stream tail. Returns whether a flush happened.
+    fn expire_group_if_due(&mut self) -> bool {
+        let Some(dl) = self.host.group_deadline else {
+            return false;
+        };
+        if Instant::now() < dl {
+            return false;
+        }
+        self.host.group_deadline = None;
+        let now = self.host.now();
+        let released = self.host.group.as_mut().and_then(|gc| gc.expire(now));
+        let Some(tickets) = released else {
+            return false;
+        };
+        self.host.log.flush_batch().expect("live log flush");
+        self.host.release_tickets(tickets, None);
+        self.pump();
+        true
+    }
+
+    /// Flushes whatever the group committer still holds (clean shutdown
+    /// path — a kill deliberately does NOT do this, so suspended forces
+    /// die with the node like any other unflushed buffer).
+    fn drain_group(&mut self) {
+        let released = self.host.group.as_mut().and_then(|gc| gc.drain());
+        let Some(tickets) = released else { return };
+        self.host.log.flush_batch().expect("live log flush");
+        self.host.group_deadline = None;
+        self.host.release_tickets(tickets, None);
+        self.pump();
     }
 
     /// Models a process crash: buffered (non-durable) log tails are
@@ -746,7 +900,7 @@ impl<T: Transport> NodeWorker<T> {
             debug_assert!(false, "ack flush error at {}: {e}", self.host.node);
             let _ = e;
         }
-        self.drain_followups();
+        self.pump();
     }
 
     fn summary(&self, crashed: bool) -> NodeSummary {
@@ -761,6 +915,12 @@ impl<T: Transport> NodeWorker<T> {
                 .as_ref()
                 .map(|l| l.stats())
                 .unwrap_or_default(),
+            group: self
+                .host
+                .group
+                .as_ref()
+                .map(|g| g.stats())
+                .unwrap_or_default(),
             active_txns: self.driver.engine().active_txns(),
             protocol_state: NodeProtocolState::from_engine(
                 self.host.node,
@@ -770,8 +930,9 @@ impl<T: Transport> NodeWorker<T> {
         }
     }
 
-    fn fire_due_timers(&mut self) {
+    fn fire_due_timers(&mut self) -> bool {
         let now = Instant::now();
+        let mut fired = false;
         while let Some(t) = self.host.timers.peek() {
             if t.deadline > now {
                 break;
@@ -780,11 +941,13 @@ impl<T: Transport> NodeWorker<T> {
             if !self.driver.timer_is_current(t.txn, t.kind, t.gen) {
                 continue; // cancelled or superseded
             }
+            fired = true;
             self.drive(Event::TimerFired {
                 txn: t.txn,
                 kind: t.kind,
             });
         }
+        fired
     }
 
     fn on_frame(&mut self, from: NodeId, bytes: &[u8]) {
@@ -800,7 +963,7 @@ impl<T: Transport> NodeWorker<T> {
                     msg: msg.clone(),
                 });
                 self.host.run_ops(txn, ops.into());
-                self.drain_followups();
+                self.pump();
             } else {
                 self.drive(Event::MsgReceived { from, msg });
             }
@@ -816,7 +979,7 @@ impl<T: Transport> NodeWorker<T> {
                     // Local work: run it directly and make sure a seat
                     // exists so the commit will include it.
                     self.host.run_ops(txn, ops.into());
-                    self.drain_followups();
+                    self.pump();
                 } else {
                     self.drive(Event::SendWork {
                         txn,
@@ -850,18 +1013,32 @@ impl<T: Transport> NodeWorker<T> {
             debug_assert!(false, "engine error at {}: {e}", self.host.node);
             let _ = e;
         }
-        self.drain_followups();
+        self.pump();
     }
 
     /// Delivers engine events that host callbacks produced while the
-    /// driver was busy (deferred votes unblocked by lock releases).
-    fn drain_followups(&mut self) {
-        while let Some(event) = self.host.followups.pop_front() {
-            let now = self.host.now();
-            if let Err(e) = self.driver.handle(&mut self.host, now, event) {
-                debug_assert!(false, "engine error at {}: {e}", self.host.node);
-                let _ = e;
+    /// driver was busy (deferred votes unblocked by lock releases), and
+    /// re-applies action-stream tails released by a group-commit flush.
+    /// Either may produce more of the other, so this loops to fixpoint.
+    fn pump(&mut self) {
+        loop {
+            if let Some(event) = self.host.followups.pop_front() {
+                let now = self.host.now();
+                if let Err(e) = self.driver.handle(&mut self.host, now, event) {
+                    debug_assert!(false, "engine error at {}: {e}", self.host.node);
+                    let _ = e;
+                }
+                continue;
             }
+            if let Some(rest) = self.host.resume_ready.pop_front() {
+                let now = self.host.now();
+                if let Err(e) = self.driver.apply(&mut self.host, now, rest) {
+                    debug_assert!(false, "resume error at {}: {e}", self.host.node);
+                    let _ = e;
+                }
+                continue;
+            }
+            break;
         }
     }
 }

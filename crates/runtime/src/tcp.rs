@@ -5,14 +5,25 @@
 //! lazily; one acceptor thread per node fans incoming frames into the
 //! node's inbound channel.
 //!
+//! Sends are asynchronous and coalesced: [`TcpTransport::send`] enqueues
+//! the frame to a per-peer sender thread, which drains everything queued
+//! behind it and hands the whole run of frames to the kernel in a single
+//! `write_all` (bounded by [`MAX_COALESCE_BYTES`] / frames). Under a
+//! concurrent commit workload this collapses the per-message syscall
+//! storm — decision and ack frames to the same peer ride one write —
+//! while `TCP_NODELAY` stays on, so an isolated frame still leaves
+//! immediately instead of waiting on Nagle. Frame boundaries are carried
+//! by the length prefix, never by write/packet boundaries.
+//!
 //! The transport is hardened for chaos runs: connection and write
-//! failures never panic. A failed send reconnects with capped
-//! exponential backoff plus seeded jitter, bounded by
+//! failures never panic, and backoff sleeps happen on the sender thread,
+//! not in the node worker's protocol loop. A failed send reconnects with
+//! capped exponential backoff plus seeded jitter, bounded by
 //! [`RetryPolicy::max_attempts`]; when retries are exhausted the sender
 //! reports [`Inbound::PartnerDown`] to its own node so the engine aborts
 //! or re-drives the affected transactions instead of wedging.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +39,16 @@ use crate::fault::{FaultPlan, FaultyWire};
 use crate::node::{
     AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
 };
+use crate::signal::ClusterSignal;
+use crate::workload::{run_closed_loop, WorkloadReport, WorkloadSpec};
+
+/// Cap on bytes coalesced into one `write_all` (keeps a slow peer from
+/// accumulating an unbounded batch in memory before the first byte
+/// moves).
+pub const MAX_COALESCE_BYTES: usize = 256 * 1024;
+
+/// Cap on frames coalesced into one `write_all`.
+pub const MAX_COALESCE_FRAMES: u64 = 128;
 
 /// How long TCP cluster-level blocking requests wait before reporting
 /// [`Error::Timeout`].
@@ -75,18 +96,35 @@ impl RetryPolicy {
     }
 }
 
-/// Lazily-connecting TCP sender with bounded reconnect retries.
+/// Counters for the per-peer sender threads of one [`TcpTransport`].
+/// `writes < frames` is the coalescing win: each `write_all` covered
+/// `frames / writes` frames on average.
+#[derive(Debug, Default)]
+pub struct TcpSendStats {
+    /// Frames handed to the kernel (after coalescing, before any drop).
+    pub frames: AtomicU64,
+    /// `write_all` calls — syscall batches, each covering ≥1 frame.
+    pub writes: AtomicU64,
+    /// Total bytes written, including the 8-byte frame headers.
+    pub bytes: AtomicU64,
+    /// Frames dropped after retry exhaustion (peer unreachable).
+    pub dropped: AtomicU64,
+}
+
+/// Asynchronous TCP sender: frames are queued to one sender thread per
+/// peer, which coalesces queued runs into single writes and owns all
+/// reconnect/backoff waiting.
 pub struct TcpTransport {
     me: NodeId,
     addrs: Vec<SocketAddr>,
-    conns: HashMap<NodeId, TcpStream>,
     policy: RetryPolicy,
-    rng: u64,
     /// The owning node's inbound channel, for failure notifications.
     self_tx: Sender<Inbound>,
-    /// Peers already reported down (cleared when a connect succeeds, so
-    /// a recovered peer gets a fresh report if it fails again).
-    reported_down: HashSet<NodeId>,
+    /// Lazily-spawned per-peer outbound queues; dropping the transport
+    /// closes them, and each sender thread drains what is already queued
+    /// and exits.
+    peers: HashMap<NodeId, Sender<Vec<u8>>>,
+    stats: Arc<TcpSendStats>,
 }
 
 impl TcpTransport {
@@ -96,42 +134,36 @@ impl TcpTransport {
         policy: RetryPolicy,
         self_tx: Sender<Inbound>,
     ) -> Self {
-        let rng = policy.seed.wrapping_add(u64::from(me.0)) | 1;
         TcpTransport {
             me,
             addrs,
-            conns: HashMap::new(),
             policy,
-            rng,
             self_tx,
-            reported_down: HashSet::new(),
+            peers: HashMap::new(),
+            stats: Arc::new(TcpSendStats::default()),
         }
     }
 
-    fn connect(&mut self, to: NodeId) -> Option<()> {
-        if self.conns.contains_key(&to) {
-            return Some(());
-        }
-        let addr = *self.addrs.get(to.index())?;
-        let stream = TcpStream::connect(addr).ok()?;
-        stream.set_nodelay(true).ok();
-        self.conns.insert(to, stream);
-        self.reported_down.remove(&to);
-        Some(())
+    /// Shared counters for this transport's sender threads.
+    pub fn stats(&self) -> Arc<TcpSendStats> {
+        Arc::clone(&self.stats)
     }
 
-    fn try_write(&mut self, to: NodeId, frame: &[u8]) -> bool {
-        match self.conns.get_mut(&to) {
-            Some(stream) => {
-                if stream.write_all(frame).is_ok() {
-                    true
-                } else {
-                    self.conns.remove(&to);
-                    false
-                }
-            }
-            None => false,
+    fn peer_queue(&mut self, to: NodeId) -> Option<&Sender<Vec<u8>>> {
+        if !self.peers.contains_key(&to) {
+            let addr = *self.addrs.get(to.index())?;
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            let policy = self.policy.clone();
+            let self_tx = self.self_tx.clone();
+            let stats = Arc::clone(&self.stats);
+            let me = self.me;
+            std::thread::Builder::new()
+                .name(format!("tpc-tcp-send-{}-{}", me.0, to.0))
+                .spawn(move || peer_sender(me, to, addr, policy, rx, self_tx, stats))
+                .ok()?;
+            self.peers.insert(to, tx);
         }
+        self.peers.get(&to)
     }
 }
 
@@ -141,21 +173,78 @@ impl Transport for TcpTransport {
         frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         frame.extend_from_slice(&self.me.0.to_le_bytes());
         frame.extend_from_slice(&bytes);
+        if let Some(tx) = self.peer_queue(to) {
+            let _ = tx.send(frame);
+        }
+    }
+}
 
-        for attempt in 0..self.policy.max_attempts {
-            if attempt > 0 {
-                let backoff = self.policy.backoff(attempt, &mut self.rng);
-                std::thread::sleep(backoff);
-            }
-            if self.connect(to).is_some() && self.try_write(to, &frame) {
-                return;
+/// One peer's sender loop: block for a frame, drain the run queued
+/// behind it (bounded), write the whole run with one `write_all`,
+/// reconnecting with backoff on failure. Exits when the transport side
+/// of the queue is dropped — after flushing what was already queued.
+fn peer_sender(
+    me: NodeId,
+    to: NodeId,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rx: Receiver<Vec<u8>>,
+    self_tx: Sender<Inbound>,
+    stats: Arc<TcpSendStats>,
+) {
+    let mut rng = policy
+        .seed
+        .wrapping_add(u64::from(me.0) << 8)
+        .wrapping_add(u64::from(to.0))
+        | 1;
+    let mut conn: Option<TcpStream> = None;
+    // Set while the peer is reported unreachable; cleared by the next
+    // successful connect so a recovered-then-failed peer is re-reported.
+    let mut reported_down = false;
+    'frames: loop {
+        let Ok(first) = rx.recv() else { return };
+        let mut batch = first;
+        let mut frames = 1u64;
+        while batch.len() < MAX_COALESCE_BYTES && frames < MAX_COALESCE_FRAMES {
+            match rx.try_recv() {
+                Ok(f) => {
+                    batch.extend_from_slice(&f);
+                    frames += 1;
+                }
+                Err(_) => break,
             }
         }
-        // Retries exhausted: the peer is unreachable. Tell our own engine
-        // so it can abort unvoted work and lean on timers for the rest,
-        // instead of silently losing the frame.
-        if self.reported_down.insert(to) {
-            let _ = self.self_tx.send(Inbound::PartnerDown { peer: to });
+        let mut attempt = 0;
+        loop {
+            if conn.is_none() {
+                conn = TcpStream::connect(addr).ok();
+                if let Some(stream) = conn.as_ref() {
+                    stream.set_nodelay(true).ok();
+                    reported_down = false;
+                }
+            }
+            if let Some(stream) = conn.as_mut() {
+                if stream.write_all(&batch).is_ok() {
+                    stats.frames.fetch_add(frames, Ordering::Relaxed);
+                    stats.writes.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    continue 'frames;
+                }
+                conn = None;
+            }
+            attempt += 1;
+            if attempt >= policy.max_attempts {
+                // Retries exhausted: drop the batch and tell our own
+                // engine so it can abort unvoted work and lean on timers
+                // for the rest, instead of silently losing frames.
+                stats.dropped.fetch_add(frames, Ordering::Relaxed);
+                if !reported_down {
+                    reported_down = true;
+                    let _ = self_tx.send(Inbound::PartnerDown { peer: to });
+                }
+                continue 'frames;
+            }
+            std::thread::sleep(policy.backoff(attempt, &mut rng));
         }
     }
 }
@@ -209,6 +298,7 @@ pub struct TcpCluster {
     policy: RetryPolicy,
     epoch: Instant,
     reply_timeout: Duration,
+    signal: Arc<ClusterSignal>,
     /// The socket addresses the nodes listen on.
     pub addrs: Vec<SocketAddr>,
 }
@@ -254,6 +344,7 @@ impl TcpCluster {
             policy,
             epoch,
             reply_timeout: DEFAULT_REPLY_TIMEOUT,
+            signal: Arc::new(ClusterSignal::new()),
             addrs,
         };
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -273,8 +364,9 @@ impl TcpCluster {
                 transport,
                 cluster.receivers[i].clone(),
                 epoch,
+                Arc::clone(&cluster.signal),
             );
-            cluster.handles[i] = Some(spawn_tcp_worker(i, worker)?);
+            cluster.handles[i] = Some(spawn_tcp_worker(i, worker, Arc::clone(&cluster.signal))?);
         }
         Ok(cluster)
     }
@@ -324,31 +416,30 @@ impl TcpCluster {
     /// itself, then notifies its partners. Fails with [`Error::Timeout`]
     /// if the node is still alive after `timeout`.
     pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let finished = self.handles[node.index()]
-                .as_ref()
-                .ok_or(Error::NodeDown(node))?
-                .is_finished();
-            if finished {
-                let handle = self.handles[node.index()].take().expect("checked above");
-                let summary = handle
-                    .join()
-                    .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
-                for (i, tx) in self.senders.iter().enumerate() {
-                    if i != node.index() && self.handles[i].is_some() {
-                        let _ = tx.send(Inbound::PartnerDown { peer: node });
-                    }
-                }
-                return Ok(summary);
-            }
-            if Instant::now() >= deadline {
-                return Err(Error::Timeout(format!(
-                    "{node} still alive after {timeout:?}"
-                )));
-            }
-            std::thread::sleep(Duration::from_millis(2));
+        if self.handles[node.index()].is_none() {
+            return Err(Error::NodeDown(node));
         }
+        let finished = self.signal.wait_for(timeout, || {
+            self.handles[node.index()]
+                .as_ref()
+                .is_some_and(|h| h.is_finished())
+                .then_some(())
+        });
+        if finished.is_none() {
+            return Err(Error::Timeout(format!(
+                "{node} still alive after {timeout:?}"
+            )));
+        }
+        let handle = self.handles[node.index()].take().expect("checked above");
+        let summary = handle
+            .join()
+            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i != node.index() && self.handles[i].is_some() {
+                let _ = tx.send(Inbound::PartnerDown { peer: node });
+            }
+        }
+        Ok(summary)
     }
 
     /// Restarts a killed node from its durable file WAL; recovery
@@ -366,9 +457,11 @@ impl TcpCluster {
             transport,
             self.receivers[node.index()].clone(),
             self.epoch,
+            Arc::clone(&self.signal),
         )?;
-        self.handles[node.index()] =
-            Some(spawn_tcp_worker(node.index(), worker).map_err(Error::Io)?);
+        self.handles[node.index()] = Some(
+            spawn_tcp_worker(node.index(), worker, Arc::clone(&self.signal)).map_err(Error::Io)?,
+        );
         Ok(())
     }
 
@@ -398,37 +491,48 @@ impl TcpCluster {
     /// elapses — see [`crate::LiveCluster::read_eventually`] for why
     /// cross-node visibility needs a deadline.
     pub fn read_eventually(&self, node: NodeId, key: &str, timeout: Duration) -> Option<Vec<u8>> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if let Some(v) = self.read(node, key) {
-                return Some(v);
-            }
-            if Instant::now() >= deadline {
-                return None;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        self.signal.wait_for(timeout, || self.read(node, key))
     }
 
-    /// Polls until every live node reports zero active transactions, or
+    /// Waits until every live node reports zero active transactions, or
     /// `timeout` passes. Returns `true` on quiescence.
     pub fn quiesce(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let busy = (0..self.handles.len()).any(|i| {
-                self.handles[i].is_some()
-                    && self
-                        .summary(NodeId(i as u32))
-                        .is_none_or(|s| s.active_txns > 0)
-            });
-            if !busy {
-                return true;
-            }
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        self.signal
+            .wait_for(timeout, || {
+                let busy = (0..self.handles.len()).any(|i| {
+                    self.handles[i].is_some()
+                        && self
+                            .summary(NodeId(i as u32))
+                            .is_none_or(|s| s.active_txns > 0)
+                });
+                (!busy).then_some(())
+            })
+            .is_some()
+    }
+
+    /// Drives a closed-loop concurrent workload over real sockets — the
+    /// TCP twin of [`crate::LiveCluster::run_workload`].
+    pub fn run_workload(&self, spec: &WorkloadSpec) -> WorkloadReport {
+        assert!(self.len() >= 2, "workload needs a root and a server node");
+        let server = NodeId((self.len() - 1) as u32);
+        let roots = self.len() - 1;
+        run_closed_loop(spec.concurrency, spec.txns, |slot, i| {
+            let root = NodeId((slot % roots) as u32);
+            let t = self.begin(root);
+            let key = format!("{}-{slot}-{i}", spec.key_prefix);
+            t.work(server, vec![Op::put(&key, &i.to_string())]);
+            t.commit_async().wait_with(spec.reply_timeout)
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
     }
 
     /// Fetches a node's live summary.
@@ -462,10 +566,16 @@ impl TcpCluster {
 fn spawn_tcp_worker<T: Transport>(
     index: usize,
     worker: NodeWorker<T>,
+    signal: Arc<ClusterSignal>,
 ) -> std::io::Result<JoinHandle<NodeSummary>> {
     std::thread::Builder::new()
         .name(format!("tpc-tcp-node-{index}"))
-        .spawn(move || worker.run())
+        .spawn(move || {
+            let summary = worker.run();
+            // Final bump so await_death / quiesce observe the exit.
+            signal.bump();
+            summary
+        })
 }
 
 /// A transaction in flight on a [`TcpCluster`].
@@ -632,16 +742,73 @@ mod tests {
             policy,
             self_tx,
         );
+        let stats = t.stats();
+        // Sends are asynchronous now: the report arrives once the sender
+        // thread exhausts its retries, so wait on the channel.
         t.send(NodeId(1), vec![1, 2, 3]);
-        match self_rx.try_recv() {
+        match self_rx.recv_timeout(Duration::from_secs(10)) {
             Ok(Inbound::PartnerDown { peer }) => assert_eq!(peer, NodeId(1)),
             other => panic!(
-                "expected PartnerDown after retry exhaustion, got {:?}",
+                "expected PartnerDown after retry exhaustion, got ok={:?}",
                 other.is_ok()
             ),
         }
+        assert!(stats.dropped.load(Ordering::Relaxed) >= 1);
         // Reported once, not per frame.
         t.send(NodeId(1), vec![4, 5, 6]);
-        assert!(self_rx.try_recv().is_err(), "no duplicate report");
+        assert!(
+            self_rx.recv_timeout(Duration::from_millis(300)).is_err(),
+            "no duplicate report"
+        );
+    }
+
+    /// Collects parsed frames from one accepted connection.
+    fn collect_frames(listener: TcpListener) -> Receiver<Inbound> {
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                reader(stream, tx);
+            }
+        });
+        rx
+    }
+
+    #[test]
+    fn frame_boundaries_survive_coalescing() {
+        // Rapid-fire sends queue behind the sender thread's first
+        // connect/write, so later frames are coalesced into shared
+        // write_all calls. Every frame must still arrive intact, in
+        // order: boundaries live in the length prefix, not in write
+        // boundaries.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frames_rx = collect_frames(listener);
+        let (self_tx, _self_rx) = unbounded();
+        let mut t = TcpTransport::new(NodeId(3), vec![addr], RetryPolicy::default(), self_tx);
+        let stats = t.stats();
+
+        const N: usize = 2000;
+        for i in 0..N {
+            // Varying lengths so a misplaced boundary corrupts a parse.
+            let body = format!("frame-{i}-{}", "x".repeat(i % 97));
+            t.send(NodeId(0), body.into_bytes());
+        }
+        for i in 0..N {
+            match frames_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Inbound::Frame { from, bytes }) => {
+                    assert_eq!(from, NodeId(3));
+                    let expect = format!("frame-{i}-{}", "x".repeat(i % 97));
+                    assert_eq!(bytes, expect.into_bytes(), "frame {i} corrupted");
+                }
+                other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
+            }
+        }
+        let frames = stats.frames.load(Ordering::Relaxed);
+        let writes = stats.writes.load(Ordering::Relaxed);
+        assert_eq!(frames, N as u64, "every frame written exactly once");
+        assert!(
+            writes < frames,
+            "sender should coalesce queued frames: {writes} writes for {frames} frames"
+        );
     }
 }

@@ -1,0 +1,239 @@
+//! Concurrent closed-loop workload driver for the live runtime.
+//!
+//! The paper's throughput arguments (group commit amortizing ~n − n/m
+//! forces, §4) only materialize under *concurrent* transactions: a
+//! single sequential client can never fill a batch. This module drives N
+//! in-flight roots against a cluster in a closed loop — every slot keeps
+//! exactly one transaction outstanding via `commit_async`, starting the
+//! next the moment the outcome arrives — and reports throughput plus a
+//! commit-latency distribution. `tpc-bench`'s `bench_throughput` binary
+//! and the group-commit stress tests are built on it.
+
+use std::time::{Duration, Instant};
+
+use tpc_common::{Outcome, Result};
+
+use crate::node::CommitResult;
+
+/// Shape of a closed-loop run.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// In-flight transactions (closed-loop slots). Each slot roots its
+    /// transactions at node `slot % (nodes - 1)`.
+    pub concurrency: usize,
+    /// Total transactions across all slots.
+    pub txns: usize,
+    /// Per-commit reply deadline; an expired wait counts as `failed`.
+    pub reply_timeout: Duration,
+    /// Key prefix, so interleaved runs on one cluster stay disjoint.
+    pub key_prefix: String,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            concurrency: 8,
+            txns: 200,
+            reply_timeout: Duration::from_secs(30),
+            key_prefix: "w".into(),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A spec with the given concurrency and transaction count.
+    pub fn new(concurrency: usize, txns: usize) -> Self {
+        WorkloadSpec {
+            concurrency,
+            txns,
+            ..WorkloadSpec::default()
+        }
+    }
+}
+
+/// Commit-latency distribution, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Completed (committed or aborted) transactions measured.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample of latencies (consumed and sorted).
+    pub fn from_micros(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u64 = samples.iter().sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx]
+        };
+        LatencySummary {
+            count,
+            mean_us: sum / count,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted (still a completed 2PC round).
+    pub aborted: u64,
+    /// Requests that errored (timeout, node down) — excluded from the
+    /// latency sample.
+    pub failed: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Commit-latency distribution over completed transactions.
+    pub latency: LatencySummary,
+}
+
+impl WorkloadReport {
+    /// Completed transactions per wall-clock second.
+    pub fn txns_per_sec(&self) -> f64 {
+        let done = (self.committed + self.aborted) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            done / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `txns` transactions through `issue` with `concurrency` slots,
+/// each slot a closed loop (next request starts when the previous
+/// outcome arrives). `issue(slot, iteration)` must block until the
+/// transaction completes.
+pub(crate) fn run_closed_loop<F>(concurrency: usize, txns: usize, issue: F) -> WorkloadReport
+where
+    F: Fn(usize, usize) -> Result<CommitResult> + Sync,
+{
+    assert!(concurrency > 0, "concurrency must be >= 1");
+    let start = Instant::now();
+    let per_slot: Vec<(Vec<u64>, u64, u64, u64)> = std::thread::scope(|s| {
+        let issue = &issue;
+        let handles: Vec<_> = (0..concurrency)
+            .map(|slot| {
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    let (mut committed, mut aborted, mut failed) = (0u64, 0u64, 0u64);
+                    let mut i = slot;
+                    while i < txns {
+                        let t0 = Instant::now();
+                        match issue(slot, i) {
+                            Ok(r) => {
+                                lat.push(t0.elapsed().as_micros() as u64);
+                                if r.outcome == Outcome::Commit {
+                                    committed += 1;
+                                } else {
+                                    aborted += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                        i += concurrency;
+                    }
+                    (lat, committed, aborted, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload slot thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut all = Vec::with_capacity(txns);
+    let (mut committed, mut aborted, mut failed) = (0u64, 0u64, 0u64);
+    for (lat, c, a, f) in per_slot {
+        all.extend(lat);
+        committed += c;
+        aborted += a;
+        failed += f;
+    }
+    WorkloadReport {
+        committed,
+        aborted,
+        failed,
+        elapsed,
+        latency: LatencySummary::from_micros(all),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::DamageReport;
+
+    fn ok(outcome: Outcome) -> Result<CommitResult> {
+        Ok(CommitResult {
+            outcome,
+            report: DamageReport::default(),
+            pending: false,
+        })
+    }
+
+    #[test]
+    fn closed_loop_covers_every_iteration_exactly_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(vec![0u32; 25]);
+        let report = run_closed_loop(4, 25, |_slot, i| {
+            seen.lock().unwrap()[i] += 1;
+            ok(Outcome::Commit)
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        assert_eq!(report.committed, 25);
+        assert_eq!(report.latency.count, 25);
+        assert!(report.txns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn aborts_and_failures_are_separated() {
+        let report = run_closed_loop(2, 10, |_slot, i| {
+            if i % 5 == 0 {
+                Err(tpc_common::Error::Timeout("synthetic".into()))
+            } else if i % 2 == 0 {
+                ok(Outcome::Abort)
+            } else {
+                ok(Outcome::Commit)
+            }
+        });
+        assert_eq!(report.failed, 2, "i = 0, 5");
+        assert_eq!(report.aborted, 4, "i = 2, 4, 6, 8");
+        assert_eq!(report.committed, 4, "i = 1, 3, 7, 9");
+        assert_eq!(report.latency.count, 8, "failures excluded from sample");
+    }
+
+    #[test]
+    fn latency_percentiles_on_known_sample() {
+        let s = LatencySummary::from_micros((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51, "nearest-rank on even-sized sample");
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.mean_us, 50);
+        let empty = LatencySummary::from_micros(vec![]);
+        assert_eq!(empty.count, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Group commit under real concurrency: many in-flight `commit_async`
+//! transactions against a file-backed cluster, with the server's TM log
+//! batching forces (§4 *Group Commits*).
+//!
+//! Two promises are asserted:
+//!
+//! 1. **Throughput**: with batching on, physical flushes fall strictly
+//!    below logical force requests; with batching off they are equal —
+//!    the paper's ~n − n/m saving, measured on a real fsyncing log.
+//! 2. **Safety**: a force suspended in a filling batch is NOT durable.
+//!    Killing the node mid-batch must lose it — recovery may only
+//!    observe records a group flush actually made durable, and the
+//!    transaction behind the lost force aborts cluster-wide.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tpc_common::config::GroupCommitConfig;
+use tpc_common::{NodeId, Op, Outcome, ProtocolKind, SimDuration};
+use tpc_core::Timeouts;
+use tpc_runtime::{verify, LiveCluster, LiveNodeConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpc-gc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two waves of 32 concurrent transactions (all 32 of a wave are
+/// in-flight via `commit_async` before any is awaited), root at node 0,
+/// updates at node 1. Returns the shutdown summaries after the shared
+/// invariant checker has passed.
+fn stress(gc: Option<GroupCommitConfig>, tag: &str) -> Vec<tpc_runtime::NodeSummary> {
+    const WAVES: usize = 2;
+    const IN_FLIGHT: usize = 32;
+    let dir = temp_dir(tag);
+    let root = NodeId(0);
+    let server = NodeId(1);
+    let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_file_log(&dir)
+        .with_group_commit(gc);
+    let c = LiveCluster::start(vec![cfg.clone(), cfg]);
+
+    let mut outcomes = Vec::new();
+    for wave in 0..WAVES {
+        let mut waits = Vec::new();
+        for i in 0..IN_FLIGHT {
+            let t = c.begin(root);
+            let txn = t.id();
+            t.work(server, vec![Op::put(&format!("gc-{wave}-{i}"), "v")]);
+            waits.push((txn, t.commit_async()));
+        }
+        for (txn, wait) in waits {
+            let r = wait
+                .wait(Duration::from_secs(30))
+                .expect("commit completes under load");
+            assert_eq!(r.outcome, Outcome::Commit, "{tag}: wave {wave}");
+            outcomes.push(verify::outcome_record(txn, root, &r));
+        }
+    }
+    assert!(c.quiesce(Duration::from_secs(20)), "{tag}: must quiesce");
+    for wave in 0..WAVES {
+        for i in 0..IN_FLIGHT {
+            assert_eq!(
+                c.read(server, &format!("gc-{wave}-{i}")),
+                Some(b"v".to_vec()),
+                "{tag}: committed write visible"
+            );
+        }
+    }
+
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{tag}: {violations:?}");
+    assert!(unresolved.is_empty(), "{tag}: {unresolved:?}");
+    let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal.is_empty(), "{tag}: {wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    summaries
+}
+
+#[test]
+fn concurrent_stress_batches_flushes_with_group_commit_on() {
+    let gc = GroupCommitConfig {
+        batch_size: 8,
+        max_wait: SimDuration::from_millis(5),
+    };
+    let summaries = stress(Some(gc), "on");
+    // The server sees 32 concurrent prepare/commit forces per wave;
+    // batching must coalesce them. Strictly fewer flushes than forces,
+    // on the group counters and on the log's own physical counter.
+    let server = &summaries[1];
+    assert!(
+        server.group.requests >= 64,
+        "server forces a prepared record per txn: {:?}",
+        server.group
+    );
+    assert!(
+        server.group.flushes < server.group.requests,
+        "batching must save flushes: {:?}",
+        server.group
+    );
+    assert!(
+        server.log.physical_flushes < server.log.forced_writes,
+        "TM log must observe the saving: {:?}",
+        server.log
+    );
+    // The committer's accounting and the log's must agree.
+    assert_eq!(
+        server.group.flushes, server.log.physical_flushes,
+        "group committer and log disagree on flush count"
+    );
+}
+
+#[test]
+fn concurrent_stress_flushes_every_force_with_group_commit_off() {
+    let summaries = stress(None, "off");
+    for s in &summaries {
+        assert_eq!(s.group.requests, 0, "no batching machinery engaged");
+        assert_eq!(
+            s.log.physical_flushes, s.log.forced_writes,
+            "without batching every force is its own flush: {:?}",
+            s.log
+        );
+    }
+}
+
+#[test]
+fn kill_mid_batch_loses_the_suspended_force_and_stays_atomic() {
+    // Batch of 64 with a 10 s deadline: the victim's prepared-record
+    // force suspends in a batch that will never fill or expire before
+    // the kill. `kill_after_frames(2)` crashes the victim right after it
+    // processes Prepare — force requested, batch unflushed, vote unsent.
+    // The root times out collecting votes and aborts; recovery from the
+    // victim's WAL must find no trace of the suspended force.
+    let dir = temp_dir("midbatch");
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let timeouts = Timeouts {
+        vote_collection: SimDuration::from_millis(300),
+        ack_collection: SimDuration::from_millis(150),
+        in_doubt_query: SimDuration::from_millis(200),
+    };
+    let gc = GroupCommitConfig {
+        batch_size: 64,
+        max_wait: SimDuration::from_secs(10),
+    };
+    let mut c = LiveCluster::start(vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(timeouts),
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_timeouts(timeouts)
+            .with_group_commit(Some(gc))
+            .kill_after_frames(2),
+    ])
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(root);
+    let txn = t.id();
+    t.work(victim, vec![Op::put("midbatch", "v")]);
+    let wait = t.commit_async();
+
+    let s = c
+        .await_death(victim, Duration::from_secs(10))
+        .expect("victim dies on its Prepare frame");
+    assert!(s.protocol_state.crashed);
+    // The force joined a batch that never flushed: that is the window
+    // this test is about.
+    assert_eq!(s.group.requests, 1, "prepared force joined the batch");
+    assert_eq!(s.group.flushes, 0, "batch must still be open at the kill");
+    assert_eq!(
+        s.log.physical_flushes, 0,
+        "no TM flush may have happened before the crash"
+    );
+
+    c.restart(victim).expect("restart from WAL");
+    let result = wait.wait(Duration::from_secs(20)).expect("root answers");
+    assert_eq!(
+        result.outcome,
+        Outcome::Abort,
+        "the vote died suspended behind the batch — the root must abort"
+    );
+    assert!(c.quiesce(Duration::from_secs(20)), "must quiesce");
+    assert_eq!(
+        c.read(victim, "midbatch"),
+        None,
+        "recovery must not resurrect work behind an unflushed force"
+    );
+
+    let outcomes = vec![verify::outcome_record(txn, root, &result)];
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(unresolved.is_empty(), "{unresolved:?}");
+    let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal.is_empty(), "{wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_workload_reports_throughput_and_latency() {
+    // The workload driver itself: a small closed-loop run over the
+    // public API, checking the report's bookkeeping.
+    let gc = GroupCommitConfig {
+        batch_size: 4,
+        max_wait: SimDuration::from_millis(2),
+    };
+    let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_group_commit(Some(gc));
+    let c = LiveCluster::start(vec![cfg.clone(), cfg.clone(), cfg]);
+    let report = c.run_workload(&tpc_runtime::WorkloadSpec::new(8, 80));
+    assert_eq!(report.committed, 80, "disjoint keys: all must commit");
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.latency.count, 80);
+    assert!(report.txns_per_sec() > 0.0);
+    assert!(report.latency.p50_us <= report.latency.p99_us);
+    assert!(c.quiesce(Duration::from_secs(20)));
+    c.shutdown();
+}

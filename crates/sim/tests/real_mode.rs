@@ -496,6 +496,29 @@ mod equivalence {
     }
 
     #[test]
+    fn sim_and_live_counts_match_group_commit() {
+        // Group commit batches *physical* flushes only; the logical
+        // protocol — flows, log writes, forces — must be untouched, and
+        // the live LogHost's suspend/resume machinery must not perturb
+        // the action stream relative to the sim's.
+        let gc = GroupCommitConfig {
+            batch_size: 4,
+            max_wait: SimDuration::from_millis(2),
+        };
+        for protocol in [
+            ProtocolKind::Basic,
+            ProtocolKind::PresumedAbort,
+            ProtocolKind::PresumedNothing,
+        ] {
+            assert_equivalent(
+                protocol,
+                OptimizationConfig::none().with_group_commit(Some(gc)),
+                false,
+            );
+        }
+    }
+
+    #[test]
     fn sim_and_live_counts_match_last_agent() {
         for protocol in [
             ProtocolKind::Basic,

@@ -134,8 +134,10 @@ pub fn scan(path: impl AsRef<Path>) -> Result<Vec<(Lsn, StreamId, LogRecord)>> {
     Ok(out)
 }
 
-impl LogManager for FileLog {
-    fn append(
+impl FileLog {
+    /// Writes the frame and updates logical stats; the physical flush (if
+    /// any) is the caller's job.
+    fn write_frame(
         &mut self,
         stream: StreamId,
         record: LogRecord,
@@ -158,12 +160,38 @@ impl LogManager for FileLog {
         self.stats.bytes += payload.len() as u64;
         if durability.is_forced() {
             self.stats.forced_writes += 1;
+        }
+        self.cache.push((lsn, stream, record));
+        Ok(lsn)
+    }
+}
+
+impl LogManager for FileLog {
+    fn append(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        let lsn = self.write_frame(stream, record, durability)?;
+        if durability.is_forced() {
             self.stats.physical_flushes += 1;
             self.writer.flush()?;
             self.writer.get_ref().sync_data()?;
         }
-        self.cache.push((lsn, stream, record));
         Ok(lsn)
+    }
+
+    fn append_deferred(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        // Forced durability is still recorded as a logical force; the
+        // group-commit layer owns the single physical `sync_data` that
+        // covers the batch (`flush_batch`).
+        self.write_frame(stream, record, durability)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -340,6 +368,32 @@ mod tests {
         let recovered = scan(&path).unwrap();
         assert_eq!(recovered.len(), 2);
         assert_eq!(recovered[1].2.txn().seq, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deferred_forces_share_one_physical_flush() {
+        let path = tmp("deferred");
+        let mut log = FileLog::create(&path).unwrap();
+        for i in 0..3 {
+            log.append_deferred(StreamId::Tm, end(i), Durability::Forced)
+                .unwrap();
+        }
+        let s = log.stats();
+        assert_eq!(s.forced_writes, 3, "logical forces still counted");
+        assert_eq!(s.physical_flushes, 0, "no sync until the batch flush");
+        assert_eq!(log.durable_records().len(), 0, "nothing durable yet");
+
+        log.flush_batch().unwrap();
+        let s = log.stats();
+        assert_eq!(s.physical_flushes, 1, "one flush covers the batch");
+        assert_eq!(log.durable_records().len(), 3);
+
+        // A crash before the batch flush would have lost all three:
+        log.append_deferred(StreamId::Tm, end(9), Durability::Forced)
+            .unwrap();
+        log.crash_discard();
+        assert_eq!(log.durable_records().len(), 3, "suspended force lost");
         std::fs::remove_file(&path).ok();
     }
 

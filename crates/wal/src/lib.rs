@@ -29,7 +29,7 @@ pub mod log;
 pub mod mem;
 pub mod record;
 
-pub use group::{FlushDecision, GroupCommitter};
+pub use group::{FlushDecision, GroupCommitter, GroupStats};
 pub use log::{Durability, LogManager, LogStats, StreamId};
 pub use mem::MemLog;
 pub use record::LogRecord;

@@ -95,6 +95,33 @@ pub trait LogManager {
     /// Forces everything appended so far to stable storage.
     fn flush(&mut self) -> Result<()>;
 
+    /// Appends a record *without* performing the physical flush even when
+    /// `durability` is [`Durability::Forced`] — the group-commit layer
+    /// takes over flush scheduling and will call
+    /// [`LogManager::flush_batch`] once on behalf of the whole batch.
+    /// Forced appends still count toward `forced_writes` (the logical
+    /// cost the paper tabulates) but not `physical_flushes`.
+    ///
+    /// The default forwards to [`LogManager::append`], i.e. one physical
+    /// flush per force — correct for hosts that never batch.
+    fn append_deferred(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        self.append(stream, record, durability)
+    }
+
+    /// Performs one physical flush covering every deferred force
+    /// submitted since the last flush (the group-commit amortized
+    /// `sync_data`). Counts exactly one physical flush.
+    ///
+    /// The default forwards to [`LogManager::flush`].
+    fn flush_batch(&mut self) -> Result<()> {
+        self.flush()
+    }
+
     /// All records currently readable (durable and volatile), in order.
     /// Used by tests and by live (non-crash) inspection.
     fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)>;
@@ -127,6 +154,19 @@ impl<L: LogManager + ?Sized> LogManager for Box<L> {
 
     fn flush(&mut self) -> Result<()> {
         (**self).flush()
+    }
+
+    fn append_deferred(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        (**self).append_deferred(stream, record, durability)
+    }
+
+    fn flush_batch(&mut self) -> Result<()> {
+        (**self).flush_batch()
     }
 
     fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {

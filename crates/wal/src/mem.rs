@@ -157,6 +157,23 @@ impl LogManager for MemLog {
         Ok(())
     }
 
+    fn append_deferred(
+        &mut self,
+        stream: StreamId,
+        record: LogRecord,
+        durability: Durability,
+    ) -> Result<Lsn> {
+        MemLog::append_deferred(self, stream, record, durability)
+    }
+
+    fn flush_batch(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Log("flush on crashed log".into()));
+        }
+        self.note_physical_flush();
+        Ok(())
+    }
+
     fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
         self.durable
             .iter()
