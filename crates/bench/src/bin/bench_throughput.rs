@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use tpc_common::config::GroupCommitConfig;
 use tpc_common::{ProtocolKind, SimDuration};
+use tpc_obs::{ObsSnapshot, Phase};
 use tpc_runtime::tcp::TcpCluster;
 use tpc_runtime::{LiveCluster, LiveNodeConfig, NodeSummary, WorkloadReport, WorkloadSpec};
 
@@ -51,6 +52,8 @@ struct Measurement {
     group_requests: u64,
     /// Σ group-committer flushes across nodes.
     group_flushes: u64,
+    /// Cluster-merged per-phase latency histograms.
+    obs: ObsSnapshot,
 }
 
 const NODES: usize = 3; // two roots + one server
@@ -116,7 +119,9 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
         batch_size: spec.concurrency.max(2),
         max_wait: SimDuration::from_millis(2),
     });
-    let mut cfg = LiveNodeConfig::new(case.protocol).with_group_commit(gc);
+    let mut cfg = LiveNodeConfig::new(case.protocol)
+        .with_group_commit(gc)
+        .with_observability();
     // Log files go under target/ so fsync hits the real filesystem the
     // build uses, not a tmpfs that would flatter the numbers.
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(
@@ -144,6 +149,7 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
     }
     assert_eq!(report.failed, 0, "throughput run must not drop requests");
     let agg = |f: fn(&NodeSummary) -> u64| summaries.iter().map(f).sum();
+    let obs = ObsSnapshot::merged(summaries.iter().filter_map(|s| s.obs.as_ref()));
     Measurement {
         case,
         report,
@@ -151,6 +157,23 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
         physical_flushes: agg(|s| s.log.physical_flushes),
         group_requests: agg(|s| s.group.requests),
         group_flushes: agg(|s| s.group.flushes),
+        obs,
+    }
+}
+
+/// Renders one phase's histogram as a JSON object. Phases with no
+/// samples (e.g. `group_flush` with group commit off) render with a
+/// zero count so every config carries the same columns.
+fn phase_json(obs: &ObsSnapshot, phase: Phase) -> String {
+    match obs.phase(phase) {
+        Some(h) => format!(
+            "{{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }}",
+            h.count,
+            h.p50(),
+            h.p99(),
+            h.max
+        ),
+        None => "{ \"count\": 0, \"p50\": 0, \"p99\": 0, \"max\": 0 }".to_string(),
     }
 }
 
@@ -195,6 +218,24 @@ fn render_json(quick: bool, spec: &WorkloadSpec, measurements: &[Measurement]) -
             "      \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},",
             l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
         );
+        let _ = writeln!(s, "      \"phase_latency_us\": {{");
+        let phases = [
+            Phase::Work,
+            Phase::Prepare,
+            Phase::Decision,
+            Phase::Ack,
+            Phase::Fsync,
+            Phase::GroupFlush,
+        ];
+        for (j, p) in phases.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        \"{p}\": {}{}",
+                phase_json(&m.obs, *p),
+                if j + 1 < phases.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "      }},");
         let _ = writeln!(s, "      \"log_forces\": {},", m.log_forces);
         let _ = writeln!(s, "      \"physical_flushes\": {},", m.physical_flushes);
         let _ = writeln!(s, "      \"group_requests\": {},", m.group_requests);

@@ -29,8 +29,10 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use tpc_common::{DamageReport, NodeId, Outcome, Result, SimDuration, SimTime, TxnId};
+use tpc_obs::{Obs, Phase, Span};
 use tpc_wal::{Durability, LogManager, LogRecord};
 
 use crate::engine::{EngineConfig, TmEngine};
@@ -207,12 +209,123 @@ pub struct DriverStats {
     pub pending_outcomes: u64,
 }
 
+/// Milestone timestamps for one in-flight transaction seat, from which
+/// the phase intervals are derived when the seat ends.
+#[derive(Clone, Copy, Debug)]
+struct TxnMarks {
+    /// First event that touched the seat.
+    begin: SimTime,
+    /// Commit requested locally / Prepare received / self-prepare.
+    commit_start: Option<SimTime>,
+    /// Decision record (Committed/Aborted) appended to the TM stream.
+    decided: Option<SimTime>,
+    /// Outcome delivered to the application.
+    outcome_at: Option<SimTime>,
+}
+
+/// Driver-side phase observation: milestone capture feeding an [`Obs`]
+/// recorder. Attached with [`Driver::set_obs`]; absent (the default) the
+/// driver pays a single `Option` check per event.
+struct ObsState {
+    obs: Arc<Obs>,
+    marks: HashMap<TxnId, TxnMarks>,
+}
+
+impl ObsState {
+    /// Record milestones implied by an incoming event, before the engine
+    /// sees it.
+    fn observe_event(&mut self, now: SimTime, event: &Event) {
+        let txn = match event {
+            Event::SendWork { txn, .. }
+            | Event::CommitRequested { txn }
+            | Event::AbortRequested { txn }
+            | Event::SelfPrepare { txn }
+            | Event::LocalPrepared { txn, .. }
+            | Event::TimerFired { txn, .. } => *txn,
+            Event::MsgReceived { msg, .. } => msg.txn(),
+            Event::PartnerFailed { .. } => return,
+        };
+        let marks = self.marks.entry(txn).or_insert(TxnMarks {
+            begin: now,
+            commit_start: None,
+            decided: None,
+            outcome_at: None,
+        });
+        let voting_starts = matches!(
+            event,
+            Event::CommitRequested { .. }
+                | Event::AbortRequested { .. }
+                | Event::SelfPrepare { .. }
+                | Event::MsgReceived {
+                    msg: ProtocolMsg::Prepare { .. },
+                    ..
+                }
+        );
+        if voting_starts && marks.commit_start.is_none() {
+            marks.commit_start = Some(now);
+        }
+    }
+
+    /// A decision record hit the TM stream.
+    fn observe_decision(&mut self, now: SimTime, record: &LogRecord) {
+        if matches!(
+            record,
+            LogRecord::Committed { .. } | LogRecord::Aborted { .. }
+        ) {
+            if let Some(marks) = self.marks.get_mut(&record.txn()) {
+                marks.decided.get_or_insert(now);
+            }
+        }
+    }
+
+    /// The outcome reached the local application.
+    fn observe_outcome(&mut self, now: SimTime, txn: TxnId) {
+        if let Some(marks) = self.marks.get_mut(&txn) {
+            marks.outcome_at.get_or_insert(now);
+        }
+    }
+
+    /// The seat ended: derive the phase intervals that have both
+    /// endpoints and emit them. Seats that skip milestones (read-only
+    /// participants never log a decision; PC subordinates send no ack)
+    /// simply contribute fewer phases.
+    fn observe_end(&mut self, node: NodeId, end: SimTime, txn: TxnId) {
+        let Some(marks) = self.marks.remove(&txn) else {
+            return;
+        };
+        let emit = |phase: Phase, start: SimTime, stop: SimTime| {
+            self.obs.record_span(Span {
+                txn,
+                node,
+                phase,
+                start,
+                end: stop,
+            });
+        };
+        let work_end = marks.commit_start.unwrap_or(end);
+        emit(Phase::Work, marks.begin, work_end);
+        if let Some(commit_start) = marks.commit_start {
+            // Without a decision record (read-only seat) the voting phase
+            // runs until the outcome arrived, or the seat ended.
+            let prepare_end = marks.decided.or(marks.outcome_at).unwrap_or(end);
+            emit(Phase::Prepare, commit_start, prepare_end);
+        }
+        if let (Some(decided), Some(outcome_at)) = (marks.decided, marks.outcome_at) {
+            emit(Phase::Decision, decided, outcome_at);
+        }
+        if let Some(outcome_at) = marks.outcome_at {
+            emit(Phase::Ack, outcome_at, end);
+        }
+    }
+}
+
 /// One node's engine plus the shared action interpreter.
 pub struct Driver {
     engine: TmEngine,
     timer_gen: HashMap<(TxnId, TimerKind), u64>,
     next_gen: u64,
     stats: DriverStats,
+    obs: Option<ObsState>,
 }
 
 impl Driver {
@@ -223,7 +336,24 @@ impl Driver {
             timer_gen: HashMap::new(),
             next_gen: 0,
             stats: DriverStats::default(),
+            obs: None,
         })
+    }
+
+    /// Attaches an observability recorder: from now on the driver stamps
+    /// phase milestones (work → prepare → decision → ack) per seat and
+    /// feeds the recorder's histograms/spans. Without one (the default)
+    /// the only cost is a `None` check per event.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(ObsState {
+            obs,
+            marks: HashMap::new(),
+        });
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref().map(|s| &s.obs)
     }
 
     /// Read access to the engine (metrics, seats, assertions).
@@ -254,6 +384,9 @@ impl Driver {
         now: SimTime,
         event: Event,
     ) -> Result<()> {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.observe_event(now, &event);
+        }
         let actions = self.engine.handle(now, event)?;
         self.apply(host, now, actions)
     }
@@ -282,7 +415,16 @@ impl Driver {
                     if durability.is_forced() {
                         self.stats.forced_writes += 1;
                     }
-                    match host.append_tm(&mut cursor, record, durability) {
+                    let decision = self.obs.is_some().then(|| record.clone()).filter(|r| {
+                        matches!(r, LogRecord::Committed { .. } | LogRecord::Aborted { .. })
+                    });
+                    let control = host.append_tm(&mut cursor, record, durability);
+                    if let (Some(obs), Some(record)) = (self.obs.as_mut(), decision) {
+                        // Stamped after the append so a host that models
+                        // flush latency has advanced the cursor.
+                        obs.observe_decision(cursor, &record);
+                    }
+                    match control {
                         LogControl::Done => {}
                         LogControl::Suspend => {
                             host.suspend_rest(queue.drain(..).collect());
@@ -325,6 +467,9 @@ impl Driver {
                     if pending {
                         self.stats.pending_outcomes += 1;
                     }
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.observe_outcome(cursor, txn);
+                    }
                     host.notify_outcome(cursor, txn, outcome, report, pending);
                 }
                 Action::SetTimer { txn, kind, delay } => {
@@ -338,6 +483,9 @@ impl Driver {
                     host.cancel_timer(txn, kind);
                 }
                 Action::TxnEnded { txn } => {
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.observe_end(self.engine.node(), cursor, txn);
+                    }
                     host.txn_ended(txn);
                 }
             }
@@ -352,9 +500,14 @@ impl Driver {
         self.timer_gen.get(&(txn, kind)).copied() == Some(gen)
     }
 
-    /// Invalidates every armed timer (crash handling).
+    /// Invalidates every armed timer (crash handling). In-flight phase
+    /// marks are dropped with them: a crashed seat's phases end with the
+    /// crash and are not worth charging to the protocol.
     pub fn clear_timers(&mut self) {
         self.timer_gen.clear();
+        if let Some(obs) = self.obs.as_mut() {
+            obs.marks.clear();
+        }
     }
 
     /// Runs engine recovery from the durable log and returns the actions
@@ -520,5 +673,92 @@ mod tests {
         assert!(driver.timer_is_current(t, k, gen));
         driver.clear_timers();
         assert!(!driver.timer_is_current(t, k, gen));
+    }
+
+    #[test]
+    fn local_commit_produces_phase_spans() {
+        let mut host = RecordingHost::default();
+        let mut driver =
+            Driver::new(EngineConfig::new(NodeId(0), ProtocolKind::PresumedAbort)).unwrap();
+        let obs = Arc::new(Obs::new());
+        obs.set_tracing(true);
+        driver.set_obs(Arc::clone(&obs));
+
+        // A purely local transaction: work at t=10, commit at t=50.
+        let txn = TxnId::new(NodeId(0), 1);
+        driver
+            .handle(
+                &mut host,
+                SimTime(10),
+                Event::SendWork {
+                    txn,
+                    to: NodeId(1),
+                    payload: vec![],
+                },
+            )
+            .unwrap();
+        driver
+            .handle(&mut host, SimTime(50), Event::CommitRequested { txn })
+            .unwrap();
+        // Deliver the subordinate's vote and ack so the seat completes.
+        driver
+            .handle(
+                &mut host,
+                SimTime(60),
+                Event::MsgReceived {
+                    from: NodeId(1),
+                    msg: ProtocolMsg::VoteMsg {
+                        txn,
+                        vote: tpc_common::Vote::Yes(tpc_common::VoteFlags::NONE),
+                    },
+                },
+            )
+            .unwrap();
+        driver
+            .handle(
+                &mut host,
+                SimTime(80),
+                Event::MsgReceived {
+                    from: NodeId(1),
+                    msg: ProtocolMsg::Ack {
+                        txn,
+                        report: DamageReport::default(),
+                        pending: false,
+                    },
+                },
+            )
+            .unwrap();
+        assert_eq!(host.outcomes, vec![(txn, Outcome::Commit)]);
+
+        let snap = obs.snapshot();
+        // Work phase = 10..50 = 40µs.
+        let work = snap.phase(Phase::Work).expect("work recorded");
+        assert_eq!((work.count, work.sum), (1, 40));
+        // Prepare starts at commit request, ends at the decision record.
+        let prepare = snap.phase(Phase::Prepare).expect("prepare recorded");
+        assert_eq!(prepare.count, 1);
+        assert!(prepare.sum >= 10, "prepare covers the vote wait");
+        // Decision and ack phases both recorded for a coordinator that
+        // waits for acks.
+        assert!(snap.phase(Phase::Decision).is_some());
+        assert!(snap.phase(Phase::Ack).is_some());
+        // Span tree: every span belongs to the txn and node 0, and the
+        // work span starts first.
+        let spans = snap.txn_spans(txn);
+        assert!(spans.len() >= 3, "spans: {spans:?}");
+        assert!(spans.iter().all(|s| s.node == NodeId(0)));
+        assert_eq!(spans[0].phase, Phase::Work);
+        assert_eq!(spans[0].start, SimTime(10));
+    }
+
+    #[test]
+    fn without_obs_no_marks_accumulate() {
+        let mut host = RecordingHost::default();
+        let mut driver = Driver::new(EngineConfig::new(NodeId(0), ProtocolKind::Basic)).unwrap();
+        let txn = TxnId::new(NodeId(0), 7);
+        driver
+            .handle(&mut host, SimTime(0), Event::CommitRequested { txn })
+            .unwrap();
+        assert!(driver.obs().is_none());
     }
 }

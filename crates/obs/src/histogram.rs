@@ -1,0 +1,290 @@
+//! Lock-free log2-bucketed latency histogram.
+//!
+//! Values (microseconds) land in bucket `⌈log2(v+1)⌉`: bucket 0 holds 0,
+//! bucket 1 holds 1, bucket 2 holds 2–3, bucket k holds `2^(k-1)..2^k - 1`.
+//! 64 buckets cover the whole `u64` range. Quantiles are read off as the
+//! upper bound of the bucket containing the target rank, so a reported
+//! p99 is an upper bound within a factor of 2 of the true value — the
+//! right precision for a protocol whose costs differ by integer flow and
+//! fsync counts, at the price of three relaxed atomic adds per record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// Index of the bucket a value lands in. The top bucket (63) is a
+/// catch-all for values `>= 2^62`.
+fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of values in bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Wait-free concurrent histogram with power-of-two buckets.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (relaxed atomics; safe from any thread).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy for reporting (individual loads are relaxed;
+    /// concurrent writers may skew totals by in-flight records).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data histogram copy; mergeable across nodes.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket k holds values in `2^(k-1)..2^k`.
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the nearest-rank sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper bound of its bucket).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (exact, from sum/count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Add another snapshot's samples into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative counts paired with bucket upper bounds, for Prometheus
+    /// `le`-labelled buckets. Empty trailing buckets are elided after the
+    /// last non-empty one.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let last = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let mut acc = 0;
+        (0..=last)
+            .map(|idx| {
+                acc += self.buckets[idx];
+                (bucket_upper(idx), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_of(1u64 << 62), 63);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // True p50 is 500; bucketed answer is the 512-bucket bound 511.
+        let p50 = s.p50();
+        assert!((500..=511).contains(&p50), "p50 = {p50}");
+        // True p99 is 990; the bucket bound is 1023, clamped to max 1000.
+        assert_eq!(s.p99(), 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.cumulative(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3u64, 17, 250, 4096, 70_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 9, 511, 100_000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let expect = all.snapshot();
+        assert_eq!(m.buckets, expect.buckets);
+        assert_eq!(m.count, expect.count);
+        assert_eq!(m.sum, expect.sum);
+        assert_eq!(m.max, expect.max);
+        assert_eq!(m.p99(), expect.p99());
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_count() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 300, 70_000] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative();
+        let mut prev = 0;
+        for &(_, c) in &cum {
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(cum.last().unwrap().1, 6);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.max, 3999);
+    }
+}

@@ -1,0 +1,267 @@
+//! Observability layer shared by the simulator and the live runtime.
+//!
+//! The paper's whole argument is an accounting one — commit cost is message
+//! flows plus forced log writes — and this crate is the measurement
+//! instrument for it: lock-free counters, log2-bucketed latency histograms
+//! (p50/p90/p99/max), and per-transaction phase spans (work → prepare →
+//! decision → ack, plus fsync and group-commit flush timing).
+//!
+//! Both harnesses feed the same [`Obs`] recorder through the driver layer,
+//! so a phase breakdown from the discrete-event simulator and one from a
+//! real TCP cluster are directly comparable. Everything is cheap enough to
+//! leave on in benchmarks and free when absent (the driver holds an
+//! `Option<Arc<Obs>>` and skips all of this on `None`).
+//!
+//! Exports:
+//! - [`render_prometheus`] — Prometheus text exposition format 0.0.4
+//! - [`render_chrome_trace`] — `chrome://tracing` / Perfetto JSON
+//! - [`ObsSnapshot`] — plain-data snapshot for reports and benches
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod span;
+pub mod trace_json;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use prometheus::{render_prometheus, NodeExport};
+pub use span::{Phase, Span};
+pub use trace_json::render_chrome_trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use tpc_common::SimTime;
+
+/// Upper bound on buffered spans per node; beyond it new spans are counted
+/// but dropped so long benches cannot grow memory without bound.
+pub const SPAN_BUFFER_CAP: usize = 4096;
+
+/// Per-node observability recorder.
+///
+/// One `Obs` is shared (via `Arc`) between a node's driver and its host.
+/// All hot-path operations are wait-free atomics; only span capture takes a
+/// mutex, and only when tracing is enabled.
+pub struct Obs {
+    phases: [Histogram; Phase::ALL.len()],
+    tracing: AtomicBool,
+    spans: Mutex<Vec<Span>>,
+    dropped_spans: Histogram,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// New recorder with tracing off (histograms always record).
+    pub fn new() -> Self {
+        Obs {
+            phases: std::array::from_fn(|_| Histogram::new()),
+            tracing: AtomicBool::new(false),
+            spans: Mutex::new(Vec::new()),
+            dropped_spans: Histogram::new(),
+        }
+    }
+
+    /// Enable or disable span capture. Histograms are unaffected.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether span capture is currently on.
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Record a completed phase duration (microseconds) into its histogram.
+    pub fn record(&self, phase: Phase, micros: u64) {
+        self.phases[phase as usize].record(micros);
+    }
+
+    /// Record a phase duration and, if tracing, capture the span itself.
+    pub fn record_span(&self, span: Span) {
+        let micros = span.end.since(span.start).as_micros();
+        self.record(span.phase, micros);
+        if self.tracing() {
+            let mut buf = self.spans.lock().expect("span buffer poisoned");
+            if buf.len() < SPAN_BUFFER_CAP {
+                buf.push(span);
+            } else {
+                self.dropped_spans.record(1);
+            }
+        }
+    }
+
+    /// Histogram for one phase (live handle, not a snapshot).
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.phases[phase as usize]
+    }
+
+    /// Copy-out of every histogram and buffered span.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            phases: Phase::ALL
+                .iter()
+                .map(|p| (*p, self.phases[*p as usize].snapshot()))
+                .collect(),
+            spans: self.spans.lock().expect("span buffer poisoned").clone(),
+            dropped_spans: self.dropped_spans.snapshot().count,
+        }
+    }
+}
+
+/// Plain-data copy of an [`Obs`] at a point in time.
+///
+/// This is what travels in `NodeSummary` / sim reports; it has no atomics
+/// and can be merged across nodes for cluster-wide percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct ObsSnapshot {
+    /// Per-phase histogram snapshots, in [`Phase::ALL`] order.
+    pub phases: Vec<(Phase, HistogramSnapshot)>,
+    /// Captured spans (empty unless tracing was enabled).
+    pub spans: Vec<Span>,
+    /// Spans dropped because the buffer was full.
+    pub dropped_spans: u64,
+}
+
+impl ObsSnapshot {
+    /// Snapshot of one phase, if it recorded anything.
+    pub fn phase(&self, phase: Phase) -> Option<&HistogramSnapshot> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, h)| h)
+            .filter(|h| h.count > 0)
+    }
+
+    /// Merge another node's snapshot into this one (histograms add
+    /// bucket-wise; spans concatenate).
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        for (phase, theirs) in &other.phases {
+            match self.phases.iter_mut().find(|(p, _)| p == phase) {
+                Some((_, ours)) => ours.merge(theirs),
+                None => self.phases.push((*phase, theirs.clone())),
+            }
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.dropped_spans += other.dropped_spans;
+    }
+
+    /// Merge many per-node snapshots into one cluster-wide view.
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a ObsSnapshot>) -> ObsSnapshot {
+        let mut out = ObsSnapshot::default();
+        for s in snaps {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// All spans belonging to one transaction, ordered by start time.
+    pub fn txn_spans(&self, txn: tpc_common::TxnId) -> Vec<Span> {
+        let mut spans: Vec<Span> = self
+            .spans
+            .iter()
+            .filter(|s| s.txn == txn)
+            .cloned()
+            .collect();
+        spans.sort_by_key(|s| (s.start, s.end));
+        spans
+    }
+}
+
+/// Convenience: duration between two [`SimTime`]s in microseconds,
+/// saturating at zero if the clock went backwards.
+pub fn micros_between(start: SimTime, end: SimTime) -> u64 {
+    end.since(start).as_micros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_common::{NodeId, TxnId};
+
+    fn span(phase: Phase, start: u64, end: u64) -> Span {
+        Span {
+            txn: TxnId::new(NodeId(0), 1),
+            node: NodeId(0),
+            phase,
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    #[test]
+    fn record_span_feeds_histogram() {
+        let obs = Obs::new();
+        obs.record_span(span(Phase::Prepare, 100, 350));
+        let snap = obs.snapshot();
+        let h = snap.phase(Phase::Prepare).expect("prepare recorded");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 250);
+        // Tracing was off: no span captured.
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn tracing_captures_spans_until_cap() {
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        for i in 0..SPAN_BUFFER_CAP + 10 {
+            obs.record_span(span(Phase::Ack, i as u64, i as u64 + 1));
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), SPAN_BUFFER_CAP);
+        assert_eq!(snap.dropped_spans, 10);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Obs::new();
+        let b = Obs::new();
+        a.record(Phase::Fsync, 100);
+        b.record(Phase::Fsync, 200);
+        b.record(Phase::Decision, 5);
+        let merged = ObsSnapshot::merged([&a.snapshot(), &b.snapshot()]);
+        assert_eq!(merged.phase(Phase::Fsync).unwrap().count, 2);
+        assert_eq!(merged.phase(Phase::Decision).unwrap().count, 1);
+        assert!(merged.phase(Phase::Work).is_none());
+    }
+
+    #[test]
+    fn txn_spans_filters_and_sorts() {
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        let t1 = TxnId::new(NodeId(0), 1);
+        let t2 = TxnId::new(NodeId(0), 2);
+        obs.record_span(Span {
+            txn: t1,
+            node: NodeId(1),
+            phase: Phase::Ack,
+            start: SimTime(50),
+            end: SimTime(60),
+        });
+        obs.record_span(Span {
+            txn: t2,
+            node: NodeId(0),
+            phase: Phase::Work,
+            start: SimTime(0),
+            end: SimTime(10),
+        });
+        obs.record_span(Span {
+            txn: t1,
+            node: NodeId(0),
+            phase: Phase::Work,
+            start: SimTime(5),
+            end: SimTime(20),
+        });
+        let spans = obs.snapshot().txn_spans(t1);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, SimTime(5));
+        assert_eq!(spans[1].start, SimTime(50));
+    }
+}

@@ -1,0 +1,149 @@
+//! Prometheus text exposition (format 0.0.4) renderer.
+//!
+//! Metric families:
+//! - `tpc_phase_latency_us` — histogram, labels `node`, `phase`; log2
+//!   buckets exposed as cumulative `le` bounds.
+//! - one `counter` family per entry the host supplies in
+//!   [`NodeExport::counters`] (e.g. `tpc_flows_sent_total`,
+//!   `tpc_forced_writes_total`), labelled by `node`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tpc_common::NodeId;
+
+use crate::{ObsSnapshot, Phase};
+
+/// One node's contribution to the exposition: its histogram snapshot and
+/// whatever counters the host wants exported (name must already end in
+/// `_total` and be a valid Prometheus metric name).
+pub struct NodeExport {
+    /// Node the samples belong to (becomes the `node` label).
+    pub node: NodeId,
+    /// Phase histograms and spans.
+    pub obs: ObsSnapshot,
+    /// Counter samples: `(metric_name, help, value)`.
+    pub counters: Vec<(&'static str, &'static str, u64)>,
+}
+
+/// One counter family during grouping: help text plus per-node samples.
+type Family = (&'static str, Vec<(NodeId, u64)>);
+
+/// Render the full exposition for a set of nodes.
+pub fn render_prometheus(exports: &[NodeExport]) -> String {
+    let mut out = String::new();
+
+    // Counter families first, grouped so each # TYPE appears once.
+    let mut families: BTreeMap<&'static str, Family> = BTreeMap::new();
+    for e in exports {
+        for &(name, help, value) in &e.counters {
+            families
+                .entry(name)
+                .or_insert_with(|| (help, Vec::new()))
+                .1
+                .push((e.node, value));
+        }
+    }
+    for (name, (help, samples)) in &families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (node, value) in samples {
+            let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", node.0);
+        }
+    }
+
+    // The phase-latency histogram family.
+    let _ = writeln!(
+        out,
+        "# HELP tpc_phase_latency_us Per-phase latency in microseconds (log2 buckets)"
+    );
+    let _ = writeln!(out, "# TYPE tpc_phase_latency_us histogram");
+    for e in exports {
+        for phase in Phase::ALL {
+            let Some(h) = e.obs.phase(phase) else {
+                continue;
+            };
+            let labels = format!("node=\"{}\",phase=\"{}\"", e.node.0, phase.name());
+            for (le, cum) in h.cumulative() {
+                let _ = writeln!(
+                    out,
+                    "tpc_phase_latency_us_bucket{{{labels},le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "tpc_phase_latency_us_bucket{{{labels},le=\"+Inf\"}} {}",
+                h.count
+            );
+            let _ = writeln!(out, "tpc_phase_latency_us_sum{{{labels}}} {}", h.sum);
+            let _ = writeln!(out, "tpc_phase_latency_us_count{{{labels}}} {}", h.count);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn export() -> Vec<NodeExport> {
+        let obs = Obs::new();
+        obs.record(Phase::Prepare, 300);
+        obs.record(Phase::Prepare, 900);
+        obs.record(Phase::Fsync, 50);
+        vec![
+            NodeExport {
+                node: NodeId(0),
+                obs: obs.snapshot(),
+                counters: vec![
+                    ("tpc_flows_sent_total", "Protocol flows sent", 7),
+                    ("tpc_forced_writes_total", "Forced log writes", 3),
+                ],
+            },
+            NodeExport {
+                node: NodeId(1),
+                obs: Obs::new().snapshot(),
+                counters: vec![("tpc_flows_sent_total", "Protocol flows sent", 2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_counters_with_single_type_line() {
+        let text = render_prometheus(&export());
+        assert_eq!(
+            text.matches("# TYPE tpc_flows_sent_total counter").count(),
+            1
+        );
+        assert!(text.contains("tpc_flows_sent_total{node=\"0\"} 7"));
+        assert!(text.contains("tpc_flows_sent_total{node=\"1\"} 2"));
+        assert!(text.contains("tpc_forced_writes_total{node=\"0\"} 3"));
+    }
+
+    #[test]
+    fn renders_histogram_with_inf_bucket_and_sum() {
+        let text = render_prometheus(&export());
+        assert!(text.contains("# TYPE tpc_phase_latency_us histogram"));
+        assert!(text
+            .contains("tpc_phase_latency_us_bucket{node=\"0\",phase=\"prepare\",le=\"+Inf\"} 2"));
+        assert!(text.contains("tpc_phase_latency_us_sum{node=\"0\",phase=\"prepare\"} 1200"));
+        assert!(text.contains("tpc_phase_latency_us_count{node=\"0\",phase=\"fsync\"} 1"));
+        // Empty phases are elided entirely.
+        assert!(!text.contains("phase=\"work\""));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        // A minimal parse of the exposition format: each non-empty line is
+        // either a # comment or `name{labels} value` with a numeric value.
+        let text = render_prometheus(&export());
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Phase taxonomy and per-transaction spans.
+
+use tpc_common::{NodeId, SimTime, TxnId};
+
+/// The protocol phases a transaction seat moves through, plus the two
+/// durability costs the paper charges against commit latency.
+///
+/// For a coordinator the phases line up with the paper's timeline:
+/// `Work` (application requests until commit is requested), `Prepare`
+/// (phase 1: prepare flows out, votes back, decision forced), `Decision`
+/// (phase 2: decision flows out until the outcome is delivered to the
+/// application), `Ack` (decision delivery until the seat is forgotten —
+/// the ack collection window). Subordinates report the same phases from
+/// their own seat's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Application work: first touch of the transaction until commit (or
+    /// abort) is requested at this seat.
+    Work = 0,
+    /// Voting phase: commit requested until the decision log record.
+    Prepare = 1,
+    /// Decision propagation: decision logged until the outcome reaches
+    /// the local application.
+    Decision = 2,
+    /// Outcome delivered until the seat is forgotten (acks collected).
+    Ack = 3,
+    /// One forced log write (`sync_data` or the sim's modelled force).
+    Fsync = 4,
+    /// Group-commit batch lifetime: first buffered force to flush.
+    GroupFlush = 5,
+}
+
+impl Phase {
+    /// All phases, histogram-array order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Work,
+        Phase::Prepare,
+        Phase::Decision,
+        Phase::Ack,
+        Phase::Fsync,
+        Phase::GroupFlush,
+    ];
+
+    /// Stable lowercase name used in metric labels and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Work => "work",
+            Phase::Prepare => "prepare",
+            Phase::Decision => "decision",
+            Phase::Ack => "ack",
+            Phase::Fsync => "fsync",
+            Phase::GroupFlush => "group_flush",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One completed phase interval at one node, attributed to a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Transaction this interval belongs to.
+    pub txn: TxnId,
+    /// Node that observed it.
+    pub node: NodeId,
+    /// Which phase.
+    pub phase: Phase,
+    /// Start of the interval (harness clock: virtual µs in the sim,
+    /// µs since cluster start in the live runtime).
+    pub start: SimTime,
+    /// End of the interval.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Interval length in microseconds.
+    pub fn micros(&self) -> u64 {
+        self.end.since(self.start).as_micros()
+    }
+}

@@ -333,6 +333,27 @@ impl LiveCluster {
         })
     }
 
+    /// Renders the Prometheus text exposition for every live node:
+    /// driver/WAL counters always, plus per-phase latency histograms for
+    /// nodes built with [`LiveNodeConfig::with_observability`]. Killed
+    /// nodes are skipped (their scrape would hang).
+    pub fn prometheus_dump(&self) -> String {
+        crate::obs_export::prometheus_text(&self.live_summaries())
+    }
+
+    /// Renders a chrome-trace JSON of one transaction's phase spans
+    /// across all live nodes. Needs
+    /// [`LiveNodeConfig::with_tracing`]; without it the trace is empty.
+    pub fn chrome_trace(&self, txn: TxnId) -> String {
+        crate::obs_export::chrome_trace_text(&self.live_summaries(), txn)
+    }
+
+    fn live_summaries(&self) -> Vec<NodeSummary> {
+        (0..self.len())
+            .filter_map(|i| self.summary(NodeId(i as u32)))
+            .collect()
+    }
+
     /// Fetches a node's live summary.
     pub fn summary(&self, node: NodeId) -> Option<NodeSummary> {
         self.try_summary(node).ok()

@@ -49,6 +49,19 @@
 //! [`LiveCluster::run_workload`] drives N closed-loop concurrent
 //! transactions to fill those batches. `cargo run -p tpc-bench --bin
 //! bench_throughput` measures the effect.
+//!
+//! ## Observability
+//!
+//! [`LiveNodeConfig::with_observability`] attaches per-phase latency
+//! histograms (work / prepare / decision / ack / fsync / group-flush,
+//! lock-free log2 buckets from `tpc-obs`) to every node through the
+//! same driver seam the simulator instruments;
+//! [`LiveNodeConfig::with_tracing`] additionally captures per-
+//! transaction phase spans. [`LiveCluster::prometheus_dump`] renders
+//! the Prometheus text exposition, [`LiveCluster::chrome_trace`] a
+//! chrome-trace JSON for one transaction (both also on
+//! [`tcp::TcpCluster`]), and each [`NodeSummary::obs`] carries the raw
+//! snapshot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +69,7 @@
 mod cluster;
 pub mod fault;
 mod node;
+pub mod obs_export;
 pub mod signal;
 pub mod tcp;
 pub mod verify;

@@ -25,6 +25,7 @@ use tpc_core::{
     LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, PrepareControl,
     ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
+use tpc_obs::{Obs, ObsSnapshot, Phase};
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_wal::file::FileLog;
 use tpc_wal::{
@@ -80,6 +81,14 @@ pub struct LiveNodeConfig {
     /// of timer wall-clock jitter. Cleared on restart so a recovered node
     /// does not crash again.
     pub kill_after_frames: Option<u32>,
+    /// Attach an [`Obs`] recorder: per-phase latency histograms (work →
+    /// prepare → decision → ack, plus fsync and group-flush timing).
+    /// Off by default — a disabled node pays nothing.
+    pub observe: bool,
+    /// Also capture per-transaction phase spans for chrome-trace export
+    /// (implies `observe`). Spans cost an allocation per phase, so this
+    /// is a debugging/visualization switch, not a benchmarking one.
+    pub trace: bool,
 }
 
 impl LiveNodeConfig {
@@ -94,7 +103,23 @@ impl LiveNodeConfig {
             suspendable: false,
             log_backend: LogBackend::Memory,
             kill_after_frames: None,
+            observe: false,
+            trace: false,
         }
+    }
+
+    /// Enables per-phase latency histograms on this node.
+    pub fn with_observability(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
+    /// Enables histograms *and* per-transaction span capture (for the
+    /// chrome-trace exporter).
+    pub fn with_tracing(mut self) -> Self {
+        self.observe = true;
+        self.trace = true;
+        self
     }
 
     /// Stores the TM log in a real file under `dir` (fsync on force).
@@ -213,6 +238,9 @@ pub struct NodeSummary {
     /// without group commit): logical force requests vs physical flushes
     /// actually performed on the TM log.
     pub group: GroupStats,
+    /// Per-phase latency histograms and (if tracing) spans; `None` when
+    /// the node ran without observability.
+    pub obs: Option<ObsSnapshot>,
     /// Transactions still unresolved.
     pub active_txns: usize,
     /// Snapshot of the engine's protocol state for the shared consistency
@@ -286,6 +314,12 @@ struct LiveHost<T: Transport> {
     /// them through the driver (the host cannot re-enter the driver
     /// from inside a host callback).
     resume_ready: VecDeque<Vec<Action>>,
+    /// Shared observability recorder (also attached to the driver);
+    /// the host feeds it the real fsync and group-flush timings.
+    obs: Option<Arc<Obs>>,
+    /// When the pending group-commit batch opened (first buffered
+    /// force), for the GroupFlush histogram.
+    group_opened_at: Option<Instant>,
 }
 
 impl<T: Transport> LiveHost<T> {
@@ -319,7 +353,32 @@ impl<T: Transport> LiveHost<T> {
             suspending_ticket: None,
             group_deadline: None,
             resume_ready: VecDeque::new(),
+            obs: None,
+            group_opened_at: None,
         }
+    }
+
+    /// Times one closure and charges it to a phase histogram; a no-op
+    /// without a recorder.
+    fn timed<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.obs.is_none() {
+            return f(self);
+        }
+        let start = Instant::now();
+        let out = f(self);
+        if let Some(obs) = self.obs.as_ref() {
+            obs.record(phase, start.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    /// Charges the lifetime of the just-flushed group batch (first
+    /// buffered force → physical flush) to the GroupFlush histogram.
+    fn note_group_flush(&mut self) {
+        if let (Some(obs), Some(opened)) = (self.obs.as_ref(), self.group_opened_at.take()) {
+            obs.record(Phase::GroupFlush, opened.elapsed().as_micros() as u64);
+        }
+        self.group_opened_at = None;
     }
 
     /// Moves the released tickets' suspended tails to the resume queue,
@@ -459,7 +518,10 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 .request(now, ticket);
             match decision {
                 FlushDecision::FlushNow(tickets) => {
-                    self.log.flush_batch().expect("live log flush");
+                    self.timed(Phase::Fsync, |h| {
+                        h.log.flush_batch().expect("live log flush")
+                    });
+                    self.note_group_flush();
                     self.group_deadline = None;
                     self.release_tickets(tickets, Some(ticket));
                     LogControl::Done
@@ -467,9 +529,21 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 FlushDecision::WaitUntil(deadline) => {
                     self.suspending_ticket = Some(ticket);
                     self.group_deadline = Some(self.epoch + Duration::from_micros(deadline.0));
+                    if self.group_opened_at.is_none() {
+                        self.group_opened_at = Some(Instant::now());
+                    }
                     LogControl::Suspend
                 }
             }
+        } else if durability.is_forced() {
+            // One forced append = one sync_data: time it.
+            self.timed(Phase::Fsync, |h| {
+                h.log
+                    .as_mut()
+                    .append(StreamId::Tm, record, durability)
+                    .expect("live log append")
+            });
+            LogControl::Done
         } else {
             self.log
                 .as_mut()
@@ -622,6 +696,18 @@ pub enum Inbound {
     },
 }
 
+/// Creates the shared recorder when the config asks for one and hands it
+/// to both the driver (phase milestones) and the host (fsync timing).
+fn attach_obs<T: Transport>(cfg: &LiveNodeConfig, driver: &mut Driver, host: &mut LiveHost<T>) {
+    if !cfg.observe && !cfg.trace {
+        return;
+    }
+    let obs = Arc::new(Obs::new());
+    obs.set_tracing(cfg.trace);
+    driver.set_obs(Arc::clone(&obs));
+    host.obs = Some(obs);
+}
+
 pub(crate) fn tm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::PathBuf {
     dir.join(format!("node-{}.log", node.0))
 }
@@ -681,9 +767,11 @@ impl<T: Transport> NodeWorker<T> {
             }
         };
         let kill_after_frames = cfg.kill_after_frames;
+        let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
+        attach_obs(&cfg, &mut driver, &mut host);
         NodeWorker {
             driver,
-            host: LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch),
+            host,
             rx,
             frames_seen: 0,
             kill_after_frames,
@@ -773,9 +861,11 @@ impl<T: Transport> NodeWorker<T> {
             }
         }
 
+        let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
+        attach_obs(&cfg, &mut driver, &mut host);
         let mut worker = NodeWorker {
             driver,
-            host: LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch),
+            host,
             rx,
             frames_seen: 0,
             // A restarted node must not crash again: the knob is one-shot.
@@ -856,7 +946,10 @@ impl<T: Transport> NodeWorker<T> {
         let Some(tickets) = released else {
             return false;
         };
-        self.host.log.flush_batch().expect("live log flush");
+        self.host.timed(Phase::Fsync, |h| {
+            h.log.flush_batch().expect("live log flush")
+        });
+        self.host.note_group_flush();
         self.host.release_tickets(tickets, None);
         self.pump();
         true
@@ -868,7 +961,10 @@ impl<T: Transport> NodeWorker<T> {
     fn drain_group(&mut self) {
         let released = self.host.group.as_mut().and_then(|gc| gc.drain());
         let Some(tickets) = released else { return };
-        self.host.log.flush_batch().expect("live log flush");
+        self.host.timed(Phase::Fsync, |h| {
+            h.log.flush_batch().expect("live log flush")
+        });
+        self.host.note_group_flush();
         self.host.group_deadline = None;
         self.host.release_tickets(tickets, None);
         self.pump();
@@ -921,6 +1017,7 @@ impl<T: Transport> NodeWorker<T> {
                 .as_ref()
                 .map(|g| g.stats())
                 .unwrap_or_default(),
+            obs: self.host.obs.as_ref().map(|o| o.snapshot()),
             active_txns: self.driver.engine().active_txns(),
             protocol_state: NodeProtocolState::from_engine(
                 self.host.node,

@@ -1,0 +1,74 @@
+//! Cluster-level observability export: turns a set of [`NodeSummary`]s
+//! into the Prometheus text exposition or a chrome-trace JSON, shared by
+//! the channel and TCP clusters.
+
+use tpc_common::TxnId;
+use tpc_obs::{render_chrome_trace, render_prometheus, NodeExport, ObsSnapshot, Span};
+
+use crate::node::NodeSummary;
+
+/// Builds the Prometheus exposition for a set of node summaries: driver
+/// and WAL counters for every node, plus per-phase latency histograms for
+/// nodes that ran with observability enabled.
+pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
+    let exports: Vec<NodeExport> = summaries
+        .iter()
+        .map(|s| NodeExport {
+            node: s.node,
+            obs: s.obs.clone().unwrap_or_default(),
+            counters: vec![
+                (
+                    "tpc_flows_sent_total",
+                    "Protocol frames sent (paper flows, including Work)",
+                    s.driver.flows_sent,
+                ),
+                (
+                    "tpc_log_writes_total",
+                    "TM log appends",
+                    s.driver.log_writes,
+                ),
+                (
+                    "tpc_forced_writes_total",
+                    "TM log appends that requested a force",
+                    s.driver.forced_writes,
+                ),
+                (
+                    "tpc_physical_flushes_total",
+                    "Physical device flushes on the TM log",
+                    s.log.physical_flushes,
+                ),
+                (
+                    "tpc_outcomes_total",
+                    "Transaction outcomes delivered to the application",
+                    s.driver.outcomes,
+                ),
+                (
+                    "tpc_damaged_outcomes_total",
+                    "Outcomes carrying heuristic damage",
+                    s.driver.damaged_outcomes,
+                ),
+                (
+                    "tpc_group_requests_total",
+                    "Forced writes submitted to the group committer",
+                    s.group.requests,
+                ),
+                (
+                    "tpc_group_flushes_total",
+                    "Group-commit batches flushed",
+                    s.group.flushes,
+                ),
+            ],
+        })
+        .collect();
+    render_prometheus(&exports)
+}
+
+/// Builds a chrome-trace JSON for one transaction from every node's
+/// captured spans (nodes must have run with tracing enabled). The result
+/// renders in `chrome://tracing` / Perfetto as the root's and each
+/// subordinate's phase rows on the shared cluster clock.
+pub fn chrome_trace_text(summaries: &[NodeSummary], txn: TxnId) -> String {
+    let merged = ObsSnapshot::merged(summaries.iter().filter_map(|s| s.obs.as_ref()));
+    let spans: Vec<Span> = merged.txn_spans(txn);
+    render_chrome_trace(&spans)
+}

@@ -545,6 +545,25 @@ impl TcpCluster {
         recv_reply(&rx, node, self.reply_timeout).ok()
     }
 
+    /// Renders the Prometheus text exposition for every live node — the
+    /// TCP twin of [`crate::LiveCluster::prometheus_dump`].
+    pub fn prometheus_dump(&self) -> String {
+        crate::obs_export::prometheus_text(&self.live_summaries())
+    }
+
+    /// Renders a chrome-trace JSON of one transaction's phase spans
+    /// across all live nodes (requires
+    /// [`LiveNodeConfig::with_tracing`]).
+    pub fn chrome_trace(&self, txn: TxnId) -> String {
+        crate::obs_export::chrome_trace_text(&self.live_summaries(), txn)
+    }
+
+    fn live_summaries(&self) -> Vec<NodeSummary> {
+        (0..self.len())
+            .filter_map(|i| self.summary(NodeId(i as u32)))
+            .collect()
+    }
+
     /// Stops every live node.
     pub fn shutdown(self) -> Vec<NodeSummary> {
         let mut out = Vec::new();
@@ -677,19 +696,14 @@ mod tests {
             t.work(NodeId(1), vec![Op::put("seq", &i.to_string())]);
             assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
         }
-        // "seq" is rewritten by each txn: poll until the last write lands.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            let v = c.read(NodeId(1), "seq");
-            if v == Some(b"4".to_vec()) {
-                break;
-            }
-            assert!(
-                Instant::now() < deadline,
-                "expected seq=4 at the subordinate, got {v:?}"
-            );
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        // "seq" is rewritten by each txn: the root's outcome reply races
+        // the decision frame to the subordinate, so wait on the cluster
+        // progress signal (no sleep-polling) until the last write lands.
+        let deadline = Duration::from_secs(5);
+        let v = c
+            .signal
+            .wait_for(deadline, || c.read(NodeId(1), "seq").filter(|v| v == b"4"));
+        assert_eq!(v, Some(b"4".to_vec()), "expected seq=4 at the subordinate");
         c.shutdown();
     }
 
@@ -810,5 +824,100 @@ mod tests {
             writes < frames,
             "sender should coalesce queued frames: {writes} writes for {frames} frames"
         );
+    }
+
+    /// Deterministic LCG so the fuzz shapes reproduce from a seed.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 11
+    }
+
+    fn fuzz_body(seed: u64, i: usize) -> Vec<u8> {
+        let mut s = seed.wrapping_add(i as u64) | 1;
+        // Lengths from 0 to ~4 KiB, heavily varied so any boundary error
+        // desynchronizes the parse immediately.
+        let len = (lcg(&mut s) % 4096) as usize;
+        let mut body = Vec::with_capacity(len + 8);
+        body.extend_from_slice(&(i as u64).to_le_bytes());
+        while body.len() < len + 8 {
+            body.push((lcg(&mut s) & 0xFF) as u8);
+        }
+        body
+    }
+
+    #[test]
+    fn random_frame_sizes_survive_coalescing() {
+        // The PR 3 regression test with fixed shapes, generalized: seeded
+        // random frame lengths (including empty bodies) through the real
+        // sender thread. Coalescing must never move a frame boundary.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frames_rx = collect_frames(listener);
+        let (self_tx, _self_rx) = unbounded();
+        let mut t = TcpTransport::new(NodeId(5), vec![addr], RetryPolicy::default(), self_tx);
+
+        const SEED: u64 = 0xF00D_CAFE;
+        const N: usize = 1500;
+        for i in 0..N {
+            t.send(NodeId(0), fuzz_body(SEED, i));
+        }
+        for i in 0..N {
+            match frames_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Inbound::Frame { from, bytes }) => {
+                    assert_eq!(from, NodeId(5));
+                    assert_eq!(bytes, fuzz_body(SEED, i), "frame {i} corrupted");
+                }
+                other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_writes_never_split_frame_boundaries() {
+        // The receiving half under adversarial segmentation: a writer
+        // that chops the byte stream into random small chunks (flushing
+        // between them), so headers and bodies straddle read boundaries
+        // arbitrarily. The reader must reassemble every frame exactly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frames_rx = collect_frames(listener);
+
+        const SEED: u64 = 0xDEAD_BEEF;
+        const N: usize = 400;
+        let writer = std::thread::spawn(move || {
+            let mut wire = Vec::new();
+            for i in 0..N {
+                let body = fuzz_body(SEED, i);
+                wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                wire.extend_from_slice(&9u32.to_le_bytes()); // sender id
+                wire.extend_from_slice(&body);
+            }
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut s = SEED | 1;
+            let mut off = 0;
+            while off < wire.len() {
+                // Forced partial writes: 1..=97 bytes at a time, so every
+                // frame is split across many TCP segments.
+                let chunk = (1 + lcg(&mut s) % 97) as usize;
+                let end = (off + chunk).min(wire.len());
+                stream.write_all(&wire[off..end]).expect("chunk write");
+                stream.flush().ok();
+                off = end;
+            }
+        });
+
+        for i in 0..N {
+            match frames_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Inbound::Frame { from, bytes }) => {
+                    assert_eq!(from, NodeId(9));
+                    assert_eq!(bytes, fuzz_body(SEED, i), "frame {i} corrupted");
+                }
+                other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
+            }
+        }
+        writer.join().expect("writer thread");
     }
 }

@@ -18,6 +18,7 @@ use std::time::Duration;
 use tpc_common::config::GroupCommitConfig;
 use tpc_common::{NodeId, Op, Outcome, ProtocolKind, SimDuration};
 use tpc_core::Timeouts;
+use tpc_obs::Phase;
 use tpc_runtime::{verify, LiveCluster, LiveNodeConfig};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -123,6 +124,77 @@ fn concurrent_stress_flushes_every_force_with_group_commit_off() {
             s.log
         );
     }
+}
+
+#[test]
+fn deadline_flushes_partial_batches_and_bound_commit_latency() {
+    // The timer-driven flush path: batch of 64 that a serial workload
+    // can never fill, with a 10 ms deadline. Every force must be
+    // released by the timer (never by size), and — the §4 latency
+    // guarantee — the deadline must bound commit latency: the observed
+    // p99 of the decision phase stays within a small multiple of
+    // max_wait instead of the forever a size-only policy would take.
+    const TXNS: usize = 12;
+    let max_wait = SimDuration::from_millis(10);
+    let dir = temp_dir("deadline");
+    let root = NodeId(0);
+    let server = NodeId(1);
+    let gc = GroupCommitConfig {
+        batch_size: 64,
+        max_wait,
+    };
+    let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_file_log(&dir)
+        .with_group_commit(Some(gc))
+        .with_observability();
+    let c = LiveCluster::start(vec![cfg.clone(), cfg]);
+
+    for i in 0..TXNS {
+        let t = c.begin(root);
+        t.work(server, vec![Op::put(&format!("dl-{i}"), "v")]);
+        let r = t.commit().expect("commit completes");
+        assert_eq!(r.outcome, Outcome::Commit, "txn {i}");
+    }
+    assert!(c.quiesce(Duration::from_secs(20)), "must quiesce");
+    let summaries = c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for s in &summaries {
+        assert_eq!(
+            s.group.flushes_by_size, 0,
+            "a serial workload must never fill a batch of 64: {:?}",
+            s.group
+        );
+    }
+    let server_s = &summaries[1];
+    assert!(
+        server_s.group.flushes_by_timer >= TXNS as u64,
+        "every server force (prepared + committed per txn) released by \
+         the timer: {:?}",
+        server_s.group
+    );
+
+    // Histogram bound. The root's decision phase covers its forced
+    // commit record riding out the deadline; a generous 10× multiple
+    // absorbs scheduler jitter while still distinguishing "bounded by
+    // the timer" from "stuck until a batch fills" (which would be the
+    // 30 s commit timeout, not ~max_wait).
+    let obs = summaries[0].obs.as_ref().expect("observability enabled");
+    let decision = obs.phase(Phase::Decision).expect("decision samples");
+    assert_eq!(decision.count, TXNS as u64);
+    assert!(
+        decision.p99() <= 10 * max_wait.as_micros(),
+        "deadline must bound p99 decision latency: p99={}us, max_wait={}us",
+        decision.p99(),
+        max_wait.as_micros()
+    );
+    // And the batch window itself: the group-flush histogram records
+    // each batch's open→flush span, which sits at ~max_wait.
+    let gf = obs.phase(Phase::GroupFlush).expect("group flush samples");
+    assert!(
+        gf.count >= 1 && gf.p99() <= 10 * max_wait.as_micros(),
+        "batch windows must track the deadline: {gf:?}"
+    );
 }
 
 #[test]

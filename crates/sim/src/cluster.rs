@@ -8,6 +8,7 @@
 //! the driver's host traits.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use tpc_common::{
     HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TxnId,
@@ -19,6 +20,7 @@ use tpc_core::{
     Action, EngineConfig, Event, InDoubtDisposition, LocalDisposition, LocalVote, ProtocolMsg,
     Timeouts, TimerKind, TmEngine,
 };
+use tpc_obs::{Obs, ObsSnapshot, Phase};
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_simnet::{LatencyModel, Network, Partition, Scheduler};
 use tpc_wal::{Durability, FlushDecision, GroupCommitter, LogManager, LogRecord, MemLog, StreamId};
@@ -50,6 +52,11 @@ pub struct SimConfig {
     pub flush_acks_at_end: bool,
     /// Hard stop for the virtual clock (bounds blocked scenarios).
     pub horizon: SimDuration,
+    /// Attach a per-phase latency recorder to every node.
+    pub observe: bool,
+    /// Additionally capture per-transaction phase spans (implies the
+    /// histograms; spans feed the chrome-trace exporter).
+    pub trace_spans: bool,
 }
 
 impl Default for SimConfig {
@@ -63,6 +70,8 @@ impl Default for SimConfig {
             inter_txn_delay: SimDuration::from_millis(1),
             flush_acks_at_end: true,
             horizon: SimDuration::from_secs(600),
+            observe: false,
+            trace_spans: false,
         }
     }
 }
@@ -83,6 +92,19 @@ impl SimConfig {
     /// Overrides the horizon.
     pub fn with_horizon(mut self, h: SimDuration) -> Self {
         self.horizon = h;
+        self
+    }
+
+    /// Attaches per-phase latency histograms to every node.
+    pub fn observed(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
+    /// Attaches histograms *and* per-transaction span capture.
+    pub fn traced(mut self) -> Self {
+        self.observe = true;
+        self.trace_spans = true;
         self
     }
 }
@@ -217,6 +239,9 @@ struct SimNodeState {
     /// Ticket of the append that just suspended (bridges the driver's
     /// `append_tm` → `suspend_rest` pair).
     suspending_ticket: Option<u64>,
+    /// Virtual time the currently filling group-commit batch opened, for
+    /// the `group_flush` latency phase.
+    group_opened_at: Option<SimTime>,
     crashed: bool,
 }
 
@@ -356,12 +381,29 @@ struct SimHost<'a> {
     txn_started: &'a HashMap<TxnId, SimTime>,
     outcomes: &'a mut Vec<TxnResult>,
     pending_substantive: &'a mut i64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl SimHost<'_> {
     fn schedule_sub(&mut self, at: SimTime, ev: Ev) {
         *self.pending_substantive += 1;
         self.sched.schedule(at, ev);
+    }
+
+    /// Records one physical flush at the virtual flush cost.
+    fn record_fsync(&self) {
+        if let Some(obs) = self.obs.as_ref() {
+            obs.record(Phase::Fsync, self.sim_cfg.force_latency.as_micros());
+        }
+    }
+
+    /// Closes the open group-commit batch window at `now`.
+    fn note_group_flush(&mut self, now: SimTime) {
+        if let Some(opened) = self.state.group_opened_at.take() {
+            if let Some(obs) = self.obs.as_ref() {
+                obs.record(Phase::GroupFlush, now.since(opened).as_micros());
+            }
+        }
     }
 
     fn schedule_resumes(&mut self, grants: Vec<tpc_locks::ReleaseGrant>, at: SimTime) {
@@ -437,6 +479,8 @@ impl LogHost for SimHost<'_> {
                 FlushDecision::FlushNow(tickets) => {
                     self.state.log.note_physical_flush();
                     *now += force_latency;
+                    self.record_fsync();
+                    self.note_group_flush(*now);
                     let node = self.node;
                     for t in tickets {
                         if t != ticket {
@@ -447,6 +491,9 @@ impl LogHost for SimHost<'_> {
                 }
                 FlushDecision::WaitUntil(deadline) => {
                     self.state.suspending_ticket = Some(ticket);
+                    if self.state.group_opened_at.is_none() {
+                        self.state.group_opened_at = Some(*now);
+                    }
                     let node = self.node;
                     self.schedule_sub(deadline, Ev::GroupDeadline { node });
                     LogControl::Suspend
@@ -459,6 +506,7 @@ impl LogHost for SimHost<'_> {
                 .expect("log append");
             if forced {
                 *now += force_latency;
+                self.record_fsync();
             }
             LogControl::Done
         }
@@ -686,7 +734,12 @@ impl Sim {
             timeouts: cfg.timeouts,
             heuristic: cfg.heuristic,
         };
-        let driver = Driver::new(engine_cfg).expect("valid node config");
+        let mut driver = Driver::new(engine_cfg).expect("valid node config");
+        if self.cfg.observe {
+            let obs = Arc::new(Obs::new());
+            obs.set_tracing(self.cfg.trace_spans);
+            driver.set_obs(obs);
+        }
         let group = cfg.opts.group_commit.map(GroupCommitter::new);
         let rms: Vec<RmSlot> = if self.cfg.real_mode {
             (0..cfg.rm_count.max(1))
@@ -721,6 +774,7 @@ impl Sim {
                 group,
                 next_ticket: 0,
                 suspending_ticket: None,
+                group_opened_at: None,
                 crashed: false,
             },
         });
@@ -797,6 +851,12 @@ impl Sim {
         self.nodes[node.index()].driver.stats()
     }
 
+    /// Snapshot of a node's phase-latency recorder, when the cluster ran
+    /// with [`SimConfig::observed`].
+    pub fn obs_snapshot(&self, node: NodeId) -> Option<ObsSnapshot> {
+        self.nodes[node.index()].driver.obs().map(|o| o.snapshot())
+    }
+
     /// Read access to a node's first resource manager (real mode).
     pub fn rm(&self, node: NodeId) -> Option<&ResourceManager> {
         self.nodes[node.index()].state.rms.first().map(|s| &s.rm)
@@ -842,6 +902,7 @@ impl Sim {
             ..
         } = self;
         let n = &mut nodes[node.index()];
+        let obs = n.driver.obs().cloned();
         let mut host = SimHost {
             node,
             sim_cfg: cfg,
@@ -853,6 +914,7 @@ impl Sim {
             txn_started,
             outcomes,
             pending_substantive,
+            obs,
         };
         f(&mut n.driver, &mut host)
     }
@@ -1248,8 +1310,17 @@ impl Sim {
             gc.expire(now)
         };
         if let Some(tickets) = released {
-            self.nodes[node.index()].state.log.note_physical_flush();
+            let n = &mut self.nodes[node.index()];
+            n.state.log.note_physical_flush();
             let resume_at = now + self.cfg.force_latency;
+            if let Some(obs) = n.driver.obs() {
+                obs.record(Phase::Fsync, self.cfg.force_latency.as_micros());
+                if let Some(opened) = n.state.group_opened_at.take() {
+                    obs.record(Phase::GroupFlush, resume_at.since(opened).as_micros());
+                }
+            } else {
+                n.state.group_opened_at = None;
+            }
             for t in tickets {
                 self.schedule_sub(resume_at, Ev::ContinueBatch { node, ticket: t });
             }
@@ -1280,6 +1351,7 @@ impl Sim {
         n.state.prepare_waiting.clear();
         n.state.suspended.clear();
         n.state.suspending_ticket = None;
+        n.state.group_opened_at = None;
         n.state.deadlocked.clear();
         if let Some(gc) = n.state.group.as_mut() {
             let _ = gc.drain();
@@ -1312,7 +1384,11 @@ impl Sim {
                     rl.restart();
                 }
             }
+            let obs = n.driver.obs().cloned();
             n.driver = Driver::new(engine_cfg).expect("valid config");
+            if let Some(obs) = obs {
+                n.driver.set_obs(obs);
+            }
             for p in partners {
                 n.driver.engine_mut().add_session_partner(p);
             }

@@ -179,6 +179,65 @@ mod tests {
     }
 
     #[test]
+    fn second_batch_after_timer_flush_anchors_its_own_deadline() {
+        let mut gc = GroupCommitter::new(cfg(10, 50));
+        gc.request(SimTime(0), 'a');
+        assert_eq!(gc.expire(SimTime(50)), Some(vec!['a']));
+        // The next request opens a fresh batch: deadline = its own now +
+        // max_wait, not a remnant of the flushed batch.
+        match gc.request(SimTime(200), 'b') {
+            FlushDecision::WaitUntil(d) => assert_eq!(d, SimTime(250)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(gc.stats().flushes_by_timer, 1);
+    }
+
+    #[test]
+    fn expire_with_empty_batch_is_a_noop() {
+        let mut gc = GroupCommitter::<u32>::new(cfg(10, 50));
+        assert_eq!(gc.expire(SimTime(1_000)), None);
+        assert_eq!(gc.stats().flushes, 0);
+    }
+
+    #[test]
+    fn deadline_flush_bounds_wait_regardless_of_batch_size() {
+        // The §4 latency guarantee: no force waits longer than max_wait,
+        // even when the batch never fills. Sparse arrivals, batch of 64:
+        // every release happens within max_wait of the batch opening.
+        let mut gc = GroupCommitter::new(cfg(64, 100));
+        let mut open_at: Option<SimTime> = None;
+        let mut released = 0usize;
+        for i in 0..20u64 {
+            let now = SimTime(i * 70); // slower than the batch can fill
+            if let Some(opened) = open_at {
+                let deadline = SimTime(opened.0 + 100);
+                if now >= deadline {
+                    let t = gc.expire(deadline).expect("deadline flush");
+                    released += t.len();
+                    open_at = None;
+                }
+            }
+            match gc.request(now, i) {
+                FlushDecision::WaitUntil(d) => {
+                    let opened = *open_at.get_or_insert(now);
+                    assert!(
+                        d.0 - opened.0 <= 100,
+                        "wait {} exceeds max_wait",
+                        d.0 - opened.0
+                    );
+                }
+                FlushDecision::FlushNow(_) => panic!("batch of 64 must never fill here"),
+            }
+        }
+        if let Some(t) = gc.drain() {
+            released += t.len();
+        }
+        assert_eq!(released, 20, "every force released");
+        assert_eq!(gc.stats().flushes_by_size, 0);
+        assert!(gc.stats().flushes_by_timer >= 9, "{:?}", gc.stats());
+    }
+
+    #[test]
     fn stale_timer_after_size_flush_is_ignored() {
         let mut gc = GroupCommitter::new(cfg(2, 100));
         gc.request(SimTime(0), 'a');

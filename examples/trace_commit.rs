@@ -1,0 +1,51 @@
+//! Observability demo: trace one distributed commit and export it.
+//!
+//! ```text
+//! cargo run --example trace_commit                 # print both exports
+//! cargo run --example trace_commit -- trace.json   # write chrome-trace
+//! ```
+//!
+//! Runs a three-node Presumed Abort commit with tracing enabled, then
+//! dumps (1) the cluster's Prometheus text exposition and (2) a
+//! chrome-trace JSON for the transaction — load the file in Perfetto /
+//! `chrome://tracing` to see the root's work → prepare → decision → ack
+//! phases with each subordinate's prepare window nested inside.
+
+use twopc::prelude::*;
+
+fn main() {
+    let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_tracing();
+    let cluster = LiveCluster::start(vec![cfg.clone(), cfg.clone(), cfg]);
+
+    let txn = cluster.begin(NodeId(0));
+    let id = txn.id();
+    txn.work(
+        NodeId(0),
+        vec![Op::put("audit/transfer-1", "alice->bob:10")],
+    );
+    txn.work(NodeId(1), vec![Op::put("accounts/alice", "90")]);
+    txn.work(NodeId(2), vec![Op::put("accounts/bob", "110")]);
+    let result = txn.commit().expect("root alive");
+    assert_eq!(result.outcome, Outcome::Commit);
+
+    // Let the subordinates' decision/ack spans close before snapshotting.
+    assert!(cluster.quiesce(std::time::Duration::from_secs(10)));
+
+    println!("=== Prometheus exposition ===");
+    println!("{}", cluster.prometheus_dump());
+
+    let trace = cluster.chrome_trace(id);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &trace).expect("write trace file");
+            // stderr, so stdout stays a parseable Prometheus exposition
+            // (plus its one `===` banner) for the CI smoke check.
+            eprintln!("wrote chrome-trace for {id} to {path}");
+        }
+        None => {
+            println!("=== chrome-trace ({id}) ===");
+            println!("{trace}");
+        }
+    }
+    cluster.shutdown();
+}

@@ -17,6 +17,7 @@
 //! | [`locks`] | `tpc-locks`  | strict-2PL lock manager, deadlock detection     |
 //! | [`rm`]    | `tpc-rm`     | transactional key-value resource manager        |
 //! | [`core`]  | `tpc-core`   | **the 2PC engine** (the paper's contribution)   |
+//! | [`obs`]   | `tpc-obs`    | phase histograms, spans, Prometheus/chrome-trace|
 //! | [`simnet`]| `tpc-simnet` | discrete-event scheduler, network model         |
 //! | [`sim`]   | `tpc-sim`    | scenario harness, paper scenarios, reports      |
 //! | [`runtime`]|`tpc-runtime`| live threaded cluster and TCP transport         |
@@ -60,6 +61,7 @@
 pub use tpc_common as common;
 pub use tpc_core as core;
 pub use tpc_locks as locks;
+pub use tpc_obs as obs;
 pub use tpc_rm as rm;
 pub use tpc_runtime as runtime;
 pub use tpc_sim as sim;
