@@ -20,6 +20,12 @@
 //! group commit (§4 *Group Commits*) amortizes those across concurrent
 //! transactions — `physical_flushes` drops well below `log_forces` and
 //! txn/s rises.
+//!
+//! A separate `failure_path` section measures what the throughput matrix
+//! cannot: for each protocol (tcp + file log), a subordinate is killed
+//! in its in-doubt window under load and restarted, and the run reports
+//! the in-doubt window distribution, the restart's recovery counters and
+//! the wall-clock restart-to-recovered time.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -54,6 +60,18 @@ struct Measurement {
     group_flushes: u64,
     /// Cluster-merged per-phase latency histograms.
     obs: ObsSnapshot,
+}
+
+/// One finished kill/restart measurement on the failure path.
+struct FailureMeasurement {
+    protocol: ProtocolKind,
+    outage: Duration,
+    /// Victim's closed in-doubt window distribution, µs.
+    in_doubt: tpc_obs::HistogramSnapshot,
+    /// Victim's restart-recovery counters.
+    recovery: tpc_core::RecoveryStats,
+    /// Wall-clock from calling restart to the blocked commit resolving.
+    restart_to_recovered: Duration,
 }
 
 const NODES: usize = 3; // two roots + one server
@@ -109,9 +127,77 @@ fn main() {
         }
     }
 
-    let json = render_json(quick, &spec, &measurements);
+    let mut failures = Vec::new();
+    for protocol in [
+        ProtocolKind::Basic,
+        ProtocolKind::PresumedAbort,
+        ProtocolKind::PresumedNothing,
+    ] {
+        eprintln!("running {protocol:?} failure path (kill/restart, tcp + file log) …");
+        failures.push(run_failure_case(protocol, quick));
+    }
+
+    let json = render_json(quick, &spec, &measurements, &failures);
     std::fs::write(&out, json).expect("write BENCH_throughput.json");
     eprintln!("wrote {}", out.display());
+}
+
+/// Kills a subordinate in its in-doubt window (right after its forced
+/// Prepared record, frame 2) under a real TCP + file-WAL configuration,
+/// holds the outage, restarts it, and reads the failure-path telemetry
+/// back from the victim's summary.
+fn run_failure_case(protocol: ProtocolKind, quick: bool) -> FailureMeasurement {
+    use tpc_common::{NodeId, Op};
+    let outage = Duration::from_millis(if quick { 30 } else { 100 });
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(
+        "../../target/bench-failure-{}-{protocol:?}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let timeouts = tpc_core::Timeouts {
+        vote_collection: SimDuration::from_millis(500),
+        ack_collection: SimDuration::from_millis(150),
+        in_doubt_query: SimDuration::from_millis(200),
+    };
+    let cfg = || {
+        LiveNodeConfig::new(protocol)
+            .with_observability()
+            .with_file_log(&dir)
+            .with_timeouts(timeouts)
+    };
+    let mut c = TcpCluster::start(vec![cfg(), cfg().kill_after_frames(2), cfg()])
+        .expect("bind loopback")
+        .with_reply_timeout(Duration::from_secs(30));
+    let root = NodeId(0);
+    let victim = NodeId(1);
+
+    let t = c.begin(root);
+    t.work(victim, vec![Op::put("fp/a", "1")]);
+    t.work(NodeId(2), vec![Op::put("fp/b", "2")]);
+    let wait = t.commit_async();
+
+    c.await_death(victim, Duration::from_secs(10))
+        .expect("victim dies after voting");
+    std::thread::sleep(outage);
+    let restarted = std::time::Instant::now();
+    c.restart(victim).expect("restart from WAL");
+    wait.wait_with(Duration::from_secs(30))
+        .expect("root answers");
+    assert!(c.quiesce(Duration::from_secs(30)), "must quiesce");
+    let restart_to_recovered = restarted.elapsed();
+
+    let s = c.summary(victim).expect("victim summary");
+    let obs = s.obs.expect("observability was on");
+    let recovery = s.recovery.expect("restart recorded recovery stats");
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    FailureMeasurement {
+        protocol,
+        outage,
+        in_doubt: obs.in_doubt,
+        recovery,
+        restart_to_recovered,
+    }
 }
 
 fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
@@ -177,7 +263,12 @@ fn phase_json(obs: &ObsSnapshot, phase: Phase) -> String {
     }
 }
 
-fn render_json(quick: bool, spec: &WorkloadSpec, measurements: &[Measurement]) -> String {
+fn render_json(
+    quick: bool,
+    spec: &WorkloadSpec,
+    measurements: &[Measurement],
+    failures: &[FailureMeasurement],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"throughput\",");
@@ -241,6 +332,44 @@ fn render_json(quick: bool, spec: &WorkloadSpec, measurements: &[Measurement]) -
         let _ = writeln!(s, "      \"group_requests\": {},", m.group_requests);
         let _ = writeln!(s, "      \"group_flushes\": {}", m.group_flushes);
         s.push_str(if i + 1 < measurements.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"failure_path\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        let r = &f.recovery;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"protocol\": \"{:?}\",", f.protocol);
+        let _ = writeln!(s, "      \"transport\": \"tcp\",");
+        let _ = writeln!(s, "      \"log\": \"file\",");
+        let _ = writeln!(s, "      \"outage_ms\": {},", f.outage.as_millis());
+        let _ = writeln!(
+            s,
+            "      \"in_doubt_us\": {{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }},",
+            f.in_doubt.count,
+            f.in_doubt.p50(),
+            f.in_doubt.p99(),
+            f.in_doubt.max
+        );
+        let _ = writeln!(
+            s,
+            "      \"recovery\": {{ \"wal_records\": {}, \"wal_scan_us\": {}, \"in_doubt\": {}, \"queries_sent\": {}, \"redrives\": {}, \"interrupted_vote_aborts\": {} }},",
+            r.wal_records_scanned,
+            r.wal_scan_us,
+            r.in_doubt_recovered,
+            r.queries_sent,
+            r.redrives,
+            r.interrupted_vote_aborts
+        );
+        let _ = writeln!(
+            s,
+            "      \"restart_to_recovered_ms\": {:.3}",
+            f.restart_to_recovered.as_secs_f64() * 1e3
+        );
+        s.push_str(if i + 1 < failures.len() {
             "    },\n"
         } else {
             "    }\n"

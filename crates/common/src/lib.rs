@@ -18,6 +18,7 @@ pub mod ids;
 pub mod ops;
 pub mod outcome;
 pub mod time;
+pub mod trace;
 pub mod vote;
 pub mod wire;
 
@@ -27,4 +28,5 @@ pub use ids::{Lsn, NodeId, RmId, TxnId};
 pub use ops::{decode_ops, encode_ops, Op};
 pub use outcome::{DamageReport, HeuristicOutcome, Outcome};
 pub use time::{SimDuration, SimTime};
+pub use trace::TraceCtx;
 pub use vote::{Vote, VoteFlags};

@@ -1,0 +1,64 @@
+//! Cross-node trace propagation context.
+//!
+//! A [`TraceCtx`] rides in the optional header of a network frame so the
+//! observability layer can stitch per-node span fragments into one causal
+//! tree: the sender stamps its own span-tree seat id and send time, and the
+//! receiver attributes every span it later emits for that transaction to
+//! that parent. The engine never sees this — it is attached and consumed
+//! entirely by the driver/host layer, and frames without it (tracing off)
+//! cost one flag byte.
+
+use crate::ids::TxnId;
+use crate::time::SimTime;
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::Result;
+
+/// Trace context carried on the wire alongside a message bundle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Transaction the context belongs to (the first message's txn when a
+    /// frame bundles several transactions' messages).
+    pub txn: TxnId,
+    /// The sender's span-tree seat id for this transaction; the receiver's
+    /// spans become children of it.
+    pub parent_seat: u64,
+    /// Sender's clock when the frame went out (µs on the harness clock —
+    /// virtual in the sim, µs since cluster epoch live). Lets the trace
+    /// renderer anchor the causal arrow at the send instant.
+    pub sent_at: SimTime,
+}
+
+impl Encode for TraceCtx {
+    fn encode(&self, e: &mut Encoder) {
+        self.txn.encode(e);
+        e.put_u64(self.parent_seat);
+        e.put_u64(self.sent_at.0);
+    }
+}
+
+impl Decode for TraceCtx {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TraceCtx {
+            txn: TxnId::decode(d)?,
+            parent_seat: d.get_u64()?,
+            sent_at: SimTime(d.get_u64()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn trace_ctx_roundtrips() {
+        let ctx = TraceCtx {
+            txn: TxnId::new(NodeId(2), 9),
+            parent_seat: (3u64 << 40) | 17,
+            sent_at: SimTime(123_456),
+        };
+        let b = ctx.encode_to_bytes();
+        assert_eq!(TraceCtx::decode_all(&b).unwrap(), ctx);
+    }
+}

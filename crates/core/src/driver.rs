@@ -31,7 +31,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use tpc_common::{DamageReport, NodeId, Outcome, Result, SimDuration, SimTime, TxnId};
+use tpc_common::{DamageReport, NodeId, Outcome, Result, SimDuration, SimTime, TraceCtx, TxnId};
 use tpc_obs::{Obs, Phase, Span};
 use tpc_wal::{Durability, LogManager, LogRecord};
 
@@ -94,7 +94,10 @@ pub enum PrepareControl {
 /// Frame egress.
 pub trait Wire {
     /// Sends one frame (one *flow* in the paper's counting) to `to`.
-    fn send(&mut self, now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>);
+    /// `ctx` is the trace context to propagate (present only when the
+    /// sending driver has tracing enabled); hosts put it on the wire so
+    /// the receiving driver can stitch cross-node span trees.
+    fn send(&mut self, now: SimTime, to: NodeId, ctx: Option<TraceCtx>, msgs: Vec<ProtocolMsg>);
 }
 
 /// TM log appends (the forced/non-forced distinction the paper counts).
@@ -221,6 +224,15 @@ struct TxnMarks {
     decided: Option<SimTime>,
     /// Outcome delivered to the application.
     outcome_at: Option<SimTime>,
+    /// Globally-unique id for this node's participation in the
+    /// transaction (node id in the high bits); stamped on every span the
+    /// seat emits and propagated on the wire as the parent of downstream
+    /// seats.
+    seat: u64,
+    /// Seat id of the upstream sender that enrolled this node, from the
+    /// first wire [`TraceCtx`] seen for the transaction. `None` at the
+    /// transaction's root.
+    parent: Option<u64>,
 }
 
 /// Driver-side phase observation: milestone capture feeding an [`Obs`]
@@ -228,7 +240,13 @@ struct TxnMarks {
 /// driver pays a single `Option` check per event.
 struct ObsState {
     obs: Arc<Obs>,
+    node: NodeId,
     marks: HashMap<TxnId, TxnMarks>,
+    /// Monotonic per-driver seat counter (low bits of the seat id).
+    next_seat: u64,
+    /// Wire trace contexts received before the seat's first event
+    /// created its marks entry: txn → parent seat id.
+    remote: HashMap<TxnId, u64>,
 }
 
 impl ObsState {
@@ -245,12 +263,18 @@ impl ObsState {
             Event::MsgReceived { msg, .. } => msg.txn(),
             Event::PartnerFailed { .. } => return,
         };
-        let marks = self.marks.entry(txn).or_insert(TxnMarks {
-            begin: now,
-            commit_start: None,
-            decided: None,
-            outcome_at: None,
-        });
+        if let std::collections::hash_map::Entry::Vacant(v) = self.marks.entry(txn) {
+            self.next_seat += 1;
+            v.insert(TxnMarks {
+                begin: now,
+                commit_start: None,
+                decided: None,
+                outcome_at: None,
+                seat: ((u64::from(self.node.0) + 1) << 40) | self.next_seat,
+                parent: self.remote.get(&txn).copied(),
+            });
+        }
+        let marks = self.marks.get_mut(&txn).expect("just inserted");
         let voting_starts = matches!(
             event,
             Event::CommitRequested { .. }
@@ -266,15 +290,37 @@ impl ObsState {
         }
     }
 
+    /// A wire frame carried a trace context. The *first* context seen for
+    /// a transaction this node has no seat for yet names the enrolling
+    /// sender: it becomes the seat's parent. Later contexts (votes and
+    /// acks flowing back up, decision re-drives) are ignored so the tree
+    /// stays acyclic with the edge pointing at the true enroller.
+    fn note_remote(&mut self, ctx: &TraceCtx) {
+        if self.marks.contains_key(&ctx.txn) {
+            return;
+        }
+        self.remote.entry(ctx.txn).or_insert(ctx.parent_seat);
+    }
+
+    /// The trace context to stamp on an outgoing frame: this node's seat
+    /// for the first message's transaction.
+    fn send_ctx(&self, now: SimTime, msgs: &[ProtocolMsg]) -> Option<TraceCtx> {
+        if !self.obs.tracing() {
+            return None;
+        }
+        let txn = msgs.first()?.txn();
+        let marks = self.marks.get(&txn)?;
+        Some(TraceCtx {
+            txn,
+            parent_seat: marks.seat,
+            sent_at: now,
+        })
+    }
+
     /// A decision record hit the TM stream.
-    fn observe_decision(&mut self, now: SimTime, record: &LogRecord) {
-        if matches!(
-            record,
-            LogRecord::Committed { .. } | LogRecord::Aborted { .. }
-        ) {
-            if let Some(marks) = self.marks.get_mut(&record.txn()) {
-                marks.decided.get_or_insert(now);
-            }
+    fn observe_decided(&mut self, now: SimTime, txn: TxnId) {
+        if let Some(marks) = self.marks.get_mut(&txn) {
+            marks.decided.get_or_insert(now);
         }
     }
 
@@ -290,6 +336,7 @@ impl ObsState {
     /// participants never log a decision; PC subordinates send no ack)
     /// simply contribute fewer phases.
     fn observe_end(&mut self, node: NodeId, end: SimTime, txn: TxnId) {
+        self.remote.remove(&txn);
         let Some(marks) = self.marks.remove(&txn) else {
             return;
         };
@@ -300,6 +347,8 @@ impl ObsState {
                 phase,
                 start,
                 end: stop,
+                seat: marks.seat,
+                parent: marks.parent,
             });
         };
         let work_end = marks.commit_start.unwrap_or(end);
@@ -319,6 +368,42 @@ impl ObsState {
     }
 }
 
+/// Observability consequence of a TM log record, classified before the
+/// append (which consumes the record) and applied after it.
+#[derive(Clone, Copy)]
+enum LogNote {
+    /// `Prepared`: the in-doubt window opens.
+    InDoubt,
+    /// `Committed`/`Aborted`: decision milestone; window closes.
+    Decision,
+    /// `Heuristic`: the blocked seat decided unilaterally; the window
+    /// closes (damage accounting is the engine's job).
+    Heuristic,
+}
+
+/// What restart recovery found and did, for telemetry. Computed by
+/// [`Driver::recover`] from the log summaries and the re-driven action
+/// stream; hosts add the wall-clock WAL scan time via
+/// [`Driver::note_wal_scan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Durable records replayed from the WAL (all streams).
+    pub wal_records_scanned: u64,
+    /// Time the host spent reading the durable log back, in microseconds
+    /// (wall clock live, 0 in the simulator unless modelled).
+    pub wal_scan_us: u64,
+    /// In-doubt transactions found (prepared, no durable outcome).
+    pub in_doubt_recovered: u64,
+    /// Status `Query` frames sent to coordinators for in-doubt seats.
+    pub queries_sent: u64,
+    /// Decided-but-unacknowledged transactions whose outcome was
+    /// re-driven to subordinates.
+    pub redrives: u64,
+    /// Transactions aborted because the crash interrupted voting
+    /// (a pre-Phase-1 record with no outcome).
+    pub interrupted_vote_aborts: u64,
+}
+
 /// One node's engine plus the shared action interpreter.
 pub struct Driver {
     engine: TmEngine,
@@ -326,6 +411,7 @@ pub struct Driver {
     next_gen: u64,
     stats: DriverStats,
     obs: Option<ObsState>,
+    recovery: Option<RecoveryStats>,
 }
 
 impl Driver {
@@ -337,18 +423,48 @@ impl Driver {
             next_gen: 0,
             stats: DriverStats::default(),
             obs: None,
+            recovery: None,
         })
     }
 
     /// Attaches an observability recorder: from now on the driver stamps
-    /// phase milestones (work → prepare → decision → ack) per seat and
-    /// feeds the recorder's histograms/spans. Without one (the default)
-    /// the only cost is a `None` check per event.
+    /// phase milestones (work → prepare → decision → ack) per seat,
+    /// tracks in-doubt windows, and feeds the recorder's
+    /// histograms/spans. Without one (the default) the only cost is a
+    /// `None` check per event.
     pub fn set_obs(&mut self, obs: Arc<Obs>) {
         self.obs = Some(ObsState {
             obs,
+            node: self.engine.node(),
             marks: HashMap::new(),
+            next_seat: 0,
+            remote: HashMap::new(),
         });
+    }
+
+    /// Feeds a trace context received on the wire to the observer.
+    /// Hosts call this when a frame carries one, *before* handling the
+    /// frame's messages, so the seat the messages create links to its
+    /// enrolling sender.
+    pub fn note_remote_ctx(&mut self, ctx: &TraceCtx) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.note_remote(ctx);
+        }
+    }
+
+    /// Telemetry from the last [`Driver::recover`] call, if any.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// Records how long the host's durable-log read took (wall-clock
+    /// microseconds), attributing it to the last recovery — or to a
+    /// fresh [`RecoveryStats`] if the host timed the scan before calling
+    /// [`Driver::recover`].
+    pub fn note_wal_scan(&mut self, micros: u64) {
+        self.recovery
+            .get_or_insert_with(RecoveryStats::default)
+            .wal_scan_us += micros;
     }
 
     /// The attached recorder, if any.
@@ -408,21 +524,41 @@ impl Driver {
             match action {
                 Action::Send { to, msgs } => {
                     self.stats.flows_sent += 1;
-                    host.send(cursor, to, msgs);
+                    let ctx = self.obs.as_ref().and_then(|o| o.send_ctx(cursor, &msgs));
+                    host.send(cursor, to, ctx, msgs);
                 }
                 Action::Log { record, durability } => {
                     self.stats.log_writes += 1;
                     if durability.is_forced() {
                         self.stats.forced_writes += 1;
                     }
-                    let decision = self.obs.is_some().then(|| record.clone()).filter(|r| {
-                        matches!(r, LogRecord::Committed { .. } | LogRecord::Aborted { .. })
-                    });
+                    let note = if self.obs.is_some() {
+                        match &record {
+                            LogRecord::Prepared { txn, .. } => Some((*txn, LogNote::InDoubt)),
+                            LogRecord::Committed { txn, .. } | LogRecord::Aborted { txn, .. } => {
+                                Some((*txn, LogNote::Decision))
+                            }
+                            LogRecord::Heuristic { txn, .. } => Some((*txn, LogNote::Heuristic)),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
                     let control = host.append_tm(&mut cursor, record, durability);
-                    if let (Some(obs), Some(record)) = (self.obs.as_mut(), decision) {
+                    if let (Some(obs), Some((txn, note))) = (self.obs.as_mut(), note) {
                         // Stamped after the append so a host that models
-                        // flush latency has advanced the cursor.
-                        obs.observe_decision(cursor, &record);
+                        // flush latency has advanced the cursor: the
+                        // in-doubt window opens once the Prepared record
+                        // is durable and closes when the outcome (or a
+                        // heuristic decision) is.
+                        match note {
+                            LogNote::InDoubt => obs.obs.in_doubt_enter(txn, cursor),
+                            LogNote::Decision => {
+                                obs.observe_decided(cursor, txn);
+                                obs.obs.in_doubt_resolve(txn, cursor);
+                            }
+                            LogNote::Heuristic => obs.obs.in_doubt_resolve(txn, cursor),
+                        }
                     }
                     match control {
                         LogControl::Done => {}
@@ -484,6 +620,11 @@ impl Driver {
                 }
                 Action::TxnEnded { txn } => {
                     if let Some(obs) = self.obs.as_mut() {
+                        // Safety net: a seat that ends while its window
+                        // is still open (outcome learned without a local
+                        // outcome record) closes it here. No-op when the
+                        // window already closed at the decision append.
+                        obs.obs.in_doubt_resolve(txn, cursor);
                         obs.observe_end(self.engine.node(), cursor, txn);
                     }
                     host.txn_ended(txn);
@@ -507,6 +648,7 @@ impl Driver {
         self.timer_gen.clear();
         if let Some(obs) = self.obs.as_mut() {
             obs.marks.clear();
+            obs.remote.clear();
         }
     }
 
@@ -515,12 +657,46 @@ impl Driver {
     /// harness must recover its resource managers first (so the re-driven
     /// `CommitLocal`/`AbortLocal` find consistent RM state), then call
     /// [`Driver::apply`].
+    ///
+    /// Also computes [`RecoveryStats`] from the log summaries and the
+    /// re-driven stream, and — when an observer is attached — re-opens
+    /// the in-doubt window of every prepared-undecided transaction *at
+    /// the instant its `Prepared` record was stamped*, so the window
+    /// eventually reported covers the whole outage, not just the
+    /// post-restart tail.
     pub fn recover(
         &mut self,
         durable: &[(tpc_common::Lsn, tpc_wal::StreamId, LogRecord)],
         now: SimTime,
     ) -> Result<Vec<Action>> {
-        self.engine.recover(durable, now)
+        let mut stats = self.recovery.take().unwrap_or_default();
+        stats.wal_records_scanned += durable.len() as u64;
+        for (txn, summary) in crate::recovery::summarize(durable) {
+            if summary.end {
+                continue;
+            }
+            if summary.in_doubt() {
+                stats.in_doubt_recovered += 1;
+                if let Some(obs) = self.obs.as_ref() {
+                    obs.obs
+                        .in_doubt_enter(txn, summary.prepared_at.unwrap_or(now));
+                }
+            } else if summary.outcome().is_some() {
+                stats.redrives += 1;
+            } else if summary.interrupted_voting() {
+                stats.interrupted_vote_aborts += 1;
+            }
+        }
+        let actions = self.engine.recover(durable, now)?;
+        stats.queries_sent += actions
+            .iter()
+            .filter(|a| {
+                matches!(a, Action::Send { msgs, .. }
+                    if msgs.iter().any(|m| matches!(m, ProtocolMsg::Query { .. })))
+            })
+            .count() as u64;
+        self.recovery = Some(stats);
+        Ok(actions)
     }
 
     /// Flushes deferred (long-locks / implied) acknowledgments through
@@ -578,6 +754,7 @@ mod tests {
     #[derive(Default)]
     struct RecordingHost {
         frames: Vec<(NodeId, usize)>,
+        ctxs: Vec<Option<TraceCtx>>,
         logs: Vec<(String, bool)>,
         votes: Vec<TxnId>,
         outcomes: Vec<(TxnId, Outcome)>,
@@ -585,8 +762,15 @@ mod tests {
     }
 
     impl Wire for RecordingHost {
-        fn send(&mut self, _now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
+        fn send(
+            &mut self,
+            _now: SimTime,
+            to: NodeId,
+            ctx: Option<TraceCtx>,
+            msgs: Vec<ProtocolMsg>,
+        ) {
             self.frames.push((to, msgs.len()));
+            self.ctxs.push(ctx);
         }
     }
     impl LogHost for RecordingHost {
@@ -749,6 +933,185 @@ mod tests {
         assert!(spans.iter().all(|s| s.node == NodeId(0)));
         assert_eq!(spans[0].phase, Phase::Work);
         assert_eq!(spans[0].start, SimTime(10));
+    }
+
+    #[test]
+    fn outgoing_frames_carry_trace_ctx_when_tracing() {
+        let mut host = RecordingHost::default();
+        let mut driver =
+            Driver::new(EngineConfig::new(NodeId(0), ProtocolKind::PresumedAbort)).unwrap();
+        let obs = Arc::new(Obs::new());
+        obs.set_tracing(true);
+        driver.set_obs(Arc::clone(&obs));
+
+        let txn = TxnId::new(NodeId(0), 1);
+        driver
+            .handle(
+                &mut host,
+                SimTime(5),
+                Event::SendWork {
+                    txn,
+                    to: NodeId(1),
+                    payload: vec![],
+                },
+            )
+            .unwrap();
+        let ctx = host.ctxs[0].expect("work frame stamped with trace ctx");
+        assert_eq!(ctx.txn, txn);
+        assert_eq!(ctx.sent_at, SimTime(5));
+        // Seat ids embed the node in the high bits, so they are globally
+        // unique without coordination.
+        assert_eq!(ctx.parent_seat >> 40, u64::from(NodeId(0).0) + 1);
+    }
+
+    #[test]
+    fn remote_ctx_becomes_span_parent_on_first_contact_only() {
+        let mut host = RecordingHost::default();
+        let mut driver =
+            Driver::new(EngineConfig::new(NodeId(2), ProtocolKind::PresumedAbort)).unwrap();
+        let obs = Arc::new(Obs::new());
+        obs.set_tracing(true);
+        driver.set_obs(Arc::clone(&obs));
+
+        // Root node 0 enrolls this node: its Work frame carries its seat.
+        let txn = TxnId::new(NodeId(0), 9);
+        let root_seat = (1u64 << 40) | 7;
+        driver.note_remote_ctx(&TraceCtx {
+            txn,
+            parent_seat: root_seat,
+            sent_at: SimTime(1),
+        });
+        // A later frame (e.g. the decision) must not replace the parent.
+        driver.note_remote_ctx(&TraceCtx {
+            txn,
+            parent_seat: (5u64 << 40) | 99,
+            sent_at: SimTime(2),
+        });
+        driver
+            .handle(
+                &mut host,
+                SimTime(3),
+                Event::MsgReceived {
+                    from: NodeId(0),
+                    msg: ProtocolMsg::Work {
+                        txn,
+                        payload: vec![],
+                    },
+                },
+            )
+            .unwrap();
+        // An abort decision ends the seat and flushes its spans.
+        driver
+            .handle(
+                &mut host,
+                SimTime(4),
+                Event::MsgReceived {
+                    from: NodeId(0),
+                    msg: ProtocolMsg::Decision {
+                        txn,
+                        outcome: Outcome::Abort,
+                    },
+                },
+            )
+            .unwrap();
+        let spans = obs.snapshot().txn_spans(txn);
+        assert!(!spans.is_empty(), "seat emitted spans");
+        assert!(spans.iter().all(|s| s.parent == Some(root_seat)));
+        assert!(spans.iter().all(|s| s.seat >> 40 == 3));
+    }
+
+    #[test]
+    fn prepared_log_opens_in_doubt_window_and_recover_reopens_it() {
+        // A subordinate that logs Prepared enters the in-doubt window;
+        // recovery from the same log re-opens it at the stamped instant.
+        let mut host = RecordingHost::default();
+        let mut driver =
+            Driver::new(EngineConfig::new(NodeId(1), ProtocolKind::PresumedAbort)).unwrap();
+        let obs = Arc::new(Obs::new());
+        driver.set_obs(Arc::clone(&obs));
+
+        let txn = TxnId::new(NodeId(0), 4);
+        driver
+            .handle(
+                &mut host,
+                SimTime(10),
+                Event::MsgReceived {
+                    from: NodeId(0),
+                    msg: ProtocolMsg::Work {
+                        txn,
+                        payload: vec![],
+                    },
+                },
+            )
+            .unwrap();
+        driver
+            .handle(
+                &mut host,
+                SimTime(100),
+                Event::MsgReceived {
+                    from: NodeId(0),
+                    msg: ProtocolMsg::Prepare {
+                        txn,
+                        long_locks: false,
+                        expect_work: true,
+                    },
+                },
+            )
+            .unwrap();
+        let snap = obs.snapshot_at(SimTime(250));
+        assert_eq!(snap.in_doubt_current, 1);
+        assert_eq!(snap.in_doubt_oldest_age_us, 150);
+
+        // The commit decision arrives: the window closes at its true width.
+        driver
+            .handle(
+                &mut host,
+                SimTime(300),
+                Event::MsgReceived {
+                    from: NodeId(0),
+                    msg: ProtocolMsg::Decision {
+                        txn,
+                        outcome: Outcome::Commit,
+                    },
+                },
+            )
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.in_doubt_current, 0);
+        assert_eq!((snap.in_doubt.count, snap.in_doubt.sum), (1, 200));
+
+        // Crash/recover from a log holding just the Prepared record: the
+        // window re-opens at prepared_at, and the stats say why.
+        let mut driver2 =
+            Driver::new(EngineConfig::new(NodeId(1), ProtocolKind::PresumedAbort)).unwrap();
+        let obs2 = Arc::new(Obs::new());
+        driver2.set_obs(Arc::clone(&obs2));
+        let mut log = MemLog::new();
+        log.append(
+            StreamId::Tm,
+            LogRecord::Prepared {
+                txn,
+                coordinator: NodeId(0),
+                subordinates: vec![],
+                prepared_at: SimTime(100),
+            },
+            Durability::Forced,
+        )
+        .unwrap();
+        let actions = driver2
+            .recover(&log.durable_records(), SimTime(5_000))
+            .unwrap();
+        driver2.apply(&mut host, SimTime(5_000), actions).unwrap();
+        let stats = driver2.recovery_stats().expect("recovery ran");
+        assert_eq!(stats.in_doubt_recovered, 1);
+        assert_eq!(stats.queries_sent, 1, "PA queries the coordinator");
+        assert_eq!(stats.wal_records_scanned, 1);
+        let snap = obs2.snapshot_at(SimTime(5_100));
+        assert_eq!(snap.in_doubt_current, 1);
+        assert_eq!(
+            snap.in_doubt_oldest_age_us, 5_000,
+            "window re-opened at prepared_at, covering the outage"
+        );
     }
 
     #[test]

@@ -977,6 +977,7 @@ impl TmEngine {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> Result<()> {
+        self.metrics.damage_reports_received += report.damaged.len() as u64;
         if let Some(seat) = self.seats.get_mut(&txn) {
             if seat.is_delegate && seat.upstream == Some(from) {
                 seat.awaiting_initiator_ack = false;
@@ -1005,6 +1006,7 @@ impl TmEngine {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> Result<()> {
+        self.metrics.recovery_queries_answered += 1;
         // Active seat?
         if let Some(seat) = self.seats.get(&txn) {
             match seat.outcome {
@@ -1163,6 +1165,7 @@ impl TmEngine {
                 txn,
                 coordinator: upstream,
                 subordinates: subs,
+                prepared_at: now,
             },
             durability: Durability::Forced,
         });
@@ -1254,6 +1257,7 @@ impl TmEngine {
                     txn,
                     coordinator: delegate,
                     subordinates: subs,
+                    prepared_at: now,
                 },
                 durability,
             });
@@ -1266,7 +1270,6 @@ impl TmEngine {
         };
         let seat = self.seats.get_mut(&txn).expect("present");
         seat.sent_vote = Some(vote);
-        let _ = now;
         self.push_send(out, delegate, ProtocolMsg::VoteMsg { txn, vote });
         if let Some(deadline) = self.cfg.heuristic.timeout() {
             out.push(Action::SetTimer {
@@ -2079,6 +2082,10 @@ impl TmEngine {
             HeuristicPolicy::AbortAfter(_) => HeuristicOutcome::Abort,
         };
         self.metrics.heuristic_decisions += 1;
+        match decision {
+            HeuristicOutcome::Commit => self.metrics.heuristic_commits += 1,
+            HeuristicOutcome::Abort | HeuristicOutcome::Mixed => self.metrics.heuristic_aborts += 1,
+        }
         let seat = self.seats.get_mut(&txn).expect("present");
         seat.heuristic = Some(decision);
         out.push(Action::Log {

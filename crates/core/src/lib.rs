@@ -55,10 +55,10 @@ pub mod testkit;
 pub use check::{NodeProtocolState, OutcomeRecord};
 pub use driver::{
     rm_log_of, rm_log_slot, AppSink, Driver, DriverStats, LogControl, LogHost, NodeHost,
-    PrepareControl, RmHost, TimerHost, Wire,
+    PrepareControl, RecoveryStats, RmHost, TimerHost, Wire,
 };
 pub use engine::{EngineConfig, InDoubtDisposition, Timeouts, TmEngine};
 pub use event::{Action, Event, LocalDisposition, LocalVote, TimerKind};
-pub use messages::ProtocolMsg;
+pub use messages::{Frame, ProtocolMsg};
 pub use metrics::EngineMetrics;
 pub use seat::{ChildState, LocalState, Seat, Stage};

@@ -9,7 +9,7 @@
 //! *flow* per frame, which is exactly the paper's message-count metric.
 
 use tpc_common::wire::{Decode, Decoder, Encode, Encoder};
-use tpc_common::{DamageReport, Error, Outcome, Result, TxnId, Vote};
+use tpc_common::{DamageReport, Error, Outcome, Result, TraceCtx, TxnId, Vote};
 
 /// One protocol message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -255,6 +255,35 @@ impl Decode for Bundle {
     }
 }
 
+/// What actually travels in one transport frame: an optional trace
+/// context (one flag byte when absent — tracing off costs almost
+/// nothing on the wire) followed by the message bundle. The context is
+/// consumed by the receiving *driver*, never the engine, so protocol
+/// behaviour is identical with and without it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Trace context stamped by the sending driver when tracing is on.
+    pub ctx: Option<TraceCtx>,
+    /// The protocol messages (one flow in the paper's metric).
+    pub bundle: Bundle,
+}
+
+impl Encode for Frame {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_option(&self.ctx);
+        self.bundle.encode(e);
+    }
+}
+
+impl Decode for Frame {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Frame {
+            ctx: d.get_option()?,
+            bundle: Bundle::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +380,30 @@ mod tests {
             vote: Vote::ReadOnly,
         };
         assert_eq!(ro.kind_name(), "VoteReadOnly");
+    }
+
+    #[test]
+    fn frame_roundtrips_with_and_without_ctx() {
+        use tpc_common::SimTime;
+        let plain = Frame {
+            ctx: None,
+            bundle: Bundle(samples()),
+        };
+        let b = plain.encode_to_bytes();
+        assert_eq!(Frame::decode_all(&b).unwrap(), plain);
+        // Exactly one flag byte of overhead versus the bare bundle.
+        assert_eq!(b.len(), plain.bundle.encode_to_bytes().len() + 1);
+
+        let traced = Frame {
+            ctx: Some(TraceCtx {
+                txn: t(),
+                parent_seat: 77,
+                sent_at: SimTime(1234),
+            }),
+            bundle: Bundle(samples()),
+        };
+        let b = traced.encode_to_bytes();
+        assert_eq!(Frame::decode_all(&b).unwrap(), traced);
     }
 
     #[test]

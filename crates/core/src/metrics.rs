@@ -27,8 +27,16 @@ pub struct EngineMetrics {
     pub aborted: u64,
     /// Heuristic decisions taken here.
     pub heuristic_decisions: u64,
+    /// ... of which jumped to commit.
+    pub heuristic_commits: u64,
+    /// ... of which jumped to abort.
+    pub heuristic_aborts: u64,
     /// Heuristic damage observed here (decision conflicted with outcome).
     pub heuristic_damage: u64,
+    /// Damage reported by the subtree in acknowledgments received here.
+    /// At the root under PN this counts every damaged node in the tree —
+    /// the reliable reporting Figure 3 buys; under PA/PC one hop only.
+    pub damage_reports_received: u64,
     /// Damage reports received from children that were *not* forwarded
     /// upstream (PA's one-hop reporting) — the reliability loss the paper
     /// contrasts PN against.
@@ -38,6 +46,8 @@ pub struct EngineMetrics {
     pub outcome_pending_completions: u64,
     /// Transactions in which this node was skipped entirely by leave-out.
     pub left_out_of: u64,
+    /// Recovery `Query` messages this node answered for in-doubt peers.
+    pub recovery_queries_answered: u64,
 }
 
 impl EngineMetrics {
@@ -52,11 +62,16 @@ impl EngineMetrics {
             committed: later.committed - self.committed,
             aborted: later.aborted - self.aborted,
             heuristic_decisions: later.heuristic_decisions - self.heuristic_decisions,
+            heuristic_commits: later.heuristic_commits - self.heuristic_commits,
+            heuristic_aborts: later.heuristic_aborts - self.heuristic_aborts,
             heuristic_damage: later.heuristic_damage - self.heuristic_damage,
+            damage_reports_received: later.damage_reports_received - self.damage_reports_received,
             damage_reports_absorbed: later.damage_reports_absorbed - self.damage_reports_absorbed,
             outcome_pending_completions: later.outcome_pending_completions
                 - self.outcome_pending_completions,
             left_out_of: later.left_out_of - self.left_out_of,
+            recovery_queries_answered: later.recovery_queries_answered
+                - self.recovery_queries_answered,
         }
     }
 
@@ -70,10 +85,14 @@ impl EngineMetrics {
         self.committed += other.committed;
         self.aborted += other.aborted;
         self.heuristic_decisions += other.heuristic_decisions;
+        self.heuristic_commits += other.heuristic_commits;
+        self.heuristic_aborts += other.heuristic_aborts;
         self.heuristic_damage += other.heuristic_damage;
+        self.damage_reports_received += other.damage_reports_received;
         self.damage_reports_absorbed += other.damage_reports_absorbed;
         self.outcome_pending_completions += other.outcome_pending_completions;
         self.left_out_of += other.left_out_of;
+        self.recovery_queries_answered += other.recovery_queries_answered;
     }
 }
 

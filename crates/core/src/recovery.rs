@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use tpc_common::{HeuristicOutcome, Lsn, NodeId, Outcome, TxnId};
+use tpc_common::{HeuristicOutcome, Lsn, NodeId, Outcome, SimTime, TxnId};
 use tpc_wal::{LogRecord, StreamId};
 
 /// Everything the durable TM stream says about one transaction.
@@ -27,6 +27,9 @@ pub struct TxnLogSummary {
     pub collecting: Option<Vec<NodeId>>,
     /// Prepared record: (coordinator to ask, own subordinates).
     pub prepared: Option<(NodeId, Vec<NodeId>)>,
+    /// Harness clock stamped into the Prepared record — when the in-doubt
+    /// window opened (observability: recovery re-opens it here).
+    pub prepared_at: Option<SimTime>,
     /// Commit decision/outcome with the subordinates owed it.
     pub committed: Option<Vec<NodeId>>,
     /// Abort decision/outcome with the subordinates owed it.
@@ -82,9 +85,11 @@ pub fn summarize(records: &[(Lsn, StreamId, LogRecord)]) -> BTreeMap<TxnId, TxnL
             LogRecord::Prepared {
                 coordinator,
                 subordinates,
+                prepared_at,
                 ..
             } => {
                 entry.prepared = Some((*coordinator, subordinates.clone()));
+                entry.prepared_at = Some(*prepared_at);
             }
             LogRecord::Committed { subordinates, .. } => {
                 entry.committed = Some(subordinates.clone());
@@ -161,6 +166,7 @@ mod tests {
                 txn: t(2),
                 coordinator: NodeId(1),
                 subordinates: vec![],
+                prepared_at: SimTime(750),
             },
             Durability::Forced,
         )
@@ -168,6 +174,7 @@ mod tests {
         let s = summarize(&log.durable_records());
         assert!(s[&t(2)].in_doubt());
         assert_eq!(s[&t(2)].prepared, Some((NodeId(1), vec![])));
+        assert_eq!(s[&t(2)].prepared_at, Some(SimTime(750)));
     }
 
     #[test]
@@ -218,6 +225,7 @@ mod tests {
                 txn: t(5),
                 coordinator: NodeId(9),
                 subordinates: vec![],
+                prepared_at: SimTime::ZERO,
             },
             Durability::Forced,
         )

@@ -30,10 +30,11 @@ pub use prometheus::{render_prometheus, NodeExport};
 pub use span::{Phase, Span};
 pub use trace_json::render_chrome_trace;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use tpc_common::SimTime;
+use tpc_common::{SimTime, TxnId};
 
 /// Upper bound on buffered spans per node; beyond it new spans are counted
 /// but dropped so long benches cannot grow memory without bound.
@@ -49,6 +50,14 @@ pub struct Obs {
     tracing: AtomicBool,
     spans: Mutex<Vec<Span>>,
     dropped_spans: Histogram,
+    /// Transactions currently prepared-but-undecided at this node, with
+    /// the time each entered the window (paper §1: the blocking exposure
+    /// 2PC is judged by).
+    in_doubt_open: Mutex<HashMap<TxnId, SimTime>>,
+    /// Closed in-doubt window durations, microseconds.
+    in_doubt: Histogram,
+    in_doubt_entered: AtomicU64,
+    in_doubt_resolved: AtomicU64,
 }
 
 impl Default for Obs {
@@ -65,6 +74,10 @@ impl Obs {
             tracing: AtomicBool::new(false),
             spans: Mutex::new(Vec::new()),
             dropped_spans: Histogram::new(),
+            in_doubt_open: Mutex::new(HashMap::new()),
+            in_doubt: Histogram::new(),
+            in_doubt_entered: AtomicU64::new(0),
+            in_doubt_resolved: AtomicU64::new(0),
         }
     }
 
@@ -102,8 +115,60 @@ impl Obs {
         &self.phases[phase as usize]
     }
 
-    /// Copy-out of every histogram and buffered span.
+    /// The transaction entered the in-doubt window (its Prepared record is
+    /// durable, no outcome yet). Idempotent: re-entering an already-open
+    /// window keeps the original entry time, so recovery replaying a
+    /// Prepared record cannot shrink a window that survived a crash.
+    pub fn in_doubt_enter(&self, txn: TxnId, at: SimTime) {
+        let mut open = self.in_doubt_open.lock().expect("in-doubt map poisoned");
+        if let std::collections::hash_map::Entry::Vacant(v) = open.entry(txn) {
+            v.insert(at);
+            self.in_doubt_entered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The transaction's outcome became known locally: close the window
+    /// and record its duration. A no-op if the window was never opened
+    /// (coordinators decide without ever being in doubt).
+    pub fn in_doubt_resolve(&self, txn: TxnId, at: SimTime) {
+        let entered = {
+            let mut open = self.in_doubt_open.lock().expect("in-doubt map poisoned");
+            open.remove(&txn)
+        };
+        if let Some(start) = entered {
+            self.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
+            self.in_doubt.record(micros_between(start, at));
+        }
+    }
+
+    /// Number of transactions currently sitting in doubt.
+    pub fn in_doubt_current(&self) -> u64 {
+        self.in_doubt_open
+            .lock()
+            .expect("in-doubt map poisoned")
+            .len() as u64
+    }
+
+    /// Copy-out of every histogram and buffered span. Open in-doubt ages
+    /// are reported as zero; use [`Obs::snapshot_at`] when a current clock
+    /// reading is available.
     pub fn snapshot(&self) -> ObsSnapshot {
+        self.snapshot_at(SimTime::ZERO)
+    }
+
+    /// Copy-out including in-doubt gauges evaluated at `now` (the harness
+    /// clock: virtual in the sim, µs since epoch live). The oldest-age
+    /// gauge saturates to zero if `now` precedes an entry time.
+    pub fn snapshot_at(&self, now: SimTime) -> ObsSnapshot {
+        let (current, oldest_age) = {
+            let open = self.in_doubt_open.lock().expect("in-doubt map poisoned");
+            let oldest = open
+                .values()
+                .min()
+                .map(|entered| micros_between(*entered, now))
+                .unwrap_or(0);
+            (open.len() as u64, oldest)
+        };
         ObsSnapshot {
             phases: Phase::ALL
                 .iter()
@@ -111,6 +176,11 @@ impl Obs {
                 .collect(),
             spans: self.spans.lock().expect("span buffer poisoned").clone(),
             dropped_spans: self.dropped_spans.snapshot().count,
+            in_doubt: self.in_doubt.snapshot(),
+            in_doubt_current: current,
+            in_doubt_oldest_age_us: oldest_age,
+            in_doubt_entered: self.in_doubt_entered.load(Ordering::Relaxed),
+            in_doubt_resolved: self.in_doubt_resolved.load(Ordering::Relaxed),
         }
     }
 }
@@ -127,6 +197,18 @@ pub struct ObsSnapshot {
     pub spans: Vec<Span>,
     /// Spans dropped because the buffer was full.
     pub dropped_spans: u64,
+    /// Closed in-doubt window durations (µs): time spent
+    /// prepared-but-undecided per transaction at this node.
+    pub in_doubt: HistogramSnapshot,
+    /// Transactions in doubt at snapshot time (a gauge; sums on merge).
+    pub in_doubt_current: u64,
+    /// Age of the oldest open in-doubt window at snapshot time, µs
+    /// (zero when none are open or the snapshot had no clock reading).
+    pub in_doubt_oldest_age_us: u64,
+    /// Total in-doubt windows ever opened.
+    pub in_doubt_entered: u64,
+    /// Total in-doubt windows resolved (closed by a real outcome).
+    pub in_doubt_resolved: u64,
 }
 
 impl ObsSnapshot {
@@ -150,6 +232,13 @@ impl ObsSnapshot {
         }
         self.spans.extend(other.spans.iter().cloned());
         self.dropped_spans += other.dropped_spans;
+        self.in_doubt.merge(&other.in_doubt);
+        self.in_doubt_current += other.in_doubt_current;
+        self.in_doubt_oldest_age_us = self
+            .in_doubt_oldest_age_us
+            .max(other.in_doubt_oldest_age_us);
+        self.in_doubt_entered += other.in_doubt_entered;
+        self.in_doubt_resolved += other.in_doubt_resolved;
     }
 
     /// Merge many per-node snapshots into one cluster-wide view.
@@ -192,6 +281,8 @@ mod tests {
             phase,
             start: SimTime(start),
             end: SimTime(end),
+            seat: 1,
+            parent: None,
         }
     }
 
@@ -244,6 +335,8 @@ mod tests {
             phase: Phase::Ack,
             start: SimTime(50),
             end: SimTime(60),
+            seat: 2,
+            parent: Some(1),
         });
         obs.record_span(Span {
             txn: t2,
@@ -251,6 +344,8 @@ mod tests {
             phase: Phase::Work,
             start: SimTime(0),
             end: SimTime(10),
+            seat: 3,
+            parent: None,
         });
         obs.record_span(Span {
             txn: t1,
@@ -258,10 +353,66 @@ mod tests {
             phase: Phase::Work,
             start: SimTime(5),
             end: SimTime(20),
+            seat: 1,
+            parent: None,
         });
         let spans = obs.snapshot().txn_spans(t1);
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].start, SimTime(5));
         assert_eq!(spans[1].start, SimTime(50));
+    }
+
+    #[test]
+    fn in_doubt_window_opens_and_closes() {
+        let obs = Obs::new();
+        let t = TxnId::new(NodeId(1), 1);
+        obs.in_doubt_enter(t, SimTime(100));
+        // Re-entry (e.g. recovery replay) keeps the original entry time.
+        obs.in_doubt_enter(t, SimTime(500));
+        assert_eq!(obs.in_doubt_current(), 1);
+
+        let open = obs.snapshot_at(SimTime(1_100));
+        assert_eq!(open.in_doubt_current, 1);
+        assert_eq!(open.in_doubt_oldest_age_us, 1_000);
+        assert_eq!(open.in_doubt_entered, 1);
+        assert_eq!(open.in_doubt_resolved, 0);
+
+        obs.in_doubt_resolve(t, SimTime(2_100));
+        let closed = obs.snapshot_at(SimTime(3_000));
+        assert_eq!(closed.in_doubt_current, 0);
+        assert_eq!(closed.in_doubt_oldest_age_us, 0);
+        assert_eq!(closed.in_doubt_resolved, 1);
+        assert_eq!(closed.in_doubt.count, 1);
+        assert_eq!(closed.in_doubt.sum, 2_000);
+    }
+
+    #[test]
+    fn in_doubt_resolve_without_entry_is_a_noop() {
+        let obs = Obs::new();
+        obs.in_doubt_resolve(TxnId::new(NodeId(0), 9), SimTime(50));
+        let snap = obs.snapshot();
+        assert_eq!(snap.in_doubt.count, 0);
+        assert_eq!(snap.in_doubt_resolved, 0);
+    }
+
+    #[test]
+    fn merge_sums_in_doubt_counters_and_maxes_oldest_age() {
+        let a = Obs::new();
+        let b = Obs::new();
+        a.in_doubt_enter(TxnId::new(NodeId(1), 1), SimTime(0));
+        a.in_doubt_resolve(TxnId::new(NodeId(1), 1), SimTime(300));
+        a.in_doubt_enter(TxnId::new(NodeId(1), 2), SimTime(900));
+        b.in_doubt_enter(TxnId::new(NodeId(2), 1), SimTime(400));
+        let merged = ObsSnapshot::merged([
+            &a.snapshot_at(SimTime(1_000)),
+            &b.snapshot_at(SimTime(1_000)),
+        ]);
+        assert_eq!(merged.in_doubt_current, 2);
+        assert_eq!(merged.in_doubt_entered, 3);
+        assert_eq!(merged.in_doubt_resolved, 1);
+        assert_eq!(merged.in_doubt.count, 1);
+        assert_eq!(merged.in_doubt.sum, 300);
+        // a's oldest open window is 100µs old, b's is 600µs.
+        assert_eq!(merged.in_doubt_oldest_age_us, 600);
     }
 }

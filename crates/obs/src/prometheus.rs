@@ -3,6 +3,11 @@
 //! Metric families:
 //! - `tpc_phase_latency_us` — histogram, labels `node`, `phase`; log2
 //!   buckets exposed as cumulative `le` bounds.
+//! - `tpc_in_doubt_seconds` — histogram of closed in-doubt windows per
+//!   node (base-unit seconds, per Prometheus convention), plus the
+//!   `tpc_in_doubt_current` and `tpc_in_doubt_oldest_age_seconds` gauges
+//!   and `tpc_in_doubt_{entered,resolved}_total` counters.
+//! - `tpc_spans_dropped_total` — spans lost at the buffer cap.
 //! - one `counter` family per entry the host supplies in
 //!   [`NodeExport::counters`] (e.g. `tpc_flows_sent_total`,
 //!   `tpc_forced_writes_total`), labelled by `node`.
@@ -43,6 +48,31 @@ pub fn render_prometheus(exports: &[NodeExport]) -> String {
                 .1
                 .push((e.node, value));
         }
+        // Families derived from the snapshot itself, present for every node.
+        let derived: [(&'static str, &'static str, u64); 3] = [
+            (
+                "tpc_spans_dropped_total",
+                "Spans dropped because the per-node buffer was full",
+                e.obs.dropped_spans,
+            ),
+            (
+                "tpc_in_doubt_entered_total",
+                "In-doubt windows opened (Prepared durable, outcome unknown)",
+                e.obs.in_doubt_entered,
+            ),
+            (
+                "tpc_in_doubt_resolved_total",
+                "In-doubt windows closed by a real outcome",
+                e.obs.in_doubt_resolved,
+            ),
+        ];
+        for (name, help, value) in derived {
+            families
+                .entry(name)
+                .or_insert_with(|| (help, Vec::new()))
+                .1
+                .push((e.node, value));
+        }
     }
     for (name, (help, samples)) in &families {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -50,6 +80,65 @@ pub fn render_prometheus(exports: &[NodeExport]) -> String {
         for (node, value) in samples {
             let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", node.0);
         }
+    }
+
+    // In-doubt gauges: instantaneous exposure at snapshot time.
+    let _ = writeln!(
+        out,
+        "# HELP tpc_in_doubt_current Transactions currently prepared but undecided"
+    );
+    let _ = writeln!(out, "# TYPE tpc_in_doubt_current gauge");
+    for e in exports {
+        let _ = writeln!(
+            out,
+            "tpc_in_doubt_current{{node=\"{}\"}} {}",
+            e.node.0, e.obs.in_doubt_current
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP tpc_in_doubt_oldest_age_seconds Age of the oldest open in-doubt window"
+    );
+    let _ = writeln!(out, "# TYPE tpc_in_doubt_oldest_age_seconds gauge");
+    for e in exports {
+        let _ = writeln!(
+            out,
+            "tpc_in_doubt_oldest_age_seconds{{node=\"{}\"}} {}",
+            e.node.0,
+            e.obs.in_doubt_oldest_age_us as f64 / 1e6
+        );
+    }
+
+    // In-doubt window histogram, rendered in base-unit seconds.
+    let _ = writeln!(
+        out,
+        "# HELP tpc_in_doubt_seconds Time spent prepared-but-undecided per transaction"
+    );
+    let _ = writeln!(out, "# TYPE tpc_in_doubt_seconds histogram");
+    for e in exports {
+        let h = &e.obs.in_doubt;
+        if h.count == 0 {
+            continue;
+        }
+        let labels = format!("node=\"{}\"", e.node.0);
+        for (le_us, cum) in h.cumulative() {
+            let _ = writeln!(
+                out,
+                "tpc_in_doubt_seconds_bucket{{{labels},le=\"{}\"}} {cum}",
+                le_us as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "tpc_in_doubt_seconds_bucket{{{labels},le=\"+Inf\"}} {}",
+            h.count
+        );
+        let _ = writeln!(
+            out,
+            "tpc_in_doubt_seconds_sum{{{labels}}} {}",
+            h.sum as f64 / 1e6
+        );
+        let _ = writeln!(out, "tpc_in_doubt_seconds_count{{{labels}}} {}", h.count);
     }
 
     // The phase-latency histogram family.
@@ -131,6 +220,58 @@ mod tests {
         assert!(text.contains("tpc_phase_latency_us_count{node=\"0\",phase=\"fsync\"} 1"));
         // Empty phases are elided entirely.
         assert!(!text.contains("phase=\"work\""));
+    }
+
+    #[test]
+    fn renders_in_doubt_families_and_dropped_spans() {
+        use tpc_common::{SimTime, TxnId};
+        let obs = Obs::new();
+        let t1 = TxnId::new(NodeId(1), 1);
+        let t2 = TxnId::new(NodeId(1), 2);
+        obs.in_doubt_enter(t1, SimTime(0));
+        obs.in_doubt_resolve(t1, SimTime(2_000_000)); // a 2 s window
+        obs.in_doubt_enter(t2, SimTime(3_000_000));
+        let text = render_prometheus(&[NodeExport {
+            node: NodeId(1),
+            obs: obs.snapshot_at(SimTime(4_000_000)),
+            counters: vec![],
+        }]);
+        assert!(text.contains("# TYPE tpc_in_doubt_seconds histogram"));
+        assert!(text.contains("tpc_in_doubt_seconds_count{node=\"1\"} 1"));
+        assert!(text.contains("tpc_in_doubt_seconds_sum{node=\"1\"} 2"));
+        assert!(text.contains("tpc_in_doubt_seconds_bucket{node=\"1\",le=\"+Inf\"} 1"));
+        assert!(text.contains("# TYPE tpc_in_doubt_current gauge"));
+        assert!(text.contains("tpc_in_doubt_current{node=\"1\"} 1"));
+        assert!(text.contains("# TYPE tpc_in_doubt_oldest_age_seconds gauge"));
+        assert!(text.contains("tpc_in_doubt_oldest_age_seconds{node=\"1\"} 1"));
+        assert!(text.contains("tpc_in_doubt_entered_total{node=\"1\"} 2"));
+        assert!(text.contains("tpc_in_doubt_resolved_total{node=\"1\"} 1"));
+        assert!(text.contains("tpc_spans_dropped_total{node=\"1\"} 0"));
+    }
+
+    #[test]
+    fn spans_dropped_total_reports_actual_drops() {
+        use crate::{Span, SPAN_BUFFER_CAP};
+        use tpc_common::{SimTime, TxnId};
+        let obs = Obs::new();
+        obs.set_tracing(true);
+        for i in 0..SPAN_BUFFER_CAP + 3 {
+            obs.record_span(Span {
+                txn: TxnId::new(NodeId(0), 1),
+                node: NodeId(0),
+                phase: Phase::Ack,
+                start: SimTime(i as u64),
+                end: SimTime(i as u64 + 1),
+                seat: 1,
+                parent: None,
+            });
+        }
+        let text = render_prometheus(&[NodeExport {
+            node: NodeId(0),
+            obs: obs.snapshot(),
+            counters: vec![],
+        }]);
+        assert!(text.contains("tpc_spans_dropped_total{node=\"0\"} 3"));
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct Span {
     pub start: SimTime,
     /// End of the interval.
     pub end: SimTime,
+    /// Span-tree seat id: all spans one node emits for one transaction
+    /// share it. Globally unique (node id is baked into the high bits),
+    /// `0` when the emitter predates seat tracking.
+    pub seat: u64,
+    /// Seat id of the upstream sender whose frame enrolled this node in
+    /// the transaction (from the wire [`tpc_common::TraceCtx`]); `None`
+    /// at the tree root or when the frame carried no context.
+    pub parent: Option<u64>,
 }
 
 impl Span {

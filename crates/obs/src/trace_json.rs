@@ -6,7 +6,14 @@
 //! naming each process `node-N`. Loading the file shows the commit as a
 //! span tree: the root's work/prepare/decision/ack intervals on one row,
 //! each subordinate's on its own row, aligned on the shared clock.
+//!
+//! When spans carry seat/parent links (propagated cross-node via
+//! [`tpc_common::TraceCtx`] on the wire), the exporter also emits flow
+//! events (`"ph":"s"` → `"ph":"f"`) drawing a causal arrow from the
+//! enrolling sender's lane to each subordinate's lane, so a TCP-cluster
+//! trace renders as one stitched tree instead of per-node fragments.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::Span;
@@ -32,16 +39,63 @@ pub fn render_chrome_trace(spans: &[Span]) -> String {
     }
     for s in spans {
         let txn = format!("{}.{}", s.txn.origin.0, s.txn.seq);
+        let parent = match s.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
         push_event(
             &mut out,
             &mut first,
             &format!(
                 "{{\"name\":\"{}\",\"cat\":\"2pc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":{},\"tid\":0,\"args\":{{\"txn\":\"{txn}\"}}}}",
+                 \"pid\":{},\"tid\":0,\"args\":{{\"txn\":\"{txn}\",\"seat\":{},\
+                 \"parent\":{parent}}}}}",
                 s.phase.name(),
                 s.start.as_micros(),
                 s.micros().max(1),
                 s.node.0,
+                s.seat,
+            ),
+        );
+    }
+
+    // Causal arrows: one flow-event pair per parent-seat → child-seat edge.
+    // Per child seat we need its node and earliest span start; per parent
+    // seat, the node that emitted it.
+    let mut seat_node: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut edges: BTreeMap<u64, (u32, u64, u64)> = BTreeMap::new(); // seat → (node, first_start, parent)
+    for s in spans {
+        if s.seat == 0 {
+            continue;
+        }
+        seat_node.entry(s.seat).or_insert(s.node.0);
+        if let Some(p) = s.parent {
+            let e = edges
+                .entry(s.seat)
+                .or_insert((s.node.0, s.start.as_micros(), p));
+            e.1 = e.1.min(s.start.as_micros());
+        }
+    }
+    for (seat, (child_node, ts, parent)) in &edges {
+        // An arrow needs both lanes; skip if the parent's spans are absent
+        // (e.g. its node was not captured in this snapshot).
+        let Some(parent_node) = seat_node.get(parent) else {
+            continue;
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"enroll\",\"cat\":\"2pc\",\"ph\":\"s\",\"id\":{seat},\
+                 \"pid\":{parent_node},\"tid\":0,\"ts\":{ts}}}"
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"enroll\",\"cat\":\"2pc\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{seat},\
+                 \"pid\":{child_node},\"tid\":0,\"ts\":{ts}}}"
             ),
         );
     }
@@ -70,6 +124,8 @@ mod tests {
             phase,
             start: SimTime(start),
             end: SimTime(end),
+            seat: u64::from(node) + 1,
+            parent: if node == 0 { None } else { Some(1) },
         }
     }
 
@@ -86,11 +142,40 @@ mod tests {
         assert!(json.contains("\"dur\":300"));
         assert!(json.contains("\"name\":\"node-1\""));
         assert!(json.contains("\"txn\":\"0.1\""));
-        // Balanced brackets / object count sanity: 3 spans + 2 metadata.
+        assert!(json.contains("\"seat\":1"));
+        assert!(json.contains("\"parent\":null"));
+        // Balanced brackets / object count sanity: 3 spans + 2 metadata
+        // + one flow pair for the node-1 seat.
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
         assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn emits_one_flow_pair_per_parent_child_edge() {
+        let spans = vec![
+            span(0, Phase::Prepare, 0, 400),
+            span(1, Phase::Prepare, 120, 350),
+            span(1, Phase::Decision, 350, 380), // same seat: still one edge
+            span(2, Phase::Prepare, 130, 340),
+        ];
+        let json = render_chrome_trace(&spans);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 2);
+        // The arrow starts on the parent's lane (pid 0) and lands on the
+        // child's, anchored at the child's earliest span start.
+        assert!(json.contains("\"ph\":\"s\",\"id\":2,\"pid\":0,\"tid\":0,\"ts\":120"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":2,\"pid\":1,\"tid\":0,\"ts\":120"));
+    }
+
+    #[test]
+    fn orphan_parent_links_are_skipped() {
+        // Child references seat 99 but no span with that seat exists.
+        let mut s = span(1, Phase::Prepare, 10, 20);
+        s.parent = Some(99);
+        let json = render_chrome_trace(&[s]);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 0);
     }
 
     #[test]

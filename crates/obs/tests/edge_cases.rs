@@ -1,0 +1,152 @@
+//! Edge cases the unit tests skirt: the histogram's overflow bucket,
+//! snapshot merging with disjoint and overlapping phase sets, and a
+//! property check that percentiles stay ordered and bounded through
+//! merges.
+
+use proptest::prelude::*;
+use tpc_common::{NodeId, SimTime, TxnId};
+use tpc_obs::{Histogram, HistogramSnapshot, Obs, ObsSnapshot, Phase, Span};
+
+#[test]
+fn overflow_bucket_catches_huge_values() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(1u64 << 62);
+    h.record(1u64 << 63);
+    let s = h.snapshot();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.max, u64::MAX);
+    // All three land in the catch-all top bucket…
+    assert_eq!(s.buckets[63], 3);
+    // …whose reported upper bound is the observed max, not a power of two.
+    assert_eq!(s.p50(), u64::MAX);
+    assert_eq!(s.p99(), u64::MAX);
+    // The cumulative view ends exactly at the total count with an
+    // unbounded final `le`.
+    let cum = s.cumulative();
+    assert_eq!(cum.last(), Some(&(u64::MAX, 3)));
+}
+
+#[test]
+fn overflow_sum_saturates_behavior_is_additive_per_bucket() {
+    // Two near-boundary values straddling the top bucket's lower edge.
+    let h = Histogram::new();
+    h.record((1u64 << 62) - 1); // last value of bucket 62
+    h.record(1u64 << 62); // first value of bucket 63
+    let s = h.snapshot();
+    assert_eq!(s.buckets[62], 1);
+    assert_eq!(s.buckets[63], 1);
+}
+
+fn span(txn: u64, phase: Phase, start: u64, end: u64, seat: u64) -> Span {
+    Span {
+        txn: TxnId::new(NodeId(0), txn),
+        node: NodeId(0),
+        phase,
+        start: SimTime(start),
+        end: SimTime(end),
+        seat,
+        parent: None,
+    }
+}
+
+#[test]
+fn merge_disjoint_phase_sets_keeps_both() {
+    // Node A recorded only prepare, node B only ack: the merged snapshot
+    // carries both, each with its own counts.
+    let a = Obs::new();
+    a.record(Phase::Prepare, 100);
+    let b = Obs::new();
+    b.record(Phase::Ack, 7);
+    b.record(Phase::Ack, 9);
+
+    let mut merged = a.snapshot();
+    // Strip phases B never touched to make the sets truly disjoint.
+    let mut bs = b.snapshot();
+    bs.phases.retain(|(_, h)| h.count > 0);
+    merged.phases.retain(|(_, h)| h.count > 0);
+    merged.merge(&bs);
+
+    assert_eq!(merged.phase(Phase::Prepare).unwrap().count, 1);
+    assert_eq!(merged.phase(Phase::Ack).unwrap().count, 2);
+    assert!(merged.phase(Phase::Decision).is_none());
+}
+
+#[test]
+fn merge_overlapping_phases_and_spans_concatenates() {
+    let a = Obs::new();
+    a.set_tracing(true);
+    a.record_span(span(1, Phase::Prepare, 0, 50, 1));
+    let b = Obs::new();
+    b.set_tracing(true);
+    b.record_span(span(1, Phase::Prepare, 10, 90, 2));
+    b.record_span(span(2, Phase::Prepare, 0, 5, 3));
+
+    let merged = ObsSnapshot::merged([&a.snapshot(), &b.snapshot()]);
+    let h = merged.phase(Phase::Prepare).unwrap();
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 50 + 80 + 5);
+    assert_eq!(h.max, 80);
+    assert_eq!(merged.spans.len(), 3);
+    assert_eq!(merged.txn_spans(TxnId::new(NodeId(0), 1)).len(), 2);
+}
+
+#[test]
+fn merge_empty_into_populated_is_identity() {
+    let a = Obs::new();
+    a.record(Phase::Fsync, 42);
+    a.in_doubt_enter(TxnId::new(NodeId(0), 1), SimTime(0));
+    a.in_doubt_resolve(TxnId::new(NodeId(0), 1), SimTime(10));
+    let mut merged = a.snapshot();
+    merged.merge(&ObsSnapshot::default());
+    let base = a.snapshot();
+    assert_eq!(
+        merged.phase(Phase::Fsync).unwrap().count,
+        base.phase(Phase::Fsync).unwrap().count
+    );
+    assert_eq!(merged.in_doubt.count, base.in_doubt.count);
+    assert_eq!(merged.in_doubt.sum, base.in_doubt.sum);
+}
+
+proptest! {
+    /// For any two sample sets recorded on separate nodes, the merged
+    /// histogram's percentiles are monotone in q, bounded by the true
+    /// max, and at least every per-node percentile's bucket lower
+    /// neighborhood — i.e. merging never invents smaller-than-recorded
+    /// values or loses the tail.
+    #[test]
+    fn merged_percentiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(0u64..2_000_000, 1..200),
+        ys in prop::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let a = Histogram::new();
+        for &v in &xs { a.record(v); }
+        let b = Histogram::new();
+        for &v in &ys { b.record(v); }
+
+        let mut m: HistogramSnapshot = a.snapshot();
+        m.merge(&b.snapshot());
+
+        let true_max = xs.iter().chain(&ys).copied().max().unwrap();
+        prop_assert_eq!(m.count, (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(m.max, true_max);
+
+        // Monotone in q…
+        let qs = [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(m.quantile(w[0]) <= m.quantile(w[1]),
+                "q{} = {} > q{} = {}", w[0], m.quantile(w[0]), w[1], m.quantile(w[1]));
+        }
+        // …bounded by the true max…
+        for &q in &qs {
+            prop_assert!(m.quantile(q) <= true_max);
+        }
+        // …and the top quantile reaches it exactly.
+        prop_assert_eq!(m.quantile(1.0), true_max);
+
+        // Merging cannot shrink the tail below either input's p99.
+        let tail = m.quantile(0.99);
+        let floor = a.snapshot().quantile(0.99).min(b.snapshot().quantile(0.99));
+        prop_assert!(tail >= floor / 2, "merged p99 {tail} under half of min input p99 {floor}");
+    }
+}

@@ -354,6 +354,28 @@ impl LiveCluster {
             .collect()
     }
 
+    /// Serves the cluster-wide Prometheus exposition over HTTP at `addr`
+    /// (use `"127.0.0.1:0"` for an ephemeral port; the bound address is
+    /// on the returned server). Each scrape collects fresh summaries
+    /// from every node that answers within a bounded wait, so a killed
+    /// node degrades the scrape instead of hanging it.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
+        let senders = self.senders.clone();
+        let timeout = self.reply_timeout.min(Duration::from_secs(2));
+        crate::http::MetricsServer::serve(addr, move || {
+            let summaries: Vec<NodeSummary> = senders
+                .iter()
+                .enumerate()
+                .filter_map(|(i, tx)| {
+                    let (reply, rx) = bounded(1);
+                    tx.send(Inbound::App(AppCmd::Summary { reply })).ok()?;
+                    recv_reply(&rx, NodeId(i as u32), timeout).ok()
+                })
+                .collect();
+            crate::obs_export::prometheus_text(&summaries)
+        })
+    }
+
     /// Fetches a node's live summary.
     pub fn summary(&self, node: NodeId) -> Option<NodeSummary> {
         self.try_summary(node).ok()

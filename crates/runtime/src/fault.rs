@@ -16,15 +16,20 @@ use std::sync::Arc;
 
 use tpc_common::wire::Decode;
 use tpc_common::NodeId;
-use tpc_core::messages::{Bundle, ProtocolMsg};
+use tpc_core::messages::{Frame, ProtocolMsg};
 
 use crate::node::Transport;
 
 /// Whether an encoded frame carries application work (conversation
 /// traffic, spared by default — see [`FaultPlan::fault_work_frames`]).
 fn carries_work(bytes: &[u8]) -> bool {
-    Bundle::decode_all(bytes)
-        .map(|b| b.0.iter().any(|m| matches!(m, ProtocolMsg::Work { .. })))
+    Frame::decode_all(bytes)
+        .map(|f| {
+            f.bundle
+                .0
+                .iter()
+                .any(|m| matches!(m, ProtocolMsg::Work { .. }))
+        })
         .unwrap_or(false)
 }
 
@@ -219,6 +224,10 @@ impl<T: Transport> Transport for FaultyWire<T> {
         }
         self.stats.delivered.fetch_add(1, Ordering::Relaxed);
         self.inner.send(to, bytes);
+    }
+
+    fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
+        self.inner.counters()
     }
 }
 

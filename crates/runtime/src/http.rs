@@ -1,0 +1,183 @@
+//! A minimal HTTP/1.1 metrics endpoint over `std::net::TcpListener` —
+//! no dependencies, enough protocol for `curl` and a Prometheus scraper.
+//!
+//! The server owns one acceptor thread and handles each connection
+//! inline (scrapes are rare and cheap; there is nothing to pipeline).
+//! Routes:
+//!
+//! | path       | response                                             |
+//! |------------|------------------------------------------------------|
+//! | `/metrics` | the render callback's text, `text/plain; version=0.0.4` |
+//! | `/healthz` | `ok`                                                 |
+//! | anything else | `404 Not Found`                                   |
+//!
+//! The render callback runs on the acceptor thread per scrape, so it may
+//! block briefly (e.g. collecting node summaries over channels) but must
+//! not deadlock against the caller. [`MetricsServer::stop`] (also run on
+//! drop) flips a flag and unblocks the acceptor with a self-connect.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint; dropping it stops the acceptor thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `render()`'s output at `/metrics` until stopped.
+    pub fn serve<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tpc-metrics-http".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // One request per connection; ignore per-connection
+                    // errors (a scraper that hangs up mid-request is not
+                    // our problem).
+                    let _ = handle_conn(stream, &render);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0), e.g. to build a scrape URL.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor thread and waits for it to exit.
+    pub fn stop(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor: it checks the flag on the next accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_conn<F: Fn() -> String>(stream: TcpStream, render: &F) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; nothing in them changes the response.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let mut out = stream;
+    write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let mut server = MetricsServer::serve("127.0.0.1:0", || "tpc_test_metric 42\n".to_string())
+            .expect("bind");
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.ends_with("tpc_test_metric 42\n"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+
+        server.stop();
+        // Stop is idempotent and the port is released.
+        server.stop();
+    }
+
+    #[test]
+    fn render_runs_per_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let server = MetricsServer::serve("127.0.0.1:0", move || {
+            format!("scrape {}\n", c.fetch_add(1, Ordering::SeqCst))
+        })
+        .expect("bind");
+        let first = get(server.addr(), "/metrics");
+        let second = get(server.addr(), "/metrics");
+        assert!(first.contains("scrape 0"));
+        assert!(second.contains("scrape 1"));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+}

@@ -62,12 +62,24 @@
 //! chrome-trace JSON for one transaction (both also on
 //! [`tcp::TcpCluster`]), and each [`NodeSummary::obs`] carries the raw
 //! snapshot.
+//!
+//! Failure paths are first-class: per-node in-doubt window tracking
+//! (`tpc_in_doubt_seconds`, opened at the durable `Prepared` record,
+//! re-opened across restarts at the stamped instant), restart-recovery
+//! telemetry ([`NodeSummary::recovery`]), TCP retry/reconnect counters,
+//! and cross-node trace propagation (frames carry a
+//! [`tpc_common::TraceCtx`], so `chrome_trace` stitches one causal tree
+//! across nodes). [`LiveCluster::serve_metrics`] /
+//! [`tcp::TcpCluster::serve_metrics`] expose it all on a live HTTP
+//! `/metrics` endpoint ([`http::MetricsServer`], `curl`-able, no
+//! dependencies).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
 pub mod fault;
+pub mod http;
 mod node;
 pub mod obs_export;
 pub mod signal;
@@ -77,6 +89,7 @@ mod workload;
 
 pub use cluster::{CommitWait, LiveCluster, TxnHandle};
 pub use fault::{FaultPlan, FaultStats, FaultyWire};
+pub use http::MetricsServer;
 pub use node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport};
 pub use signal::ClusterSignal;
 pub use workload::{LatencySummary, WorkloadReport, WorkloadSpec};

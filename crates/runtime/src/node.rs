@@ -16,14 +16,14 @@ use tpc_common::config::GroupCommitConfig;
 use tpc_common::wire::{Decode, Encode};
 use tpc_common::{
     decode_ops, DamageReport, Error, HeuristicPolicy, NodeId, Op, OptimizationConfig, Outcome,
-    ProtocolKind, Result, RmId, SimDuration, SimTime, TxnId,
+    ProtocolKind, Result, RmId, SimDuration, SimTime, TraceCtx, TxnId,
 };
 use tpc_core::driver::rm_log_slot;
-use tpc_core::messages::Bundle;
+use tpc_core::messages::{Bundle, Frame};
 use tpc_core::{
     Action, AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, InDoubtDisposition,
     LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, PrepareControl,
-    ProtocolMsg, RmHost, Timeouts, TimerHost, TimerKind, Wire,
+    ProtocolMsg, RecoveryStats, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_obs::{Obs, ObsSnapshot, Phase};
 use tpc_rm::{Access, ResourceManager, RmConfig};
@@ -50,11 +50,22 @@ pub enum LogBackend {
 pub trait Transport: Send + 'static {
     /// Delivers an encoded frame to `to` (best effort).
     fn send(&mut self, to: NodeId, bytes: Vec<u8>);
+
+    /// Transport-level counters for the metrics endpoint, as
+    /// `(metric_name, help, value)` triples. Transports without
+    /// interesting state (in-process channels) keep the default.
+    fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl Transport for Box<dyn Transport> {
     fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
         (**self).send(to, bytes)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
+        (**self).counters()
     }
 }
 
@@ -241,6 +252,11 @@ pub struct NodeSummary {
     /// Per-phase latency histograms and (if tracing) spans; `None` when
     /// the node ran without observability.
     pub obs: Option<ObsSnapshot>,
+    /// Restart-recovery telemetry; `None` when the node booted fresh.
+    pub recovery: Option<RecoveryStats>,
+    /// Transport-level counters (`(name, help, value)`), e.g. TCP send
+    /// retries; empty for in-process transports.
+    pub transport: Vec<(&'static str, &'static str, u64)>,
     /// Transactions still unresolved.
     pub active_txns: usize,
     /// Snapshot of the engine's protocol state for the shared consistency
@@ -486,8 +502,13 @@ impl<T: Transport> LiveHost<T> {
 }
 
 impl<T: Transport> Wire for LiveHost<T> {
-    fn send(&mut self, _now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
-        let bytes = Bundle(msgs).encode_to_bytes().to_vec();
+    fn send(&mut self, _now: SimTime, to: NodeId, ctx: Option<TraceCtx>, msgs: Vec<ProtocolMsg>) {
+        let bytes = Frame {
+            ctx,
+            bundle: Bundle(msgs),
+        }
+        .encode_to_bytes()
+        .to_vec();
         self.transport.send(to, bytes);
     }
 }
@@ -672,7 +693,7 @@ pub enum Inbound {
     Frame {
         /// Sending node.
         from: NodeId,
-        /// Encoded [`Bundle`].
+        /// Encoded [`Frame`] (trace context + message bundle).
         bytes: Vec<u8>,
     },
     /// An application command.
@@ -696,16 +717,18 @@ pub enum Inbound {
     },
 }
 
-/// Creates the shared recorder when the config asks for one and hands it
-/// to both the driver (phase milestones) and the host (fsync timing).
-fn attach_obs<T: Transport>(cfg: &LiveNodeConfig, driver: &mut Driver, host: &mut LiveHost<T>) {
+/// Creates the shared recorder when the config asks for one. The caller
+/// hands it to both the driver (phase milestones, in-doubt windows) and
+/// the host (fsync timing) — on restart the driver gets it *before*
+/// recovery runs, so recovered in-doubt windows re-open with their
+/// original entry instants.
+fn make_obs(cfg: &LiveNodeConfig) -> Option<Arc<Obs>> {
     if !cfg.observe && !cfg.trace {
-        return;
+        return None;
     }
     let obs = Arc::new(Obs::new());
     obs.set_tracing(cfg.trace);
-    driver.set_obs(Arc::clone(&obs));
-    host.obs = Some(obs);
+    Some(obs)
 }
 
 pub(crate) fn tm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::PathBuf {
@@ -767,8 +790,12 @@ impl<T: Transport> NodeWorker<T> {
             }
         };
         let kill_after_frames = cfg.kill_after_frames;
+        let obs = make_obs(&cfg);
+        if let Some(o) = &obs {
+            driver.set_obs(Arc::clone(o));
+        }
         let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
-        attach_obs(&cfg, &mut driver, &mut host);
+        host.obs = obs;
         NodeWorker {
             driver,
             host,
@@ -831,6 +858,13 @@ impl<T: Transport> NodeWorker<T> {
         }
 
         let now = SimTime(epoch.elapsed().as_micros() as u64);
+        // Observability attaches before recovery so the recovered
+        // in-doubt windows re-open at their durable `prepared_at`
+        // instants (covering the outage, not just the tail after it).
+        let obs = make_obs(&cfg);
+        if let Some(o) = &obs {
+            driver.set_obs(Arc::clone(o));
+        }
         // RM recovery first, so the re-driven CommitLocal/AbortLocal
         // actions from engine recovery find consistent RM state (the same
         // order the simulator's restart uses).
@@ -839,12 +873,15 @@ impl<T: Transport> NodeWorker<T> {
         } else {
             RmConfig::new(RmId(0))
         });
+        let scan_started = Instant::now();
         {
             let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
             let durable = l.durable_records();
             rm.recover(&durable, now)?;
         }
-        let actions = driver.recover(&log.durable_records(), now)?;
+        let durable_tm = log.durable_records();
+        driver.note_wal_scan(scan_started.elapsed().as_micros() as u64);
+        let actions = driver.recover(&durable_tm, now)?;
         // RM in-doubt transactions the recovered TM already decided are
         // settled here; genuinely in-doubt ones wait for the protocol.
         for txn in rm.in_doubt() {
@@ -862,7 +899,7 @@ impl<T: Transport> NodeWorker<T> {
         }
 
         let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
-        attach_obs(&cfg, &mut driver, &mut host);
+        host.obs = obs;
         let mut worker = NodeWorker {
             driver,
             host,
@@ -1017,7 +1054,13 @@ impl<T: Transport> NodeWorker<T> {
                 .as_ref()
                 .map(|g| g.stats())
                 .unwrap_or_default(),
-            obs: self.host.obs.as_ref().map(|o| o.snapshot()),
+            obs: self
+                .host
+                .obs
+                .as_ref()
+                .map(|o| o.snapshot_at(self.host.now())),
+            recovery: self.driver.recovery_stats(),
+            transport: self.host.transport.counters(),
             active_txns: self.driver.engine().active_txns(),
             protocol_state: NodeProtocolState::from_engine(
                 self.host.node,
@@ -1048,10 +1091,15 @@ impl<T: Transport> NodeWorker<T> {
     }
 
     fn on_frame(&mut self, from: NodeId, bytes: &[u8]) {
-        let Ok(bundle) = Bundle::decode_all(bytes) else {
+        let Ok(frame) = Frame::decode_all(bytes) else {
             return; // corrupt frame: drop (transport-level noise)
         };
-        for msg in bundle.0 {
+        if let Some(ctx) = &frame.ctx {
+            // Before the messages: the seat they create must see its
+            // enrolling sender.
+            self.driver.note_remote_ctx(ctx);
+        }
+        for msg in frame.bundle.0 {
             if let ProtocolMsg::Work { txn, payload } = &msg {
                 let txn = *txn;
                 let ops = decode_ops(payload).unwrap_or_default();

@@ -13,10 +13,9 @@ use crate::node::NodeSummary;
 pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
     let exports: Vec<NodeExport> = summaries
         .iter()
-        .map(|s| NodeExport {
-            node: s.node,
-            obs: s.obs.clone().unwrap_or_default(),
-            counters: vec![
+        .map(|s| {
+            let recovery = s.recovery.unwrap_or_default();
+            let mut counters = vec![
                 (
                     "tpc_flows_sent_total",
                     "Protocol frames sent (paper flows, including Work)",
@@ -57,7 +56,73 @@ pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
                     "Group-commit batches flushed",
                     s.group.flushes,
                 ),
-            ],
+                (
+                    "tpc_heuristic_decisions_total",
+                    "Heuristic decisions taken at this node while in doubt",
+                    s.metrics.heuristic_decisions,
+                ),
+                (
+                    "tpc_heuristic_commit_total",
+                    "Heuristic decisions that jumped to commit",
+                    s.metrics.heuristic_commits,
+                ),
+                (
+                    "tpc_heuristic_abort_total",
+                    "Heuristic decisions that jumped to abort",
+                    s.metrics.heuristic_aborts,
+                ),
+                (
+                    "tpc_heuristic_damage_total",
+                    "Heuristic decisions observed to conflict with the real outcome",
+                    s.metrics.heuristic_damage,
+                ),
+                (
+                    "tpc_heuristic_damage_reported_total",
+                    "Damaged nodes reported in acknowledgments received here (whole subtree at a PN root)",
+                    s.metrics.damage_reports_received,
+                ),
+                (
+                    "tpc_recovery_queries_answered_total",
+                    "Recovery status queries answered for in-doubt peers",
+                    s.metrics.recovery_queries_answered,
+                ),
+                (
+                    "tpc_recovery_wal_records_total",
+                    "Durable WAL records replayed during restart recovery",
+                    recovery.wal_records_scanned,
+                ),
+                (
+                    "tpc_recovery_wal_scan_us_total",
+                    "Wall-clock microseconds spent reading the WAL back at restart",
+                    recovery.wal_scan_us,
+                ),
+                (
+                    "tpc_recovery_in_doubt_total",
+                    "In-doubt (prepared, undecided) transactions found at restart",
+                    recovery.in_doubt_recovered,
+                ),
+                (
+                    "tpc_recovery_queries_sent_total",
+                    "Status queries sent to coordinators for recovered in-doubt transactions",
+                    recovery.queries_sent,
+                ),
+                (
+                    "tpc_recovery_redrives_total",
+                    "Decided-but-unacknowledged outcomes re-driven at restart",
+                    recovery.redrives,
+                ),
+                (
+                    "tpc_recovery_interrupted_vote_aborts_total",
+                    "Transactions aborted at restart because the crash interrupted voting",
+                    recovery.interrupted_vote_aborts,
+                ),
+            ];
+            counters.extend(s.transport.iter().copied());
+            NodeExport {
+                node: s.node,
+                obs: s.obs.clone().unwrap_or_default(),
+                counters,
+            }
         })
         .collect();
     render_prometheus(&exports)

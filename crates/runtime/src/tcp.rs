@@ -109,6 +109,12 @@ pub struct TcpSendStats {
     pub bytes: AtomicU64,
     /// Frames dropped after retry exhaustion (peer unreachable).
     pub dropped: AtomicU64,
+    /// Backoff sleeps taken by sender threads (one per failed
+    /// connect/write attempt that was retried).
+    pub retries: AtomicU64,
+    /// Successful re-connects after a previously-established connection
+    /// was lost.
+    pub reconnects: AtomicU64,
 }
 
 /// Asynchronous TCP sender: frames are queued to one sender thread per
@@ -177,6 +183,26 @@ impl Transport for TcpTransport {
             let _ = tx.send(frame);
         }
     }
+
+    fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
+        vec![
+            (
+                "tpc_tcp_send_retries_total",
+                "Backoff sleeps taken by TCP sender threads after a failed connect or write.",
+                self.stats.retries.load(Ordering::Relaxed),
+            ),
+            (
+                "tpc_tcp_reconnects_total",
+                "Successful TCP re-connects after a previously-established connection was lost.",
+                self.stats.reconnects.load(Ordering::Relaxed),
+            ),
+            (
+                "tpc_tcp_frames_dropped_total",
+                "Frames dropped after TCP retry exhaustion (peer unreachable).",
+                self.stats.dropped.load(Ordering::Relaxed),
+            ),
+        ]
+    }
 }
 
 /// One peer's sender loop: block for a frame, drain the run queued
@@ -201,6 +227,9 @@ fn peer_sender(
     // Set while the peer is reported unreachable; cleared by the next
     // successful connect so a recovered-then-failed peer is re-reported.
     let mut reported_down = false;
+    // A connection was established at some point: a later successful
+    // connect counts as a reconnect.
+    let mut connected_once = false;
     'frames: loop {
         let Ok(first) = rx.recv() else { return };
         let mut batch = first;
@@ -221,6 +250,10 @@ fn peer_sender(
                 if let Some(stream) = conn.as_ref() {
                     stream.set_nodelay(true).ok();
                     reported_down = false;
+                    if connected_once {
+                        stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    connected_once = true;
                 }
             }
             if let Some(stream) = conn.as_mut() {
@@ -244,6 +277,7 @@ fn peer_sender(
                 }
                 continue 'frames;
             }
+            stats.retries.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(policy.backoff(attempt, &mut rng));
         }
     }
@@ -562,6 +596,28 @@ impl TcpCluster {
         (0..self.len())
             .filter_map(|i| self.summary(NodeId(i as u32)))
             .collect()
+    }
+
+    /// Serves the cluster-wide Prometheus exposition over HTTP at `addr`
+    /// (use `"127.0.0.1:0"` for an ephemeral port) — the TCP twin of
+    /// [`crate::LiveCluster::serve_metrics`]. Each scrape collects fresh
+    /// summaries from every node that answers within a bounded wait, so
+    /// a killed node degrades the scrape instead of hanging it.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
+        let senders = self.senders.clone();
+        let timeout = self.reply_timeout.min(Duration::from_secs(2));
+        crate::http::MetricsServer::serve(addr, move || {
+            let summaries: Vec<NodeSummary> = senders
+                .iter()
+                .enumerate()
+                .filter_map(|(i, tx)| {
+                    let (reply, rx) = bounded(1);
+                    tx.send(Inbound::App(AppCmd::Summary { reply })).ok()?;
+                    recv_reply(&rx, NodeId(i as u32), timeout).ok()
+                })
+                .collect();
+            crate::obs_export::prometheus_text(&summaries)
+        })
     }
 
     /// Stops every live node.

@@ -128,6 +128,64 @@ fn subordinate_case(protocol: ProtocolKind, k: u32) {
 }
 
 #[test]
+fn in_doubt_window_covers_the_outage() {
+    // A subordinate killed between Prepare and Decision is in doubt for
+    // at least the whole outage: the window opens at its forced Prepared
+    // record (before the crash), survives the restart via the stamped
+    // entry time in the WAL, and only closes when the outcome arrives
+    // after recovery. The recorded duration must therefore dominate the
+    // enforced dead time, and the restart must surface recovery
+    // telemetry for exactly that one in-doubt transaction.
+    let outage = Duration::from_millis(80);
+    let dir = temp_dir("indoubt");
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let mut c = LiveCluster::start(vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_observability()
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_observability()
+            .with_file_log(&dir)
+            .with_timeouts(chaos_timeouts())
+            .kill_after_frames(2),
+    ])
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(root);
+    t.work(victim, vec![Op::put("window", "v")]);
+    let wait = t.commit_async();
+
+    c.await_death(victim, Duration::from_secs(10))
+        .expect("victim dies after voting");
+    std::thread::sleep(outage);
+    c.restart(victim).expect("restart from WAL");
+
+    let result = wait.wait(Duration::from_secs(20)).expect("root answers");
+    assert_eq!(result.outcome, Outcome::Commit);
+    assert!(c.quiesce(Duration::from_secs(20)), "must quiesce");
+
+    let s = c.summary(victim).expect("victim summary");
+    let obs = s.obs.expect("observability was on");
+    assert_eq!(obs.in_doubt.count, 1, "exactly one in-doubt window");
+    assert_eq!(obs.in_doubt_current, 0, "window closed after recovery");
+    assert!(
+        obs.in_doubt.max >= outage.as_micros() as u64,
+        "in-doubt window ({} µs) must cover the outage ({} µs)",
+        obs.in_doubt.max,
+        outage.as_micros()
+    );
+    let rec = s.recovery.expect("restart recorded recovery stats");
+    assert_eq!(rec.in_doubt_recovered, 1);
+    assert_eq!(rec.queries_sent, 1);
+    assert!(rec.wal_records_scanned >= 1);
+
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn root_crash_after_deciding_recovers_and_completes_phase_two() {
     // The root receives exactly one frame in a two-node commit: the
     // subordinate's vote. Killing it there crashes it immediately after

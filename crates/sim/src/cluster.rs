@@ -11,7 +11,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use tpc_common::{
-    HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TxnId,
+    HeuristicPolicy, NodeId, OptimizationConfig, ProtocolKind, SimDuration, SimTime, TraceCtx,
+    TxnId,
 };
 use tpc_core::driver::{
     rm_log_slot, AppSink, Driver, LogControl, LogHost, PrepareControl, RmHost, TimerHost, Wire,
@@ -267,6 +268,7 @@ enum Ev {
     Deliver {
         from: NodeId,
         to: NodeId,
+        ctx: Option<TraceCtx>,
         msgs: Vec<ProtocolMsg>,
     },
     Engine {
@@ -418,7 +420,7 @@ impl SimHost<'_> {
 }
 
 impl Wire for SimHost<'_> {
-    fn send(&mut self, now: SimTime, to: NodeId, msgs: Vec<ProtocolMsg>) {
+    fn send(&mut self, now: SimTime, to: NodeId, ctx: Option<TraceCtx>, msgs: Vec<ProtocolMsg>) {
         let desc = msgs
             .iter()
             .map(|m| m.kind_name())
@@ -438,6 +440,7 @@ impl Wire for SimHost<'_> {
                 Ev::Deliver {
                     from: self.node,
                     to,
+                    ctx,
                     msgs,
                 },
             );
@@ -854,7 +857,11 @@ impl Sim {
     /// Snapshot of a node's phase-latency recorder, when the cluster ran
     /// with [`SimConfig::observed`].
     pub fn obs_snapshot(&self, node: NodeId) -> Option<ObsSnapshot> {
-        self.nodes[node.index()].driver.obs().map(|o| o.snapshot())
+        let now = self.sched.now();
+        self.nodes[node.index()]
+            .driver
+            .obs()
+            .map(|o| o.snapshot_at(now))
     }
 
     /// Read access to a node's first resource manager (real mode).
@@ -988,7 +995,12 @@ impl Sim {
                     self.exec_engine(node, event, now);
                 }
             }
-            Ev::Deliver { from, to, msgs } => self.deliver(from, to, msgs, now),
+            Ev::Deliver {
+                from,
+                to,
+                ctx,
+                msgs,
+            } => self.deliver(from, to, ctx, msgs, now),
             Ev::Timer {
                 node,
                 txn,
@@ -1188,9 +1200,19 @@ impl Sim {
     // Message delivery and application behaviour
     // ------------------------------------------------------------------
 
-    fn deliver(&mut self, from: NodeId, to: NodeId, msgs: Vec<ProtocolMsg>, now: SimTime) {
+    fn deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: Option<TraceCtx>,
+        msgs: Vec<ProtocolMsg>,
+        now: SimTime,
+    ) {
         if self.nodes[to.index()].state.crashed {
             return;
+        }
+        if let Some(ctx) = &ctx {
+            self.nodes[to.index()].driver.note_remote_ctx(ctx);
         }
         for msg in msgs {
             if let ProtocolMsg::Work { txn, payload } = &msg {

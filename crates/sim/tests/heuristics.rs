@@ -92,6 +92,38 @@ fn pa_absorbs_damage_at_the_intermediate() {
 }
 
 #[test]
+fn pn_damage_increments_root_counter_exactly_once() {
+    // The leaf's one heuristic abort travels up the chain as exactly one
+    // damage report, and only the root's received-counter moves: the
+    // intermediate forwards (PN retention keeps the report flowing to
+    // the top) rather than absorbing, and nothing double-counts even
+    // though the leaf's ack is retried across the healed partition.
+    let (report, n0, n1, n2) = chain_with_partitioned_leaf(
+        ProtocolKind::PresumedNothing,
+        HeuristicPolicy::AbortAfter(SimDuration::from_millis(100)),
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    let metrics_of = |node| {
+        report
+            .per_node
+            .iter()
+            .find(|n| n.node == node)
+            .expect("node report")
+            .engine
+    };
+    assert_eq!(
+        metrics_of(n0).damage_reports_received,
+        1,
+        "root learns of the damaged subtree exactly once"
+    );
+    assert_eq!(metrics_of(n1).damage_reports_received, 1);
+    assert_eq!(metrics_of(n1).damage_reports_absorbed, 0);
+    assert_eq!(metrics_of(n2).damage_reports_received, 0);
+    assert_eq!(metrics_of(n2).heuristic_aborts, 1);
+    assert_eq!(metrics_of(n2).heuristic_commits, 0);
+}
+
+#[test]
 fn matching_heuristic_causes_no_damage() {
     // The leaf heuristically COMMITS and the global outcome is commit:
     // heuristic activity, zero damage.

@@ -13,7 +13,7 @@
 //! defines the records and their wire format.
 
 use tpc_common::wire::{Decode, Decoder, Encode, Encoder};
-use tpc_common::{Error, HeuristicOutcome, NodeId, Result, RmId, TxnId};
+use tpc_common::{Error, HeuristicOutcome, NodeId, Result, RmId, SimTime, TxnId};
 
 /// One write-ahead-log record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +46,10 @@ pub enum LogRecord {
         coordinator: NodeId,
         /// Direct subordinates, so a cascaded coordinator can re-propagate.
         subordinates: Vec<NodeId>,
+        /// Harness clock when the participant prepared. Observability
+        /// only: recovery re-opens the in-doubt window at this instant so
+        /// a crash cannot shrink the measured blocking exposure.
+        prepared_at: SimTime,
     },
     /// The commit decision (at the coordinator) or the learned commit
     /// outcome (at a subordinate).
@@ -192,11 +196,13 @@ impl Encode for LogRecord {
                 txn,
                 coordinator,
                 subordinates,
+                prepared_at,
             } => {
                 e.put_u8(TAG_PREPARED);
                 txn.encode(e);
                 coordinator.encode(e);
                 e.put_seq(subordinates);
+                e.put_u64(prepared_at.0);
             }
             LogRecord::Committed { txn, subordinates } => {
                 e.put_u8(TAG_COMMITTED);
@@ -278,6 +284,7 @@ impl Decode for LogRecord {
                 txn: TxnId::decode(d)?,
                 coordinator: NodeId::decode(d)?,
                 subordinates: d.get_seq()?,
+                prepared_at: SimTime(d.get_u64()?),
             },
             TAG_COMMITTED => LogRecord::Committed {
                 txn: TxnId::decode(d)?,
@@ -356,6 +363,7 @@ mod tests {
                 txn,
                 coordinator: NodeId(1),
                 subordinates: vec![],
+                prepared_at: SimTime(42),
             },
             LogRecord::Committed {
                 txn,

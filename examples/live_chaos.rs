@@ -103,6 +103,14 @@ fn message_chaos() {
         ],
     );
 
+    // Watch the chaos live: every scrape collects fresh per-node
+    // summaries. Set TPC_METRICS_HOLD_SECS to keep the endpoint up
+    // after the batch so you can curl it by hand.
+    let metrics = cluster
+        .serve_metrics("127.0.0.1:0")
+        .expect("bind metrics endpoint");
+    println!("live metrics: curl http://{}/metrics", metrics.addr());
+
     let mut outcomes = Vec::new();
     for i in 0..6 {
         let txn = cluster.begin(NodeId(0));
@@ -121,6 +129,15 @@ fn message_chaos() {
         stats.delivered.load(std::sync::atomic::Ordering::Relaxed),
         stats.lost(),
     );
+
+    if let Some(secs) = std::env::var("TPC_METRICS_HOLD_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        println!("holding the metrics endpoint open for {secs} s — scrape away");
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+    drop(metrics);
 
     let summaries = cluster.shutdown();
     let (violations, unresolved) = verify::check(&summaries, &outcomes);

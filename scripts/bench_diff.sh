@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Compare two BENCH_throughput.json files row by row.
+#
+#   scripts/bench_diff.sh OLD.json NEW.json
+#
+# Rows are matched on (protocol, transport, log, group_commit) and the
+# table shows txn/s, commit-latency p99 and physical flushes side by
+# side with percentage deltas, followed by the failure-path rows
+# (in-doubt p99, recovery duration) when both files carry them. Exits
+# non-zero on malformed input, never on a slow result — this is a
+# reading aid, not a gate.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old, new = json.load(open(old_path)), json.load(open(new_path))
+
+def key(r):
+    return (r["protocol"], r["transport"], r["log"], r["group_commit"])
+
+def pct(a, b):
+    if a == 0:
+        return "   n/a"
+    return f"{(b - a) / a * 100:+6.1f}%"
+
+old_rows = {key(r): r for r in old.get("results", [])}
+new_rows = {key(r): r for r in new.get("results", [])}
+
+print(f"throughput: {old_path} -> {new_path}")
+hdr = f"{'config':<34} {'txn/s old':>10} {'txn/s new':>10} {'Δ':>7}  {'p99 old':>8} {'p99 new':>8} {'Δ':>7}"
+print(hdr)
+print("-" * len(hdr))
+for k in sorted(set(old_rows) | set(new_rows)):
+    name = f"{k[0]}/{k[1]}/{k[2]}/gc={'on' if k[3] else 'off'}"
+    o, n = old_rows.get(k), new_rows.get(k)
+    if o is None or n is None:
+        print(f"{name:<34} {'(only in ' + (new_path if o is None else old_path) + ')'}")
+        continue
+    print(
+        f"{name:<34} {o['txns_per_sec']:>10.1f} {n['txns_per_sec']:>10.1f} "
+        f"{pct(o['txns_per_sec'], n['txns_per_sec'])}  "
+        f"{o['latency_us']['p99']:>8} {n['latency_us']['p99']:>8} "
+        f"{pct(o['latency_us']['p99'], n['latency_us']['p99'])}"
+    )
+
+old_fp = {r["protocol"]: r for r in old.get("failure_path", [])}
+new_fp = {r["protocol"]: r for r in new.get("failure_path", [])}
+if old_fp or new_fp:
+    print()
+    print("failure path (kill/restart, tcp + file log):")
+    hdr = f"{'protocol':<18} {'in-doubt p99 old':>16} {'new':>10} {'recover ms old':>15} {'new':>10}"
+    print(hdr)
+    print("-" * len(hdr))
+    for p in sorted(set(old_fp) | set(new_fp)):
+        o, n = old_fp.get(p), new_fp.get(p)
+        if o is None or n is None:
+            print(f"{p:<18} (only in {new_path if o is None else old_path})")
+            continue
+        print(
+            f"{p:<18} {o['in_doubt_us']['p99']:>16} {n['in_doubt_us']['p99']:>10} "
+            f"{o['restart_to_recovered_ms']:>15.1f} {n['restart_to_recovered_ms']:>10.1f}"
+        )
+EOF
