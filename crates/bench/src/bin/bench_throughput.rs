@@ -35,7 +35,10 @@ use tpc_common::config::GroupCommitConfig;
 use tpc_common::{ProtocolKind, SimDuration};
 use tpc_obs::{ObsSnapshot, Phase};
 use tpc_runtime::tcp::TcpCluster;
-use tpc_runtime::{LiveCluster, LiveNodeConfig, NodeSummary, WorkloadReport, WorkloadSpec};
+use tpc_runtime::{
+    LiveCluster, LiveNodeConfig, NodeSummary, OpenLoopReport, OpenLoopSpec, WorkloadReport,
+    WorkloadSpec,
+};
 
 /// One cell of the bench matrix.
 struct Case {
@@ -60,6 +63,18 @@ struct Measurement {
     group_flushes: u64,
     /// Cluster-merged per-phase latency histograms.
     obs: ObsSnapshot,
+}
+
+/// One point on the shard scale curve: an open-loop run against a
+/// multi-lane cluster on the mem backend.
+struct ScalePoint {
+    lanes: usize,
+    stripes: usize,
+    in_flight: usize,
+    offered_rate: f64,
+    /// Marks the admission-control row (tight caps, expects rejections).
+    saturation: bool,
+    report: OpenLoopReport,
 }
 
 /// One finished kill/restart measurement on the failure path.
@@ -127,6 +142,8 @@ fn main() {
         }
     }
 
+    let scale = run_scale_curve(quick);
+
     let mut failures = Vec::new();
     for protocol in [
         ProtocolKind::Basic,
@@ -137,9 +154,77 @@ fn main() {
         failures.push(run_failure_case(protocol, quick));
     }
 
-    let json = render_json(quick, &spec, &measurements, &failures);
+    let json = render_json(quick, &spec, &measurements, &scale, &failures);
     std::fs::write(&out, json).expect("write BENCH_throughput.json");
     eprintln!("wrote {}", out.display());
+}
+
+/// Open-loop scale sweep: lanes × in-flight on the mem backend, offered
+/// load far above capacity so completion rate measures the node's
+/// multi-lane throughput ceiling, plus (full mode) one ≥10k-in-flight
+/// deep cell and one tight-cap saturation cell demonstrating bounded
+/// queueing + explicit rejections. Lane scaling tracks available cores:
+/// on a single-core host the curve is expected to be flat-to-noisy, and
+/// the `cpus` field records the context.
+fn run_scale_curve(quick: bool) -> Vec<ScalePoint> {
+    let lanes_axis: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let in_flight_axis: &[usize] = if quick { &[64] } else { &[64, 1024] };
+    let mut points = Vec::new();
+    for &lanes in lanes_axis {
+        for &in_flight in in_flight_axis {
+            let txns = if quick { 300 } else { 2_000 };
+            eprintln!("running scale lanes={lanes} in_flight={in_flight} …");
+            points.push(run_scale_case(lanes, in_flight, txns, false));
+        }
+    }
+    if !quick {
+        // The deep cell: ≥10k transactions concurrently in flight.
+        eprintln!("running scale deep cell lanes=8 in_flight=10000 …");
+        points.push(run_scale_case(8, 10_000, 12_000, false));
+    }
+    // Saturation: offered load with tight admission control must reject,
+    // not collapse.
+    eprintln!("running scale saturation cell …");
+    points.push(run_scale_case(if quick { 2 } else { 8 }, 32, 2_000, true));
+    points
+}
+
+fn run_scale_case(lanes: usize, in_flight: usize, txns: usize, saturation: bool) -> ScalePoint {
+    let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_lanes(lanes);
+    let stripes = cfg.effective_stripes();
+    let c = LiveCluster::start(vec![cfg; NODES]);
+    let spec = OpenLoopSpec {
+        arrival_rate: 100_000.0,
+        txns,
+        max_in_flight: in_flight,
+        queue_cap: if saturation { 64 } else { txns },
+        zipf_theta: 0.99,
+        tenants: 8,
+        keys_per_tenant: 1_000,
+        reply_timeout: Duration::from_secs(60),
+        key_prefix: format!("sc{lanes}x{in_flight}"),
+        seed: 42,
+    };
+    let report = c.run_open_loop(&spec);
+    assert!(c.quiesce(Duration::from_secs(30)), "cluster must quiesce");
+    c.shutdown();
+    if saturation {
+        assert!(
+            report.rejected > 0,
+            "saturation cell must show explicit rejections"
+        );
+        assert!(report.max_queue_depth <= spec.queue_cap);
+    } else {
+        assert_eq!(report.rejected, 0, "scale cells size the queue to fit");
+    }
+    ScalePoint {
+        lanes,
+        stripes,
+        in_flight,
+        offered_rate: spec.arrival_rate,
+        saturation,
+        report,
+    }
 }
 
 /// Kills a subordinate in its in-doubt window (right after its forced
@@ -204,6 +289,7 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
     let gc = case.group_commit.then(|| GroupCommitConfig {
         batch_size: spec.concurrency.max(2),
         max_wait: SimDuration::from_millis(2),
+        adaptive: false,
     });
     let mut cfg = LiveNodeConfig::new(case.protocol)
         .with_group_commit(gc)
@@ -267,6 +353,7 @@ fn render_json(
     quick: bool,
     spec: &WorkloadSpec,
     measurements: &[Measurement],
+    scale: &[ScalePoint],
     failures: &[FailureMeasurement],
 ) -> String {
     let mut s = String::new();
@@ -332,6 +419,44 @@ fn render_json(
         let _ = writeln!(s, "      \"group_requests\": {},", m.group_requests);
         let _ = writeln!(s, "      \"group_flushes\": {}", m.group_flushes);
         s.push_str(if i + 1 < measurements.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    s.push_str("  \"scale_curve\": [\n");
+    for (i, p) in scale.iter().enumerate() {
+        let r = &p.report;
+        let l = &r.latency;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"lanes\": {},", p.lanes);
+        let _ = writeln!(s, "      \"stripes\": {},", p.stripes);
+        let _ = writeln!(s, "      \"in_flight\": {},", p.in_flight);
+        let _ = writeln!(s, "      \"cpus\": {cpus},");
+        let _ = writeln!(s, "      \"saturation\": {},", p.saturation);
+        let _ = writeln!(s, "      \"offered_rate\": {:.1},", p.offered_rate);
+        let _ = writeln!(s, "      \"committed\": {},", r.committed);
+        let _ = writeln!(s, "      \"aborted\": {},", r.aborted);
+        let _ = writeln!(s, "      \"failed\": {},", r.failed);
+        let _ = writeln!(s, "      \"rejected\": {},", r.rejected);
+        let _ = writeln!(s, "      \"max_queue_depth\": {},", r.max_queue_depth);
+        let _ = writeln!(s, "      \"max_in_flight_seen\": {},", r.max_in_flight_seen);
+        let _ = writeln!(
+            s,
+            "      \"elapsed_ms\": {:.3},",
+            r.elapsed.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(s, "      \"txns_per_sec\": {:.1},", r.txns_per_sec());
+        let _ = writeln!(
+            s,
+            "      \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}",
+            l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        );
+        s.push_str(if i + 1 < scale.len() {
             "    },\n"
         } else {
             "    }\n"

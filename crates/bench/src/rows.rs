@@ -140,6 +140,7 @@ pub fn run_group_commit(txns: usize, batch: Option<usize>) -> (u64, u64) {
         Some(b) => OptimizationConfig::none().with_group_commit(Some(GroupCommitConfig {
             batch_size: b,
             max_wait: SimDuration::from_millis(2),
+            adaptive: false,
         })),
         None => OptimizationConfig::none(),
     };

@@ -212,6 +212,19 @@ pub struct DriverStats {
     pub pending_outcomes: u64,
 }
 
+impl DriverStats {
+    /// Folds another driver's counters into this one (per-lane drivers on
+    /// a multi-lane node roll up to node totals).
+    pub fn merge(&mut self, other: &DriverStats) {
+        self.flows_sent += other.flows_sent;
+        self.log_writes += other.log_writes;
+        self.forced_writes += other.forced_writes;
+        self.outcomes += other.outcomes;
+        self.damaged_outcomes += other.damaged_outcomes;
+        self.pending_outcomes += other.pending_outcomes;
+    }
+}
+
 /// Milestone timestamps for one in-flight transaction seat, from which
 /// the phase intervals are derived when the seat ends.
 #[derive(Clone, Copy, Debug)]
@@ -402,6 +415,18 @@ pub struct RecoveryStats {
     /// Transactions aborted because the crash interrupted voting
     /// (a pre-Phase-1 record with no outcome).
     pub interrupted_vote_aborts: u64,
+}
+
+impl RecoveryStats {
+    /// Folds another lane's recovery telemetry into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.wal_records_scanned += other.wal_records_scanned;
+        self.wal_scan_us += other.wal_scan_us;
+        self.in_doubt_recovered += other.in_doubt_recovered;
+        self.queries_sent += other.queries_sent;
+        self.redrives += other.redrives;
+        self.interrupted_vote_aborts += other.interrupted_vote_aborts;
+    }
 }
 
 /// One node's engine plus the shared action interpreter.

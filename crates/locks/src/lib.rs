@@ -22,6 +22,8 @@
 
 mod manager;
 mod mode;
+mod striped;
 
 pub use manager::{Acquired, LockManager, LockStats, ReleaseGrant};
 pub use mode::LockMode;
+pub use striped::{stripe_hash, StripedLockManager};

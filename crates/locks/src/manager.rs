@@ -46,6 +46,10 @@ pub struct LockStats {
     pub waits: u64,
     /// Requests refused as deadlock victims.
     pub deadlocks: u64,
+    /// Waiters evicted by [`LockManager::expire_waiters`] — the timeout
+    /// backstop that resolves cycles spanning detector instances (e.g.
+    /// stripes), which no per-instance waits-for graph can see.
+    pub timeouts: u64,
     /// Individual lock releases.
     pub releases: u64,
     /// Sum of (release time − acquisition time) over released locks, µs.
@@ -64,6 +68,19 @@ impl LockStats {
                 .checked_div(self.releases)
                 .unwrap_or(0),
         )
+    }
+
+    /// Folds another instance's counters into this one (stripe rollup).
+    pub fn merge(&mut self, other: &LockStats) {
+        self.requests += other.requests;
+        self.immediate_grants += other.immediate_grants;
+        self.waits += other.waits;
+        self.deadlocks += other.deadlocks;
+        self.timeouts += other.timeouts;
+        self.releases += other.releases;
+        self.total_hold_micros += other.total_hold_micros;
+        self.max_hold_micros = self.max_hold_micros.max(other.max_hold_micros);
+        self.total_wait_micros += other.total_wait_micros;
     }
 }
 
@@ -279,6 +296,69 @@ impl LockManager {
             }
         }
         grants
+    }
+
+    /// Transactions currently queued on some key, in no particular order.
+    pub fn waiting_txns(&self) -> Vec<TxnId> {
+        self.waiting
+            .iter()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(txn, _)| *txn)
+            .collect()
+    }
+
+    /// Evicts every waiter queued longer than `max_wait` and promotes
+    /// whoever their departure unblocks. Returns the evicted transactions
+    /// (the caller must abort them — they may hold locks elsewhere, which
+    /// the abort's `release_all` then frees) plus any follow-on grants.
+    ///
+    /// This is the timeout backstop for deadlocks the per-instance cycle
+    /// detector cannot see: cycles threading through multiple stripes or
+    /// multiple nodes.
+    pub fn expire_waiters(
+        &mut self,
+        now: SimTime,
+        max_wait: SimDuration,
+    ) -> (Vec<TxnId>, Vec<ReleaseGrant>) {
+        let mut victims: Vec<TxnId> = Vec::new();
+        let mut touched: Vec<Key> = Vec::new();
+        for (key, entry) in self.table.iter_mut() {
+            let before = entry.waiters.len();
+            entry.waiters.retain(|w| {
+                if now.since(w.since) > max_wait {
+                    victims.push(w.txn);
+                    false
+                } else {
+                    true
+                }
+            });
+            if entry.waiters.len() != before {
+                touched.push(key.clone());
+            }
+        }
+        // Dedup: a txn waiting on several keys is one victim.
+        victims.sort_unstable();
+        victims.dedup();
+        for txn in &victims {
+            self.stats.timeouts += 1;
+            if let Some(keys) = self.waiting.remove(txn) {
+                for key in keys {
+                    if let Some(entry) = self.table.get_mut(&key) {
+                        entry.waiters.retain(|w| w.txn != *txn);
+                    }
+                }
+            }
+        }
+        let mut grants = Vec::new();
+        for key in touched {
+            grants.extend(self.promote_waiters(&key, now));
+            if let Some(e) = self.table.get(&key) {
+                if e.holders.is_empty() && e.waiters.is_empty() {
+                    self.table.remove(&key);
+                }
+            }
+        }
+        (victims, grants)
     }
 
     /// Grants queued waiters on `key` in FIFO order while compatible.

@@ -4,8 +4,8 @@
 use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
-use tpc_common::{NodeId, SimTime, TxnId};
-use tpc_locks::{Acquired, LockManager, LockMode};
+use tpc_common::{NodeId, SimDuration, SimTime, TxnId};
+use tpc_locks::{Acquired, LockManager, LockMode, StripedLockManager};
 
 #[derive(Clone, Debug)]
 enum LockOp {
@@ -23,6 +23,13 @@ fn arb_op(txns: u8, keys: u8) -> impl Strategy<Value = LockOp> {
 
 fn t(n: u8) -> TxnId {
     TxnId::new(NodeId(0), n as u64)
+}
+
+/// Grant order within one release depends on map iteration order, which
+/// is not part of the contract — compare grant batches as multisets.
+fn canon(mut grants: Vec<tpc_locks::ReleaseGrant>) -> Vec<tpc_locks::ReleaseGrant> {
+    grants.sort_by(|a, b| (a.txn, &a.key).cmp(&(b.txn, &b.key)));
+    grants
 }
 
 /// A simple shadow model: who holds what, in which mode.
@@ -154,5 +161,163 @@ proptest! {
         }
         prop_assert_eq!(lm.stats().total_hold_micros, expected_total);
         prop_assert_eq!(lm.stats().releases, holds.len() as u64);
+    }
+
+    /// With one stripe, the striped manager is observationally identical
+    /// to the plain single-table manager: same per-op outcome, same
+    /// follow-on grants, same final counters.
+    #[test]
+    fn one_stripe_equals_single_table(ops in prop::collection::vec(arb_op(6, 4), 1..120)) {
+        let flat = &mut LockManager::new();
+        let striped = StripedLockManager::new(1);
+        let mut blocked: HashSet<u8> = HashSet::new();
+        let mut clock = 0u64;
+
+        for op in ops {
+            clock += 1;
+            match op {
+                LockOp::Acquire { txn, key, exclusive } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let a = flat.acquire(t(txn), &[key], mode, SimTime(clock));
+                    let b = striped.acquire(t(txn), &[key], mode, SimTime(clock));
+                    prop_assert_eq!(&a, &b, "acquire outcomes diverge");
+                    match a {
+                        Acquired::Wait => { blocked.insert(txn); }
+                        Acquired::Deadlock => {
+                            let ga = canon(flat.release_all(t(txn), SimTime(clock)));
+                            let gb = canon(striped.release_all(t(txn), SimTime(clock)));
+                            prop_assert_eq!(&ga, &gb, "victim-release grants diverge");
+                            for g in ga {
+                                blocked.remove(&(g.txn.seq as u8));
+                            }
+                        }
+                        Acquired::Granted => {}
+                    }
+                }
+                LockOp::ReleaseAll { txn } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let ga = canon(flat.release_all(t(txn), SimTime(clock)));
+                    let gb = canon(striped.release_all(t(txn), SimTime(clock)));
+                    prop_assert_eq!(&ga, &gb, "release grants diverge");
+                    for g in ga {
+                        blocked.remove(&(g.txn.seq as u8));
+                    }
+                }
+            }
+        }
+
+        // Drain both and compare the endgame too.
+        for _ in 0..16 {
+            clock += 1;
+            for txn in 0..6u8 {
+                let ga = canon(flat.release_all(t(txn), SimTime(clock)));
+                let gb = canon(striped.release_all(t(txn), SimTime(clock)));
+                prop_assert_eq!(ga, gb);
+            }
+        }
+        prop_assert_eq!(flat.active_keys(), striped.active_keys());
+        prop_assert_eq!(flat.stats(), striped.stats());
+    }
+
+    /// Transactions whose key sets are disjoint never interact: every
+    /// acquire is an immediate grant regardless of how keys hash across
+    /// stripes (no phantom conflicts from stripe sharing).
+    #[test]
+    fn disjoint_keys_never_conflict(
+        stripes in 1usize..9,
+        picks in prop::collection::vec((0u8..8, 0u8..6), 1..100),
+    ) {
+        let lm = StripedLockManager::new(stripes);
+        let mut clock = 0u64;
+        for (txn, k) in picks {
+            clock += 1;
+            // Key space is partitioned per txn, so no two txns ever name
+            // the same key even when they land on the same stripe.
+            let key = format!("txn{txn}-key{k}");
+            let got = lm.acquire(t(txn), key.as_bytes(), LockMode::Exclusive, SimTime(clock));
+            prop_assert_eq!(got, Acquired::Granted, "phantom conflict on {}", key);
+        }
+        prop_assert_eq!(lm.stats().waits, 0);
+        prop_assert_eq!(lm.stats().deadlocks, 0);
+        for txn in 0..8u8 {
+            prop_assert!(lm.release_all(t(txn), SimTime(clock + 1)).is_empty());
+        }
+        prop_assert_eq!(lm.active_keys(), 0);
+    }
+
+    /// No lost wakeups: under an arbitrary contended schedule on an
+    /// arbitrary stripe count, once every transaction has released, no
+    /// waiter is left queued and the table drains — every Wait was
+    /// resolved by a grant, a deadlock abort, or a timeout eviction.
+    #[test]
+    fn waiters_are_never_lost(
+        stripes in 1usize..9,
+        ops in prop::collection::vec(arb_op(6, 4), 1..120),
+    ) {
+        let lm = StripedLockManager::new(stripes);
+        let mut blocked: HashSet<u8> = HashSet::new();
+        let mut clock = 0u64;
+
+        let unblock = |grants: &[tpc_locks::ReleaseGrant], blocked: &mut HashSet<u8>| {
+            for g in grants {
+                blocked.remove(&(g.txn.seq as u8));
+            }
+        };
+
+        for op in ops {
+            clock += 1;
+            match op {
+                LockOp::Acquire { txn, key, exclusive } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    match lm.acquire(t(txn), &[key], mode, SimTime(clock)) {
+                        Acquired::Granted => {}
+                        Acquired::Wait => { blocked.insert(txn); }
+                        Acquired::Deadlock => {
+                            let grants = lm.release_all(t(txn), SimTime(clock));
+                            unblock(&grants, &mut blocked);
+                        }
+                    }
+                }
+                LockOp::ReleaseAll { txn } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let grants = lm.release_all(t(txn), SimTime(clock));
+                    unblock(&grants, &mut blocked);
+                }
+            }
+        }
+
+        // Cross-stripe cycles are invisible to per-stripe detectors; the
+        // timeout backstop must evict them. Then drain all survivors.
+        clock += 1_000_000;
+        let (victims, grants) = lm.expire_waiters(SimTime(clock), SimDuration(1));
+        unblock(&grants, &mut blocked);
+        for v in victims {
+            blocked.remove(&(v.seq as u8));
+            let grants = lm.release_all(v, SimTime(clock));
+            unblock(&grants, &mut blocked);
+        }
+        for _ in 0..16 {
+            clock += 1;
+            for txn in 0..6u8 {
+                if blocked.contains(&txn) {
+                    continue;
+                }
+                let grants = lm.release_all(t(txn), SimTime(clock));
+                unblock(&grants, &mut blocked);
+            }
+        }
+        prop_assert!(blocked.is_empty(), "stranded waiters: {:?}", blocked);
+        prop_assert!(lm.waiting_txns().is_empty());
+        prop_assert_eq!(lm.active_keys(), 0, "lock table must drain");
     }
 }

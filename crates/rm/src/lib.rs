@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 mod manager;
+mod shared;
 mod store;
 
 pub use manager::{Access, ResourceManager, RmConfig, RmPhase};
+pub use shared::SharedRm;
 pub use store::KvStore;

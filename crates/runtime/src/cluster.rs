@@ -7,15 +7,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use tpc_common::{Error, NodeId, Op, Result, TxnId};
+use tpc_rm::SharedRm;
+use tpc_wal::file::FileLog;
+use tpc_wal::{LogManager, MemLog, SharedLog};
 
 use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
-    AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
+    lane_of, make_obs, rm_config, rm_log_path, tm_log_path, AppCmd, CommitResult, Inbound,
+    LaneParts, LiveNodeConfig, LogBackend, NodeSummary, NodeWorker, Transport,
 };
 use crate::signal::ClusterSignal;
-use crate::workload::{run_closed_loop, WorkloadReport, WorkloadSpec};
+use crate::workload::{run_closed_loop, run_open_loop, OpenLoopReport, OpenLoopSpec};
+use crate::workload::{WorkloadReport, WorkloadSpec};
 
 /// How long cluster-level blocking requests (commit, read, summary) wait
 /// for a reply before reporting [`Error::Timeout`] instead of hanging on
@@ -23,33 +28,44 @@ use crate::workload::{run_closed_loop, WorkloadReport, WorkloadSpec};
 const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Transport over crossbeam channels: every node holds senders to all
-/// peers.
+/// peers' lanes.
 pub struct ChannelTransport {
     me: NodeId,
-    peers: Vec<Sender<Inbound>>,
+    /// `peers[node][lane]` — lane 0 always exists.
+    peers: Vec<Vec<Sender<Inbound>>>,
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
-        if let Some(tx) = self.peers.get(to.index()) {
-            let _ = tx.send(Inbound::Frame {
-                from: self.me,
-                bytes,
-            });
+        self.send_to_lane(to, 0, bytes);
+    }
+
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+        if let Some(lanes) = self.peers.get(to.index()) {
+            if let Some(tx) = lanes.get(lane).or_else(|| lanes.first()) {
+                let _ = tx.send(Inbound::Frame {
+                    from: self.me,
+                    bytes,
+                });
+            }
         }
     }
 }
 
 /// A running in-process cluster.
 pub struct LiveCluster {
-    senders: Vec<Sender<Inbound>>,
+    /// `senders[node][lane]` — lane 0 always exists.
+    senders: Vec<Vec<Sender<Inbound>>>,
     /// Clones of the workers' inbound receivers, kept so a killed node's
     /// channel survives and a restarted worker can resume reading it
     /// (after the down-window backlog is drained — those frames are the
     /// messages the dead "process" never received).
-    receivers: Vec<Receiver<Inbound>>,
-    /// `None` marks a dead (killed, not yet restarted) node.
-    handles: Vec<Option<JoinHandle<NodeSummary>>>,
+    receivers: Vec<Vec<Receiver<Inbound>>>,
+    /// `None` marks a dead (killed, not yet restarted) worker, indexed
+    /// `[node][lane]`.
+    handles: Vec<Vec<Option<JoinHandle<NodeSummary>>>>,
+    /// Coordinator lanes per node (uniform across the cluster).
+    lanes: usize,
     configs: Vec<LiveNodeConfig>,
     downstream: Vec<Vec<NodeId>>,
     fault_stats: Vec<Option<Arc<FaultStats>>>,
@@ -88,12 +104,24 @@ impl LiveCluster {
     ) -> Self {
         assert_eq!(configs.len(), faults.len(), "one fault slot per node");
         let n = configs.len();
+        let lanes = configs.first().map(|c| c.lanes.max(1)).unwrap_or(1);
+        assert!(
+            configs.iter().all(|c| c.lanes.max(1) == lanes),
+            "lane count must be uniform across the cluster (txn→lane \
+             routing is a pure function every node computes)"
+        );
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
+            let mut txs = Vec::with_capacity(lanes);
+            let mut rxs = Vec::with_capacity(lanes);
+            for _ in 0..lanes {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            senders.push(txs);
+            receivers.push(rxs);
         }
         let downstream: Vec<Vec<NodeId>> = (0..n)
             .map(|i| {
@@ -108,7 +136,8 @@ impl LiveCluster {
         let mut cluster = LiveCluster {
             senders,
             receivers,
-            handles: (0..n).map(|_| None).collect(),
+            handles: (0..n).map(|_| (0..lanes).map(|_| None).collect()).collect(),
+            lanes,
             configs,
             downstream,
             fault_stats: vec![None; n],
@@ -119,17 +148,79 @@ impl LiveCluster {
         };
         for (i, plan) in faults.iter().enumerate() {
             let node = NodeId(i as u32);
-            let transport = cluster.make_transport(node, plan.clone());
-            let worker = NodeWorker::new(
-                node,
-                cluster.configs[i].clone(),
-                cluster.downstream[i].clone(),
-                transport,
-                cluster.receivers[i].clone(),
-                epoch,
-                Arc::clone(&cluster.signal),
-            );
-            cluster.handles[i] = Some(spawn_worker(i, worker, Arc::clone(&cluster.signal)));
+            if lanes == 1 {
+                let transport = cluster.make_transport(node, plan.clone());
+                let worker = NodeWorker::new(
+                    node,
+                    cluster.configs[i].clone(),
+                    cluster.downstream[i].clone(),
+                    transport,
+                    cluster.receivers[i][0].clone(),
+                    epoch,
+                    Arc::clone(&cluster.signal),
+                );
+                cluster.handles[i][0] =
+                    Some(spawn_worker(i, 0, 1, worker, Arc::clone(&cluster.signal)));
+                continue;
+            }
+            // Multi-lane: every lane shares one RM, one durable log
+            // (SharedLog clones) and one obs recorder; each lane runs
+            // its own driver thread on its own inbound channel.
+            let cfg = cluster.configs[i].clone();
+            let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
+            let base_log: Box<dyn LogManager + Send> = match &cfg.log_backend {
+                LogBackend::Memory => Box::new(MemLog::new()),
+                LogBackend::File(dir) => {
+                    std::fs::create_dir_all(dir).expect("log directory");
+                    Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
+                }
+            };
+            let shared_tm = SharedLog::new(base_log);
+            let shared_rm_log: Option<SharedLog> = if cfg.opts.shared_log {
+                None
+            } else {
+                let base: Box<dyn LogManager + Send> = match &cfg.log_backend {
+                    LogBackend::Memory => Box::new(MemLog::new()),
+                    LogBackend::File(dir) => {
+                        std::fs::create_dir_all(dir).expect("log directory");
+                        Box::new(
+                            FileLog::create(rm_log_path(dir, node)).expect("create rm log file"),
+                        )
+                    }
+                };
+                Some(SharedLog::new(base))
+            };
+            let obs = make_obs(&cfg);
+            for lane in 0..lanes {
+                let transport = cluster.make_transport(node, plan.clone());
+                let parts = LaneParts {
+                    rm: Arc::clone(&rm),
+                    log: Box::new(shared_tm.clone()),
+                    rm_log: shared_rm_log
+                        .as_ref()
+                        .map(|l| Box::new(l.clone()) as Box<dyn LogManager + Send>),
+                    obs: obs.clone(),
+                    lane,
+                    lane_peers: cluster.senders[i].clone(),
+                };
+                let worker = NodeWorker::new_with_parts(
+                    node,
+                    cfg.clone(),
+                    cluster.downstream[i].clone(),
+                    transport,
+                    cluster.receivers[i][lane].clone(),
+                    epoch,
+                    Arc::clone(&cluster.signal),
+                    parts,
+                );
+                cluster.handles[i][lane] = Some(spawn_worker(
+                    i,
+                    lane,
+                    lanes,
+                    worker,
+                    Arc::clone(&cluster.signal),
+                ));
+            }
         }
         cluster
     }
@@ -160,16 +251,21 @@ impl LiveCluster {
         self.senders.len()
     }
 
+    /// Coordinator lanes per node.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
     /// True when the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
         self.senders.is_empty()
     }
 
-    /// True while `node`'s worker is running.
+    /// True while any of `node`'s lane workers is running.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.handles[node.index()]
-            .as_ref()
-            .is_some_and(|h| !h.is_finished())
+            .iter()
+            .any(|h| h.as_ref().is_some_and(|h| !h.is_finished()))
     }
 
     /// Fault counters for `node`'s outbound wire, when it has one.
@@ -182,10 +278,11 @@ impl LiveCluster {
     /// partners are told the sessions failed, exactly as the simulator's
     /// crash event does. Returns the dying worker's last summary.
     pub fn kill(&mut self, node: NodeId) -> Result<NodeSummary> {
-        let handle = self.handles[node.index()]
+        self.single_lane_only("kill")?;
+        let handle = self.handles[node.index()][0]
             .take()
             .ok_or(Error::NodeDown(node))?;
-        let _ = self.senders[node.index()].send(Inbound::Kill);
+        let _ = self.senders[node.index()][0].send(Inbound::Kill);
         let summary = handle
             .join()
             .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
@@ -193,16 +290,30 @@ impl LiveCluster {
         Ok(summary)
     }
 
+    /// Kill/restart scripting is a single-lane facility: a multi-lane
+    /// node's lanes share volatile state (RM, log buffers), so killing
+    /// one lane would not model a process crash.
+    fn single_lane_only(&self, what: &str) -> Result<()> {
+        if self.lanes > 1 {
+            return Err(Error::InvalidState(format!(
+                "{what} requires a single-lane cluster (lanes={})",
+                self.lanes
+            )));
+        }
+        Ok(())
+    }
+
     /// Waits for a node armed with
     /// [`kill_after_frames`](LiveNodeConfig::kill_after_frames) to crash
     /// itself, then notifies its partners. Fails with [`Error::Timeout`]
     /// if the node is still alive after `timeout`.
     pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
-        if self.handles[node.index()].is_none() {
+        self.single_lane_only("await_death")?;
+        if self.handles[node.index()][0].is_none() {
             return Err(Error::NodeDown(node));
         }
         let finished = self.signal.wait_for(timeout, || {
-            self.handles[node.index()]
+            self.handles[node.index()][0]
                 .as_ref()
                 .is_some_and(|h| h.is_finished())
                 .then_some(())
@@ -212,7 +323,7 @@ impl LiveCluster {
                 "{node} still alive after {timeout:?}"
             )));
         }
-        let handle = self.handles[node.index()].take().expect("checked above");
+        let handle = self.handles[node.index()][0].take().expect("checked above");
         let summary = handle
             .join()
             .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
@@ -225,29 +336,40 @@ impl LiveCluster {
     /// never received them), then [`NodeWorker::restart`] replays RM and
     /// engine recovery and re-drives the protocol over the transport.
     pub fn restart(&mut self, node: NodeId) -> Result<()> {
-        if self.handles[node.index()].is_some() {
+        self.single_lane_only("restart")?;
+        if self.handles[node.index()][0].is_some() {
             return Err(Error::InvalidState(format!("{node} is already running")));
         }
-        while self.receivers[node.index()].try_recv().is_ok() {}
+        while self.receivers[node.index()][0].try_recv().is_ok() {}
         let transport = self.make_transport(node, None);
         let worker = NodeWorker::restart(
             node,
             self.configs[node.index()].clone(),
             self.downstream[node.index()].clone(),
             transport,
-            self.receivers[node.index()].clone(),
+            self.receivers[node.index()][0].clone(),
             self.epoch,
             Arc::clone(&self.signal),
         )?;
-        self.handles[node.index()] =
-            Some(spawn_worker(node.index(), worker, Arc::clone(&self.signal)));
+        self.handles[node.index()][0] = Some(spawn_worker(
+            node.index(),
+            0,
+            1,
+            worker,
+            Arc::clone(&self.signal),
+        ));
         Ok(())
     }
 
     fn broadcast_partner_down(&self, peer: NodeId) {
-        for (i, tx) in self.senders.iter().enumerate() {
-            if i != peer.index() && self.handles[i].is_some() {
-                let _ = tx.send(Inbound::PartnerDown { peer });
+        for (i, lanes) in self.senders.iter().enumerate() {
+            if i == peer.index() {
+                continue;
+            }
+            for (lane, tx) in lanes.iter().enumerate() {
+                if self.handles[i][lane].is_some() {
+                    let _ = tx.send(Inbound::PartnerDown { peer });
+                }
             }
         }
     }
@@ -262,15 +384,24 @@ impl LiveCluster {
         }
     }
 
-    fn request<R>(&self, node: NodeId, make: impl FnOnce(Sender<R>) -> AppCmd) -> Result<R> {
-        if self.handles[node.index()].is_none() {
+    fn request_lane<R>(
+        &self,
+        node: NodeId,
+        lane: usize,
+        make: impl FnOnce(Sender<R>) -> AppCmd,
+    ) -> Result<R> {
+        if self.handles[node.index()][lane].is_none() {
             return Err(Error::NodeDown(node));
         }
         let (tx, rx) = bounded(1);
-        self.senders[node.index()]
+        self.senders[node.index()][lane]
             .send(Inbound::App(make(tx)))
             .map_err(|_| Error::NodeDown(node))?;
         recv_reply(&rx, node, self.reply_timeout)
+    }
+
+    fn request<R>(&self, node: NodeId, make: impl FnOnce(Sender<R>) -> AppCmd) -> Result<R> {
+        self.request_lane(node, 0, make)
     }
 
     /// Reads a committed value from `node`'s store (blocking).
@@ -304,7 +435,7 @@ impl LiveCluster {
         self.signal
             .wait_for(timeout, || {
                 let busy = (0..self.handles.len()).any(|i| {
-                    self.handles[i].is_some()
+                    self.handles[i].iter().any(|h| h.is_some())
                         && self
                             .summary(NodeId(i as u32))
                             .is_none_or(|s| s.active_txns > 0)
@@ -330,6 +461,30 @@ impl LiveCluster {
             let key = format!("{}-{slot}-{i}", spec.key_prefix);
             t.work(server, vec![Op::put(&key, &i.to_string())]);
             t.commit_async().wait(spec.reply_timeout)
+        })
+    }
+
+    /// Drives an open-loop workload: transactions arrive at
+    /// `spec.arrival_rate` per second regardless of completion (the
+    /// generator does not wait for one txn before issuing the next),
+    /// roots round-robin over nodes `0..n-1`, and each txn writes one
+    /// zipf-drawn tenant key at the last node. Admission control bounds
+    /// the in-flight population at `spec.max_in_flight` and the arrival
+    /// backlog at `spec.queue_cap`; beyond that arrivals are *rejected*
+    /// and counted, so overload degrades into bounded queueing +
+    /// explicit rejections instead of collapse.
+    pub fn run_open_loop(&self, spec: &OpenLoopSpec) -> OpenLoopReport {
+        assert!(self.len() >= 2, "workload needs a root and a server node");
+        let server = NodeId((self.len() - 1) as u32);
+        let roots = self.len() - 1;
+        run_open_loop(spec, |arrival| {
+            let root = NodeId((arrival.index % roots) as u32);
+            let t = self.begin(root);
+            t.work(
+                server,
+                vec![Op::put(&arrival.key, &arrival.index.to_string())],
+            );
+            t.commit_async()
         })
     }
 
@@ -366,10 +521,18 @@ impl LiveCluster {
             let summaries: Vec<NodeSummary> = senders
                 .iter()
                 .enumerate()
-                .filter_map(|(i, tx)| {
-                    let (reply, rx) = bounded(1);
-                    tx.send(Inbound::App(AppCmd::Summary { reply })).ok()?;
-                    recv_reply(&rx, NodeId(i as u32), timeout).ok()
+                .filter_map(|(i, lanes)| {
+                    let mut merged: Option<NodeSummary> = None;
+                    for tx in lanes {
+                        let (reply, rx) = bounded(1);
+                        tx.send(Inbound::App(AppCmd::Summary { reply })).ok()?;
+                        let s = recv_reply(&rx, NodeId(i as u32), timeout).ok()?;
+                        match merged.as_mut() {
+                            Some(base) => base.absorb_lane(s),
+                            None => merged = Some(s),
+                        }
+                    }
+                    merged
                 })
                 .collect();
             crate::obs_export::prometheus_text(&summaries)
@@ -381,9 +544,16 @@ impl LiveCluster {
         self.try_summary(node).ok()
     }
 
-    /// Fetches a node's live summary with a typed error on failure.
+    /// Fetches a node's live summary with a typed error on failure. On a
+    /// multi-lane node, every lane's summary is collected and folded
+    /// into the node-level rollup.
     pub fn try_summary(&self, node: NodeId) -> Result<NodeSummary> {
-        self.request(node, |reply| AppCmd::Summary { reply })
+        let mut merged = self.request_lane(node, 0, |reply| AppCmd::Summary { reply })?;
+        for lane in 1..self.lanes {
+            let s = self.request_lane(node, lane, |reply| AppCmd::Summary { reply })?;
+            merged.absorb_lane(s);
+        }
+        Ok(merged)
     }
 
     /// Stops every live node and returns their final summaries (killed
@@ -391,14 +561,25 @@ impl LiveCluster {
     /// [`LiveCluster::kill`] / [`LiveCluster::await_death`]).
     pub fn shutdown(self) -> Vec<NodeSummary> {
         let mut summaries = Vec::with_capacity(self.senders.len());
-        for (i, tx) in self.senders.iter().enumerate() {
-            if self.handles[i].is_some() {
-                let (reply, _rx) = bounded(1);
-                let _ = tx.send(Inbound::Shutdown { reply });
+        for (i, lanes) in self.senders.iter().enumerate() {
+            for (lane, tx) in lanes.iter().enumerate() {
+                if self.handles[i][lane].is_some() {
+                    let (reply, _rx) = bounded(1);
+                    let _ = tx.send(Inbound::Shutdown { reply });
+                }
             }
         }
-        for h in self.handles.into_iter().flatten() {
-            if let Ok(s) = h.join() {
+        for node_handles in self.handles.into_iter() {
+            let mut node_summary: Option<NodeSummary> = None;
+            for h in node_handles.into_iter().flatten() {
+                if let Ok(s) = h.join() {
+                    match node_summary.as_mut() {
+                        Some(base) => base.absorb_lane(s),
+                        None => node_summary = Some(s),
+                    }
+                }
+            }
+            if let Some(s) = node_summary {
                 summaries.push(s);
             }
         }
@@ -406,17 +587,30 @@ impl LiveCluster {
     }
 
     pub(crate) fn send_app(&self, node: NodeId, cmd: AppCmd) {
-        let _ = self.senders[node.index()].send(Inbound::App(cmd));
+        let lane = match &cmd {
+            AppCmd::Work { txn, .. } | AppCmd::Commit { txn, .. } | AppCmd::Abort { txn, .. } => {
+                lane_of(*txn, self.lanes)
+            }
+            AppCmd::Read { .. } | AppCmd::Summary { .. } => 0,
+        };
+        let _ = self.senders[node.index()][lane].send(Inbound::App(cmd));
     }
 }
 
 fn spawn_worker<T: Transport>(
     index: usize,
+    lane: usize,
+    lanes: usize,
     worker: NodeWorker<T>,
     signal: Arc<ClusterSignal>,
 ) -> JoinHandle<NodeSummary> {
+    let name = if lanes > 1 {
+        format!("tpc-node-{index}-l{lane}")
+    } else {
+        format!("tpc-node-{index}")
+    };
     std::thread::Builder::new()
-        .name(format!("tpc-node-{index}"))
+        .name(name)
         .spawn(move || {
             let summary = worker.run();
             // Final bump so await_death / quiesce observe the exit.
@@ -445,11 +639,31 @@ pub struct CommitWait {
 }
 
 impl CommitWait {
+    /// Assembles a wait from raw parts (workload tests drive the
+    /// open-loop reaper without a cluster).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn from_parts(rx: Receiver<CommitResult>, node: NodeId) -> Self {
+        CommitWait { rx, node }
+    }
+}
+
+impl CommitWait {
     /// Blocks until the outcome arrives; [`Error::NodeDown`] if the root
     /// died with the request in flight, [`Error::Timeout`] after
     /// `timeout`.
     pub fn wait(self, timeout: Duration) -> Result<CommitResult> {
         recv_reply(&self.rx, self.node, timeout)
+    }
+
+    /// Non-blocking completion check: `Ok(Some(..))` once the outcome
+    /// has arrived, `Ok(None)` while still in flight. The open-loop
+    /// workload reaps thousands of in-flight commits with this.
+    pub fn poll(&self) -> Result<Option<CommitResult>> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(Error::NodeDown(self.node)),
+        }
     }
 }
 

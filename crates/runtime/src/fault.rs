@@ -132,6 +132,7 @@ impl FaultStats {
 struct HeldFrame {
     release_after: u64,
     to: NodeId,
+    lane: Option<usize>,
     bytes: Vec<u8>,
 }
 
@@ -183,8 +184,17 @@ impl<T> FaultyWire<T> {
     }
 }
 
-impl<T: Transport> Transport for FaultyWire<T> {
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+impl<T: Transport> FaultyWire<T> {
+    /// Delivers to the inner transport, preserving lane addressing when
+    /// the frame carried one.
+    fn deliver(&mut self, to: NodeId, lane: Option<usize>, bytes: Vec<u8>) {
+        match lane {
+            Some(l) => self.inner.send_to_lane(to, l, bytes),
+            None => self.inner.send(to, bytes),
+        }
+    }
+
+    fn faulty_send(&mut self, to: NodeId, lane: Option<usize>, bytes: Vec<u8>) {
         self.sends += 1;
         if self.disconnected() {
             self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
@@ -197,11 +207,11 @@ impl<T: Transport> Transport for FaultyWire<T> {
             .is_some_and(|h| h.release_after <= self.sends)
         {
             let h = self.held.pop_front().expect("checked front");
-            self.inner.send(h.to, h.bytes);
+            self.deliver(h.to, h.lane, h.bytes);
         }
         if !self.plan.fault_work_frames && carries_work(&bytes) {
             self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-            self.inner.send(to, bytes);
+            self.deliver(to, lane, bytes);
             return;
         }
         let roll = self.roll();
@@ -214,16 +224,27 @@ impl<T: Transport> Transport for FaultyWire<T> {
             self.held.push_back(HeldFrame {
                 release_after: self.sends + u64::from(self.plan.delay_frames),
                 to,
+                lane,
                 bytes,
             });
             return;
         }
         if roll < self.plan.drop_rate + self.plan.delay_rate + self.plan.duplicate_rate {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.inner.send(to, bytes.clone());
+            self.deliver(to, lane, bytes.clone());
         }
         self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-        self.inner.send(to, bytes);
+        self.deliver(to, lane, bytes);
+    }
+}
+
+impl<T: Transport> Transport for FaultyWire<T> {
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.faulty_send(to, None, bytes);
+    }
+
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+        self.faulty_send(to, Some(lane), bytes);
     }
 
     fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {

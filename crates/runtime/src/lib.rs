@@ -90,6 +90,10 @@ mod workload;
 pub use cluster::{CommitWait, LiveCluster, TxnHandle};
 pub use fault::{FaultPlan, FaultStats, FaultyWire};
 pub use http::MetricsServer;
-pub use node::{AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport};
+pub use node::{
+    lane_of, AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport,
+};
 pub use signal::ClusterSignal;
-pub use workload::{LatencySummary, WorkloadReport, WorkloadSpec};
+pub use workload::{
+    Arrival, LatencySummary, OpenLoopReport, OpenLoopSpec, WorkloadReport, WorkloadSpec,
+};

@@ -26,7 +26,7 @@ use tpc_core::{
     ProtocolMsg, RecoveryStats, RmHost, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_obs::{Obs, ObsSnapshot, Phase};
-use tpc_rm::{Access, ResourceManager, RmConfig};
+use tpc_rm::{Access, RmConfig, SharedRm};
 use tpc_wal::file::FileLog;
 use tpc_wal::{
     Durability, FlushDecision, GroupCommitter, GroupStats, LogManager, LogRecord, LogStats, MemLog,
@@ -51,6 +51,14 @@ pub trait Transport: Send + 'static {
     /// Delivers an encoded frame to `to` (best effort).
     fn send(&mut self, to: NodeId, bytes: Vec<u8>);
 
+    /// Delivers an encoded frame to a specific coordinator lane of `to`.
+    /// Transports that cannot address lanes (TCP, recorders) fall back to
+    /// [`Transport::send`]; the receiving side then owns lane dispatch.
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+        let _ = lane;
+        self.send(to, bytes);
+    }
+
     /// Transport-level counters for the metrics endpoint, as
     /// `(metric_name, help, value)` triples. Transports without
     /// interesting state (in-process channels) keep the default.
@@ -64,8 +72,25 @@ impl Transport for Box<dyn Transport> {
         (**self).send(to, bytes)
     }
 
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+        (**self).send_to_lane(to, lane, bytes)
+    }
+
     fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
         (**self).counters()
+    }
+}
+
+/// The lane owning `txn` on a node running `lanes` root-coordinator
+/// lanes. Pure function of the txn id, so every node in the cluster
+/// routes a transaction's messages to the same lane index without
+/// coordination.
+#[inline]
+pub fn lane_of(txn: TxnId, lanes: usize) -> usize {
+    if lanes <= 1 {
+        0
+    } else {
+        (txn.seq % lanes as u64) as usize
     }
 }
 
@@ -100,6 +125,19 @@ pub struct LiveNodeConfig {
     /// (implies `observe`). Spans cost an allocation per phase, so this
     /// is a debugging/visualization switch, not a benchmarking one.
     pub trace: bool,
+    /// Root-coordinator lanes per node. Each lane is a full [`Driver`]
+    /// host on its own thread; all lanes of a node share one WAL, one
+    /// [`SharedRm`] and one transport identity. Transactions map to
+    /// lanes by `txn.seq % lanes`, consistently cluster-wide.
+    pub lanes: usize,
+    /// Key stripes for the shared RM's lock table and store. `None`
+    /// picks 1 for single-lane nodes (preserving single-table deadlock
+    /// detection) and 16 for multi-lane ones.
+    pub stripes: Option<usize>,
+    /// Backstop for lock waits that per-stripe cycle detection cannot
+    /// see (cross-stripe and cross-node cycles): waiters older than this
+    /// are aborted as deadlock victims. Only armed on multi-lane nodes.
+    pub lock_wait_timeout: SimDuration,
 }
 
 impl LiveNodeConfig {
@@ -116,7 +154,35 @@ impl LiveNodeConfig {
             kill_after_frames: None,
             observe: false,
             trace: false,
+            lanes: 1,
+            stripes: None,
+            lock_wait_timeout: SimDuration(2_000_000),
         }
+    }
+
+    /// Runs `lanes` root-coordinator lanes on this node (min 1).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the RM key-stripe count.
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        self.stripes = Some(stripes.max(1));
+        self
+    }
+
+    /// Overrides the cross-stripe lock-wait backstop.
+    pub fn with_lock_wait_timeout(mut self, timeout: SimDuration) -> Self {
+        self.lock_wait_timeout = timeout;
+        self
+    }
+
+    /// The effective stripe count: explicit override, else 1 for a
+    /// single-lane node (exact single-table semantics) and 16 for a
+    /// multi-lane one.
+    pub fn effective_stripes(&self) -> usize {
+        self.stripes.unwrap_or(if self.lanes > 1 { 16 } else { 1 })
     }
 
     /// Enables per-phase latency histograms on this node.
@@ -265,6 +331,37 @@ pub struct NodeSummary {
     pub protocol_state: NodeProtocolState,
 }
 
+impl NodeSummary {
+    /// Folds a sibling lane's summary into this one, producing the
+    /// node-level rollup a multi-lane node reports. Engine/driver
+    /// counters add; the log stats stay as-is because every lane reads
+    /// the same shared device (lane 0's numbers already ARE the node
+    /// totals); per-lane group-commit batchers add; the obs snapshot is
+    /// shared (one `Arc<Obs>` across lanes), so the first one wins.
+    pub fn absorb_lane(&mut self, other: NodeSummary) {
+        debug_assert_eq!(self.node, other.node);
+        self.metrics.merge(&other.metrics);
+        self.driver.merge(&other.driver);
+        self.group.merge(&other.group);
+        if self.obs.is_none() {
+            self.obs = other.obs;
+        }
+        match (&mut self.recovery, other.recovery) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (None, Some(theirs)) => self.recovery = Some(theirs),
+            _ => {}
+        }
+        self.active_txns += other.active_txns;
+        self.protocol_state
+            .active
+            .extend(other.protocol_state.active);
+        self.protocol_state
+            .completed
+            .extend(other.protocol_state.completed);
+        self.protocol_state.crashed |= other.protocol_state.crashed;
+    }
+}
+
 struct TimerEntry {
     deadline: Instant,
     txn: TxnId,
@@ -297,7 +394,16 @@ struct LiveHost<T: Transport> {
     transport: T,
     log: Box<dyn LogManager + Send>,
     rm_log: Option<Box<dyn LogManager + Send>>,
-    rm: ResourceManager,
+    rm: Arc<SharedRm>,
+    /// Total lanes on this node; 1 = classic single-lane node.
+    lanes: usize,
+    /// This host's lane index.
+    lane: usize,
+    /// Inbound channels of this node's *other* lanes, indexed by lane
+    /// (this lane's own slot is present but unused). Empty on
+    /// single-lane nodes. Used to forward lock grants and deadlock
+    /// victims to the lane owning the affected transaction.
+    lane_peers: Vec<Sender<Inbound>>,
     timers: BinaryHeap<TimerEntry>,
     pending_ops: HashMap<TxnId, VecDeque<Op>>,
     deadlocked: HashSet<TxnId>,
@@ -345,7 +451,7 @@ impl<T: Transport> LiveHost<T> {
         transport: T,
         log: Box<dyn LogManager + Send>,
         rm_log: Option<Box<dyn LogManager + Send>>,
-        rm: ResourceManager,
+        rm: Arc<SharedRm>,
         epoch: Instant,
     ) -> Self {
         LiveHost {
@@ -354,6 +460,9 @@ impl<T: Transport> LiveHost<T> {
             log,
             rm_log,
             rm,
+            lanes: 1,
+            lane: 0,
+            lane_peers: Vec::new(),
             timers: BinaryHeap::new(),
             pending_ops: HashMap::new(),
             deadlocked: HashSet::new(),
@@ -395,6 +504,21 @@ impl<T: Transport> LiveHost<T> {
             obs.record(Phase::GroupFlush, opened.elapsed().as_micros() as u64);
         }
         self.group_opened_at = None;
+    }
+
+    /// One physical group-batch flush: timed into the Fsync histogram,
+    /// charged to the GroupFlush window, and fed back to the committer's
+    /// flush-cost estimate so the adaptive policy can calibrate.
+    fn flush_group_batch(&mut self) {
+        let started = Instant::now();
+        self.timed(Phase::Fsync, |h| {
+            h.log.flush_batch().expect("live log flush")
+        });
+        let micros = started.elapsed().as_micros() as u64;
+        if let Some(gc) = self.group.as_mut() {
+            gc.note_flush_micros(micros);
+        }
+        self.note_group_flush();
     }
 
     /// Moves the released tickets' suspended tails to the resume queue,
@@ -456,9 +580,18 @@ impl<T: Transport> LiveHost<T> {
         }
     }
 
+    /// Applies release grants for this lane's transactions and forwards
+    /// the rest to the owning lanes' inbound channels. On a single-lane
+    /// node every grant is local, exactly the old behavior.
     fn resume_grants(&mut self, grants: Vec<tpc_locks::ReleaseGrant>) {
         let mut resumed: HashSet<TxnId> = HashSet::new();
+        let mut foreign: HashMap<usize, Vec<tpc_locks::ReleaseGrant>> = HashMap::new();
         for g in grants {
+            let lane = lane_of(g.txn, self.lanes);
+            if lane != self.lane && !self.lane_peers.is_empty() {
+                foreign.entry(lane).or_default().push(g);
+                continue;
+            }
             if resumed.insert(g.txn) {
                 if let Some(ops) = self.pending_ops.remove(&g.txn) {
                     self.run_ops(g.txn, ops);
@@ -472,6 +605,31 @@ impl<T: Transport> LiveHost<T> {
                     }
                 }
             }
+        }
+        for (lane, batch) in foreign {
+            let _ = self.lane_peers[lane].send(Inbound::Grants(batch));
+        }
+    }
+
+    /// Dooms `txn` as a lock-victim on this lane: aborts its local work,
+    /// resumes whoever its locks unblock, and votes No if a prepare was
+    /// pending — the same path `run_ops` takes on an inline deadlock.
+    fn doom_lock_victim(&mut self, txn: TxnId) {
+        self.deadlocked.insert(txn);
+        self.pending_ops.remove(&txn);
+        let now = self.now();
+        let grants = {
+            let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
+            self.rm
+                .abort(txn, log, Durability::NonForced, now)
+                .unwrap_or_default()
+        };
+        self.resume_grants(grants);
+        if self.prepare_waiting.remove(&txn).is_some() {
+            self.followups.push_back(Event::LocalPrepared {
+                txn,
+                vote: LocalVote::no(),
+            });
         }
     }
 
@@ -503,13 +661,23 @@ impl<T: Transport> LiveHost<T> {
 
 impl<T: Transport> Wire for LiveHost<T> {
     fn send(&mut self, _now: SimTime, to: NodeId, ctx: Option<TraceCtx>, msgs: Vec<ProtocolMsg>) {
+        // All msgs in one driver send belong to one transaction, so the
+        // destination lane is well-defined.
+        let lane = msgs
+            .first()
+            .map(|m| lane_of(m.txn(), self.lanes))
+            .unwrap_or(0);
         let bytes = Frame {
             ctx,
             bundle: Bundle(msgs),
         }
         .encode_to_bytes()
         .to_vec();
-        self.transport.send(to, bytes);
+        if self.lanes > 1 {
+            self.transport.send_to_lane(to, lane, bytes);
+        } else {
+            self.transport.send(to, bytes);
+        }
     }
 }
 
@@ -539,10 +707,7 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 .request(now, ticket);
             match decision {
                 FlushDecision::FlushNow(tickets) => {
-                    self.timed(Phase::Fsync, |h| {
-                        h.log.flush_batch().expect("live log flush")
-                    });
-                    self.note_group_flush();
+                    self.flush_group_batch();
                     self.group_deadline = None;
                     self.release_tickets(tickets, Some(ticket));
                     LogControl::Done
@@ -681,6 +846,11 @@ pub struct NodeWorker<T: Transport> {
     rx: Receiver<Inbound>,
     frames_seen: u32,
     kill_after_frames: Option<u32>,
+    /// Cross-stripe lock-wait backstop (multi-lane lane 0 only).
+    lock_wait_timeout: SimDuration,
+    /// Next wall-clock instant the lane-0 lock-wait sweep may run
+    /// (throttle: the sweep visits every stripe).
+    next_lock_sweep: Instant,
     /// Cluster-wide progress signal: bumped whenever this worker makes
     /// observable progress, so cluster waiters (`read_eventually`,
     /// `quiesce`, `await_death`) block on a condvar instead of polling.
@@ -706,6 +876,13 @@ pub enum Inbound {
         /// The failed partner.
         peer: NodeId,
     },
+    /// Lock grants released by another lane of this node whose waiting
+    /// transactions belong to this lane.
+    Grants(Vec<tpc_locks::ReleaseGrant>),
+    /// Transactions this lane owns that another lane (or the lane-0
+    /// lock-wait sweep) picked as deadlock/timeout victims; this lane
+    /// aborts their local work and votes No where a vote was pending.
+    LockVictims(Vec<TxnId>),
     /// Crash the worker: volatile state and buffered log tails are lost,
     /// in-flight application replies are dropped. Only the durable WAL
     /// survives for [`NodeWorker::restart`].
@@ -722,7 +899,7 @@ pub enum Inbound {
 /// the host (fsync timing) — on restart the driver gets it *before*
 /// recovery runs, so recovered in-doubt windows re-open with their
 /// original entry instants.
-fn make_obs(cfg: &LiveNodeConfig) -> Option<Arc<Obs>> {
+pub(crate) fn make_obs(cfg: &LiveNodeConfig) -> Option<Arc<Obs>> {
     if !cfg.observe && !cfg.trace {
         return None;
     }
@@ -739,8 +916,30 @@ pub(crate) fn rm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::Pat
     dir.join(format!("node-{}.rm.log", node.0))
 }
 
+/// The per-lane slice of a node's shared infrastructure: one RM, one
+/// log (possibly a [`SharedLog`] clone), one lane index and the sibling
+/// lanes' inbound channels. Single-lane nodes build this implicitly in
+/// [`NodeWorker::new`]; the multi-lane cluster builds one per lane.
+pub(crate) struct LaneParts {
+    pub rm: Arc<SharedRm>,
+    pub log: Box<dyn LogManager + Send>,
+    pub rm_log: Option<Box<dyn LogManager + Send>>,
+    pub obs: Option<Arc<Obs>>,
+    pub lane: usize,
+    pub lane_peers: Vec<Sender<Inbound>>,
+}
+
+pub(crate) fn rm_config(cfg: &LiveNodeConfig) -> RmConfig {
+    if cfg.reliable {
+        RmConfig::new(RmId(0)).reliable()
+    } else {
+        RmConfig::new(RmId(0))
+    }
+}
+
 impl<T: Transport> NodeWorker<T> {
-    /// Builds a worker; `partners` are the standing downstream partners.
+    /// Builds a single-lane worker; `partners` are the standing
+    /// downstream partners.
     pub fn new(
         node: NodeId,
         cfg: LiveNodeConfig,
@@ -750,22 +949,7 @@ impl<T: Transport> NodeWorker<T> {
         epoch: Instant,
         signal: Arc<ClusterSignal>,
     ) -> Self {
-        let engine_cfg = EngineConfig {
-            node,
-            protocol: cfg.protocol,
-            opts: cfg.opts.clone(),
-            timeouts: cfg.timeouts,
-            heuristic: cfg.heuristic,
-        };
-        let mut driver = Driver::new(engine_cfg).expect("valid live config");
-        for p in partners {
-            driver.engine_mut().add_session_partner(p);
-        }
-        let rm = ResourceManager::new(if cfg.reliable {
-            RmConfig::new(RmId(0)).reliable()
-        } else {
-            RmConfig::new(RmId(0))
-        });
+        let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
         // The RM log must share the TM log's durability class: a node
         // whose TM log survives a crash but whose RM log does not could
         // not honour its prepared guarantee.
@@ -789,19 +973,69 @@ impl<T: Transport> NodeWorker<T> {
                 Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
             }
         };
-        let kill_after_frames = cfg.kill_after_frames;
         let obs = make_obs(&cfg);
-        if let Some(o) = &obs {
+        let parts = LaneParts {
+            rm,
+            log,
+            rm_log,
+            obs,
+            lane: 0,
+            lane_peers: Vec::new(),
+        };
+        Self::new_with_parts(node, cfg, partners, transport, rx, epoch, signal, parts)
+    }
+
+    /// Builds one lane of a (possibly multi-lane) node from pre-built
+    /// shared parts. All lanes of a node share `parts.rm` and (through
+    /// [`SharedLog`] clones) the durable logs; each lane runs its own
+    /// [`Driver`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_with_parts(
+        node: NodeId,
+        cfg: LiveNodeConfig,
+        partners: Vec<NodeId>,
+        transport: T,
+        rx: Receiver<Inbound>,
+        epoch: Instant,
+        signal: Arc<ClusterSignal>,
+        parts: LaneParts,
+    ) -> Self {
+        let engine_cfg = EngineConfig {
+            node,
+            protocol: cfg.protocol,
+            opts: cfg.opts.clone(),
+            timeouts: cfg.timeouts,
+            heuristic: cfg.heuristic,
+        };
+        let mut driver = Driver::new(engine_cfg).expect("valid live config");
+        for p in partners {
+            driver.engine_mut().add_session_partner(p);
+        }
+        let kill_after_frames = cfg.kill_after_frames;
+        if let Some(o) = &parts.obs {
             driver.set_obs(Arc::clone(o));
         }
-        let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
-        host.obs = obs;
+        let mut host = LiveHost::new(
+            node,
+            &cfg,
+            transport,
+            parts.log,
+            parts.rm_log,
+            parts.rm,
+            epoch,
+        );
+        host.obs = parts.obs;
+        host.lanes = cfg.lanes.max(1);
+        host.lane = parts.lane;
+        host.lane_peers = parts.lane_peers;
         NodeWorker {
             driver,
             host,
             rx,
             frames_seen: 0,
             kill_after_frames,
+            lock_wait_timeout: cfg.lock_wait_timeout,
+            next_lock_sweep: Instant::now() + Duration::from_millis(100),
             signal,
         }
     }
@@ -868,11 +1102,7 @@ impl<T: Transport> NodeWorker<T> {
         // RM recovery first, so the re-driven CommitLocal/AbortLocal
         // actions from engine recovery find consistent RM state (the same
         // order the simulator's restart uses).
-        let mut rm = ResourceManager::new(if cfg.reliable {
-            RmConfig::new(RmId(0)).reliable()
-        } else {
-            RmConfig::new(RmId(0))
-        });
+        let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
         let scan_started = Instant::now();
         {
             let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
@@ -907,6 +1137,8 @@ impl<T: Transport> NodeWorker<T> {
             frames_seen: 0,
             // A restarted node must not crash again: the knob is one-shot.
             kill_after_frames: None,
+            lock_wait_timeout: cfg.lock_wait_timeout,
+            next_lock_sweep: Instant::now() + Duration::from_millis(100),
             signal,
         };
         let now = worker.host.now();
@@ -940,6 +1172,16 @@ impl<T: Transport> NodeWorker<T> {
                     }
                 }
                 Ok(Inbound::App(cmd)) => self.on_app(cmd),
+                Ok(Inbound::Grants(grants)) => {
+                    self.host.resume_grants(grants);
+                    self.pump();
+                }
+                Ok(Inbound::LockVictims(victims)) => {
+                    for txn in victims {
+                        self.host.doom_lock_victim(txn);
+                    }
+                    self.pump();
+                }
                 Ok(Inbound::PartnerDown { peer }) => {
                     self.drive(Event::PartnerFailed { peer });
                 }
@@ -960,11 +1202,51 @@ impl<T: Transport> NodeWorker<T> {
             }
             progressed |= self.fire_due_timers();
             progressed |= self.expire_group_if_due();
+            progressed |= self.expire_lock_waits_if_due();
             self.flush_acks_if_idle();
             if progressed {
                 self.signal.bump();
             }
         }
+    }
+
+    /// Lane 0's periodic lock-wait sweep (multi-lane nodes only): evicts
+    /// waiters older than the backstop timeout — the victims cover
+    /// cross-stripe and cross-node cycles the per-stripe detector cannot
+    /// see — and dispatches each victim to its owning lane.
+    fn expire_lock_waits_if_due(&mut self) -> bool {
+        if self.host.lanes <= 1 || self.host.lane != 0 {
+            return false;
+        }
+        let wall = Instant::now();
+        if wall < self.next_lock_sweep {
+            return false;
+        }
+        self.next_lock_sweep = wall + Duration::from_millis(100);
+        let now = self.host.now();
+        let (victims, grants) = self.host.rm.expire_lock_waits(now, self.lock_wait_timeout);
+        if victims.is_empty() && grants.is_empty() {
+            return false;
+        }
+        let mut mine = Vec::new();
+        let mut foreign: HashMap<usize, Vec<TxnId>> = HashMap::new();
+        for v in victims {
+            let lane = lane_of(v, self.host.lanes);
+            if lane == self.host.lane {
+                mine.push(v);
+            } else {
+                foreign.entry(lane).or_default().push(v);
+            }
+        }
+        for (lane, batch) in foreign {
+            let _ = self.host.lane_peers[lane].send(Inbound::LockVictims(batch));
+        }
+        for txn in mine {
+            self.host.doom_lock_victim(txn);
+        }
+        self.host.resume_grants(grants);
+        self.pump();
+        true
     }
 
     /// Fires the batch deadline: if the pending group-commit batch has
@@ -983,10 +1265,7 @@ impl<T: Transport> NodeWorker<T> {
         let Some(tickets) = released else {
             return false;
         };
-        self.host.timed(Phase::Fsync, |h| {
-            h.log.flush_batch().expect("live log flush")
-        });
-        self.host.note_group_flush();
+        self.host.flush_group_batch();
         self.host.release_tickets(tickets, None);
         self.pump();
         true
@@ -998,10 +1277,7 @@ impl<T: Transport> NodeWorker<T> {
     fn drain_group(&mut self) {
         let released = self.host.group.as_mut().and_then(|gc| gc.drain());
         let Some(tickets) = released else { return };
-        self.host.timed(Phase::Fsync, |h| {
-            h.log.flush_batch().expect("live log flush")
-        });
-        self.host.note_group_flush();
+        self.host.flush_group_batch();
         self.host.group_deadline = None;
         self.host.release_tickets(tickets, None);
         self.pump();
@@ -1142,7 +1418,7 @@ impl<T: Transport> NodeWorker<T> {
                 self.drive(Event::AbortRequested { txn });
             }
             AppCmd::Read { key, reply } => {
-                let _ = reply.send(self.host.rm.store().get(&key).map(|v| v.to_vec()));
+                let _ = reply.send(self.host.rm.get(&key));
             }
             AppCmd::Summary { reply } => {
                 let _ = reply.send(self.summary(false));

@@ -9,10 +9,12 @@
 //! commit-latency distribution. `tpc-bench`'s `bench_throughput` binary
 //! and the group-commit stress tests are built on it.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use tpc_common::{Outcome, Result};
 
+use crate::cluster::CommitWait;
 use crate::node::CommitResult;
 
 /// Shape of a closed-loop run.
@@ -181,6 +183,265 @@ where
     }
 }
 
+/// Shape of an open-loop run: arrivals are paced by a target rate, not
+/// by completions, so the generator models offered load rather than a
+/// fixed client population. Overload is handled by *admission control*:
+/// a bounded arrival queue plus a bounded in-flight population, with
+/// explicit rejections once both are full.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// Offered load, in transaction arrivals per second.
+    pub arrival_rate: f64,
+    /// Total arrivals to generate.
+    pub txns: usize,
+    /// Admission control: maximum transactions outstanding at once.
+    pub max_in_flight: usize,
+    /// Admission control: maximum arrivals queued awaiting an in-flight
+    /// slot. An arrival finding the queue full is rejected (counted,
+    /// never issued) — bounded queueing instead of collapse.
+    pub queue_cap: usize,
+    /// Zipf skew exponent for key choice within a tenant (0 = uniform;
+    /// ~0.99 = classic hot-key YCSB skew).
+    pub zipf_theta: f64,
+    /// Independent tenants; arrival `i` belongs to tenant `i % tenants`,
+    /// and tenants never share keys.
+    pub tenants: usize,
+    /// Keys per tenant key space.
+    pub keys_per_tenant: usize,
+    /// Deadline for any single commit; an in-flight transaction older
+    /// than this counts as `failed` and frees its slot.
+    pub reply_timeout: Duration,
+    /// Key prefix, so interleaved runs on one cluster stay disjoint.
+    pub key_prefix: String,
+    /// Seed for the arrival/key randomness (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            arrival_rate: 500.0,
+            txns: 1_000,
+            max_in_flight: 64,
+            queue_cap: 256,
+            zipf_theta: 0.0,
+            tenants: 4,
+            keys_per_tenant: 1_000,
+            reply_timeout: Duration::from_secs(30),
+            key_prefix: "ol".into(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl OpenLoopSpec {
+    /// A spec offering `rate` txns/sec for `txns` arrivals.
+    pub fn new(rate: f64, txns: usize) -> Self {
+        OpenLoopSpec {
+            arrival_rate: rate,
+            txns,
+            ..OpenLoopSpec::default()
+        }
+    }
+}
+
+/// One generated arrival, handed to the issue closure.
+pub struct Arrival {
+    /// Global arrival index (`0..spec.txns`).
+    pub index: usize,
+    /// The zipf-drawn tenant key this transaction writes.
+    pub key: String,
+}
+
+/// Outcome of an open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted (still a completed 2PC round).
+    pub aborted: u64,
+    /// Transactions that errored or outlived the reply deadline.
+    pub failed: u64,
+    /// Arrivals rejected by admission control (never issued).
+    pub rejected: u64,
+    /// Deepest the arrival queue got.
+    pub max_queue_depth: usize,
+    /// Most transactions outstanding at once.
+    pub max_in_flight_seen: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Latency distribution measured **from arrival** (not from issue),
+    /// so queueing delay under load is visible in the percentiles.
+    pub latency: LatencySummary,
+}
+
+impl OpenLoopReport {
+    /// Completed transactions per wall-clock second.
+    pub fn txns_per_sec(&self) -> f64 {
+        let done = (self.committed + self.aborted) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            done / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Splitmix-style generator for arrival randomness: deterministic per
+/// seed, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(θ) sampler over ranks `0..n` via a precomputed cumulative
+/// distribution and binary search. θ = 0 degenerates to uniform.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Self {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Runs `spec.txns` arrivals open-loop through `issue`, which must
+/// return immediately with a [`CommitWait`] (e.g. `commit_async`). The
+/// driver paces arrivals at `spec.arrival_rate`, applies admission
+/// control, and reaps completions by polling — one thread, no
+/// per-transaction blocking anywhere.
+pub(crate) fn run_open_loop<F>(spec: &OpenLoopSpec, issue: F) -> OpenLoopReport
+where
+    F: Fn(&Arrival) -> CommitWait,
+{
+    assert!(spec.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(spec.max_in_flight > 0, "need at least one in-flight slot");
+    let interval = Duration::from_secs_f64(1.0 / spec.arrival_rate);
+    let zipf = Zipf::new(spec.keys_per_tenant, spec.zipf_theta);
+    let mut rng = Rng(spec.seed);
+    let tenants = spec.tenants.max(1);
+
+    let start = Instant::now();
+    let mut issued = 0usize; // arrivals generated (admitted, queued or rejected)
+    let mut queue: VecDeque<(Instant, usize)> = VecDeque::new();
+    let mut in_flight: Vec<(CommitWait, Instant)> = Vec::new();
+    let (mut committed, mut aborted, mut failed, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    let mut latencies: Vec<u64> = Vec::with_capacity(spec.txns);
+    let (mut max_queue_depth, mut max_in_flight_seen) = (0usize, 0usize);
+
+    loop {
+        let now = Instant::now();
+        // 1. Generate every arrival that is due by now (catch-up pacer:
+        //    a stalled driver emits the backlog in a burst, preserving
+        //    the offered rate on average).
+        while issued < spec.txns && start + interval.mul_f64(issued as f64) <= now {
+            if queue.len() >= spec.queue_cap {
+                rejected += 1; // admission control: explicit rejection
+            } else {
+                queue.push_back((now, issued));
+            }
+            issued += 1;
+        }
+        max_queue_depth = max_queue_depth.max(queue.len());
+        // 2. Admit queued arrivals into free in-flight slots.
+        while in_flight.len() < spec.max_in_flight {
+            let Some((arrived_at, index)) = queue.pop_front() else {
+                break;
+            };
+            let tenant = index % tenants;
+            let rank = zipf.sample(rng.next_f64());
+            let arrival = Arrival {
+                index,
+                key: format!("{}-t{tenant}-k{rank}", spec.key_prefix),
+            };
+            in_flight.push((issue(&arrival), arrived_at));
+        }
+        max_in_flight_seen = max_in_flight_seen.max(in_flight.len());
+        // 3. Reap completions (and expire deadline overruns).
+        let mut i = 0;
+        while i < in_flight.len() {
+            let (wait, arrived_at) = &in_flight[i];
+            match wait.poll() {
+                Ok(Some(r)) => {
+                    latencies.push(arrived_at.elapsed().as_micros() as u64);
+                    if r.outcome == Outcome::Commit {
+                        committed += 1;
+                    } else {
+                        aborted += 1;
+                    }
+                    in_flight.swap_remove(i);
+                }
+                Ok(None) => {
+                    if arrived_at.elapsed() > spec.reply_timeout {
+                        failed += 1;
+                        in_flight.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(_) => {
+                    failed += 1;
+                    in_flight.swap_remove(i);
+                }
+            }
+        }
+        if issued >= spec.txns && queue.is_empty() && in_flight.is_empty() {
+            break;
+        }
+        // 4. Sleep until the next arrival is due (bounded so reaping
+        //    stays responsive under long gaps).
+        if issued < spec.txns {
+            let next_due = start + interval.mul_f64(issued as f64);
+            let nap = next_due
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_micros(500));
+            if !nap.is_zero() {
+                std::thread::sleep(nap);
+            }
+        } else {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    OpenLoopReport {
+        committed,
+        aborted,
+        failed,
+        rejected,
+        max_queue_depth,
+        max_in_flight_seen,
+        elapsed: start.elapsed(),
+        latency: LatencySummary::from_micros(latencies),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +484,88 @@ mod tests {
         assert_eq!(report.aborted, 4, "i = 2, 4, 6, 8");
         assert_eq!(report.committed, 4, "i = 1, 3, 7, 9");
         assert_eq!(report.latency.count, 8, "failures excluded from sample");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = Rng(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(rng.next_f64())] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 5,
+            "rank 0 ({}) should dwarf rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
+        // Uniform (θ=0) must not share that skew.
+        let u = Zipf::new(100, 0.0);
+        let mut rng = Rng(7);
+        let mut ucounts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            ucounts[u.sample(rng.next_f64())] += 1;
+        }
+        assert!(ucounts[0] < ucounts[50] * 3);
+    }
+
+    #[test]
+    fn open_loop_completes_everything_under_capacity() {
+        use crossbeam::channel::bounded;
+        use tpc_common::NodeId;
+        let spec = OpenLoopSpec {
+            arrival_rate: 20_000.0,
+            txns: 500,
+            max_in_flight: 64,
+            queue_cap: 1_000,
+            ..OpenLoopSpec::default()
+        };
+        let report = run_open_loop(&spec, |_arrival| {
+            // Instant completion: reply already waiting in the channel.
+            let (tx, rx) = bounded(1);
+            let _ = tx.send(CommitResult {
+                outcome: Outcome::Commit,
+                report: DamageReport::default(),
+                pending: false,
+            });
+            CommitWait::from_parts(rx, NodeId(0))
+        });
+        assert_eq!(report.committed, 500);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.latency.count, 500);
+    }
+
+    #[test]
+    fn open_loop_overload_rejects_instead_of_collapsing() {
+        use crossbeam::channel::bounded;
+        use tpc_common::NodeId;
+        let spec = OpenLoopSpec {
+            arrival_rate: 100_000.0,
+            txns: 400,
+            max_in_flight: 4,
+            queue_cap: 8,
+            reply_timeout: Duration::from_millis(100),
+            ..OpenLoopSpec::default()
+        };
+        // Replies never come: every admitted txn times out; the queue
+        // and in-flight populations must stay bounded and the surplus
+        // must be rejected, not buffered without limit.
+        let report = run_open_loop(&spec, |_arrival| {
+            let (tx, rx) = bounded::<CommitResult>(1);
+            std::mem::forget(tx); // keep the channel open, never reply
+            CommitWait::from_parts(rx, NodeId(0))
+        });
+        assert_eq!(report.committed, 0);
+        assert!(report.rejected > 0, "overload must surface as rejections");
+        assert!(report.max_queue_depth <= spec.queue_cap);
+        assert!(report.max_in_flight_seen <= spec.max_in_flight);
+        assert_eq!(
+            report.rejected + report.failed,
+            400,
+            "every arrival is accounted: rejected or timed out"
+        );
     }
 
     #[test]

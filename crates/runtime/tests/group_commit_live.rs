@@ -85,6 +85,7 @@ fn concurrent_stress_batches_flushes_with_group_commit_on() {
     let gc = GroupCommitConfig {
         batch_size: 8,
         max_wait: SimDuration::from_millis(5),
+        adaptive: false,
     };
     let summaries = stress(Some(gc), "on");
     // The server sees 32 concurrent prepare/commit forces per wave;
@@ -142,6 +143,7 @@ fn deadline_flushes_partial_batches_and_bound_commit_latency() {
     let gc = GroupCommitConfig {
         batch_size: 64,
         max_wait,
+        adaptive: false,
     };
     let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort)
         .with_file_log(&dir)
@@ -216,6 +218,7 @@ fn kill_mid_batch_loses_the_suspended_force_and_stays_atomic() {
     let gc = GroupCommitConfig {
         batch_size: 64,
         max_wait: SimDuration::from_secs(10),
+        adaptive: false,
     };
     let mut c = LiveCluster::start(vec![
         LiveNodeConfig::new(ProtocolKind::PresumedAbort)
@@ -278,6 +281,7 @@ fn run_workload_reports_throughput_and_latency() {
     let gc = GroupCommitConfig {
         batch_size: 4,
         max_wait: SimDuration::from_millis(2),
+        adaptive: false,
     };
     let cfg = LiveNodeConfig::new(ProtocolKind::PresumedAbort).with_group_commit(Some(gc));
     let c = LiveCluster::start(vec![cfg.clone(), cfg.clone(), cfg]);

@@ -111,6 +111,7 @@ fn group_commit_deadline_records_flush_window() {
     let gc = GroupCommitConfig {
         batch_size: 64, // never fills by size
         max_wait: SimDuration::from_millis(3),
+        adaptive: false,
     };
     let mut sim = Sim::new(SimConfig::default().observed());
     let opts = OptimizationConfig::none().with_group_commit(Some(gc));

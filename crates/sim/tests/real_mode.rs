@@ -311,6 +311,7 @@ fn group_commit_batches_concurrent_forces() {
     let gc = GroupCommitConfig {
         batch_size: 4,
         max_wait: SimDuration::from_millis(2),
+        adaptive: false,
     };
     let server_cfg = NodeConfig::new(ProtocolKind::PresumedAbort)
         .with_opts(OptimizationConfig::none().with_group_commit(Some(gc)));
@@ -504,6 +505,7 @@ mod equivalence {
         let gc = GroupCommitConfig {
             batch_size: 4,
             max_wait: SimDuration::from_millis(2),
+            adaptive: false,
         };
         for protocol in [
             ProtocolKind::Basic,

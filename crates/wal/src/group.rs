@@ -35,12 +35,25 @@ pub struct GroupStats {
     pub flushes_by_size: u64,
     /// Flushes triggered by timer expiry.
     pub flushes_by_timer: u64,
+    /// Immediate flushes taken by the adaptive policy because the force
+    /// queue was shallow (arrivals slower than a physical flush).
+    pub flushes_adaptive: u64,
 }
 
 impl GroupStats {
     /// Forced writes saved versus one flush per request.
     pub fn flushes_saved(&self) -> u64 {
         self.requests.saturating_sub(self.flushes)
+    }
+
+    /// Folds another committer's counters into this one (per-lane
+    /// committers on a shared log roll up to node totals).
+    pub fn merge(&mut self, other: &GroupStats) {
+        self.requests += other.requests;
+        self.flushes += other.flushes;
+        self.flushes_by_size += other.flushes_by_size;
+        self.flushes_by_timer += other.flushes_by_timer;
+        self.flushes_adaptive += other.flushes_adaptive;
     }
 }
 
@@ -52,6 +65,13 @@ pub struct GroupCommitter<T> {
     /// Deadline set when the first request of the current batch arrived.
     deadline: Option<SimTime>,
     stats: GroupStats,
+    /// When the previous force request arrived (adaptive policy input).
+    last_request: Option<SimTime>,
+    /// Smoothed force inter-arrival gap, µs.
+    gap_ewma_us: Option<u64>,
+    /// Smoothed physical-flush cost, µs (reported by the host via
+    /// [`GroupCommitter::note_flush_micros`]). `None` until measured.
+    flush_cost_us: Option<u64>,
 }
 
 impl<T> GroupCommitter<T> {
@@ -62,6 +82,9 @@ impl<T> GroupCommitter<T> {
             pending: Vec::new(),
             deadline: None,
             stats: GroupStats::default(),
+            last_request: None,
+            gap_ewma_us: None,
+            flush_cost_us: None,
         }
     }
 
@@ -80,13 +103,52 @@ impl<T> GroupCommitter<T> {
         self.stats
     }
 
+    /// Reports the measured cost of one physical flush, in microseconds.
+    /// Feeds the adaptive policy's shallow-queue test; a no-op for the
+    /// fixed policy. Hosts call this after every `flush_batch`.
+    pub fn note_flush_micros(&mut self, micros: u64) {
+        self.flush_cost_us = Some(match self.flush_cost_us {
+            Some(prev) => (prev * 3 + micros) / 4,
+            None => micros,
+        });
+    }
+
+    /// The adaptive shallow-queue test: batching only pays when forces
+    /// arrive faster than the device can flush them one by one. With no
+    /// flush-cost measurement yet the queue counts as shallow, so the
+    /// first forces flush solo and calibrate the estimate.
+    fn queue_is_shallow(&self) -> bool {
+        match (self.gap_ewma_us, self.flush_cost_us) {
+            (Some(gap), Some(cost)) => gap >= cost,
+            _ => true,
+        }
+    }
+
     /// Submits a force request at virtual time `now`.
     pub fn request(&mut self, now: SimTime, ticket: T) -> FlushDecision<T> {
         self.stats.requests += 1;
+        if let Some(prev) = self.last_request {
+            let gap = now.since(prev).as_micros();
+            self.gap_ewma_us = Some(match self.gap_ewma_us {
+                Some(e) => (e * 3 + gap) / 4,
+                None => gap,
+            });
+        }
+        self.last_request = Some(now);
         self.pending.push(ticket);
         if self.pending.len() >= self.cfg.batch_size {
             self.stats.flushes += 1;
             self.stats.flushes_by_size += 1;
+            self.deadline = None;
+            return FlushDecision::FlushNow(std::mem::take(&mut self.pending));
+        }
+        // Adaptive fast path: this request opened a batch nobody else is
+        // waiting in, and the arrival rate says company is unlikely to
+        // show before a flush would finish anyway — flush immediately
+        // instead of stalling the tail behind `max_wait`.
+        if self.cfg.adaptive && self.pending.len() == 1 && self.queue_is_shallow() {
+            self.stats.flushes += 1;
+            self.stats.flushes_adaptive += 1;
             self.deadline = None;
             return FlushDecision::FlushNow(std::mem::take(&mut self.pending));
         }
@@ -133,6 +195,7 @@ mod tests {
         GroupCommitConfig {
             batch_size: batch,
             max_wait: SimDuration::from_micros(wait_us),
+            adaptive: false,
         }
     }
 
@@ -274,6 +337,66 @@ mod tests {
             FlushDecision::WaitUntil(d) => assert_eq!(d, SimTime(300)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn adaptive_flushes_solo_when_arrivals_are_sparse() {
+        // A fast device (flush ≈ 3 µs) with forces arriving every 1000 µs:
+        // waiting max_wait for company is pure latency. Every force must
+        // flush immediately.
+        let mut gc = GroupCommitter::new(cfg(4, 5_000).with_adaptive());
+        for i in 0..10u64 {
+            let now = SimTime(i * 1_000);
+            match gc.request(now, i) {
+                FlushDecision::FlushNow(t) => assert_eq!(t, vec![i]),
+                other => panic!("sparse adaptive force must flush solo, got {other:?}"),
+            }
+            gc.note_flush_micros(3);
+        }
+        assert_eq!(gc.stats().flushes, 10);
+        assert_eq!(gc.stats().flushes_adaptive, 10);
+        assert_eq!(gc.stats().flushes_saved(), 0);
+    }
+
+    #[test]
+    fn adaptive_batches_under_real_depth() {
+        // A slow device (flush ≈ 3000 µs) with forces arriving every
+        // 100 µs: after the calibrating first flush, requests batch and
+        // the size trigger takes over, exactly like the fixed policy.
+        let mut gc = GroupCommitter::new(cfg(4, 5_000).with_adaptive());
+        // First force: no flush-cost estimate yet — flushes solo and
+        // calibrates.
+        match gc.request(SimTime(0), 0u64) {
+            FlushDecision::FlushNow(t) => assert_eq!(t, vec![0]),
+            other => panic!("{other:?}"),
+        }
+        gc.note_flush_micros(3_000);
+        let mut size_flushes = 0;
+        for i in 1..=12u64 {
+            match gc.request(SimTime(i * 100), i) {
+                FlushDecision::FlushNow(t) => {
+                    assert_eq!(t.len(), 4, "size-triggered batches of 4");
+                    size_flushes += 1;
+                    gc.note_flush_micros(3_000);
+                }
+                FlushDecision::WaitUntil(_) => {}
+            }
+        }
+        assert_eq!(size_flushes, 3);
+        assert_eq!(gc.stats().flushes_adaptive, 1, "only the calibrator");
+        assert!(gc.stats().flushes_saved() >= 8);
+    }
+
+    #[test]
+    fn adaptive_off_preserves_fixed_policy() {
+        // Identical request streams with adaptive off must behave exactly
+        // as before: the first request of a sparse stream waits.
+        let mut gc = GroupCommitter::new(cfg(4, 5_000));
+        gc.note_flush_micros(3);
+        assert_eq!(
+            gc.request(SimTime(0), 'a'),
+            FlushDecision::WaitUntil(SimTime(5_000))
+        );
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod group;
 pub mod log;
 pub mod mem;
 pub mod record;
+pub mod shared;
 
 pub use group::{FlushDecision, GroupCommitter, GroupStats};
 pub use log::{Durability, LogManager, LogStats, StreamId};
 pub use mem::MemLog;
 pub use record::LogRecord;
+pub use shared::SharedLog;

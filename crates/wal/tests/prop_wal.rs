@@ -84,6 +84,7 @@ proptest! {
         let mut gc = GroupCommitter::new(GroupCommitConfig {
             batch_size: batch,
             max_wait: SimDuration::from_micros(wait_us),
+            adaptive: false,
         });
         let mut released: Vec<u64> = Vec::new();
         let mut sorted = arrivals.clone();

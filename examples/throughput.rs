@@ -36,6 +36,7 @@ fn main() {
     let (tps_on, forces_on, flushes_on) = run(Some(GroupCommitConfig {
         batch_size: 16,
         max_wait: tpc_common::SimDuration::from_millis(2),
+        adaptive: false,
     }));
 
     println!("group commit off: {tps_off:8.0} txn/s, {forces_off} forces -> {flushes_off} fsyncs");

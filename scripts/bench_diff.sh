@@ -5,10 +5,12 @@
 #
 # Rows are matched on (protocol, transport, log, group_commit) and the
 # table shows txn/s, commit-latency p99 and physical flushes side by
-# side with percentage deltas, followed by the failure-path rows
+# side with percentage deltas, followed by the scale-curve rows
+# (matched on lanes × in-flight × saturation) and the failure-path rows
 # (in-doubt p99, recovery duration) when both files carry them. Exits
-# non-zero on malformed input, never on a slow result — this is a
-# reading aid, not a gate.
+# non-zero on malformed input or schema drift (a row missing its
+# required fields), never on a slow result — CI runs it as a schema
+# gate, the deltas themselves are warn-only.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -49,6 +51,31 @@ for k in sorted(set(old_rows) | set(new_rows)):
         f"{o['latency_us']['p99']:>8} {n['latency_us']['p99']:>8} "
         f"{pct(o['latency_us']['p99'], n['latency_us']['p99'])}"
     )
+
+old_sc = {(r["lanes"], r["in_flight"], r["saturation"]): r for r in old.get("scale_curve", [])}
+new_sc = {(r["lanes"], r["in_flight"], r["saturation"]): r for r in new.get("scale_curve", [])}
+if old_sc or new_sc:
+    print()
+    print("scale curve (open loop, lanes x in-flight; sat = admission-control cell):")
+    hdr = (
+        f"{'cell':<22} {'txn/s old':>10} {'txn/s new':>10} {'Δ':>7}  "
+        f"{'p99 old':>8} {'p99 new':>8} {'Δ':>7} {'rej old':>8} {'rej new':>8}"
+    )
+    print(hdr)
+    print("-" * len(hdr))
+    for k in sorted(set(old_sc) | set(new_sc)):
+        name = f"lanes={k[0]}/inflight={k[1]}{'/sat' if k[2] else ''}"
+        o, n = old_sc.get(k), new_sc.get(k)
+        if o is None or n is None:
+            print(f"{name:<22} {'(only in ' + (new_path if o is None else old_path) + ')'}")
+            continue
+        print(
+            f"{name:<22} {o['txns_per_sec']:>10.1f} {n['txns_per_sec']:>10.1f} "
+            f"{pct(o['txns_per_sec'], n['txns_per_sec'])}  "
+            f"{o['latency_us']['p99']:>8} {n['latency_us']['p99']:>8} "
+            f"{pct(o['latency_us']['p99'], n['latency_us']['p99'])} "
+            f"{o['rejected']:>8} {n['rejected']:>8}"
+        )
 
 old_fp = {r["protocol"]: r for r in old.get("failure_path", [])}
 new_fp = {r["protocol"]: r for r in new.get("failure_path", [])}

@@ -60,6 +60,81 @@ fn simulator_and_live_runtime_agree_on_protocol_costs() {
     }
 }
 
+/// `txns` sequential star updates through the simulator, returning
+/// per-node (tm_writes, tm_forced, protocol flows).
+fn sim_costs_n(protocol: ProtocolKind, txns: usize) -> Vec<(u64, u64, u64)> {
+    let mut sim = Sim::new(SimConfig::default());
+    let cfg = NodeConfig::new(protocol);
+    let n0 = sim.add_node(cfg.clone());
+    let n1 = sim.add_node(cfg.clone());
+    let n2 = sim.add_node(cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n0, n2);
+    for i in 0..txns {
+        sim.push_txn(TxnSpec::star_update(n0, &[n1, n2], &format!("eq{i}")));
+    }
+    let report = sim.run();
+    report.assert_clean();
+    assert!(report.outcomes.iter().all(|o| o.outcome == Outcome::Commit));
+    report
+        .per_node
+        .iter()
+        .map(|n| {
+            (
+                n.tm_writes,
+                n.tm_forced,
+                n.engine.frames_sent - n.engine.work_frames,
+            )
+        })
+        .collect()
+}
+
+/// The same workload against a live cluster whose nodes each run `lanes`
+/// coordinator lanes over one shared WAL and RM.
+fn live_costs_lanes(protocol: ProtocolKind, txns: usize, lanes: usize) -> Vec<(u64, u64, u64)> {
+    let cluster = LiveCluster::start(vec![LiveNodeConfig::new(protocol).with_lanes(lanes); 3]);
+    for i in 0..txns {
+        let txn = cluster.begin(NodeId(0));
+        txn.work(NodeId(0), vec![Op::put(&format!("eq{i}/n0"), "x")]);
+        txn.work(NodeId(1), vec![Op::put(&format!("eq{i}/n1"), "x")]);
+        txn.work(NodeId(2), vec![Op::put(&format!("eq{i}/n2"), "x")]);
+        let result = txn.commit().expect("root alive");
+        assert_eq!(result.outcome, Outcome::Commit, "{protocol} txn {i}");
+    }
+    assert!(cluster.quiesce(std::time::Duration::from_secs(5)));
+    let summaries = cluster.shutdown();
+    summaries
+        .iter()
+        .map(|s| {
+            (
+                s.log.writes,
+                s.log.forced_writes,
+                s.metrics.frames_sent - s.metrics.work_frames,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn multi_lane_cluster_matches_sim_protocol_costs() {
+    // Sharding the txn space across four lanes is a concurrency
+    // structure, not a protocol change: per-node log-write, forced-write
+    // and message-flow totals must be exactly the single-engine sim's.
+    // Eight sequential txns cover every lane (seq % 4) twice.
+    for protocol in [
+        ProtocolKind::Basic,
+        ProtocolKind::PresumedAbort,
+        ProtocolKind::PresumedNothing,
+    ] {
+        let sim = sim_costs_n(protocol, 8);
+        let live = live_costs_lanes(protocol, 8, 4);
+        assert_eq!(
+            sim, live,
+            "{protocol}: 4-lane live costs must match the sim (tm_writes, tm_forced, flows)"
+        );
+    }
+}
+
 #[test]
 fn facade_reexports_compose() {
     // Exercise the prelude end to end: engine types, sim, runtime.
