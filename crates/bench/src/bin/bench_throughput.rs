@@ -80,6 +80,13 @@ struct ScalePoint {
 /// One finished kill/restart measurement on the failure path.
 struct FailureMeasurement {
     protocol: ProtocolKind,
+    /// Lanes per node on the victim: 1 is the classic single-lane node;
+    /// more means sharded — the crash kills every lane and recovery
+    /// replays the one shared WAL, repartitioning transactions to lanes.
+    lanes: usize,
+    /// `tcp` for the single-lane cell, `channel` for the sharded ones
+    /// (the TCP harness runs one lane per node).
+    transport: &'static str,
     outage: Duration,
     /// Victim's closed in-doubt window distribution, µs.
     in_doubt: tpc_obs::HistogramSnapshot,
@@ -150,8 +157,10 @@ fn main() {
         ProtocolKind::PresumedAbort,
         ProtocolKind::PresumedNothing,
     ] {
-        eprintln!("running {protocol:?} failure path (kill/restart, tcp + file log) …");
-        failures.push(run_failure_case(protocol, quick));
+        for lanes in [1usize, 4] {
+            eprintln!("running {protocol:?} failure path (kill/restart, lanes={lanes}) …");
+            failures.push(run_failure_case(protocol, lanes, quick));
+        }
     }
 
     let json = render_json(quick, &spec, &measurements, &scale, &failures);
@@ -228,14 +237,17 @@ fn run_scale_case(lanes: usize, in_flight: usize, txns: usize, saturation: bool)
 }
 
 /// Kills a subordinate in its in-doubt window (right after its forced
-/// Prepared record, frame 2) under a real TCP + file-WAL configuration,
-/// holds the outage, restarts it, and reads the failure-path telemetry
-/// back from the victim's summary.
-fn run_failure_case(protocol: ProtocolKind, quick: bool) -> FailureMeasurement {
+/// Prepared record, frame 2) under a real file-WAL configuration, holds
+/// the outage, restarts it, and reads the failure-path telemetry back
+/// from the victim's summary. The single-lane cell runs over TCP; the
+/// sharded cells run over channels (the TCP harness is one lane per
+/// node) and exercise the shared-WAL replay that repartitions recovered
+/// transactions to their owning lanes.
+fn run_failure_case(protocol: ProtocolKind, lanes: usize, quick: bool) -> FailureMeasurement {
     use tpc_common::{NodeId, Op};
     let outage = Duration::from_millis(if quick { 30 } else { 100 });
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(
-        "../../target/bench-failure-{}-{protocol:?}",
+        "../../target/bench-failure-{}-{protocol:?}-{lanes}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -248,36 +260,59 @@ fn run_failure_case(protocol: ProtocolKind, quick: bool) -> FailureMeasurement {
         LiveNodeConfig::new(protocol)
             .with_observability()
             .with_file_log(&dir)
+            .with_lanes(lanes)
             .with_timeouts(timeouts)
     };
-    let mut c = TcpCluster::start(vec![cfg(), cfg().kill_after_frames(2), cfg()])
-        .expect("bind loopback")
-        .with_reply_timeout(Duration::from_secs(30));
     let root = NodeId(0);
     let victim = NodeId(1);
 
-    let t = c.begin(root);
-    t.work(victim, vec![Op::put("fp/a", "1")]);
-    t.work(NodeId(2), vec![Op::put("fp/b", "2")]);
-    let wait = t.commit_async();
+    let (s, restart_to_recovered) = if lanes == 1 {
+        let mut c = TcpCluster::start(vec![cfg(), cfg().kill_after_frames(2), cfg()])
+            .expect("bind loopback")
+            .with_reply_timeout(Duration::from_secs(30));
+        let t = c.begin(root);
+        t.work(victim, vec![Op::put("fp/a", "1")]);
+        t.work(NodeId(2), vec![Op::put("fp/b", "2")]);
+        let wait = t.commit_async();
+        c.await_death(victim, Duration::from_secs(10))
+            .expect("victim dies after voting");
+        std::thread::sleep(outage);
+        let restarted = std::time::Instant::now();
+        c.restart(victim).expect("restart from WAL");
+        wait.wait_with(Duration::from_secs(30))
+            .expect("root answers");
+        assert!(c.quiesce(Duration::from_secs(30)), "must quiesce");
+        let elapsed = restarted.elapsed();
+        let s = c.summary(victim).expect("victim summary");
+        c.shutdown();
+        (s, elapsed)
+    } else {
+        let mut c = LiveCluster::start(vec![cfg(), cfg().kill_after_frames(2), cfg()])
+            .with_reply_timeout(Duration::from_secs(30));
+        let t = c.begin(root);
+        t.work(victim, vec![Op::put("fp/a", "1")]);
+        t.work(NodeId(2), vec![Op::put("fp/b", "2")]);
+        let wait = t.commit_async();
+        c.await_death(victim, Duration::from_secs(10))
+            .expect("victim dies after voting");
+        std::thread::sleep(outage);
+        let restarted = std::time::Instant::now();
+        c.restart(victim).expect("restart from the shared WAL");
+        wait.wait(Duration::from_secs(30)).expect("root answers");
+        assert!(c.quiesce(Duration::from_secs(30)), "must quiesce");
+        let elapsed = restarted.elapsed();
+        let s = c.summary(victim).expect("victim summary");
+        c.shutdown();
+        (s, elapsed)
+    };
 
-    c.await_death(victim, Duration::from_secs(10))
-        .expect("victim dies after voting");
-    std::thread::sleep(outage);
-    let restarted = std::time::Instant::now();
-    c.restart(victim).expect("restart from WAL");
-    wait.wait_with(Duration::from_secs(30))
-        .expect("root answers");
-    assert!(c.quiesce(Duration::from_secs(30)), "must quiesce");
-    let restart_to_recovered = restarted.elapsed();
-
-    let s = c.summary(victim).expect("victim summary");
     let obs = s.obs.expect("observability was on");
     let recovery = s.recovery.expect("restart recorded recovery stats");
-    c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     FailureMeasurement {
         protocol,
+        lanes,
+        transport: if lanes == 1 { "tcp" } else { "channel" },
         outage,
         in_doubt: obs.in_doubt,
         recovery,
@@ -468,7 +503,8 @@ fn render_json(
         let r = &f.recovery;
         s.push_str("    {\n");
         let _ = writeln!(s, "      \"protocol\": \"{:?}\",", f.protocol);
-        let _ = writeln!(s, "      \"transport\": \"tcp\",");
+        let _ = writeln!(s, "      \"lanes\": {},", f.lanes);
+        let _ = writeln!(s, "      \"transport\": \"{}\",", f.transport);
         let _ = writeln!(s, "      \"log\": \"file\",");
         let _ = writeln!(s, "      \"outage_ms\": {},", f.outage.as_millis());
         let _ = writeln!(

@@ -415,6 +415,13 @@ pub struct RecoveryStats {
     /// Transactions aborted because the crash interrupted voting
     /// (a pre-Phase-1 record with no outcome).
     pub interrupted_vote_aborts: u64,
+    /// Log files whose recovery scan ended in an ordinary torn tail
+    /// (partial last frame — the expected crash artifact).
+    pub torn_tails: u64,
+    /// Log files where the scan found corruption *before* the tail:
+    /// a damaged frame with valid frames after it, meaning prefix
+    /// truncation discarded once-durable data. Always worth alarming on.
+    pub corruption_before_tail: u64,
 }
 
 impl RecoveryStats {
@@ -426,6 +433,8 @@ impl RecoveryStats {
         self.queries_sent += other.queries_sent;
         self.redrives += other.redrives;
         self.interrupted_vote_aborts += other.interrupted_vote_aborts;
+        self.torn_tails += other.torn_tails;
+        self.corruption_before_tail += other.corruption_before_tail;
     }
 }
 
@@ -490,6 +499,17 @@ impl Driver {
         self.recovery
             .get_or_insert_with(RecoveryStats::default)
             .wal_scan_us += micros;
+    }
+
+    /// Records what the host's recovery scan found at the end of each log
+    /// file: `torn` files ended in an ordinary partial frame,
+    /// `corrupt` files had a damaged frame with valid frames after it
+    /// (once-durable data discarded). Attributed like
+    /// [`Driver::note_wal_scan`].
+    pub fn note_log_damage(&mut self, torn: u64, corrupt: u64) {
+        let rec = self.recovery.get_or_insert_with(RecoveryStats::default);
+        rec.torn_tails += torn;
+        rec.corruption_before_tail += corrupt;
     }
 
     /// The attached recorder, if any.

@@ -29,10 +29,16 @@ pub struct NodeExport {
     pub obs: ObsSnapshot,
     /// Counter samples: `(metric_name, help, value)`.
     pub counters: Vec<(&'static str, &'static str, u64)>,
+    /// Gauge samples: `(metric_name, help, value)` — instantaneous
+    /// state (e.g. `tpc_wal_degraded`), rendered with `# TYPE ... gauge`.
+    pub gauges: Vec<(&'static str, &'static str, f64)>,
 }
 
 /// One counter family during grouping: help text plus per-node samples.
 type Family = (&'static str, Vec<(NodeId, u64)>);
+
+/// One gauge family during grouping: help text plus per-node samples.
+type GaugeFamily = (&'static str, Vec<(NodeId, f64)>);
 
 /// Render the full exposition for a set of nodes.
 pub fn render_prometheus(exports: &[NodeExport]) -> String {
@@ -77,6 +83,25 @@ pub fn render_prometheus(exports: &[NodeExport]) -> String {
     for (name, (help, samples)) in &families {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
+        for (node, value) in samples {
+            let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", node.0);
+        }
+    }
+
+    // Host-supplied gauge families, grouped like the counters.
+    let mut gauge_families: BTreeMap<&'static str, GaugeFamily> = BTreeMap::new();
+    for e in exports {
+        for &(name, help, value) in &e.gauges {
+            gauge_families
+                .entry(name)
+                .or_insert_with(|| (help, Vec::new()))
+                .1
+                .push((e.node, value));
+        }
+    }
+    for (name, (help, samples)) in &gauge_families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
         for (node, value) in samples {
             let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", node.0);
         }
@@ -189,11 +214,13 @@ mod tests {
                     ("tpc_flows_sent_total", "Protocol flows sent", 7),
                     ("tpc_forced_writes_total", "Forced log writes", 3),
                 ],
+                gauges: vec![("tpc_wal_degraded", "Degraded to read-only", 0.0)],
             },
             NodeExport {
                 node: NodeId(1),
                 obs: Obs::new().snapshot(),
                 counters: vec![("tpc_flows_sent_total", "Protocol flows sent", 2)],
+                gauges: vec![("tpc_wal_degraded", "Degraded to read-only", 1.0)],
             },
         ]
     }
@@ -208,6 +235,14 @@ mod tests {
         assert!(text.contains("tpc_flows_sent_total{node=\"0\"} 7"));
         assert!(text.contains("tpc_flows_sent_total{node=\"1\"} 2"));
         assert!(text.contains("tpc_forced_writes_total{node=\"0\"} 3"));
+    }
+
+    #[test]
+    fn renders_host_gauges_with_single_type_line() {
+        let text = render_prometheus(&export());
+        assert_eq!(text.matches("# TYPE tpc_wal_degraded gauge").count(), 1);
+        assert!(text.contains("tpc_wal_degraded{node=\"0\"} 0"));
+        assert!(text.contains("tpc_wal_degraded{node=\"1\"} 1"));
     }
 
     #[test]
@@ -235,6 +270,7 @@ mod tests {
             node: NodeId(1),
             obs: obs.snapshot_at(SimTime(4_000_000)),
             counters: vec![],
+            gauges: vec![],
         }]);
         assert!(text.contains("# TYPE tpc_in_doubt_seconds histogram"));
         assert!(text.contains("tpc_in_doubt_seconds_count{node=\"1\"} 1"));
@@ -270,6 +306,7 @@ mod tests {
             node: NodeId(0),
             obs: obs.snapshot(),
             counters: vec![],
+            gauges: vec![],
         }]);
         assert!(text.contains("tpc_spans_dropped_total{node=\"0\"} 3"));
     }

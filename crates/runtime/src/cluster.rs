@@ -15,8 +15,9 @@ use tpc_wal::{LogManager, MemLog, SharedLog};
 
 use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
-    lane_of, make_obs, rm_config, rm_log_path, tm_log_path, AppCmd, CommitResult, Inbound,
-    LaneParts, LiveNodeConfig, LogBackend, NodeSummary, NodeWorker, Transport,
+    lane_of, make_obs, recover_lanes, rm_config, rm_log_path, tail_counts, tm_log_path,
+    wrap_storage_faults, AppCmd, CommitResult, Inbound, IoHealth, LaneParts, LiveNodeConfig,
+    LogBackend, NodeSummary, NodeWorker, Transport,
 };
 use crate::signal::ClusterSignal;
 use crate::workload::{run_closed_loop, run_open_loop, OpenLoopReport, OpenLoopSpec};
@@ -168,11 +169,25 @@ impl LiveCluster {
             // its own driver thread on its own inbound channel.
             let cfg = cluster.configs[i].clone();
             let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
+            // Storage faults wrap the base device *inside* the SharedLog,
+            // so every lane's appends run through one fault stream,
+            // exactly as they share one physical disk.
             let base_log: Box<dyn LogManager + Send> = match &cfg.log_backend {
-                LogBackend::Memory => Box::new(MemLog::new()),
+                LogBackend::Memory => wrap_storage_faults(
+                    Box::new(MemLog::new()),
+                    cfg.storage_faults.as_ref(),
+                    None,
+                    0,
+                ),
                 LogBackend::File(dir) => {
                     std::fs::create_dir_all(dir).expect("log directory");
-                    Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
+                    let path = tm_log_path(dir, node);
+                    wrap_storage_faults(
+                        Box::new(FileLog::create(&path).expect("create log file")),
+                        cfg.storage_faults.as_ref(),
+                        Some(path),
+                        0,
+                    )
                 }
             };
             let shared_tm = SharedLog::new(base_log);
@@ -180,17 +195,27 @@ impl LiveCluster {
                 None
             } else {
                 let base: Box<dyn LogManager + Send> = match &cfg.log_backend {
-                    LogBackend::Memory => Box::new(MemLog::new()),
+                    LogBackend::Memory => wrap_storage_faults(
+                        Box::new(MemLog::new()),
+                        cfg.storage_faults.as_ref(),
+                        None,
+                        1,
+                    ),
                     LogBackend::File(dir) => {
                         std::fs::create_dir_all(dir).expect("log directory");
-                        Box::new(
-                            FileLog::create(rm_log_path(dir, node)).expect("create rm log file"),
+                        let path = rm_log_path(dir, node);
+                        wrap_storage_faults(
+                            Box::new(FileLog::create(&path).expect("create rm log file")),
+                            cfg.storage_faults.as_ref(),
+                            Some(path),
+                            1,
                         )
                     }
                 };
                 Some(SharedLog::new(base))
             };
             let obs = make_obs(&cfg);
+            let health = Arc::new(IoHealth::default());
             for lane in 0..lanes {
                 let transport = cluster.make_transport(node, plan.clone());
                 let parts = LaneParts {
@@ -202,6 +227,7 @@ impl LiveCluster {
                     obs: obs.clone(),
                     lane,
                     lane_peers: cluster.senders[i].clone(),
+                    health: Arc::clone(&health),
                 };
                 let worker = NodeWorker::new_with_parts(
                     node,
@@ -273,49 +299,59 @@ impl LiveCluster {
         self.fault_stats[node.index()].as_deref()
     }
 
-    /// Kills `node` mid-protocol: the worker crashes (volatile state and
-    /// buffered log tails lost, in-flight replies dropped) and its
-    /// partners are told the sessions failed, exactly as the simulator's
-    /// crash event does. Returns the dying worker's last summary.
+    /// Kills `node` mid-protocol: every lane worker crashes (volatile
+    /// state and buffered log tails lost, in-flight replies dropped) and
+    /// the node's partners are told the sessions failed, exactly as the
+    /// simulator's crash event does. A multi-lane node dies as one
+    /// process — its lanes share the RM and log buffers, so they go down
+    /// together. Returns the dying node's last summary (lanes folded).
     pub fn kill(&mut self, node: NodeId) -> Result<NodeSummary> {
-        self.single_lane_only("kill")?;
-        let handle = self.handles[node.index()][0]
-            .take()
-            .ok_or(Error::NodeDown(node))?;
-        let _ = self.senders[node.index()][0].send(Inbound::Kill);
-        let summary = handle
-            .join()
-            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        if !self.handles[node.index()].iter().any(|h| h.is_some()) {
+            return Err(Error::NodeDown(node));
+        }
+        for lane in 0..self.lanes {
+            if self.handles[node.index()][lane].is_some() {
+                let _ = self.senders[node.index()][lane].send(Inbound::Kill);
+            }
+        }
+        let summary = self.join_node(node)?;
         self.broadcast_partner_down(node);
         Ok(summary)
     }
 
-    /// Kill/restart scripting is a single-lane facility: a multi-lane
-    /// node's lanes share volatile state (RM, log buffers), so killing
-    /// one lane would not model a process crash.
-    fn single_lane_only(&self, what: &str) -> Result<()> {
-        if self.lanes > 1 {
-            return Err(Error::InvalidState(format!(
-                "{what} requires a single-lane cluster (lanes={})",
-                self.lanes
-            )));
+    /// Joins every live lane worker of `node` and folds their summaries
+    /// into the node-level rollup.
+    fn join_node(&mut self, node: NodeId) -> Result<NodeSummary> {
+        let mut merged: Option<NodeSummary> = None;
+        for slot in self.handles[node.index()].iter_mut() {
+            let Some(handle) = slot.take() else { continue };
+            let s = handle
+                .join()
+                .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+            match merged.as_mut() {
+                Some(base) => base.absorb_lane(s),
+                None => merged = Some(s),
+            }
         }
-        Ok(())
+        merged.ok_or(Error::NodeDown(node))
     }
 
     /// Waits for a node armed with
-    /// [`kill_after_frames`](LiveNodeConfig::kill_after_frames) to crash
-    /// itself, then notifies its partners. Fails with [`Error::Timeout`]
-    /// if the node is still alive after `timeout`.
+    /// [`kill_after_frames`](LiveNodeConfig::kill_after_frames) (on any
+    /// lane) or driven into fail-stop by a storage fault to crash
+    /// itself, then notifies its partners. On a multi-lane node the
+    /// first lane to die takes the rest of the "process" with it: the
+    /// lanes share volatile state, so the survivors are killed and
+    /// joined too. Fails with [`Error::Timeout`] if every lane is still
+    /// alive after `timeout`.
     pub fn await_death(&mut self, node: NodeId, timeout: Duration) -> Result<NodeSummary> {
-        self.single_lane_only("await_death")?;
-        if self.handles[node.index()][0].is_none() {
+        if !self.handles[node.index()].iter().any(|h| h.is_some()) {
             return Err(Error::NodeDown(node));
         }
         let finished = self.signal.wait_for(timeout, || {
-            self.handles[node.index()][0]
-                .as_ref()
-                .is_some_and(|h| h.is_finished())
+            self.handles[node.index()]
+                .iter()
+                .any(|h| h.as_ref().is_some_and(|h| h.is_finished()))
                 .then_some(())
         });
         if finished.is_none() {
@@ -323,41 +359,129 @@ impl LiveCluster {
                 "{node} still alive after {timeout:?}"
             )));
         }
-        let handle = self.handles[node.index()][0].take().expect("checked above");
-        let summary = handle
-            .join()
-            .map_err(|_| Error::Transport(format!("worker {node} panicked")))?;
+        // The remaining lanes die with the process (their volatile state
+        // is shared with the crashed lane); Kill makes it explicit.
+        for lane in 0..self.lanes {
+            if let Some(h) = self.handles[node.index()][lane].as_ref() {
+                if !h.is_finished() {
+                    let _ = self.senders[node.index()][lane].send(Inbound::Kill);
+                }
+            }
+        }
+        let summary = self.join_node(node)?;
         self.broadcast_partner_down(node);
         Ok(summary)
     }
 
     /// Restarts a killed node from its durable file WAL: stale frames
     /// that piled up while it was down are discarded (the dead process
-    /// never received them), then [`NodeWorker::restart`] replays RM and
-    /// engine recovery and re-drives the protocol over the transport.
+    /// never received them), then RM and engine recovery replay and the
+    /// protocol re-drives over the transport. On a multi-lane node the
+    /// one shared log is replayed once and the recovered transactions
+    /// are repartitioned to their owning lanes (`lane_of`), each lane
+    /// worker resuming with exactly its own seats; recovery telemetry
+    /// rolls up per node. The node comes back with clean storage — no
+    /// fault plan — mirroring the wire's clean-on-restart semantics.
     pub fn restart(&mut self, node: NodeId) -> Result<()> {
-        self.single_lane_only("restart")?;
-        if self.handles[node.index()][0].is_some() {
+        if self.handles[node.index()].iter().any(|h| h.is_some()) {
             return Err(Error::InvalidState(format!("{node} is already running")));
         }
-        while self.receivers[node.index()][0].try_recv().is_ok() {}
-        let transport = self.make_transport(node, None);
-        let worker = NodeWorker::restart(
+        for lane in 0..self.lanes {
+            while self.receivers[node.index()][lane].try_recv().is_ok() {}
+        }
+        let mut cfg = self.configs[node.index()].clone();
+        // The replacement "disk" is healthy: the original incarnation's
+        // fault plan does not follow the node through restart.
+        cfg.storage_faults = None;
+        if self.lanes == 1 {
+            let transport = self.make_transport(node, None);
+            let worker = NodeWorker::restart(
+                node,
+                cfg,
+                self.downstream[node.index()].clone(),
+                transport,
+                self.receivers[node.index()][0].clone(),
+                self.epoch,
+                Arc::clone(&self.signal),
+            )?;
+            self.handles[node.index()][0] = Some(spawn_worker(
+                node.index(),
+                0,
+                1,
+                worker,
+                Arc::clone(&self.signal),
+            ));
+            return Ok(());
+        }
+        // Multi-lane restart: reopen the one shared WAL (classifying any
+        // tail damage), replay it once, and hand each lane its own
+        // recovered driver + pending recovery actions.
+        let LogBackend::File(dir) = &cfg.log_backend else {
+            return Err(Error::Config(
+                "restart requires LogBackend::File (a memory log dies with the node)".into(),
+            ));
+        };
+        let tm_file = FileLog::open(tm_log_path(dir, node))?;
+        let mut damage = tail_counts(tm_file.recovered_tail());
+        let mut log: Box<dyn LogManager + Send> = Box::new(tm_file);
+        let mut rm_log: Option<Box<dyn LogManager + Send>> = if cfg.opts.shared_log {
+            None
+        } else {
+            let rm_file = FileLog::open(rm_log_path(dir, node))?;
+            let (t, c) = tail_counts(rm_file.recovered_tail());
+            damage = (damage.0 + t, damage.1 + c);
+            Some(Box::new(rm_file))
+        };
+        let obs = make_obs(&cfg);
+        let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
+        let recovered = recover_lanes(
             node,
-            self.configs[node.index()].clone(),
-            self.downstream[node.index()].clone(),
-            transport,
-            self.receivers[node.index()][0].clone(),
+            &cfg,
+            &self.downstream[node.index()],
+            &rm,
+            &mut log,
+            &mut rm_log,
+            obs.as_ref(),
             self.epoch,
-            Arc::clone(&self.signal),
+            damage,
         )?;
-        self.handles[node.index()][0] = Some(spawn_worker(
-            node.index(),
-            0,
-            1,
-            worker,
-            Arc::clone(&self.signal),
-        ));
+        // The recovered single-owner logs become the node's shared
+        // devices again; every lane gets a clone.
+        let shared_tm = SharedLog::new(log);
+        let shared_rm_log = rm_log.map(SharedLog::new);
+        let health = Arc::new(IoHealth::default());
+        for (lane, rec) in recovered.into_iter().enumerate() {
+            let transport = self.make_transport(node, None);
+            let parts = LaneParts {
+                rm: Arc::clone(&rm),
+                log: Box::new(shared_tm.clone()),
+                rm_log: shared_rm_log
+                    .as_ref()
+                    .map(|l| Box::new(l.clone()) as Box<dyn LogManager + Send>),
+                obs: obs.clone(),
+                lane,
+                lane_peers: self.senders[node.index()].clone(),
+                health: Arc::clone(&health),
+            };
+            let worker = NodeWorker::resume_with_parts(
+                node,
+                cfg.clone(),
+                transport,
+                self.receivers[node.index()][lane].clone(),
+                self.epoch,
+                Arc::clone(&self.signal),
+                parts,
+                rec.driver,
+                rec.actions,
+            )?;
+            self.handles[node.index()][lane] = Some(spawn_worker(
+                node.index(),
+                lane,
+                self.lanes,
+                worker,
+                Arc::clone(&self.signal),
+            ));
+        }
         Ok(())
     }
 

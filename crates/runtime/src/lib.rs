@@ -35,11 +35,21 @@
 //! The live runtime is built to be killed. [`LiveCluster::kill`] crashes
 //! a node mid-protocol (buffered log tails are lost, exactly like a
 //! power failure), [`LiveCluster::restart`] rebuilds it from its durable
-//! file WAL and re-drives recovery over the real transport, and
+//! file WAL and re-drives recovery over the real transport — on a
+//! multi-lane node the one shared WAL is replayed once and the
+//! recovered transactions repartition to their owning lanes — and
 //! [`fault::FaultyWire`] injects seeded drops / duplicates / delays /
-//! disconnects into any transport. After a run, [`verify::check`]
-//! asserts the same atomicity invariants the simulator's verifier
-//! checks, from live node state and WAL scans.
+//! disconnects into any transport. The storage layer gets the same
+//! treatment: [`LiveNodeConfig::with_storage_faults`] subjects a node's
+//! log device to a seeded [`StorageFaultPlan`] (fsync failures, ENOSPC,
+//! torn writes, bit rot, sync latency), and
+//! [`LiveNodeConfig::with_io_policy`] picks the node's reaction when
+//! durability cannot be re-established: [`IoErrorPolicy::FailStop`]
+//! crashes it, [`IoErrorPolicy::ReadOnly`] degrades it to read-only
+//! with explicit, counted rejections ([`WalHealth`]) — an I/O error is
+//! never a silent wrong answer. After a run, [`verify::check`] asserts
+//! the same atomicity invariants the simulator's verifier checks, from
+//! live node state and WAL scans.
 //!
 //! ## Throughput
 //!
@@ -91,9 +101,11 @@ pub use cluster::{CommitWait, LiveCluster, TxnHandle};
 pub use fault::{FaultPlan, FaultStats, FaultyWire};
 pub use http::MetricsServer;
 pub use node::{
-    lane_of, AppCmd, CommitResult, Inbound, LiveNodeConfig, LogBackend, NodeSummary, Transport,
+    lane_of, AppCmd, CommitResult, Inbound, IoErrorPolicy, LiveNodeConfig, LogBackend, NodeSummary,
+    Transport, WalHealth,
 };
 pub use signal::ClusterSignal;
+pub use tpc_wal::{StorageFaultPlan, StorageFaultStats};
 pub use workload::{
     Arrival, LatencySummary, OpenLoopReport, OpenLoopSpec, WorkloadReport, WorkloadSpec,
 };

@@ -8,6 +8,7 @@
 //! through the driver's host traits.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,10 +28,10 @@ use tpc_core::{
 };
 use tpc_obs::{Obs, ObsSnapshot, Phase};
 use tpc_rm::{Access, RmConfig, SharedRm};
-use tpc_wal::file::FileLog;
+use tpc_wal::file::{FileLog, TailState};
 use tpc_wal::{
-    Durability, FlushDecision, GroupCommitter, GroupStats, LogManager, LogRecord, LogStats, MemLog,
-    StreamId,
+    Durability, FaultyLog, FlushDecision, GroupCommitter, GroupStats, LogManager, LogRecord,
+    LogStats, MemLog, StorageFaultPlan, StreamId,
 };
 
 use crate::signal::ClusterSignal;
@@ -44,6 +45,107 @@ pub enum LogBackend {
     /// A real file under the given directory, with fsync on every forced
     /// write. The file is named `node-<id>.log`.
     File(std::path::PathBuf),
+}
+
+/// What a node does when its write-ahead log stops accepting writes
+/// (fsync failures that survive retries, ENOSPC): the one thing it must
+/// never do is keep answering as if the write had happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoErrorPolicy {
+    /// Crash the node. Conservative and simple: the cluster sees a dead
+    /// partner, runs the normal failure timers, and the node restarts
+    /// from whatever *was* durably forced.
+    #[default]
+    FailStop,
+    /// Degrade to read-only: reads keep working, but every new prepare
+    /// votes No and every commit request is answered with an explicit
+    /// abort, each one counted in [`WalHealth::rejected_txns`] — the
+    /// admission-control philosophy applied to a dying disk.
+    ReadOnly,
+}
+
+/// Shared WAL-health state for one node: every lane's host counts its
+/// I/O errors and retries here, and the degraded / fail-stop flags gate
+/// all lanes at once (the disk is a node-level resource).
+#[derive(Debug, Default)]
+pub(crate) struct IoHealth {
+    io_errors: AtomicU64,
+    fsync_retries: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicBool,
+    fail_stop: AtomicBool,
+}
+
+impl IoHealth {
+    fn note_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_retry(&self) {
+        self.fsync_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applies the policy verdict after durability could not be
+    /// re-established.
+    fn give_up(&self, policy: IoErrorPolicy) {
+        match policy {
+            IoErrorPolicy::FailStop => self.fail_stop.store(true, Ordering::Relaxed),
+            IoErrorPolicy::ReadOnly => self.degraded.store(true, Ordering::Relaxed),
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn wants_fail_stop(&self) -> bool {
+        self.fail_stop.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> WalHealth {
+        WalHealth {
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            fsync_retries: self.fsync_retries.load(Ordering::Relaxed),
+            rejected_txns: self.rejected.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            fail_stopped: self.fail_stop.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// WAL-health snapshot a node reports in its [`NodeSummary`]: how many
+/// log I/O operations failed, how many fsync retries were spent
+/// re-establishing durability, and whether the node ended up degraded
+/// (read-only) or fail-stopped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalHealth {
+    /// Log append/sync operations that returned an error.
+    pub io_errors: u64,
+    /// Fsync retries issued trying to land a buffered forced record.
+    pub fsync_retries: u64,
+    /// Transactions explicitly rejected (prepare voted No, commit
+    /// answered with abort) because the node was degraded read-only.
+    pub rejected_txns: u64,
+    /// The node is running read-only under [`IoErrorPolicy::ReadOnly`].
+    pub degraded: bool,
+    /// The node killed itself under [`IoErrorPolicy::FailStop`].
+    pub fail_stopped: bool,
+}
+
+impl WalHealth {
+    /// Folds a sibling lane's view in. Lanes share one [`IoHealth`], so
+    /// the snapshots are near-identical; max/OR keeps the latest.
+    fn absorb(&mut self, other: &WalHealth) {
+        self.io_errors = self.io_errors.max(other.io_errors);
+        self.fsync_retries = self.fsync_retries.max(other.fsync_retries);
+        self.rejected_txns = self.rejected_txns.max(other.rejected_txns);
+        self.degraded |= other.degraded;
+        self.fail_stopped |= other.fail_stopped;
+    }
 }
 
 /// How frames leave a node.
@@ -138,6 +240,13 @@ pub struct LiveNodeConfig {
     /// see (cross-stripe and cross-node cycles): waiters older than this
     /// are aborted as deadlock victims. Only armed on multi-lane nodes.
     pub lock_wait_timeout: SimDuration,
+    /// Seeded storage-fault injection for the node's log device(s);
+    /// `None` runs the backend untouched. Cleared on restart (the
+    /// replacement disk is healthy), mirroring the wire `FaultPlan`'s
+    /// clean-on-restart semantics.
+    pub storage_faults: Option<StorageFaultPlan>,
+    /// What to do when the log device stops accepting writes.
+    pub io_policy: IoErrorPolicy,
 }
 
 impl LiveNodeConfig {
@@ -157,7 +266,21 @@ impl LiveNodeConfig {
             lanes: 1,
             stripes: None,
             lock_wait_timeout: SimDuration(2_000_000),
+            storage_faults: None,
+            io_policy: IoErrorPolicy::default(),
         }
+    }
+
+    /// Subjects the node's log device(s) to seeded storage faults.
+    pub fn with_storage_faults(mut self, plan: StorageFaultPlan) -> Self {
+        self.storage_faults = Some(plan);
+        self
+    }
+
+    /// Sets the node's reaction to unrecoverable log I/O errors.
+    pub fn with_io_policy(mut self, policy: IoErrorPolicy) -> Self {
+        self.io_policy = policy;
+        self
     }
 
     /// Runs `lanes` root-coordinator lanes on this node (min 1).
@@ -320,6 +443,9 @@ pub struct NodeSummary {
     pub obs: Option<ObsSnapshot>,
     /// Restart-recovery telemetry; `None` when the node booted fresh.
     pub recovery: Option<RecoveryStats>,
+    /// WAL-health counters: log I/O errors, fsync retries, degraded
+    /// read-only mode and its explicit rejections.
+    pub wal: WalHealth,
     /// Transport-level counters (`(name, help, value)`), e.g. TCP send
     /// retries; empty for in-process transports.
     pub transport: Vec<(&'static str, &'static str, u64)>,
@@ -351,6 +477,7 @@ impl NodeSummary {
             (None, Some(theirs)) => self.recovery = Some(theirs),
             _ => {}
         }
+        self.wal.absorb(&other.wal);
         self.active_txns += other.active_txns;
         self.protocol_state
             .active
@@ -442,7 +569,20 @@ struct LiveHost<T: Transport> {
     /// When the pending group-commit batch opened (first buffered
     /// force), for the GroupFlush histogram.
     group_opened_at: Option<Instant>,
+    /// Node-level WAL health, shared by all lanes: I/O error counters
+    /// and the degraded / fail-stop verdict.
+    health: Arc<IoHealth>,
+    /// Reaction to unrecoverable log I/O errors.
+    io_policy: IoErrorPolicy,
+    /// Set when a forced append's durability could not be established:
+    /// the upcoming `suspend_rest` tail is dropped instead of parked, so
+    /// the decision behind the failed force is never announced.
+    poison_next_suspend: bool,
 }
+
+/// Fsync retries spent trying to land a buffered forced record before
+/// the [`IoErrorPolicy`] verdict applies.
+const MAX_FSYNC_RETRIES: u32 = 3;
 
 impl<T: Transport> LiveHost<T> {
     fn new(
@@ -480,6 +620,9 @@ impl<T: Transport> LiveHost<T> {
             resume_ready: VecDeque::new(),
             obs: None,
             group_opened_at: None,
+            health: Arc::new(IoHealth::default()),
+            io_policy: cfg.io_policy,
+            poison_next_suspend: false,
         }
     }
 
@@ -509,16 +652,35 @@ impl<T: Transport> LiveHost<T> {
     /// One physical group-batch flush: timed into the Fsync histogram,
     /// charged to the GroupFlush window, and fed back to the committer's
     /// flush-cost estimate so the adaptive policy can calibrate.
-    fn flush_group_batch(&mut self) {
+    ///
+    /// Returns whether the batch is durable. `false` means the sync
+    /// failed and retries did not save it: the caller must NOT resume the
+    /// batch's suspended tails (their forces never became stable), and
+    /// the node has been degraded or marked for fail-stop per policy.
+    fn flush_group_batch(&mut self) -> bool {
         let started = Instant::now();
-        self.timed(Phase::Fsync, |h| {
-            h.log.flush_batch().expect("live log flush")
-        });
+        let mut res = self.timed(Phase::Fsync, |h| h.log.flush_batch());
+        if res.is_err() {
+            self.health.note_error();
+            for _ in 0..MAX_FSYNC_RETRIES {
+                self.health.note_retry();
+                res = self.log.flush_batch();
+                match &res {
+                    Ok(()) => break,
+                    Err(_) => self.health.note_error(),
+                }
+            }
+        }
         let micros = started.elapsed().as_micros() as u64;
         if let Some(gc) = self.group.as_mut() {
             gc.note_flush_micros(micros);
         }
         self.note_group_flush();
+        if res.is_err() {
+            self.health.give_up(self.io_policy);
+            return false;
+        }
+        true
     }
 
     /// Moves the released tickets' suspended tails to the resume queue,
@@ -532,6 +694,51 @@ impl<T: Transport> LiveHost<T> {
                 self.resume_ready.push_back(rest);
             }
         }
+    }
+
+    /// Drops the released tickets' suspended tails without resuming
+    /// them: their forced records never became durable, so the decisions
+    /// behind them must not be announced. The transactions resolve
+    /// through the normal failure machinery (timeouts, partner-down,
+    /// restart recovery) exactly as if the node had crashed mid-batch.
+    fn discard_tickets(&mut self, tickets: Vec<u64>, skip: Option<u64>) {
+        for t in tickets {
+            if Some(t) == skip {
+                continue; // the in-flight append's tail is poisoned instead
+            }
+            self.suspended.remove(&t);
+        }
+    }
+
+    /// A forced append failed. If the frame was written (`written`: the
+    /// failure was the sync, not the append), bounded fsync retries try
+    /// to land the buffered record. When durability cannot be
+    /// re-established the policy verdict applies and the action tail
+    /// behind the force is cut via the poisoned suspend — an undurable
+    /// decision is never acted on.
+    fn forced_append_failed(&mut self, written: bool) -> LogControl {
+        self.health.note_error();
+        if written {
+            for _ in 0..MAX_FSYNC_RETRIES {
+                self.health.note_retry();
+                match self.log.flush() {
+                    Ok(()) => return LogControl::Done,
+                    Err(_) => self.health.note_error(),
+                }
+            }
+        }
+        self.health.give_up(self.io_policy);
+        self.poison_next_suspend = true;
+        LogControl::Suspend
+    }
+
+    /// Counts a log I/O error seen outside the TM forced-append path
+    /// (RM prepare force, non-forced appends) and applies the policy
+    /// verdict: any write the device refuses means new transactions can
+    /// no longer be guaranteed.
+    fn note_io_failure(&mut self) {
+        self.health.note_error();
+        self.health.give_up(self.io_policy);
     }
 }
 
@@ -645,11 +852,18 @@ impl<T: Transport> LiveHost<T> {
                 suspendable: self.suspendable,
             };
         }
-        {
+        let prepared = {
             let log = rm_log_slot(self.rm_log.as_mut(), self.log.as_mut());
-            if self.rm.prepare(txn, log, rm_durability).is_err() {
-                return LocalVote::no();
+            self.rm.prepare(txn, log, rm_durability)
+        };
+        if let Err(e) = prepared {
+            if matches!(e, Error::Io(_)) {
+                // The prepare force never became durable: the guarantee
+                // behind a Yes vote cannot be given, and the device is
+                // now suspect — count it and apply the policy.
+                self.note_io_failure();
             }
+            return LocalVote::no();
         }
         LocalVote {
             disposition: LocalDisposition::Yes,
@@ -693,10 +907,16 @@ impl<T: Transport> LogHost for LiveHost<T> {
             // physical sync is owed to the batch. The action-stream tail
             // behind this force suspends until the batch flushes, exactly
             // as in the simulator host.
-            self.log
+            if self
+                .log
                 .as_mut()
                 .append_deferred(StreamId::Tm, record, durability)
-                .expect("live log append");
+                .is_err()
+            {
+                // The frame never entered the buffer (ENOSPC-class
+                // failure): no retry can land it.
+                return self.forced_append_failed(false);
+            }
             let ticket = self.next_ticket;
             self.next_ticket += 1;
             let now = self.now();
@@ -707,10 +927,17 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 .request(now, ticket);
             match decision {
                 FlushDecision::FlushNow(tickets) => {
-                    self.flush_group_batch();
                     self.group_deadline = None;
-                    self.release_tickets(tickets, Some(ticket));
-                    LogControl::Done
+                    if self.flush_group_batch() {
+                        self.release_tickets(tickets, Some(ticket));
+                        LogControl::Done
+                    } else {
+                        // The whole batch failed to become durable: no
+                        // tail in it may run, including this append's.
+                        self.discard_tickets(tickets, Some(ticket));
+                        self.poison_next_suspend = true;
+                        LogControl::Suspend
+                    }
                 }
                 FlushDecision::WaitUntil(deadline) => {
                     self.suspending_ticket = Some(ticket);
@@ -723,23 +950,45 @@ impl<T: Transport> LogHost for LiveHost<T> {
             }
         } else if durability.is_forced() {
             // One forced append = one sync_data: time it.
-            self.timed(Phase::Fsync, |h| {
-                h.log
-                    .as_mut()
-                    .append(StreamId::Tm, record, durability)
-                    .expect("live log append")
+            let before = self.log.stats().writes;
+            let res = self.timed(Phase::Fsync, |h| {
+                h.log.as_mut().append(StreamId::Tm, record, durability)
             });
-            LogControl::Done
+            match res {
+                Ok(_) => LogControl::Done,
+                Err(_) => {
+                    // Distinguish "frame buffered, sync failed" (retry
+                    // may save it) from "append itself refused".
+                    let written = self.log.stats().writes > before;
+                    self.forced_append_failed(written)
+                }
+            }
         } else {
-            self.log
+            if self
+                .log
                 .as_mut()
                 .append(StreamId::Tm, record, durability)
-                .expect("live log append");
+                .is_err()
+            {
+                // A non-forced record is allowed to be lost (the
+                // presumption covers it), so the action stream continues
+                // — but a device refusing even unforced writes is done
+                // for: count it and apply the policy.
+                self.note_io_failure();
+            }
             LogControl::Done
         }
     }
 
     fn suspend_rest(&mut self, rest: Vec<Action>) {
+        if self.poison_next_suspend {
+            // The force behind this tail never became durable: drop the
+            // tail so the decision is never announced. The transaction
+            // resolves through the normal failure machinery.
+            self.poison_next_suspend = false;
+            drop(rest);
+            return;
+        }
         let ticket = self
             .suspending_ticket
             .take()
@@ -755,6 +1004,13 @@ impl<T: Transport> RmHost for LiveHost<T> {
         txn: TxnId,
         rm_durability: Durability,
     ) -> PrepareControl {
+        if self.health.is_degraded() {
+            // Read-only degradation: the node cannot guarantee new
+            // prepared state, so it votes No — an explicit, counted
+            // rejection, never a silent wrong answer.
+            self.health.note_rejected();
+            return PrepareControl::Vote(LocalVote::no());
+        }
         if self.pending_ops.contains_key(&txn) && !self.deadlocked.contains(&txn) {
             // Local work is lock-blocked: finish before voting (§4 Read
             // Only's serialization caveat is about exactly this window).
@@ -927,6 +1183,147 @@ pub(crate) struct LaneParts {
     pub obs: Option<Arc<Obs>>,
     pub lane: usize,
     pub lane_peers: Vec<Sender<Inbound>>,
+    pub health: Arc<IoHealth>,
+}
+
+/// Wraps a log backend in a [`FaultyLog`] when the config injects
+/// storage faults. `path` enables the crash-time image faults (torn
+/// write, bit flip) on file-backed logs; `salt` decorrelates the fault
+/// streams of a node's TM and RM logs.
+pub(crate) fn wrap_storage_faults(
+    log: Box<dyn LogManager + Send>,
+    plan: Option<&StorageFaultPlan>,
+    path: Option<std::path::PathBuf>,
+    salt: u64,
+) -> Box<dyn LogManager + Send> {
+    match plan {
+        None => log,
+        Some(p) => {
+            let mut plan = p.clone();
+            plan.seed ^= salt;
+            let mut faulty = FaultyLog::new(log, plan);
+            if let Some(path) = path {
+                faulty = faulty.with_path(path);
+            }
+            Box::new(faulty)
+        }
+    }
+}
+
+/// Converts a recovery-scan tail classification into the
+/// `(torn_tails, corruption_before_tail)` increment for
+/// [`Driver::note_log_damage`].
+pub(crate) fn tail_counts(tail: TailState) -> (u64, u64) {
+    match tail {
+        TailState::Clean => (0, 0),
+        TailState::TornTail => (1, 0),
+        TailState::CorruptionBeforeTail { .. } => (0, 1),
+    }
+}
+
+/// One lane's recovered protocol state: its rebuilt [`Driver`] and the
+/// recovery actions (queries, re-driven decisions) awaiting application.
+pub(crate) struct RecoveredLane {
+    pub driver: Driver,
+    pub actions: Vec<Action>,
+}
+
+/// Replays a node's durable log(s) after a crash and rebuilds per-lane
+/// driver state — the sharded generalization of the single-lane restart
+/// sequence:
+///
+/// 1. resource-manager recovery runs once over the durable RM stream
+///    (redo committed work, restore prepared transactions as in-doubt
+///    with their locks) into the one [`SharedRm`] all lanes share;
+/// 2. the durable TM stream is *repartitioned*: each record goes to the
+///    lane owning its transaction (`lane_of(txn, lanes)`), and every
+///    lane's fresh [`Driver`] runs engine recovery over exactly its own
+///    transactions — interrupted voting aborts, in-doubt seats query or
+///    await per the protocol's presumption, decided-but-unacknowledged
+///    outcomes re-drive;
+/// 3. RM in-doubt transactions the recovered TMs already decided settle
+///    through the owning lane's `recovered_disposition`; genuinely
+///    in-doubt ones wait for the protocol.
+///
+/// WAL scan timing and tail-damage classification are attributed to
+/// lane 0, so the node-level [`RecoveryStats`] rollup counts them once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recover_lanes(
+    node: NodeId,
+    cfg: &LiveNodeConfig,
+    partners: &[NodeId],
+    rm: &Arc<SharedRm>,
+    log: &mut Box<dyn LogManager + Send>,
+    rm_log: &mut Option<Box<dyn LogManager + Send>>,
+    obs: Option<&Arc<Obs>>,
+    epoch: Instant,
+    tail_damage: (u64, u64),
+) -> Result<Vec<RecoveredLane>> {
+    let lanes = cfg.lanes.max(1);
+    let now = SimTime(epoch.elapsed().as_micros() as u64);
+    let scan_started = Instant::now();
+    // RM recovery first, so the re-driven CommitLocal/AbortLocal actions
+    // from engine recovery find consistent RM state (the same order the
+    // simulator's restart uses).
+    {
+        let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
+        let durable = l.durable_records();
+        rm.recover(&durable, now)?;
+    }
+    let durable_tm = log.durable_records();
+    let scan_us = scan_started.elapsed().as_micros() as u64;
+
+    let mut recovered = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let engine_cfg = EngineConfig {
+            node,
+            protocol: cfg.protocol,
+            opts: cfg.opts.clone(),
+            timeouts: cfg.timeouts,
+            heuristic: cfg.heuristic,
+        };
+        let mut driver = Driver::new(engine_cfg)?;
+        for p in partners {
+            driver.engine_mut().add_session_partner(*p);
+        }
+        // Observability attaches before recovery so recovered in-doubt
+        // windows re-open at their durable `prepared_at` instants.
+        if let Some(o) = obs {
+            driver.set_obs(Arc::clone(o));
+        }
+        if lane == 0 {
+            driver.note_wal_scan(scan_us);
+            driver.note_log_damage(tail_damage.0, tail_damage.1);
+        }
+        let lane_records: Vec<_> = if lanes > 1 {
+            durable_tm
+                .iter()
+                .filter(|(_, _, rec)| lane_of(rec.txn(), lanes) == lane)
+                .cloned()
+                .collect()
+        } else {
+            durable_tm.clone()
+        };
+        let actions = driver.recover(&lane_records, now)?;
+        recovered.push(RecoveredLane { driver, actions });
+    }
+    for txn in rm.in_doubt() {
+        let disposition = recovered[lane_of(txn, lanes)]
+            .driver
+            .engine()
+            .recovered_disposition(txn);
+        let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
+        match disposition {
+            InDoubtDisposition::Commit => {
+                let _ = rm.commit(txn, l, Durability::Forced, now);
+            }
+            InDoubtDisposition::Abort => {
+                let _ = rm.abort(txn, l, Durability::NonForced, now);
+            }
+            InDoubtDisposition::AwaitOutcome => {}
+        }
+    }
+    Ok(recovered)
 }
 
 pub(crate) fn rm_config(cfg: &LiveNodeConfig) -> RmConfig {
@@ -957,20 +1354,40 @@ impl<T: Transport> NodeWorker<T> {
             None
         } else {
             match &cfg.log_backend {
-                LogBackend::Memory => Some(Box::new(MemLog::new())),
+                LogBackend::Memory => Some(wrap_storage_faults(
+                    Box::new(MemLog::new()),
+                    cfg.storage_faults.as_ref(),
+                    None,
+                    1,
+                )),
                 LogBackend::File(dir) => {
                     std::fs::create_dir_all(dir).expect("log directory");
-                    Some(Box::new(
-                        FileLog::create(rm_log_path(dir, node)).expect("create rm log file"),
+                    let path = rm_log_path(dir, node);
+                    Some(wrap_storage_faults(
+                        Box::new(FileLog::create(&path).expect("create rm log file")),
+                        cfg.storage_faults.as_ref(),
+                        Some(path),
+                        1,
                     ))
                 }
             }
         };
         let log: Box<dyn LogManager + Send> = match &cfg.log_backend {
-            LogBackend::Memory => Box::new(MemLog::new()),
+            LogBackend::Memory => wrap_storage_faults(
+                Box::new(MemLog::new()),
+                cfg.storage_faults.as_ref(),
+                None,
+                0,
+            ),
             LogBackend::File(dir) => {
                 std::fs::create_dir_all(dir).expect("log directory");
-                Box::new(FileLog::create(tm_log_path(dir, node)).expect("create log file"))
+                let path = tm_log_path(dir, node);
+                wrap_storage_faults(
+                    Box::new(FileLog::create(&path).expect("create log file")),
+                    cfg.storage_faults.as_ref(),
+                    Some(path),
+                    0,
+                )
             }
         };
         let obs = make_obs(&cfg);
@@ -981,6 +1398,7 @@ impl<T: Transport> NodeWorker<T> {
             obs,
             lane: 0,
             lane_peers: Vec::new(),
+            health: Arc::new(IoHealth::default()),
         };
         Self::new_with_parts(node, cfg, partners, transport, rx, epoch, signal, parts)
     }
@@ -1028,6 +1446,7 @@ impl<T: Transport> NodeWorker<T> {
         host.lanes = cfg.lanes.max(1);
         host.lane = parts.lane;
         host.lane_peers = parts.lane_peers;
+        host.health = parts.health;
         NodeWorker {
             driver,
             host,
@@ -1068,68 +1487,91 @@ impl<T: Transport> NodeWorker<T> {
         epoch: Instant,
         signal: Arc<ClusterSignal>,
     ) -> Result<Self> {
+        if cfg.lanes > 1 {
+            return Err(Error::Config(
+                "multi-lane restart is orchestrated by the cluster (one worker per lane)".into(),
+            ));
+        }
         let LogBackend::File(dir) = &cfg.log_backend else {
             return Err(Error::Config(
                 "restart requires LogBackend::File (a memory log dies with the node)".into(),
             ));
         };
-        let mut log: Box<dyn LogManager + Send> = Box::new(FileLog::open(tm_log_path(dir, node))?);
+        let tm_file = FileLog::open(tm_log_path(dir, node))?;
+        let mut damage = tail_counts(tm_file.recovered_tail());
+        let mut log: Box<dyn LogManager + Send> = Box::new(tm_file);
         let mut rm_log: Option<Box<dyn LogManager + Send>> = if cfg.opts.shared_log {
             None
         } else {
-            Some(Box::new(FileLog::open(rm_log_path(dir, node))?))
+            let rm_file = FileLog::open(rm_log_path(dir, node))?;
+            let (t, c) = tail_counts(rm_file.recovered_tail());
+            damage = (damage.0 + t, damage.1 + c);
+            Some(Box::new(rm_file))
         };
-        let engine_cfg = EngineConfig {
-            node,
-            protocol: cfg.protocol,
-            opts: cfg.opts.clone(),
-            timeouts: cfg.timeouts,
-            heuristic: cfg.heuristic,
-        };
-        let mut driver = Driver::new(engine_cfg)?;
-        for p in partners {
-            driver.engine_mut().add_session_partner(p);
-        }
-
-        let now = SimTime(epoch.elapsed().as_micros() as u64);
         // Observability attaches before recovery so the recovered
         // in-doubt windows re-open at their durable `prepared_at`
         // instants (covering the outage, not just the tail after it).
         let obs = make_obs(&cfg);
-        if let Some(o) = &obs {
-            driver.set_obs(Arc::clone(o));
-        }
-        // RM recovery first, so the re-driven CommitLocal/AbortLocal
-        // actions from engine recovery find consistent RM state (the same
-        // order the simulator's restart uses).
         let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));
-        let scan_started = Instant::now();
-        {
-            let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
-            let durable = l.durable_records();
-            rm.recover(&durable, now)?;
-        }
-        let durable_tm = log.durable_records();
-        driver.note_wal_scan(scan_started.elapsed().as_micros() as u64);
-        let actions = driver.recover(&durable_tm, now)?;
-        // RM in-doubt transactions the recovered TM already decided are
-        // settled here; genuinely in-doubt ones wait for the protocol.
-        for txn in rm.in_doubt() {
-            let disposition = driver.engine().recovered_disposition(txn);
-            let l = rm_log_slot(rm_log.as_mut(), log.as_mut());
-            match disposition {
-                InDoubtDisposition::Commit => {
-                    let _ = rm.commit(txn, l, Durability::Forced, now);
-                }
-                InDoubtDisposition::Abort => {
-                    let _ = rm.abort(txn, l, Durability::NonForced, now);
-                }
-                InDoubtDisposition::AwaitOutcome => {}
-            }
-        }
+        let mut lanes = recover_lanes(
+            node,
+            &cfg,
+            &partners,
+            &rm,
+            &mut log,
+            &mut rm_log,
+            obs.as_ref(),
+            epoch,
+            damage,
+        )?;
+        let RecoveredLane { driver, actions } = lanes.remove(0);
+        let parts = LaneParts {
+            rm,
+            log,
+            rm_log,
+            obs,
+            lane: 0,
+            lane_peers: Vec::new(),
+            health: Arc::new(IoHealth::default()),
+        };
+        Self::resume_with_parts(
+            node, cfg, transport, rx, epoch, signal, parts, driver, actions,
+        )
+    }
 
-        let mut host = LiveHost::new(node, &cfg, transport, log, rm_log, rm, epoch);
-        host.obs = obs;
+    /// Builds a worker around an already-recovered lane [`Driver`] (from
+    /// [`recover_lanes`]) and applies its pending recovery actions, so
+    /// queries and re-driven decisions go out over the real transport
+    /// before the first inbound message is processed. The restart knobs
+    /// reset: a recovered node does not crash again
+    /// (`kill_after_frames`), and the replacement disk is healthy
+    /// (fresh [`IoHealth`], no storage faults).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume_with_parts(
+        node: NodeId,
+        cfg: LiveNodeConfig,
+        transport: T,
+        rx: Receiver<Inbound>,
+        epoch: Instant,
+        signal: Arc<ClusterSignal>,
+        parts: LaneParts,
+        driver: Driver,
+        actions: Vec<Action>,
+    ) -> Result<Self> {
+        let mut host = LiveHost::new(
+            node,
+            &cfg,
+            transport,
+            parts.log,
+            parts.rm_log,
+            parts.rm,
+            epoch,
+        );
+        host.obs = parts.obs;
+        host.lanes = cfg.lanes.max(1);
+        host.lane = parts.lane;
+        host.lane_peers = parts.lane_peers;
+        host.health = parts.health;
         let mut worker = NodeWorker {
             driver,
             host,
@@ -1204,6 +1646,12 @@ impl<T: Transport> NodeWorker<T> {
             progressed |= self.expire_group_if_due();
             progressed |= self.expire_lock_waits_if_due();
             self.flush_acks_if_idle();
+            if self.host.health.wants_fail_stop() {
+                // The log device is gone and the policy says fail-stop:
+                // crash now (all lanes see the shared flag within one
+                // timeout tick). Restart recovers from what was forced.
+                return self.die();
+            }
             if progressed {
                 self.signal.bump();
             }
@@ -1265,8 +1713,11 @@ impl<T: Transport> NodeWorker<T> {
         let Some(tickets) = released else {
             return false;
         };
-        self.host.flush_group_batch();
-        self.host.release_tickets(tickets, None);
+        if self.host.flush_group_batch() {
+            self.host.release_tickets(tickets, None);
+        } else {
+            self.host.discard_tickets(tickets, None);
+        }
         self.pump();
         true
     }
@@ -1277,9 +1728,12 @@ impl<T: Transport> NodeWorker<T> {
     fn drain_group(&mut self) {
         let released = self.host.group.as_mut().and_then(|gc| gc.drain());
         let Some(tickets) = released else { return };
-        self.host.flush_group_batch();
         self.host.group_deadline = None;
-        self.host.release_tickets(tickets, None);
+        if self.host.flush_group_batch() {
+            self.host.release_tickets(tickets, None);
+        } else {
+            self.host.discard_tickets(tickets, None);
+        }
         self.pump();
     }
 
@@ -1336,6 +1790,7 @@ impl<T: Transport> NodeWorker<T> {
                 .as_ref()
                 .map(|o| o.snapshot_at(self.host.now())),
             recovery: self.driver.recovery_stats(),
+            wal: self.host.health.snapshot(),
             transport: self.host.transport.counters(),
             active_txns: self.driver.engine().active_txns(),
             protocol_state: NodeProtocolState::from_engine(
@@ -1411,7 +1866,16 @@ impl<T: Transport> NodeWorker<T> {
             }
             AppCmd::Commit { txn, reply } => {
                 self.host.waiting.insert(txn, reply);
-                self.drive(Event::CommitRequested { txn });
+                if self.host.health.is_degraded() {
+                    // Read-only degradation: committing would require a
+                    // forced decision record the device cannot give us.
+                    // The application gets an explicit abort, counted as
+                    // a rejection — not a hang, not a lie.
+                    self.host.health.note_rejected();
+                    self.drive(Event::AbortRequested { txn });
+                } else {
+                    self.drive(Event::CommitRequested { txn });
+                }
             }
             AppCmd::Abort { txn, reply } => {
                 self.host.waiting.insert(txn, reply);

@@ -116,12 +116,43 @@ pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
                     "Transactions aborted at restart because the crash interrupted voting",
                     recovery.interrupted_vote_aborts,
                 ),
+                (
+                    "tpc_recovery_torn_tails_total",
+                    "Restarts that found a cleanly torn WAL tail (interrupted append)",
+                    recovery.torn_tails,
+                ),
+                (
+                    "tpc_recovery_corruption_before_tail_total",
+                    "Restarts that found WAL corruption with valid frames after it",
+                    recovery.corruption_before_tail,
+                ),
+                (
+                    "tpc_wal_io_errors_total",
+                    "Log I/O operations that failed after exhausting retries",
+                    s.wal.io_errors,
+                ),
+                (
+                    "tpc_wal_fsync_retries_total",
+                    "Fsync attempts retried after a transient failure",
+                    s.wal.fsync_retries,
+                ),
+                (
+                    "tpc_wal_rejected_txns_total",
+                    "Transactions rejected because the node degraded to read-only",
+                    s.wal.rejected_txns,
+                ),
             ];
             counters.extend(s.transport.iter().copied());
+            let gauges = vec![(
+                "tpc_wal_degraded",
+                "1 when the node gave up on log durability and runs read-only",
+                if s.wal.degraded { 1.0 } else { 0.0 },
+            )];
             NodeExport {
                 node: s.node,
                 obs: s.obs.clone().unwrap_or_default(),
                 counters,
+                gauges,
             }
         })
         .collect();

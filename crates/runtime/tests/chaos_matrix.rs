@@ -27,7 +27,7 @@ use std::time::Duration;
 use tpc_common::{NodeId, Op, Outcome, ProtocolKind, SimDuration};
 use tpc_core::Timeouts;
 use tpc_runtime::tcp::TcpCluster;
-use tpc_runtime::{verify, LiveCluster, LiveNodeConfig};
+use tpc_runtime::{verify, LiveCluster, LiveNodeConfig, StorageFaultPlan};
 
 /// Short protocol timers so retries and in-doubt queries fire quickly.
 fn chaos_timeouts() -> Timeouts {
@@ -54,24 +54,72 @@ const PROTOCOLS: [ProtocolKind; 3] = [
 fn kill_and_restart_the_subordinate_at_every_protocol_step() {
     for protocol in PROTOCOLS {
         for k in 1..=3u32 {
-            subordinate_case(protocol, k);
+            subordinate_case(protocol, k, 1, None);
         }
     }
 }
 
-fn subordinate_case(protocol: ProtocolKind, k: u32) {
-    let ctx = format!("{protocol:?} k={k}");
-    let dir = temp_dir(&format!("sub-{protocol:?}-{k}"));
+#[test]
+fn kill_and_restart_the_subordinate_on_four_lanes_at_every_protocol_step() {
+    // The same crash matrix against a sharded victim: the four lanes die
+    // as one process and recovery replays the one shared WAL, routing
+    // each recovered transaction back to its owning lane.
+    for protocol in PROTOCOLS {
+        for k in 1..=3u32 {
+            subordinate_case(protocol, k, 4, None);
+        }
+    }
+}
+
+#[test]
+fn kill_and_restart_with_flaky_fsync_at_every_protocol_step() {
+    // Third matrix axis: the victim's log device intermittently fails
+    // fsync (seeded, with latency). The host's bounded retries must
+    // re-establish durability, so every cell still converges with the
+    // same outcomes and WAL agreement as a healthy disk — on one lane
+    // and on four.
+    let flaky = StorageFaultPlan::clean(0xD15C)
+        .with_fsync_failures(0.2)
+        .with_fsync_delay_us(200);
+    for protocol in PROTOCOLS {
+        for lanes in [1usize, 4] {
+            for k in 1..=3u32 {
+                subordinate_case(protocol, k, lanes, Some(flaky.clone()));
+            }
+        }
+    }
+}
+
+fn subordinate_case(
+    protocol: ProtocolKind,
+    k: u32,
+    lanes: usize,
+    faults: Option<StorageFaultPlan>,
+) {
+    let ctx = format!(
+        "{protocol:?} k={k} lanes={lanes} faults={}",
+        faults.is_some()
+    );
+    let dir = temp_dir(&format!(
+        "sub-{protocol:?}-{k}-{lanes}-{}",
+        faults.is_some()
+    ));
     let root = NodeId(0);
     let victim = NodeId(1);
+    let mut victim_cfg = LiveNodeConfig::new(protocol)
+        .with_file_log(&dir)
+        .with_lanes(lanes)
+        .with_timeouts(chaos_timeouts())
+        .kill_after_frames(k);
+    if let Some(plan) = faults {
+        victim_cfg = victim_cfg.with_storage_faults(plan);
+    }
     let mut c = LiveCluster::start(vec![
         LiveNodeConfig::new(protocol)
             .with_file_log(&dir)
+            .with_lanes(lanes)
             .with_timeouts(chaos_timeouts()),
-        LiveNodeConfig::new(protocol)
-            .with_file_log(&dir)
-            .with_timeouts(chaos_timeouts())
-            .kill_after_frames(k),
+        victim_cfg,
     ])
     .with_reply_timeout(Duration::from_secs(20));
 

@@ -78,11 +78,55 @@ fn cross_lane_conflicts_serialize_on_the_shared_rm() {
 }
 
 #[test]
-fn kill_is_refused_on_multi_lane_clusters() {
-    let mut c = lanes_cluster(2, 2, ProtocolKind::PresumedAbort);
-    assert!(c.kill(NodeId(0)).is_err(), "kill is a single-lane facility");
-    assert!(c.is_alive(NodeId(0)));
-    c.shutdown();
+fn kill_and_restart_replays_the_shared_wal_across_lanes() {
+    // A multi-lane node crashes as one process (all lanes share the
+    // volatile state) and restarts from its one shared WAL: the replay
+    // repartitions recovered transactions back to their owning lanes,
+    // so committed writes survive and every lane keeps working.
+    let dir = std::env::temp_dir().join(format!("tpc-ml-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || {
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_lanes(4)
+    };
+    let mut c = LiveCluster::start(vec![cfg(), cfg()]);
+    // Eight sequential txns exercise each of the server's four lanes twice.
+    for i in 0..8 {
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(1), vec![Op::put(&format!("k{i}"), &i.to_string())]);
+        assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
+    }
+
+    c.kill(NodeId(1)).expect("multi-lane kill");
+    assert!(!c.is_alive(NodeId(1)));
+    c.restart(NodeId(1))
+        .expect("multi-lane restart from the shared WAL");
+
+    // Every committed write must have survived the crash.
+    for i in 0..8 {
+        assert_eq!(
+            c.read_eventually(NodeId(1), &format!("k{i}"), Duration::from_secs(10)),
+            Some(i.to_string().into_bytes()),
+            "k{i} must survive the multi-lane restart"
+        );
+    }
+    // The node is fully operational again on every lane.
+    for i in 8..16 {
+        let t = c.begin(NodeId(0));
+        t.work(NodeId(1), vec![Op::put(&format!("k{i}"), &i.to_string())]);
+        assert_eq!(t.commit().expect("root alive").outcome, Outcome::Commit);
+    }
+    let s = c.summary(NodeId(1)).expect("server alive");
+    let rec = s.recovery.expect("node rollup carries recovery stats");
+    assert!(
+        rec.wal_records_scanned >= 8,
+        "replay must have seen the pre-crash records: {rec:?}"
+    );
+    for s in c.shutdown() {
+        assert_eq!(s.active_txns, 0, "{:?}", s.node);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -42,6 +42,49 @@ fn stream_from_byte(b: u8) -> StreamId {
     }
 }
 
+/// How the recovery scan's stopping point classifies: did the log end in
+/// the ordinary torn tail a crash leaves behind, or did valid frames
+/// survive *after* the damage — i.e. corruption (bit rot, a misdirected
+/// write) inside the committed prefix?
+///
+/// Both cases recover the same way — truncate to the last valid prefix —
+/// but they mean very different things operationally: a torn tail is
+/// expected after every crash, while corruption before the tail discards
+/// frames that were once durable and must be surfaced, not silently
+/// swallowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TailState {
+    /// Every byte parsed; the file ends exactly at a frame boundary.
+    #[default]
+    Clean,
+    /// The scan stopped at damage with no valid frame after it: the
+    /// normal aftermath of a crash mid-append.
+    TornTail,
+    /// The scan stopped at damage but valid frames follow it — data that
+    /// was durably written is being dropped by prefix truncation.
+    CorruptionBeforeTail {
+        /// Valid frames found after the damaged region (all discarded).
+        valid_frames_after: u32,
+    },
+}
+
+impl TailState {
+    /// True when prefix truncation discarded once-durable frames.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, TailState::CorruptionBeforeTail { .. })
+    }
+}
+
+/// Result of a classified recovery scan: the durable prefix plus what the
+/// stopping point looked like.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// The valid prefix, in LSN order.
+    pub records: Vec<(Lsn, StreamId, LogRecord)>,
+    /// Classification of whatever ended the scan.
+    pub tail: TailState,
+}
+
 /// An append-only log file.
 pub struct FileLog {
     path: PathBuf,
@@ -52,6 +95,8 @@ pub struct FileLog {
     /// view re-reads the file.
     cache: Vec<(Lsn, StreamId, LogRecord)>,
     stats: LogStats,
+    /// What `open` found at the end of the durable prefix.
+    recovered_tail: TailState,
 }
 
 impl FileLog {
@@ -69,21 +114,25 @@ impl FileLog {
             next_offset: 0,
             cache: Vec::new(),
             stats: LogStats::default(),
+            recovered_tail: TailState::Clean,
         })
     }
 
     /// Opens an existing log file, scanning the durable prefix and
-    /// positioning new appends after the last valid frame (discarding any
-    /// torn tail).
+    /// positioning new appends after the last valid frame. Any tail is
+    /// still truncated (prefix recovery is the only safe answer), but its
+    /// classification — clean, torn, or corruption before the tail — is
+    /// kept and reported via [`FileLog::recovered_tail`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let recovered = scan(&path)?;
+        let report = scan_classified(&path)?;
+        let recovered = report.records;
         let next_offset = recovered
             .last()
             .map(|(lsn, _, rec)| lsn.0 + frame_len(rec) as u64)
             .unwrap_or(0);
         let mut file = OpenOptions::new().write(true).open(&path)?;
-        file.set_len(next_offset)?; // drop torn tail
+        file.set_len(next_offset)?; // drop the damaged tail
         file.seek(SeekFrom::Start(next_offset))?;
         Ok(FileLog {
             path,
@@ -91,7 +140,15 @@ impl FileLog {
             next_offset,
             cache: recovered,
             stats: LogStats::default(),
+            recovered_tail: report.tail,
         })
+    }
+
+    /// What [`FileLog::open`] found at the end of the durable prefix:
+    /// a clean boundary, a torn tail, or corruption with valid frames
+    /// after it.
+    pub fn recovered_tail(&self) -> TailState {
+        self.recovered_tail
     }
 
     /// Path of the backing file.
@@ -104,34 +161,82 @@ fn frame_len(record: &LogRecord) -> usize {
     HEADER_LEN + record.encode_to_bytes().len()
 }
 
+/// Tries to parse one frame at `off`; returns the record and the offset
+/// of the next frame, or `None` if the bytes at `off` are not a complete
+/// valid frame.
+fn try_frame(raw: &[u8], off: usize) -> Option<(StreamId, LogRecord, usize)> {
+    if off + HEADER_LEN > raw.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap());
+    let body_start = off + 8;
+    let body_end = body_start.checked_add(1 + len)?;
+    if body_end > raw.len() {
+        return None;
+    }
+    let body = &raw[body_start..body_end];
+    if crc32(body) != crc {
+        return None;
+    }
+    let stream = stream_from_byte(body[0]);
+    let rec = LogRecord::decode_all(&body[1..]).ok()?;
+    Some((stream, rec, body_end))
+}
+
 /// Reads the durable prefix of the log file at `path`.
 pub fn scan(path: impl AsRef<Path>) -> Result<Vec<(Lsn, StreamId, LogRecord)>> {
+    Ok(scan_classified(path)?.records)
+}
+
+/// Reads the durable prefix and classifies whatever stopped the scan:
+/// a clean end-of-file, the torn tail of an interrupted append, or —
+/// the alarming case — a damaged frame with valid frames *after* it,
+/// meaning once-durable data is being discarded by prefix truncation.
+pub fn scan_classified(path: impl AsRef<Path>) -> Result<ScanReport> {
     let mut raw = Vec::new();
     File::open(path.as_ref())?.read_to_end(&mut raw)?;
-    let mut out = Vec::new();
+    let mut records = Vec::new();
     let mut off = 0usize;
-    while off + HEADER_LEN <= raw.len() {
-        let len = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap());
-        let body_start = off + 8;
-        let body_end = body_start + 1 + len;
-        if body_end > raw.len() {
-            break; // torn tail
-        }
-        let body = &raw[body_start..body_end];
-        if crc32(body) != crc {
-            break; // corrupt frame: stop, everything after is suspect
-        }
-        let stream = stream_from_byte(body[0]);
-        match LogRecord::decode_all(&body[1..]) {
-            Ok(rec) => {
-                out.push((Lsn(off as u64), stream, rec));
-                off = body_end;
-            }
-            Err(_) => break,
-        }
+    while let Some((stream, rec, next)) = try_frame(&raw, off) {
+        records.push((Lsn(off as u64), stream, rec));
+        off = next;
     }
-    Ok(out)
+    if off == raw.len() {
+        return Ok(ScanReport {
+            records,
+            tail: TailState::Clean,
+        });
+    }
+    // The scan stopped before end-of-file. A pure torn tail has nothing
+    // parseable after the stopping point; if any later offset yields a
+    // valid frame, the damage sits in front of data that was durable —
+    // corruption, not an ordinary crash artifact. The brute-force resync
+    // is O(file × frame) but recovery scans are rare and logs small.
+    let mut probe = off + 1;
+    while probe + HEADER_LEN <= raw.len() {
+        if try_frame(&raw, probe).is_some() {
+            // Count the surviving chain so the report says how much
+            // once-durable data the truncation throws away.
+            let mut survivors = 0u32;
+            let mut o = probe;
+            while let Some((_, _, next)) = try_frame(&raw, o) {
+                survivors += 1;
+                o = next;
+            }
+            return Ok(ScanReport {
+                records,
+                tail: TailState::CorruptionBeforeTail {
+                    valid_frames_after: survivors,
+                },
+            });
+        }
+        probe += 1;
+    }
+    Ok(ScanReport {
+        records,
+        tail: TailState::TornTail,
+    })
 }
 
 impl FileLog {
@@ -395,6 +500,65 @@ mod tests {
         log.crash_discard();
         assert_eq!(log.durable_records().len(), 3, "suspended force lost");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_and_prior_corruption_are_distinguished() {
+        // Case 1: a genuinely torn tail (partial last frame).
+        let path = tmp("classify-torn");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
+            log.append(StreamId::Tm, end(2), Durability::Forced)
+                .unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let report = scan_classified(&path).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.tail, TailState::TornTail);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.recovered_tail(), TailState::TornTail);
+
+        // Case 2: same file, but the damage hits frame 1 of 3 while
+        // frames 2 and 3 stay intact — corruption before the tail.
+        let path2 = tmp("classify-corrupt");
+        {
+            let mut log = FileLog::create(&path2).unwrap();
+            for i in 1..=3 {
+                log.append(StreamId::Tm, end(i), Durability::Forced)
+                    .unwrap();
+            }
+        }
+        let mut raw = std::fs::read(&path2).unwrap();
+        let frame = raw.len() / 3;
+        raw[frame / 2] ^= 0x40; // flip a bit inside frame 0
+        std::fs::write(&path2, &raw).unwrap();
+        let report = scan_classified(&path2).unwrap();
+        assert_eq!(report.records.len(), 0);
+        assert_eq!(
+            report.tail,
+            TailState::CorruptionBeforeTail {
+                valid_frames_after: 2
+            }
+        );
+        assert!(report.tail.is_corruption());
+        let log = FileLog::open(&path2).unwrap();
+        assert!(log.recovered_tail().is_corruption());
+        assert_eq!(log.records().len(), 0, "prefix recovery still applies");
+
+        // Case 3: an untouched file is clean.
+        let path3 = tmp("classify-clean");
+        {
+            let mut log = FileLog::create(&path3).unwrap();
+            log.append(StreamId::Tm, end(1), Durability::Forced)
+                .unwrap();
+        }
+        assert_eq!(scan_classified(&path3).unwrap().tail, TailState::Clean);
+        for p in [&path, &path2, &path3] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

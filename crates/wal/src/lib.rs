@@ -15,7 +15,9 @@
 //!   paper's definition ("non-forced log writes ... are not guaranteed to
 //!   survive a system failure");
 //! * [`file::FileLog`] — a real on-disk log with fsync and a recovery scan
-//!   that tolerates a torn tail;
+//!   that tolerates (and classifies) a torn tail;
+//! * [`faults::FaultyLog`] — seeded storage-fault injection over any
+//!   backend: fsync failures, ENOSPC, torn writes, bit rot, sync latency;
 //! * [`group::GroupCommitter`] — the §4 *Group Commits* batching policy as
 //!   a pure, clock-driven state machine the simulator and the live runtime
 //!   both drive.
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod file;
 pub mod group;
 pub mod log;
@@ -30,6 +33,8 @@ pub mod mem;
 pub mod record;
 pub mod shared;
 
+pub use faults::{FaultyLog, StorageFaultPlan, StorageFaultStats};
+pub use file::{ScanReport, TailState};
 pub use group::{FlushDecision, GroupCommitter, GroupStats};
 pub use log::{Durability, LogManager, LogStats, StreamId};
 pub use mem::MemLog;

@@ -77,21 +77,24 @@ if old_sc or new_sc:
             f"{o['rejected']:>8} {n['rejected']:>8}"
         )
 
-old_fp = {r["protocol"]: r for r in old.get("failure_path", [])}
-new_fp = {r["protocol"]: r for r in new.get("failure_path", [])}
+# Failure-path rows are keyed on (protocol, lanes); files from before the
+# sharded cells existed carry no "lanes" field and default to 1.
+old_fp = {(r["protocol"], r.get("lanes", 1)): r for r in old.get("failure_path", [])}
+new_fp = {(r["protocol"], r.get("lanes", 1)): r for r in new.get("failure_path", [])}
 if old_fp or new_fp:
     print()
-    print("failure path (kill/restart, tcp + file log):")
-    hdr = f"{'protocol':<18} {'in-doubt p99 old':>16} {'new':>10} {'recover ms old':>15} {'new':>10}"
+    print("failure path (kill/restart, file log; lanes=1 tcp, lanes>1 channel):")
+    hdr = f"{'cell':<26} {'in-doubt p99 old':>16} {'new':>10} {'recover ms old':>15} {'new':>10}"
     print(hdr)
     print("-" * len(hdr))
-    for p in sorted(set(old_fp) | set(new_fp)):
-        o, n = old_fp.get(p), new_fp.get(p)
+    for k in sorted(set(old_fp) | set(new_fp)):
+        name = f"{k[0]}/lanes={k[1]}"
+        o, n = old_fp.get(k), new_fp.get(k)
         if o is None or n is None:
-            print(f"{p:<18} (only in {new_path if o is None else old_path})")
+            print(f"{name:<26} (only in {new_path if o is None else old_path})")
             continue
         print(
-            f"{p:<18} {o['in_doubt_us']['p99']:>16} {n['in_doubt_us']['p99']:>10} "
+            f"{name:<26} {o['in_doubt_us']['p99']:>16} {n['in_doubt_us']['p99']:>10} "
             f"{o['restart_to_recovered_ms']:>15.1f} {n['restart_to_recovered_ms']:>10.1f}"
         )
 EOF

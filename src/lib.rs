@@ -75,6 +75,9 @@ pub mod prelude {
         Outcome, ProtocolKind, SimDuration, SimTime, TxnId, Vote, VoteFlags,
     };
     pub use tpc_core::{EngineConfig, TmEngine};
-    pub use tpc_runtime::{CommitResult, FaultPlan, FaultStats, LiveCluster, LiveNodeConfig};
+    pub use tpc_runtime::{
+        CommitResult, FaultPlan, FaultStats, IoErrorPolicy, LiveCluster, LiveNodeConfig,
+        StorageFaultPlan, WalHealth,
+    };
     pub use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec, WorkEdge};
 }
