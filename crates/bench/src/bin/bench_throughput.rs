@@ -1,7 +1,7 @@
 //! Live-runtime throughput bench: txn/s and commit-latency percentiles
 //! for the concurrent closed-loop workload, across
 //! {Basic, PresumedAbort, PresumedNothing} × {group commit off, on} ×
-//! {mem, file} logs × {channel, tcp} transports.
+//! {mem, file, segmented} WAL backends × {channel, tcp} transports.
 //!
 //! ```text
 //! cargo run --release -p tpc-bench --bin bench_throughput            # full run
@@ -15,11 +15,13 @@
 //! deterministic in structure (fixed concurrency, fixed per-slot keys);
 //! wall-clock numbers of course vary with the host.
 //!
-//! The interesting comparison is `file` × group commit off/on: with the
-//! file backend every forced record costs a real `sync_data()`, and
+//! The interesting comparisons are `file` × group commit off/on — with a
+//! durable backend every forced record costs a real `sync_data()`, and
 //! group commit (§4 *Group Commits*) amortizes those across concurrent
-//! transactions — `physical_flushes` drops well below `log_forces` and
-//! txn/s rises.
+//! transactions (`physical_flushes` drops well below `log_forces` and
+//! txn/s rises) — and `file` vs `segmented` at equal durability: the
+//! segmented chain appends into preallocated, zero-filled capacity, so
+//! its `sync_data()` never has file metadata to flush.
 //!
 //! A separate `failure_path` section measures what the throughput matrix
 //! cannot: for each protocol (tcp + file log), a subordinate is killed
@@ -40,11 +42,33 @@ use tpc_runtime::{
     WorkloadSpec,
 };
 
+/// The WAL backend axis of the bench matrix.
+#[derive(Clone, Copy, PartialEq)]
+enum WalBackend {
+    Mem,
+    File,
+    Segmented,
+}
+
+impl WalBackend {
+    fn name(self) -> &'static str {
+        match self {
+            WalBackend::Mem => "mem",
+            WalBackend::File => "file",
+            WalBackend::Segmented => "segmented",
+        }
+    }
+
+    fn durable(self) -> bool {
+        !matches!(self, WalBackend::Mem)
+    }
+}
+
 /// One cell of the bench matrix.
 struct Case {
     protocol: ProtocolKind,
     group_commit: bool,
-    file_log: bool,
+    wal_backend: WalBackend,
     tcp: bool,
 }
 
@@ -129,18 +153,18 @@ fn main() {
         ProtocolKind::PresumedNothing,
     ] {
         for tcp in [false, true] {
-            for file_log in [false, true] {
+            for wal_backend in [WalBackend::Mem, WalBackend::File, WalBackend::Segmented] {
                 for group_commit in [false, true] {
                     let case = Case {
                         protocol,
                         group_commit,
-                        file_log,
+                        wal_backend,
                         tcp,
                     };
                     eprintln!(
-                        "running {protocol:?} transport={} log={} group_commit={} …",
+                        "running {protocol:?} transport={} wal={} group_commit={} …",
                         if tcp { "tcp" } else { "channel" },
-                        if file_log { "file" } else { "mem" },
+                        wal_backend.name(),
                         group_commit
                     );
                     measurements.push(run_case(case, &spec));
@@ -335,9 +359,13 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
         "../../target/bench-throughput-{}",
         std::process::id()
     ));
-    if case.file_log {
+    if case.wal_backend.durable() {
         let _ = std::fs::remove_dir_all(&dir);
-        cfg = cfg.with_file_log(&dir);
+        cfg = match case.wal_backend {
+            WalBackend::File => cfg.with_file_log(&dir),
+            WalBackend::Segmented => cfg.with_segmented_log(&dir),
+            WalBackend::Mem => unreachable!(),
+        };
     }
     let configs = vec![cfg; NODES];
     let (report, summaries) = if case.tcp {
@@ -351,7 +379,7 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
         assert!(c.quiesce(Duration::from_secs(30)), "cluster must quiesce");
         (report, c.shutdown())
     };
-    if case.file_log {
+    if case.wal_backend.durable() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     assert_eq!(report.failed, 0, "throughput run must not drop requests");
@@ -411,11 +439,9 @@ fn render_json(
             "      \"transport\": \"{}\",",
             if c.tcp { "tcp" } else { "channel" }
         );
-        let _ = writeln!(
-            s,
-            "      \"log\": \"{}\",",
-            if c.file_log { "file" } else { "mem" }
-        );
+        // `log` repeats `wal_backend` for readers of the old schema.
+        let _ = writeln!(s, "      \"log\": \"{}\",", c.wal_backend.name());
+        let _ = writeln!(s, "      \"wal_backend\": \"{}\",", c.wal_backend.name());
         let _ = writeln!(s, "      \"group_commit\": {},", c.group_commit);
         let _ = writeln!(s, "      \"committed\": {},", m.report.committed);
         let _ = writeln!(s, "      \"aborted\": {},", m.report.aborted);

@@ -17,6 +17,7 @@ pub mod error;
 pub mod ids;
 pub mod ops;
 pub mod outcome;
+pub mod pool;
 pub mod time;
 pub mod trace;
 pub mod vote;
@@ -27,6 +28,7 @@ pub use error::{Error, Result};
 pub use ids::{Lsn, NodeId, RmId, TxnId};
 pub use ops::{decode_ops, encode_ops, Op};
 pub use outcome::{DamageReport, HeuristicOutcome, Outcome};
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceCtx;
 pub use vote::{Vote, VoteFlags};

@@ -112,6 +112,18 @@ impl Encoder {
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
     }
+
+    /// Wraps an existing vector (appending after its current contents),
+    /// so a pooled buffer can be encoded into without reallocating.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Encoder { buf: buf.into() }
+    }
+
+    /// Finalizes into the backing vector without the `Arc` copy that
+    /// [`Encoder::finish`] pays — the zero-copy exit for pooled buffers.
+    pub fn finish_vec(self) -> Vec<u8> {
+        self.buf.into()
+    }
 }
 
 /// Deserializes values from a byte slice.
@@ -232,6 +244,14 @@ pub trait Encode {
         let mut e = Encoder::new();
         self.encode(&mut e);
         e.finish()
+    }
+
+    /// Encodes onto the end of `out` in place — no intermediate buffer,
+    /// no `Arc` copy. This is the hot-path entry for pooled buffers.
+    fn encode_append(&self, out: &mut Vec<u8>) {
+        let mut e = Encoder::from_vec(std::mem::take(out));
+        self.encode(&mut e);
+        *out = e.finish_vec();
     }
 }
 

@@ -8,16 +8,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use tpc_common::{Error, NodeId, Op, Result, TxnId};
+use tpc_common::{Error, NodeId, Op, PooledBuf, Result, TxnId};
 use tpc_rm::SharedRm;
-use tpc_wal::file::FileLog;
-use tpc_wal::{LogManager, MemLog, SharedLog};
+use tpc_wal::{LogManager, SharedLog};
 
 use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
-    lane_of, make_obs, recover_lanes, rm_config, rm_log_path, tail_counts, tm_log_path,
-    wrap_storage_faults, AppCmd, CommitResult, Inbound, IoHealth, LaneParts, LiveNodeConfig,
-    LogBackend, NodeSummary, NodeWorker, Transport,
+    create_log, lane_of, make_obs, recover_lanes, reopen_log, rm_config, tail_counts, AppCmd,
+    CommitResult, Inbound, IoHealth, LaneParts, LiveNodeConfig, LogRole, NodeSummary, NodeWorker,
+    Transport,
 };
 use crate::signal::ClusterSignal;
 use crate::workload::{run_closed_loop, run_open_loop, OpenLoopReport, OpenLoopSpec};
@@ -37,11 +36,11 @@ pub struct ChannelTransport {
 }
 
 impl Transport for ChannelTransport {
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+    fn send(&mut self, to: NodeId, bytes: PooledBuf) {
         self.send_to_lane(to, 0, bytes);
     }
 
-    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: PooledBuf) {
         if let Some(lanes) = self.peers.get(to.index()) {
             if let Some(tx) = lanes.get(lane).or_else(|| lanes.first()) {
                 let _ = tx.send(Inbound::Frame {
@@ -172,47 +171,11 @@ impl LiveCluster {
             // Storage faults wrap the base device *inside* the SharedLog,
             // so every lane's appends run through one fault stream,
             // exactly as they share one physical disk.
-            let base_log: Box<dyn LogManager + Send> = match &cfg.log_backend {
-                LogBackend::Memory => wrap_storage_faults(
-                    Box::new(MemLog::new()),
-                    cfg.storage_faults.as_ref(),
-                    None,
-                    0,
-                ),
-                LogBackend::File(dir) => {
-                    std::fs::create_dir_all(dir).expect("log directory");
-                    let path = tm_log_path(dir, node);
-                    wrap_storage_faults(
-                        Box::new(FileLog::create(&path).expect("create log file")),
-                        cfg.storage_faults.as_ref(),
-                        Some(path),
-                        0,
-                    )
-                }
-            };
-            let shared_tm = SharedLog::new(base_log);
+            let shared_tm = SharedLog::new(create_log(&cfg, node, LogRole::Tm));
             let shared_rm_log: Option<SharedLog> = if cfg.opts.shared_log {
                 None
             } else {
-                let base: Box<dyn LogManager + Send> = match &cfg.log_backend {
-                    LogBackend::Memory => wrap_storage_faults(
-                        Box::new(MemLog::new()),
-                        cfg.storage_faults.as_ref(),
-                        None,
-                        1,
-                    ),
-                    LogBackend::File(dir) => {
-                        std::fs::create_dir_all(dir).expect("log directory");
-                        let path = rm_log_path(dir, node);
-                        wrap_storage_faults(
-                            Box::new(FileLog::create(&path).expect("create rm log file")),
-                            cfg.storage_faults.as_ref(),
-                            Some(path),
-                            1,
-                        )
-                    }
-                };
-                Some(SharedLog::new(base))
+                Some(SharedLog::new(create_log(&cfg, node, LogRole::Rm)))
             };
             let obs = make_obs(&cfg);
             let health = Arc::new(IoHealth::default());
@@ -416,21 +379,15 @@ impl LiveCluster {
         // Multi-lane restart: reopen the one shared WAL (classifying any
         // tail damage), replay it once, and hand each lane its own
         // recovered driver + pending recovery actions.
-        let LogBackend::File(dir) = &cfg.log_backend else {
-            return Err(Error::Config(
-                "restart requires LogBackend::File (a memory log dies with the node)".into(),
-            ));
-        };
-        let tm_file = FileLog::open(tm_log_path(dir, node))?;
-        let mut damage = tail_counts(tm_file.recovered_tail());
-        let mut log: Box<dyn LogManager + Send> = Box::new(tm_file);
+        let (mut log, tm_tail) = reopen_log(&cfg.log_backend, node, LogRole::Tm)?;
+        let mut damage = tail_counts(tm_tail);
         let mut rm_log: Option<Box<dyn LogManager + Send>> = if cfg.opts.shared_log {
             None
         } else {
-            let rm_file = FileLog::open(rm_log_path(dir, node))?;
-            let (t, c) = tail_counts(rm_file.recovered_tail());
+            let (rm_log, rm_tail) = reopen_log(&cfg.log_backend, node, LogRole::Rm)?;
+            let (t, c) = tail_counts(rm_tail);
             damage = (damage.0 + t, damage.1 + c);
-            Some(Box::new(rm_file))
+            Some(rm_log)
         };
         let obs = make_obs(&cfg);
         let rm = Arc::new(SharedRm::new(rm_config(&cfg), cfg.effective_stripes()));

@@ -15,10 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tpc_common::wire::Decode;
-use tpc_common::NodeId;
+use tpc_common::{BufferPool, NodeId, PooledBuf};
 use tpc_core::messages::{Frame, ProtocolMsg};
 
-use crate::node::Transport;
+use crate::node::{Transport, TransportHealth};
 
 /// Whether an encoded frame carries application work (conversation
 /// traffic, spared by default — see [`FaultPlan::fault_work_frames`]).
@@ -133,7 +133,7 @@ struct HeldFrame {
     release_after: u64,
     to: NodeId,
     lane: Option<usize>,
-    bytes: Vec<u8>,
+    bytes: PooledBuf,
 }
 
 /// A [`Transport`] wrapper injecting seeded faults into outbound frames.
@@ -187,14 +187,14 @@ impl<T> FaultyWire<T> {
 impl<T: Transport> FaultyWire<T> {
     /// Delivers to the inner transport, preserving lane addressing when
     /// the frame carried one.
-    fn deliver(&mut self, to: NodeId, lane: Option<usize>, bytes: Vec<u8>) {
+    fn deliver(&mut self, to: NodeId, lane: Option<usize>, bytes: PooledBuf) {
         match lane {
             Some(l) => self.inner.send_to_lane(to, l, bytes),
             None => self.inner.send(to, bytes),
         }
     }
 
-    fn faulty_send(&mut self, to: NodeId, lane: Option<usize>, bytes: Vec<u8>) {
+    fn faulty_send(&mut self, to: NodeId, lane: Option<usize>, bytes: PooledBuf) {
         self.sends += 1;
         if self.disconnected() {
             self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
@@ -231,7 +231,11 @@ impl<T: Transport> FaultyWire<T> {
         }
         if roll < self.plan.drop_rate + self.plan.delay_rate + self.plan.duplicate_rate {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.deliver(to, lane, bytes.clone());
+            // The duplicate is a detached copy: pooled buffers are
+            // uniquely owned, so the clone pays one allocation (rare
+            // path — duplication is a fault, not the steady state).
+            let copy = PooledBuf::from(bytes.to_vec());
+            self.deliver(to, lane, copy);
         }
         self.stats.delivered.fetch_add(1, Ordering::Relaxed);
         self.deliver(to, lane, bytes);
@@ -239,16 +243,24 @@ impl<T: Transport> FaultyWire<T> {
 }
 
 impl<T: Transport> Transport for FaultyWire<T> {
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+    fn send(&mut self, to: NodeId, bytes: PooledBuf) {
         self.faulty_send(to, None, bytes);
     }
 
-    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: Vec<u8>) {
+    fn send_to_lane(&mut self, to: NodeId, lane: usize, bytes: PooledBuf) {
         self.faulty_send(to, Some(lane), bytes);
     }
 
     fn counters(&self) -> Vec<(&'static str, &'static str, u64)> {
         self.inner.counters()
+    }
+
+    fn buffer_pool(&self) -> Option<BufferPool> {
+        self.inner.buffer_pool()
+    }
+
+    fn health(&self) -> TransportHealth {
+        self.inner.health()
     }
 }
 
@@ -263,13 +275,13 @@ mod tests {
     struct Recorder(Arc<Mutex<Sent>>);
 
     impl Transport for Recorder {
-        fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
-            self.0.lock().unwrap().push((to, bytes));
+        fn send(&mut self, to: NodeId, bytes: PooledBuf) {
+            self.0.lock().unwrap().push((to, bytes.into_vec()));
         }
     }
 
-    fn frame(i: u8) -> Vec<u8> {
-        vec![i]
+    fn frame(i: u8) -> PooledBuf {
+        vec![i].into()
     }
 
     #[test]

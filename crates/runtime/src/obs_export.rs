@@ -142,12 +142,66 @@ pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
                     s.wal.rejected_txns,
                 ),
             ];
+            counters.extend([
+                (
+                    "tpc_pool_checkouts_total",
+                    "Wire buffers checked out of the node's frame pool",
+                    s.pool.checkouts,
+                ),
+                (
+                    "tpc_pool_hits_total",
+                    "Pool checkouts served from recycled capacity (no allocation)",
+                    s.pool.hits,
+                ),
+                (
+                    "tpc_pool_misses_total",
+                    "Pool checkouts that had to allocate a fresh buffer",
+                    s.pool.misses,
+                ),
+                (
+                    "tpc_pool_recycled_total",
+                    "Wire buffers returned to the pool's free list on drop",
+                    s.pool.recycled,
+                ),
+                (
+                    "tpc_pool_discarded_total",
+                    "Wire buffers released to the allocator instead of recycled",
+                    s.pool.discarded,
+                ),
+                (
+                    "tpc_net_send_retries_total",
+                    "Transport send attempts retried with backoff",
+                    s.net.send_retries,
+                ),
+                (
+                    "tpc_net_reconnects_total",
+                    "Transport connections re-established after a loss",
+                    s.net.reconnects,
+                ),
+                (
+                    "tpc_net_frames_dropped_total",
+                    "Frames the transport dropped after retry exhaustion",
+                    s.net.dropped_frames,
+                ),
+            ]);
             counters.extend(s.transport.iter().copied());
-            let gauges = vec![(
-                "tpc_wal_degraded",
-                "1 when the node gave up on log durability and runs read-only",
-                if s.wal.degraded { 1.0 } else { 0.0 },
-            )];
+            let gauges = vec![
+                (
+                    "tpc_wal_degraded",
+                    "1 when the node gave up on log durability and runs read-only",
+                    if s.wal.degraded { 1.0 } else { 0.0 },
+                ),
+                (
+                    "tpc_pool_idle",
+                    "Wire buffers currently idle in the node's frame pool",
+                    s.pool.idle as f64,
+                ),
+                (
+                    "tpc_pool_outstanding_high_water",
+                    "Most wire buffers ever checked out at once on this node",
+                    s.pool.outstanding_high_water as f64,
+                ),
+            ];
             NodeExport {
                 node: s.node,
                 obs: s.obs.clone().unwrap_or_default(),

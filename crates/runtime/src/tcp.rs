@@ -32,12 +32,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use tpc_common::{Error, NodeId, Op, Result, TxnId};
+use tpc_common::{BufferPool, Error, NodeId, Op, PooledBuf, Result, TxnId};
 
 use crate::cluster::recv_reply;
 use crate::fault::{FaultPlan, FaultyWire};
 use crate::node::{
     AppCmd, CommitResult, Inbound, LiveNodeConfig, NodeSummary, NodeWorker, Transport,
+    TransportHealth,
 };
 use crate::signal::ClusterSignal;
 use crate::workload::{run_closed_loop, WorkloadReport, WorkloadSpec};
@@ -128,9 +129,15 @@ pub struct TcpTransport {
     self_tx: Sender<Inbound>,
     /// Lazily-spawned per-peer outbound queues; dropping the transport
     /// closes them, and each sender thread drains what is already queued
-    /// and exits.
-    peers: HashMap<NodeId, Sender<Vec<u8>>>,
+    /// and exits. Queued frames are pooled payloads — the 8-byte wire
+    /// header is written by the sender thread straight into its pooled
+    /// coalescing batch, so the enqueue path never copies or allocates.
+    peers: HashMap<NodeId, Sender<PooledBuf>>,
     stats: Arc<TcpSendStats>,
+    /// Shared buffer pool: the node encodes into it, sender threads
+    /// recycle payloads and batch buffers back into it, and the node's
+    /// reader threads assemble inbound frames from it.
+    pool: BufferPool,
 }
 
 impl TcpTransport {
@@ -139,6 +146,7 @@ impl TcpTransport {
         addrs: Vec<SocketAddr>,
         policy: RetryPolicy,
         self_tx: Sender<Inbound>,
+        pool: BufferPool,
     ) -> Self {
         TcpTransport {
             me,
@@ -147,6 +155,7 @@ impl TcpTransport {
             self_tx,
             peers: HashMap::new(),
             stats: Arc::new(TcpSendStats::default()),
+            pool,
         }
     }
 
@@ -155,17 +164,18 @@ impl TcpTransport {
         Arc::clone(&self.stats)
     }
 
-    fn peer_queue(&mut self, to: NodeId) -> Option<&Sender<Vec<u8>>> {
+    fn peer_queue(&mut self, to: NodeId) -> Option<&Sender<PooledBuf>> {
         if !self.peers.contains_key(&to) {
             let addr = *self.addrs.get(to.index())?;
-            let (tx, rx) = unbounded::<Vec<u8>>();
+            let (tx, rx) = unbounded::<PooledBuf>();
             let policy = self.policy.clone();
             let self_tx = self.self_tx.clone();
             let stats = Arc::clone(&self.stats);
+            let pool = self.pool.clone();
             let me = self.me;
             std::thread::Builder::new()
                 .name(format!("tpc-tcp-send-{}-{}", me.0, to.0))
-                .spawn(move || peer_sender(me, to, addr, policy, rx, self_tx, stats))
+                .spawn(move || peer_sender(me, to, addr, policy, rx, self_tx, stats, pool))
                 .ok()?;
             self.peers.insert(to, tx);
         }
@@ -174,13 +184,21 @@ impl TcpTransport {
 }
 
 impl Transport for TcpTransport {
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
-        let mut frame = Vec::with_capacity(8 + bytes.len());
-        frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&self.me.0.to_le_bytes());
-        frame.extend_from_slice(&bytes);
+    fn send(&mut self, to: NodeId, bytes: PooledBuf) {
         if let Some(tx) = self.peer_queue(to) {
-            let _ = tx.send(frame);
+            let _ = tx.send(bytes);
+        }
+    }
+
+    fn buffer_pool(&self) -> Option<BufferPool> {
+        Some(self.pool.clone())
+    }
+
+    fn health(&self) -> TransportHealth {
+        TransportHealth {
+            send_retries: self.stats.retries.load(Ordering::Relaxed),
+            reconnects: self.stats.reconnects.load(Ordering::Relaxed),
+            dropped_frames: self.stats.dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -205,18 +223,33 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Appends one wire frame (`u32 len | u32 sender | payload`) to the
+/// coalescing batch. The payload buffer recycles to the pool when the
+/// caller drops it.
+fn append_frame(batch: &mut Vec<u8>, me: NodeId, payload: &[u8]) {
+    batch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    batch.extend_from_slice(&me.0.to_le_bytes());
+    batch.extend_from_slice(payload);
+}
+
 /// One peer's sender loop: block for a frame, drain the run queued
 /// behind it (bounded), write the whole run with one `write_all`,
 /// reconnecting with backoff on failure. Exits when the transport side
 /// of the queue is dropped — after flushing what was already queued.
+///
+/// The coalescing batch is itself a pooled buffer: one checkout per
+/// `write_all`, recycled when the batch goes out of scope, so the
+/// steady-state sender performs zero allocations per frame.
+#[allow(clippy::too_many_arguments)]
 fn peer_sender(
     me: NodeId,
     to: NodeId,
     addr: SocketAddr,
     policy: RetryPolicy,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<PooledBuf>,
     self_tx: Sender<Inbound>,
     stats: Arc<TcpSendStats>,
+    pool: BufferPool,
 ) {
     let mut rng = policy
         .seed
@@ -232,12 +265,14 @@ fn peer_sender(
     let mut connected_once = false;
     'frames: loop {
         let Ok(first) = rx.recv() else { return };
-        let mut batch = first;
+        let mut batch = pool.checkout();
+        append_frame(&mut batch, me, &first);
+        drop(first); // payload recycles while we keep draining
         let mut frames = 1u64;
         while batch.len() < MAX_COALESCE_BYTES && frames < MAX_COALESCE_FRAMES {
             match rx.try_recv() {
                 Ok(f) => {
-                    batch.extend_from_slice(&f);
+                    append_frame(&mut batch, me, &f);
                     frames += 1;
                 }
                 Err(_) => break,
@@ -283,13 +318,14 @@ fn peer_sender(
     }
 }
 
-fn acceptor(listener: TcpListener, tx: Sender<Inbound>) {
+fn acceptor(listener: TcpListener, tx: Sender<Inbound>, pool: BufferPool) {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { break };
         let tx = tx.clone();
+        let pool = pool.clone();
         if std::thread::Builder::new()
             .name("tpc-tcp-reader".into())
-            .spawn(move || reader(stream, tx))
+            .spawn(move || reader(stream, tx, pool))
             .is_err()
         {
             // Could not spawn a reader: drop the connection; the peer
@@ -299,7 +335,7 @@ fn acceptor(listener: TcpListener, tx: Sender<Inbound>) {
     }
 }
 
-fn reader(mut stream: TcpStream, tx: Sender<Inbound>) {
+fn reader(mut stream: TcpStream, tx: Sender<Inbound>, pool: BufferPool) {
     let mut header = [0u8; 8];
     loop {
         if stream.read_exact(&mut header).is_err() {
@@ -312,7 +348,10 @@ fn reader(mut stream: TcpStream, tx: Sender<Inbound>) {
         if len > 64 * 1024 * 1024 {
             return; // absurd frame: drop the connection
         }
-        let mut bytes = vec![0u8; len];
+        // Pooled frame assembly: the worker drops the buffer after
+        // decoding and the capacity comes back here for the next frame.
+        let mut bytes = pool.checkout();
+        bytes.resize(len, 0);
         if stream.read_exact(&mut bytes).is_err() {
             return;
         }
@@ -333,6 +372,11 @@ pub struct TcpCluster {
     epoch: Instant,
     reply_timeout: Duration,
     signal: Arc<ClusterSignal>,
+    /// One buffer pool per node, shared by its transport (outbound
+    /// encode + sender batches) and its acceptor's readers (inbound
+    /// frame assembly). A restart reuses the node's pool so warmed
+    /// capacity survives the crash.
+    pools: Vec<BufferPool>,
     /// The socket addresses the nodes listen on.
     pub addrs: Vec<SocketAddr>,
 }
@@ -379,14 +423,16 @@ impl TcpCluster {
             epoch,
             reply_timeout: DEFAULT_REPLY_TIMEOUT,
             signal: Arc::new(ClusterSignal::new()),
+            pools: (0..n).map(|_| BufferPool::new()).collect(),
             addrs,
         };
         for (i, listener) in listeners.into_iter().enumerate() {
             let node = NodeId(i as u32);
             let tx = cluster.senders[i].clone();
+            let pool = cluster.pools[i].clone();
             std::thread::Builder::new()
                 .name(format!("tpc-acceptor-{i}"))
-                .spawn(move || acceptor(listener, tx))?;
+                .spawn(move || acceptor(listener, tx, pool))?;
             let transport = cluster.make_transport(node, faults[i].clone());
             // Commit trees form from the work actually exchanged; no
             // standing partnership by default (it is directional and
@@ -417,6 +463,7 @@ impl TcpCluster {
             self.addrs.clone(),
             self.policy.clone(),
             self.senders[node.index()].clone(),
+            self.pools[node.index()].clone(),
         );
         match plan {
             Some(plan) => Box::new(FaultyWire::new(base, plan)),
@@ -811,11 +858,12 @@ mod tests {
             vec![live.local_addr().unwrap(), dead_addr],
             policy,
             self_tx,
+            BufferPool::new(),
         );
         let stats = t.stats();
         // Sends are asynchronous now: the report arrives once the sender
         // thread exhausts its retries, so wait on the channel.
-        t.send(NodeId(1), vec![1, 2, 3]);
+        t.send(NodeId(1), vec![1, 2, 3].into());
         match self_rx.recv_timeout(Duration::from_secs(10)) {
             Ok(Inbound::PartnerDown { peer }) => assert_eq!(peer, NodeId(1)),
             other => panic!(
@@ -824,8 +872,9 @@ mod tests {
             ),
         }
         assert!(stats.dropped.load(Ordering::Relaxed) >= 1);
+        assert!(t.health().dropped_frames >= 1, "health mirrors the drop");
         // Reported once, not per frame.
-        t.send(NodeId(1), vec![4, 5, 6]);
+        t.send(NodeId(1), vec![4, 5, 6].into());
         assert!(
             self_rx.recv_timeout(Duration::from_millis(300)).is_err(),
             "no duplicate report"
@@ -837,7 +886,7 @@ mod tests {
         let (tx, rx) = unbounded();
         std::thread::spawn(move || {
             if let Ok((stream, _)) = listener.accept() {
-                reader(stream, tx);
+                reader(stream, tx, BufferPool::new());
             }
         });
         rx
@@ -854,21 +903,30 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let frames_rx = collect_frames(listener);
         let (self_tx, _self_rx) = unbounded();
-        let mut t = TcpTransport::new(NodeId(3), vec![addr], RetryPolicy::default(), self_tx);
+        let pool = BufferPool::new();
+        let mut t = TcpTransport::new(
+            NodeId(3),
+            vec![addr],
+            RetryPolicy::default(),
+            self_tx,
+            pool.clone(),
+        );
         let stats = t.stats();
 
         const N: usize = 2000;
         for i in 0..N {
             // Varying lengths so a misplaced boundary corrupts a parse.
             let body = format!("frame-{i}-{}", "x".repeat(i % 97));
-            t.send(NodeId(0), body.into_bytes());
+            let mut buf = pool.checkout();
+            buf.extend_from_slice(body.as_bytes());
+            t.send(NodeId(0), buf);
         }
         for i in 0..N {
             match frames_rx.recv_timeout(Duration::from_secs(10)) {
                 Ok(Inbound::Frame { from, bytes }) => {
                     assert_eq!(from, NodeId(3));
                     let expect = format!("frame-{i}-{}", "x".repeat(i % 97));
-                    assert_eq!(bytes, expect.into_bytes(), "frame {i} corrupted");
+                    assert_eq!(*bytes, expect.into_bytes(), "frame {i} corrupted");
                 }
                 other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
             }
@@ -880,6 +938,11 @@ mod tests {
             writes < frames,
             "sender should coalesce queued frames: {writes} writes for {frames} frames"
         );
+        // Payloads and batch buffers recycle: the steady state reuses
+        // capacity instead of allocating per frame.
+        let ps = pool.stats();
+        assert!(ps.hits > 0, "pool must see reuse: {ps:?}");
+        assert!(ps.recycled > 0, "dropped buffers must recycle: {ps:?}");
     }
 
     /// Deterministic LCG so the fuzz shapes reproduce from a seed.
@@ -912,18 +975,24 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let frames_rx = collect_frames(listener);
         let (self_tx, _self_rx) = unbounded();
-        let mut t = TcpTransport::new(NodeId(5), vec![addr], RetryPolicy::default(), self_tx);
+        let mut t = TcpTransport::new(
+            NodeId(5),
+            vec![addr],
+            RetryPolicy::default(),
+            self_tx,
+            BufferPool::new(),
+        );
 
         const SEED: u64 = 0xF00D_CAFE;
         const N: usize = 1500;
         for i in 0..N {
-            t.send(NodeId(0), fuzz_body(SEED, i));
+            t.send(NodeId(0), fuzz_body(SEED, i).into());
         }
         for i in 0..N {
             match frames_rx.recv_timeout(Duration::from_secs(10)) {
                 Ok(Inbound::Frame { from, bytes }) => {
                     assert_eq!(from, NodeId(5));
-                    assert_eq!(bytes, fuzz_body(SEED, i), "frame {i} corrupted");
+                    assert_eq!(*bytes, fuzz_body(SEED, i), "frame {i} corrupted");
                 }
                 other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
             }
@@ -969,7 +1038,7 @@ mod tests {
             match frames_rx.recv_timeout(Duration::from_secs(10)) {
                 Ok(Inbound::Frame { from, bytes }) => {
                     assert_eq!(from, NodeId(9));
-                    assert_eq!(bytes, fuzz_body(SEED, i), "frame {i} corrupted");
+                    assert_eq!(*bytes, fuzz_body(SEED, i), "frame {i} corrupted");
                 }
                 other => panic!("frame {i} missing, got ok={:?}", other.is_ok()),
             }

@@ -19,7 +19,7 @@ use tpc_common::{NodeId, Outcome, Result, TxnId};
 use tpc_core::check::{NodeProtocolState, OutcomeRecord};
 use tpc_core::recovery::summarize;
 
-use crate::node::{tm_log_path, CommitResult, NodeSummary};
+use crate::node::{tm_log_path, tm_seg_dir, CommitResult, NodeSummary};
 
 /// Runs the shared protocol-invariant checker over live node summaries.
 /// Returns `(violations, unresolved)` exactly as the simulator's
@@ -47,20 +47,25 @@ pub fn outcome_record(txn: TxnId, root: NodeId, result: &CommitResult) -> Outcom
     }
 }
 
-/// Scans every node's TM WAL file under `dir` (file-backed clusters
-/// only) and cross-checks the durable decisions: a transaction must not
-/// have one node with a durable commit and another with a durable
-/// non-heuristic abort. Returns the violations found; nodes whose log
-/// file does not exist are skipped (never started, or memory-backed).
+/// Scans every node's TM WAL under `dir` (durable backends only — plain
+/// file or segmented chain, detected per node) and cross-checks the
+/// durable decisions: a transaction must not have one node with a
+/// durable commit and another with a durable non-heuristic abort.
+/// Returns the violations found; nodes with no durable log on disk are
+/// skipped (never started, or memory-backed).
 pub fn check_wal_agreement(dir: &Path, nodes: usize) -> Result<Vec<String>> {
     let mut decisions: BTreeMap<TxnId, Vec<(NodeId, Outcome)>> = BTreeMap::new();
     for i in 0..nodes {
         let node = NodeId(i as u32);
         let path = tm_log_path(dir, node);
-        if !path.exists() {
+        let seg_dir = tm_seg_dir(dir, node);
+        let records = if path.exists() {
+            tpc_wal::file::scan(&path)?
+        } else if seg_dir.exists() {
+            tpc_wal::segment::scan_chain(&seg_dir)?
+        } else {
             continue;
-        }
-        let records = tpc_wal::file::scan(&path)?;
+        };
         for (txn, summary) in summarize(&records) {
             if summary.heuristic.is_some() {
                 // A heuristic decision is damage, not a protocol bug; it

@@ -17,6 +17,7 @@
 //!
 //! [`FaultPlan`-style]: https://en.wikipedia.org/wiki/Fault_injection
 
+use std::borrow::Cow;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -315,7 +316,7 @@ impl LogManager for FaultyLog {
         self.faulty_sync()
     }
 
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]> {
         self.inner.records()
     }
 

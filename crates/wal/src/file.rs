@@ -12,6 +12,7 @@
 //! at the first short, zeroed or corrupt frame, treating everything before
 //! it as the durable prefix — the standard WAL torn-write discipline.
 
+use std::borrow::Cow;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -22,9 +23,9 @@ use tpc_common::{Lsn, Result};
 use crate::log::{Durability, LogManager, LogStats, StreamId};
 use crate::record::LogRecord;
 
-const HEADER_LEN: usize = 4 + 4 + 1;
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 1;
 
-fn stream_to_byte(s: StreamId) -> [u8; 1] {
+pub(crate) fn stream_to_byte(s: StreamId) -> [u8; 1] {
     match s {
         StreamId::Tm => [0xFF],
         StreamId::Rm(i) => {
@@ -157,14 +158,14 @@ impl FileLog {
     }
 }
 
-fn frame_len(record: &LogRecord) -> usize {
+pub(crate) fn frame_len(record: &LogRecord) -> usize {
     HEADER_LEN + record.encode_to_bytes().len()
 }
 
 /// Tries to parse one frame at `off`; returns the record and the offset
 /// of the next frame, or `None` if the bytes at `off` are not a complete
 /// valid frame.
-fn try_frame(raw: &[u8], off: usize) -> Option<(StreamId, LogRecord, usize)> {
+pub(crate) fn try_frame(raw: &[u8], off: usize) -> Option<(StreamId, LogRecord, usize)> {
     if off + HEADER_LEN > raw.len() {
         return None;
     }
@@ -306,8 +307,11 @@ impl LogManager for FileLog {
         Ok(())
     }
 
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
-        self.cache.clone()
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]> {
+        // Borrow the cache instead of deep-cloning the whole history on
+        // every summary or invariant check; callers that need ownership
+        // pay for the copy explicitly via `into_owned`.
+        Cow::Borrowed(&self.cache)
     }
 
     fn durable_records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {

@@ -16,6 +16,10 @@
 //!   survive a system failure");
 //! * [`file::FileLog`] — a real on-disk log with fsync and a recovery scan
 //!   that tolerates (and classifies) a torn tail;
+//! * [`segment::SegmentedLog`] — the same frame format over preallocated,
+//!   rotating fixed-size segments: steady-state appends never extend a
+//!   file (so `sync_data` skips metadata flushes) and fully-ended sealed
+//!   segments are reclaimed;
 //! * [`faults::FaultyLog`] — seeded storage-fault injection over any
 //!   backend: fsync failures, ENOSPC, torn writes, bit rot, sync latency;
 //! * [`group::GroupCommitter`] — the §4 *Group Commits* batching policy as
@@ -31,6 +35,7 @@ pub mod group;
 pub mod log;
 pub mod mem;
 pub mod record;
+pub mod segment;
 pub mod shared;
 
 pub use faults::{FaultyLog, StorageFaultPlan, StorageFaultStats};
@@ -39,4 +44,5 @@ pub use group::{FlushDecision, GroupCommitter, GroupStats};
 pub use log::{Durability, LogManager, LogStats, StreamId};
 pub use mem::MemLog;
 pub use record::LogRecord;
+pub use segment::{SegmentStats, SegmentedLog, DEFAULT_SEGMENT_BYTES};
 pub use shared::SharedLog;

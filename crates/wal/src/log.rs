@@ -1,5 +1,7 @@
 //! The log-manager interface and its statistics.
 
+use std::borrow::Cow;
+
 use tpc_common::{Lsn, Result};
 
 use crate::record::LogRecord;
@@ -124,7 +126,13 @@ pub trait LogManager {
 
     /// All records currently readable (durable and volatile), in order.
     /// Used by tests and by live (non-crash) inspection.
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)>;
+    ///
+    /// Returns a [`Cow`] so backends that keep an in-memory cache (the
+    /// file and segmented logs) can lend a borrow instead of deep-cloning
+    /// the whole history per call; backends that must assemble the view
+    /// (the memory log's durable+volatile chain, the mutex-guarded shared
+    /// log) return an owned copy.
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]>;
 
     /// The records that would survive a crash right now, in order.
     /// This is the input to recovery.
@@ -169,7 +177,7 @@ impl<L: LogManager + ?Sized> LogManager for Box<L> {
         (**self).flush_batch()
     }
 
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]> {
         (**self).records()
     }
 

@@ -6,6 +6,8 @@
 //! [`MemLog::crash`] discards the volatile tail — the simulator's model of
 //! losing the log buffer in a system failure.
 
+use std::borrow::Cow;
+
 use tpc_common::wire::Encode;
 use tpc_common::{Error, Lsn, Result};
 
@@ -174,12 +176,14 @@ impl LogManager for MemLog {
         Ok(())
     }
 
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
-        self.durable
-            .iter()
-            .chain(self.volatile.iter())
-            .map(|e| (e.lsn, e.stream, e.record.clone()))
-            .collect()
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]> {
+        Cow::Owned(
+            self.durable
+                .iter()
+                .chain(self.volatile.iter())
+                .map(|e| (e.lsn, e.stream, e.record.clone()))
+                .collect(),
+        )
     }
 
     fn durable_records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {

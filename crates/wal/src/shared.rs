@@ -15,6 +15,7 @@
 //! across the physical operation itself, which is the point of a shared
 //! device.
 
+use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
 use tpc_common::{Lsn, Result};
@@ -75,8 +76,10 @@ impl LogManager for SharedLog {
         self.lock().flush_batch()
     }
 
-    fn records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {
-        self.lock().records()
+    fn records(&self) -> Cow<'_, [(Lsn, StreamId, LogRecord)]> {
+        // The borrow cannot outlive the mutex guard, so the shared view
+        // is the one implementation that must own its copy.
+        Cow::Owned(self.lock().records().into_owned())
     }
 
     fn durable_records(&self) -> Vec<(Lsn, StreamId, LogRecord)> {

@@ -3,7 +3,8 @@
 #
 #   scripts/bench_diff.sh OLD.json NEW.json
 #
-# Rows are matched on (protocol, transport, log, group_commit) and the
+# Rows are matched on (protocol, transport, wal_backend, group_commit)
+# — files from before the backend axis existed fall back to "log" — and the
 # table shows txn/s, commit-latency p99 and physical flushes side by
 # side with percentage deltas, followed by the scale-curve rows
 # (matched on lanes × in-flight × saturation) and the failure-path rows
@@ -25,7 +26,7 @@ old_path, new_path = sys.argv[1], sys.argv[2]
 old, new = json.load(open(old_path)), json.load(open(new_path))
 
 def key(r):
-    return (r["protocol"], r["transport"], r["log"], r["group_commit"])
+    return (r["protocol"], r["transport"], r.get("wal_backend", r["log"]), r["group_commit"])
 
 def pct(a, b):
     if a == 0:
