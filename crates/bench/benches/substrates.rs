@@ -16,6 +16,7 @@ fn codec(c: &mut Criterion) {
             reliable: true,
             unsolicited: false,
             last_agent_delegation: false,
+            expect_work: false,
         }),
     };
     let encoded = msg.encode_to_bytes();

@@ -1,7 +1,11 @@
 //! Live-runtime throughput bench: txn/s and commit-latency percentiles
 //! for the concurrent closed-loop workload, across
 //! {Basic, PresumedAbort, PresumedNothing} × {group commit off, on} ×
-//! {mem, file, segmented} WAL backends × {channel, tcp} transports.
+//! {mem, file, segmented} WAL backends × {channel, tcp} transports,
+//! plus an `optimizations` axis: the §4 subsets
+//! {last_agent, early_ack, piggyback} each measured on the mem and
+//! segmented backends (Presumed Abort, channel transport) against the
+//! matching baseline rows.
 //!
 //! ```text
 //! cargo run --release -p tpc-bench --bin bench_throughput            # full run
@@ -70,6 +74,24 @@ struct Case {
     group_commit: bool,
     wal_backend: WalBackend,
     tcp: bool,
+    /// Which §4 optimization subset the cluster runs: `baseline`,
+    /// `last_agent`, `early_ack` or `piggyback` (long-locks ack
+    /// deferral). The optimization rows run Presumed Abort on the
+    /// channel transport so the delta against the matching baseline row
+    /// isolates the optimization itself.
+    optimizations: &'static str,
+}
+
+impl Case {
+    fn opts(&self) -> tpc_common::OptimizationConfig {
+        use tpc_common::{AckMode, OptimizationConfig};
+        match self.optimizations {
+            "last_agent" => OptimizationConfig::none().with_last_agent(true),
+            "early_ack" => OptimizationConfig::none().with_ack_mode(AckMode::Early),
+            "piggyback" => OptimizationConfig::none().with_long_locks(true),
+            _ => OptimizationConfig::none(),
+        }
+    }
 }
 
 /// One finished measurement: the workload report plus the cluster's
@@ -160,6 +182,7 @@ fn main() {
                         group_commit,
                         wal_backend,
                         tcp,
+                        optimizations: "baseline",
                     };
                     eprintln!(
                         "running {protocol:?} transport={} wal={} group_commit={} …",
@@ -170,6 +193,27 @@ fn main() {
                     measurements.push(run_case(case, &spec));
                 }
             }
+        }
+    }
+
+    // The optimization axis (§4 on the live path): Presumed Abort over
+    // channels, no group commit, each optimization against the cheapest
+    // and the most durable backend. Compare against the matching
+    // PresumedAbort/channel/…/gc=off baseline rows.
+    for optimizations in ["last_agent", "early_ack", "piggyback"] {
+        for wal_backend in [WalBackend::Mem, WalBackend::Segmented] {
+            let case = Case {
+                protocol: ProtocolKind::PresumedAbort,
+                group_commit: false,
+                wal_backend,
+                tcp: false,
+                optimizations,
+            };
+            eprintln!(
+                "running PresumedAbort wal={} optimizations={optimizations} …",
+                wal_backend.name()
+            );
+            measurements.push(run_case(case, &spec));
         }
     }
 
@@ -352,6 +396,7 @@ fn run_case(case: Case, spec: &WorkloadSpec) -> Measurement {
     });
     let mut cfg = LiveNodeConfig::new(case.protocol)
         .with_group_commit(gc)
+        .with_opts(case.opts())
         .with_observability();
     // Log files go under target/ so fsync hits the real filesystem the
     // build uses, not a tmpfs that would flatter the numbers.
@@ -443,6 +488,7 @@ fn render_json(
         let _ = writeln!(s, "      \"log\": \"{}\",", c.wal_backend.name());
         let _ = writeln!(s, "      \"wal_backend\": \"{}\",", c.wal_backend.name());
         let _ = writeln!(s, "      \"group_commit\": {},", c.group_commit);
+        let _ = writeln!(s, "      \"optimizations\": \"{}\",", c.optimizations);
         let _ = writeln!(s, "      \"committed\": {},", m.report.committed);
         let _ = writeln!(s, "      \"aborted\": {},", m.report.aborted);
         let _ = writeln!(s, "      \"failed\": {},", m.report.failed);

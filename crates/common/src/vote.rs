@@ -52,6 +52,11 @@ impl Vote {
 /// * `last_agent_delegation` — this YES vote *delegates the commit
 ///   decision* to the receiver (§4, *Last Agent*): the sender has prepared
 ///   itself and its other subordinates.
+/// * `expect_work` — meaningful only on a delegation: the initiator
+///   conversed with the delegate (sent it `Work`) during the transaction,
+///   exactly like `Prepare`'s field of the same name. A delegate with no
+///   trace of such a transaction must decide ABORT: its state was lost in
+///   a crash, and committing would commit work that no longer exists.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct VoteFlags {
     /// Subtree suspends until next use; may be skipped next transaction.
@@ -62,6 +67,8 @@ pub struct VoteFlags {
     pub unsolicited: bool,
     /// This vote hands the commit decision to the receiver (last agent).
     pub last_agent_delegation: bool,
+    /// The sender of a delegation conversed with the receiver.
+    pub expect_work: bool,
 }
 
 impl VoteFlags {
@@ -72,6 +79,7 @@ impl VoteFlags {
         reliable: false,
         unsolicited: false,
         last_agent_delegation: false,
+        expect_work: false,
     };
 
     fn to_bits(self) -> u8 {
@@ -79,10 +87,11 @@ impl VoteFlags {
             | u8::from(self.reliable) << 1
             | u8::from(self.unsolicited) << 2
             | u8::from(self.last_agent_delegation) << 3
+            | u8::from(self.expect_work) << 4
     }
 
     fn from_bits(b: u8) -> Result<Self> {
-        if b & !0b1111 != 0 {
+        if b & !0b11111 != 0 {
             return Err(Error::Codec(format!("invalid vote flag bits {b:#04x}")));
         }
         Ok(VoteFlags {
@@ -90,6 +99,7 @@ impl VoteFlags {
             reliable: b & 2 != 0,
             unsolicited: b & 4 != 0,
             last_agent_delegation: b & 8 != 0,
+            expect_work: b & 16 != 0,
         })
     }
 }
@@ -146,7 +156,7 @@ mod tests {
 
     #[test]
     fn invalid_bits_rejected() {
-        assert!(VoteFlags::from_bits(0b1_0000).is_err());
+        assert!(VoteFlags::from_bits(0b10_0000).is_err());
         let mut d = Decoder::new(&[9]);
         assert!(Vote::decode(&mut d).is_err());
     }

@@ -14,14 +14,20 @@ fn arb_txn() -> impl Strategy<Value = TxnId> {
 }
 
 fn arb_flags() -> impl Strategy<Value = VoteFlags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(a, b, c, d)| {
-        VoteFlags {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, c, d, e)| VoteFlags {
             ok_to_leave_out: a,
             reliable: b,
             unsolicited: c,
             last_agent_delegation: d,
-        }
-    })
+            expect_work: e,
+        })
 }
 
 fn arb_vote() -> impl Strategy<Value = Vote> {

@@ -106,10 +106,16 @@ impl EngineConfig {
     }
 }
 
+/// One deferred acknowledgment: the partner it is owed to and the ack
+/// message itself. Normally private bookkeeping — exposed so a
+/// multi-lane host can move deferred acks into a node-level piggyback
+/// slot that outbound frames of *any* lane drain.
 #[derive(Clone, Debug)]
-struct OwedAck {
-    to: NodeId,
-    msg: ProtocolMsg,
+pub struct OwedAck {
+    /// Destination partner.
+    pub to: NodeId,
+    /// The deferred acknowledgment message.
+    pub msg: ProtocolMsg,
 }
 
 /// One node's transaction manager.
@@ -227,6 +233,15 @@ impl TmEngine {
     /// Acks currently deferred (long locks / implied acks).
     pub fn owed_ack_count(&self) -> usize {
         self.owed.len()
+    }
+
+    /// Removes and returns every deferred ack without emitting frames or
+    /// touching the metrics. The caller assumes the delivery obligation:
+    /// a multi-lane host parks these in a node-level piggyback slot so
+    /// later outbound frames of *other* transactions — on any lane — can
+    /// carry them.
+    pub fn take_owed_acks(&mut self) -> Vec<OwedAck> {
+        std::mem::take(&mut self.owed)
     }
 
     // ------------------------------------------------------------------
@@ -887,6 +902,7 @@ impl TmEngine {
         now: SimTime,
         out: &mut Vec<Action>,
     ) -> Result<()> {
+        let no_trace = !self.seats.contains_key(&txn);
         let seat = self.seats.entry(txn).or_insert_with(|| Seat::new(txn));
         match seat.upstream {
             None => seat.upstream = Some(from),
@@ -897,6 +913,14 @@ impl TmEngine {
             Vote::Yes(flags) if flags.last_agent_delegation => {
                 seat.is_delegate = true;
                 seat.initiator_prepared = true;
+                // The initiator conversed with us, yet we have no trace
+                // of the transaction: our work died in a crash (frames
+                // are FIFO per pair, so the Work frame cannot still be
+                // in flight behind the delegation). Committing would
+                // commit effects that no longer exist — decide ABORT.
+                if flags.expect_work && no_trace {
+                    seat.poisoned = true;
+                }
             }
             Vote::ReadOnly => {
                 seat.is_delegate = true;
@@ -963,6 +987,30 @@ impl TmEngine {
                 );
             }
             return Ok(());
+        }
+        // A duplicate Decision while our ack sits in the deferred
+        // (long-locks) queue is the coordinator re-driving recovery: it
+        // paid a flow to reclaim its pending-list entry, so stop waiting
+        // for a piggyback opportunity and answer now.
+        if self
+            .seats
+            .get(&txn)
+            .is_some_and(|s| matches!(s.stage, Stage::Deciding | Stage::Done))
+        {
+            let mut i = 0;
+            while i < self.owed.len() {
+                if self.owed[i].to == from && self.owed[i].msg.txn() == txn {
+                    let ack = self.owed.remove(i);
+                    self.metrics.frames_sent += 1;
+                    self.metrics.messages_sent += 1;
+                    out.push(Action::Send {
+                        to: ack.to,
+                        msgs: vec![ack.msg],
+                    });
+                } else {
+                    i += 1;
+                }
+            }
         }
         self.apply_decision(txn, outcome, now, out);
         Ok(())
@@ -1155,6 +1203,7 @@ impl TmEngine {
             reliable: seat.local_reliable() && seat.all_yes_children_reliable(),
             unsolicited: seat.self_prepared,
             last_agent_delegation: false,
+            expect_work: false,
         };
         let subs: Vec<NodeId> = seat.decision_targets();
         let vote = Vote::Yes(flags);
@@ -1177,7 +1226,12 @@ impl TmEngine {
         // Subordinate-driven recovery for everyone except PN, whose
         // coordinator drives recovery from its commit-pending record —
         // for PN, the pre-vote liveness timer is cancelled here instead.
-        if self.cfg.protocol != ProtocolKind::PresumedNothing {
+        // One exception: an UNSOLICITED voter entered in-doubt before its
+        // coordinator may have forced that commit-pending record (the
+        // Prepare never arrived), so coordinator-driven recovery has
+        // nothing durable to drive from — it must query for itself.
+        let unsolicited_voter = self.seats.get(&txn).is_some_and(|s| s.self_prepared);
+        if self.cfg.protocol != ProtocolKind::PresumedNothing || unsolicited_voter {
             out.push(Action::SetTimer {
                 txn,
                 kind: TimerKind::InDoubtQuery,
@@ -1266,11 +1320,23 @@ impl TmEngine {
                 reliable: false,
                 unsolicited: false,
                 last_agent_delegation: true,
+                // Same defense as Prepare's field: a delegate we
+                // conversed with that has no trace of the transaction
+                // lost its work in a crash and must decide ABORT.
+                expect_work: seat.children.iter().any(|c| c.node == delegate && c.worked),
             })
         };
         let seat = self.seats.get_mut(&txn).expect("present");
         seat.sent_vote = Some(vote);
         self.push_send(out, delegate, ProtocolMsg::VoteMsg { txn, vote });
+        // A delegating initiator is in doubt exactly like a prepared
+        // subordinate: if the delegate dies before answering, only a
+        // periodic query resolves us.
+        out.push(Action::SetTimer {
+            txn,
+            kind: TimerKind::InDoubtQuery,
+            delay: self.cfg.timeouts.in_doubt_query,
+        });
         if let Some(deadline) = self.cfg.heuristic.timeout() {
             out.push(Action::SetTimer {
                 txn,
@@ -1417,7 +1483,11 @@ impl TmEngine {
                 },
             );
         }
-        if expects_acks && !self.cfg.opts.long_locks {
+        // Same PN exemption as `propagate_outcome_to_children`: PN
+        // participants never query, so the decider's re-drive timer must
+        // survive long locks or a crashed child stays in doubt forever.
+        let retries_required = self.cfg.protocol == ProtocolKind::PresumedNothing;
+        if expects_acks && (!self.cfg.opts.long_locks || retries_required) {
             out.push(Action::SetTimer {
                 txn,
                 kind: TimerKind::AckCollection,
@@ -1691,7 +1761,15 @@ impl TmEngine {
             };
             self.push_send(out, node, ProtocolMsg::Decision { txn, outcome });
         }
-        if any_targets && expects_acks && !self.cfg.opts.long_locks {
+        // Long locks defers the children's acks to piggyback on later
+        // traffic, so the retry timer would only generate spurious
+        // re-drives — except under PN, whose in-doubt participants never
+        // query: there the coordinator's re-drive is the ONLY path by
+        // which a crashed-and-recovered child ever learns the outcome,
+        // so the timer stays armed (a live deferring child answers the
+        // re-drive by flushing its ack — see `on_decision`).
+        let retries_required = self.cfg.protocol == ProtocolKind::PresumedNothing;
+        if any_targets && expects_acks && (!self.cfg.opts.long_locks || retries_required) {
             out.push(Action::SetTimer {
                 txn,
                 kind: TimerKind::AckCollection,
@@ -1803,11 +1881,39 @@ impl TmEngine {
         if !seat.all_settled() || seat.awaiting_initiator_ack {
             return;
         }
+        // PN: a handed-over (AckPending) child still owes its ack and
+        // will never query for the outcome — the seat cannot retire (its
+        // END would abandon the re-drive; see `retry_acks`), but
+        // wait-for-outcome's contract still releases the application now
+        // with the pending indication.
+        if self.cfg.protocol == ProtocolKind::PresumedNothing && seat.any_ack_pending() {
+            self.notify_pending_early(txn, out);
+            return;
+        }
         out.push(Action::CancelTimer {
             txn,
             kind: TimerKind::AckCollection,
         });
         self.notify_and_ack_if_done(txn, now, out);
+    }
+
+    /// Releases the root application with a "recovery in progress"
+    /// completion while the seat stays alive to keep re-driving a
+    /// handed-over child (PN wait-for-outcome).
+    fn notify_pending_early(&mut self, txn: TxnId, out: &mut Vec<Action>) {
+        let seat = self.seats.get_mut(&txn).expect("present");
+        if !seat.is_root || seat.notified {
+            return;
+        }
+        seat.notified = true;
+        seat.outcome_pending = true;
+        self.metrics.outcome_pending_completions += 1;
+        out.push(Action::NotifyOutcome {
+            txn,
+            outcome: seat.outcome.expect("decided"),
+            report: seat.report.clone(),
+            pending: true,
+        });
     }
 
     /// The subtree is settled: write END, notify/ack, retire the seat.
@@ -2035,6 +2141,12 @@ impl TmEngine {
     fn retry_acks(&mut self, txn: TxnId, now: SimTime, out: &mut Vec<Action>) {
         let outcome = self.seats[&txn].outcome.expect("deciding");
         let wait_for_outcome = self.cfg.opts.wait_for_outcome;
+        // PN participants never query, so a handed-over (AckPending)
+        // child can never be abandoned: wait-for-outcome still releases
+        // the application (see `try_advance_deciding`), but a PN
+        // coordinator keeps re-driving the decision until the ack
+        // actually arrives.
+        let keep_driving = self.cfg.protocol == ProtocolKind::PresumedNothing;
         let lagging: Vec<(NodeId, u8)> = self.seats[&txn]
             .children
             .iter()
@@ -2057,12 +2169,24 @@ impl TmEngine {
                 self.push_send(out, node, ProtocolMsg::Decision { txn, outcome });
             }
         }
+        if keep_driving {
+            let handed: Vec<NodeId> = self.seats[&txn]
+                .children
+                .iter()
+                .filter(|c| c.state == ChildState::AckPending)
+                .map(|c| c.node)
+                .collect();
+            for node in handed {
+                self.push_send(out, node, ProtocolMsg::Decision { txn, outcome });
+            }
+        }
         // Re-arm if anything is still outstanding.
         let still_waiting = self.seats[&txn]
             .children
             .iter()
             .any(|c| matches!(c.state, ChildState::DecisionSent { .. }))
-            || self.seats[&txn].awaiting_initiator_ack;
+            || self.seats[&txn].awaiting_initiator_ack
+            || (keep_driving && self.seats[&txn].any_ack_pending());
         if still_waiting {
             out.push(Action::SetTimer {
                 txn,
@@ -2155,6 +2279,12 @@ impl TmEngine {
                 seat.is_root = summary.prepared.is_none();
                 if let Some((coord, _)) = summary.prepared {
                     seat.upstream = Some(coord);
+                    // Long locks survives the crash: replaying the WAL
+                    // re-arms the deferred ack, so the recovery re-ack
+                    // goes back into the owed queue (piggybacked or
+                    // flushed later) instead of paying an eager frame
+                    // the original execution would not have sent.
+                    seat.long_locks_deferred_ack = self.cfg.opts.long_locks;
                 }
                 seat.outcome = Some(outcome);
                 seat.stage = Stage::Deciding;

@@ -57,7 +57,7 @@ pub use driver::{
     rm_log_of, rm_log_slot, AppSink, Driver, DriverStats, LogControl, LogHost, NodeHost,
     PrepareControl, RecoveryStats, RmHost, TimerHost, Wire,
 };
-pub use engine::{EngineConfig, InDoubtDisposition, Timeouts, TmEngine};
+pub use engine::{EngineConfig, InDoubtDisposition, OwedAck, Timeouts, TmEngine};
 pub use event::{Action, Event, LocalDisposition, LocalVote, TimerKind};
 pub use messages::{Frame, ProtocolMsg};
 pub use metrics::EngineMetrics;

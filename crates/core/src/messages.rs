@@ -311,6 +311,7 @@ mod tests {
                     reliable: true,
                     unsolicited: false,
                     last_agent_delegation: true,
+                    expect_work: true,
                 }),
             },
             ProtocolMsg::VoteMsg {

@@ -14,9 +14,9 @@ use tpc_wal::{LogManager, SharedLog};
 
 use crate::fault::{FaultPlan, FaultStats, FaultyWire};
 use crate::node::{
-    create_log, lane_of, make_obs, recover_lanes, reopen_log, rm_config, tail_counts, AppCmd,
-    CommitResult, Inbound, IoHealth, LaneParts, LiveNodeConfig, LogRole, NodeSummary, NodeWorker,
-    Transport,
+    create_log, lane_of, make_obs, recover_lanes, reopen_log, rm_config, tail_counts, AckSlot,
+    AppCmd, CommitResult, Inbound, IoHealth, LaneParts, LiveNodeConfig, LogRole, NodeSummary,
+    NodeWorker, Transport,
 };
 use crate::signal::ClusterSignal;
 use crate::workload::{run_closed_loop, run_open_loop, OpenLoopReport, OpenLoopSpec};
@@ -179,6 +179,7 @@ impl LiveCluster {
             };
             let obs = make_obs(&cfg);
             let health = Arc::new(IoHealth::default());
+            let ack_slot = Arc::new(AckSlot::default());
             for lane in 0..lanes {
                 let transport = cluster.make_transport(node, plan.clone());
                 let parts = LaneParts {
@@ -191,6 +192,7 @@ impl LiveCluster {
                     lane,
                     lane_peers: cluster.senders[i].clone(),
                     health: Arc::clone(&health),
+                    ack_slot: Some(Arc::clone(&ack_slot)),
                 };
                 let worker = NodeWorker::new_with_parts(
                     node,
@@ -407,6 +409,7 @@ impl LiveCluster {
         let shared_tm = SharedLog::new(log);
         let shared_rm_log = rm_log.map(SharedLog::new);
         let health = Arc::new(IoHealth::default());
+        let ack_slot = Arc::new(AckSlot::default());
         for (lane, rec) in recovered.into_iter().enumerate() {
             let transport = self.make_transport(node, None);
             let parts = LaneParts {
@@ -419,6 +422,7 @@ impl LiveCluster {
                 lane,
                 lane_peers: self.senders[node.index()].clone(),
                 health: Arc::clone(&health),
+                ack_slot: Some(Arc::clone(&ack_slot)),
             };
             let worker = NodeWorker::resume_with_parts(
                 node,

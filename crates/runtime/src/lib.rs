@@ -101,8 +101,8 @@ pub use cluster::{CommitWait, LiveCluster, TxnHandle};
 pub use fault::{FaultPlan, FaultStats, FaultyWire};
 pub use http::MetricsServer;
 pub use node::{
-    lane_of, AppCmd, CommitResult, Inbound, IoErrorPolicy, LiveNodeConfig, LogBackend, NodeSummary,
-    Transport, WalHealth,
+    lane_of, AckSlotStats, AppCmd, CommitResult, Inbound, IoErrorPolicy, LiveNodeConfig,
+    LogBackend, NodeSummary, Transport, WalHealth,
 };
 pub use signal::ClusterSignal;
 pub use tpc_wal::{StorageFaultPlan, StorageFaultStats};

@@ -9,7 +9,7 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -24,8 +24,8 @@ use tpc_core::driver::rm_log_slot;
 use tpc_core::messages::{Bundle, Frame};
 use tpc_core::{
     Action, AppSink, Driver, DriverStats, EngineConfig, EngineMetrics, Event, InDoubtDisposition,
-    LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, PrepareControl,
-    ProtocolMsg, RecoveryStats, RmHost, Timeouts, TimerHost, TimerKind, Wire,
+    LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, OwedAck, PrepareControl,
+    ProtocolMsg, RecoveryStats, RmHost, Stage, Timeouts, TimerHost, TimerKind, Wire,
 };
 use tpc_obs::{Obs, ObsSnapshot, Phase};
 use tpc_rm::{Access, RmConfig, SharedRm};
@@ -250,6 +250,118 @@ pub fn lane_of(txn: TxnId, lanes: usize) -> usize {
     }
 }
 
+/// Counters of the node-level ack-piggyback slot (zeros on single-lane
+/// nodes, where the engine's own owed-ack queue does the piggybacking
+/// and accounts for it in [`EngineMetrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AckSlotStats {
+    /// Deferred acks moved from a lane's engine into the slot.
+    pub parked: u64,
+    /// Slot acks that rode an outbound frame of another transaction.
+    pub piggybacked: u64,
+    /// Slot acks flushed as explicit frames (idle linger expiry or
+    /// shutdown) because no suitable traffic came along.
+    pub flushed: u64,
+}
+
+impl AckSlotStats {
+    fn is_zero(&self) -> bool {
+        self.parked == 0 && self.piggybacked == 0 && self.flushed == 0
+    }
+}
+
+/// One deferred ack parked at node level: which lane owes it (and must
+/// flush it if no ride shows up) and which lane of the receiving node
+/// owns its transaction (so it only joins frames routed there).
+struct ParkedAck {
+    owner_lane: usize,
+    dest_lane: usize,
+    ack: OwedAck,
+}
+
+/// The node-level cross-transaction ack-piggyback slot (§4 *Long
+/// Locks* on a sharded node). A lane's engine defers acks in its own
+/// owed queue, which only frames of *that lane* can drain; on a
+/// multi-lane node the worker moves them here instead, so the next
+/// outbound frame of **any** lane — carrying a different transaction —
+/// drains the acks owed to the same partner. Entries only join frames
+/// whose destination lane (`lane_of` of the frame's transaction)
+/// matches the lane owning the ack's transaction on the receiving
+/// node, keeping lane dispatch exact. Acks that never find a ride are
+/// flushed by their owning lane as explicit frames.
+#[derive(Default)]
+pub(crate) struct AckSlot {
+    parked: Mutex<Vec<ParkedAck>>,
+    parked_total: AtomicU64,
+    piggybacked: AtomicU64,
+    flushed: AtomicU64,
+}
+
+impl AckSlot {
+    fn park(&self, owner_lane: usize, dest_lane: usize, ack: OwedAck) {
+        self.parked_total.fetch_add(1, Ordering::Relaxed);
+        self.parked.lock().expect("slot poisoned").push(ParkedAck {
+            owner_lane,
+            dest_lane,
+            ack,
+        });
+    }
+
+    /// Removes every parked ack owed to `to` whose transaction the
+    /// receiving node's `dest_lane` owns — called by the wire path for
+    /// each outbound frame, which carries them for free.
+    fn drain_for(&self, to: NodeId, dest_lane: usize) -> Vec<ProtocolMsg> {
+        let mut parked = self.parked.lock().expect("slot poisoned");
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].ack.to == to && parked[i].dest_lane == dest_lane {
+                out.push(parked.remove(i).ack.msg);
+            } else {
+                i += 1;
+            }
+        }
+        self.piggybacked
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Removes every ack parked by `owner_lane` (explicit-flush path:
+    /// linger expiry or shutdown).
+    fn take_lane(&self, owner_lane: usize) -> Vec<OwedAck> {
+        let mut parked = self.parked.lock().expect("slot poisoned");
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].owner_lane == owner_lane {
+                out.push(parked.remove(i).ack);
+            } else {
+                i += 1;
+            }
+        }
+        self.flushed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// How many parked acks `owner_lane` is still responsible for.
+    fn owed_by(&self, owner_lane: usize) -> usize {
+        self.parked
+            .lock()
+            .expect("slot poisoned")
+            .iter()
+            .filter(|p| p.owner_lane == owner_lane)
+            .count()
+    }
+
+    pub(crate) fn stats(&self) -> AckSlotStats {
+        AckSlotStats {
+            parked: self.parked_total.load(Ordering::Relaxed),
+            piggybacked: self.piggybacked.load(Ordering::Relaxed),
+            flushed: self.flushed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-node configuration for the live runtime.
 #[derive(Clone, Debug)]
 pub struct LiveNodeConfig {
@@ -301,6 +413,15 @@ pub struct LiveNodeConfig {
     pub storage_faults: Option<StorageFaultPlan>,
     /// What to do when the log device stops accepting writes.
     pub io_policy: IoErrorPolicy,
+    /// Unsolicited-vote (§4): a subordinate self-prepares as soon as it
+    /// finishes the delegated work, without waiting for Prepare — the
+    /// vote rides back unsolicited and phase one costs no round trip.
+    pub unsolicited: bool,
+    /// How long a deferred ack may sit in the node-level piggyback slot
+    /// waiting for an outbound frame to ride, before its owning lane
+    /// flushes it as an explicit frame. `None` picks the default:
+    /// 25 ms under `long_locks`, zero (flush at first idle) otherwise.
+    pub ack_linger: Option<Duration>,
 }
 
 impl LiveNodeConfig {
@@ -322,6 +443,44 @@ impl LiveNodeConfig {
             lock_wait_timeout: SimDuration(2_000_000),
             storage_faults: None,
             io_policy: IoErrorPolicy::default(),
+            unsolicited: false,
+            ack_linger: None,
+        }
+    }
+
+    /// Enables unsolicited votes: subordinates self-prepare when their
+    /// delegated work completes instead of waiting for Prepare. Also
+    /// raises [`OptimizationConfig::unsolicited_vote`] so the config the
+    /// engine sees matches the simulator's (the trigger itself is
+    /// host-level in both stacks).
+    pub fn unsolicited(mut self) -> Self {
+        self.unsolicited = true;
+        self.opts.unsolicited_vote = true;
+        self
+    }
+
+    /// Marks the node a suspendable server (leave-out eligible).
+    pub fn suspendable(mut self) -> Self {
+        self.suspendable = true;
+        self
+    }
+
+    /// Overrides how long deferred acks linger in the piggyback slot
+    /// before being flushed as explicit frames.
+    pub fn with_ack_linger(mut self, linger: Duration) -> Self {
+        self.ack_linger = Some(linger);
+        self
+    }
+
+    /// The effective ack linger: the explicit override if set, else
+    /// 25 ms under `long_locks` (acks are expected to ride later
+    /// traffic), else zero (flush at first idle, the historical
+    /// behaviour).
+    pub fn effective_ack_linger(&self) -> Duration {
+        match self.ack_linger {
+            Some(d) => d,
+            None if self.opts.long_locks => Duration::from_millis(25),
+            None => Duration::ZERO,
         }
     }
 
@@ -530,6 +689,9 @@ pub struct NodeSummary {
     /// Frame-buffer pool counters for the wire hot path: hit/miss rates
     /// and the outstanding high-water mark expose allocation thrash.
     pub pool: PoolStats,
+    /// Node-level ack-piggyback slot counters (all zero on single-lane
+    /// nodes, where the engine's own owed queue does the piggybacking).
+    pub acks: AckSlotStats,
     /// Transactions still unresolved.
     pub active_txns: usize,
     /// Snapshot of the engine's protocol state for the shared consistency
@@ -561,6 +723,11 @@ impl NodeSummary {
         self.wal.absorb(&other.wal);
         self.net.absorb(&other.net);
         self.pool.absorb(&other.pool);
+        // The ack slot is one shared structure per node; the first
+        // lane's snapshot already IS the node total.
+        if self.acks.is_zero() {
+            self.acks = other.acks;
+        }
         self.active_txns += other.active_txns;
         self.protocol_state
             .active
@@ -664,6 +831,10 @@ struct LiveHost<T: Transport> {
     /// the upcoming `suspend_rest` tail is dropped instead of parked, so
     /// the decision behind the failed force is never announced.
     poison_next_suspend: bool,
+    /// Node-level cross-transaction ack-piggyback slot, shared by all
+    /// lanes; `None` on single-lane nodes, whose engine already carries
+    /// owed acks on its own outbound frames.
+    ack_slot: Option<Arc<AckSlot>>,
 }
 
 /// Fsync retries spent trying to land a buffered forced record before
@@ -711,6 +882,7 @@ impl<T: Transport> LiveHost<T> {
             health: Arc::new(IoHealth::default()),
             io_policy: cfg.io_policy,
             poison_next_suspend: false,
+            ack_slot: None,
         }
     }
 
@@ -969,6 +1141,15 @@ impl<T: Transport> Wire for LiveHost<T> {
             .first()
             .map(|m| lane_of(m.txn(), self.lanes))
             .unwrap_or(0);
+        // Cross-transaction ack piggybacking (§4 Long Locks): any
+        // outbound frame carries the node's parked acks owed to the
+        // same partner — restricted to acks whose transaction the
+        // receiver's `lane` owns, because the whole frame is dispatched
+        // to that one lane.
+        let mut msgs = msgs;
+        if let Some(slot) = self.ack_slot.as_ref() {
+            msgs.extend(slot.drain_for(to, lane));
+        }
         // Encode straight into a pooled buffer: no intermediate
         // BytesMut, no freeze copy, no per-send Vec — the buffer's
         // capacity comes back to the pool when the transport (or the
@@ -1194,6 +1375,15 @@ pub struct NodeWorker<T: Transport> {
     rx: Receiver<Inbound>,
     frames_seen: u32,
     kill_after_frames: Option<u32>,
+    /// Unsolicited-vote: self-prepare enrolled transactions as soon as
+    /// their delegated work completes.
+    unsolicited: bool,
+    /// How long deferred acks may wait for a piggyback ride before the
+    /// idle path flushes them as explicit frames.
+    ack_linger: Duration,
+    /// Wall-clock deadline of the oldest unflushed deferred ack; `None`
+    /// when nothing is owed.
+    ack_deadline: Option<Instant>,
     /// Cross-stripe lock-wait backstop (multi-lane lane 0 only).
     lock_wait_timeout: SimDuration,
     /// Next wall-clock instant the lane-0 lock-wait sweep may run
@@ -1392,6 +1582,9 @@ pub(crate) struct LaneParts {
     pub lane: usize,
     pub lane_peers: Vec<Sender<Inbound>>,
     pub health: Arc<IoHealth>,
+    /// Node-level ack-piggyback slot all lanes share; `None` on
+    /// single-lane nodes.
+    pub ack_slot: Option<Arc<AckSlot>>,
 }
 
 /// Wraps a log backend in a [`FaultyLog`] when the config injects
@@ -1573,6 +1766,7 @@ impl<T: Transport> NodeWorker<T> {
             lane: 0,
             lane_peers: Vec::new(),
             health: Arc::new(IoHealth::default()),
+            ack_slot: None,
         };
         Self::new_with_parts(node, cfg, partners, transport, rx, epoch, signal, parts)
     }
@@ -1621,12 +1815,16 @@ impl<T: Transport> NodeWorker<T> {
         host.lane = parts.lane;
         host.lane_peers = parts.lane_peers;
         host.health = parts.health;
+        host.ack_slot = parts.ack_slot;
         NodeWorker {
             driver,
             host,
             rx,
             frames_seen: 0,
             kill_after_frames,
+            unsolicited: cfg.unsolicited || cfg.opts.unsolicited_vote,
+            ack_linger: cfg.effective_ack_linger(),
+            ack_deadline: None,
             lock_wait_timeout: cfg.lock_wait_timeout,
             next_lock_sweep: Instant::now() + Duration::from_millis(100),
             signal,
@@ -1701,6 +1899,7 @@ impl<T: Transport> NodeWorker<T> {
             lane: 0,
             lane_peers: Vec::new(),
             health: Arc::new(IoHealth::default()),
+            ack_slot: None,
         };
         Self::resume_with_parts(
             node, cfg, transport, rx, epoch, signal, parts, driver, actions,
@@ -1740,6 +1939,7 @@ impl<T: Transport> NodeWorker<T> {
         host.lane = parts.lane;
         host.lane_peers = parts.lane_peers;
         host.health = parts.health;
+        host.ack_slot = parts.ack_slot;
         let mut worker = NodeWorker {
             driver,
             host,
@@ -1747,6 +1947,9 @@ impl<T: Transport> NodeWorker<T> {
             frames_seen: 0,
             // A restarted node must not crash again: the knob is one-shot.
             kill_after_frames: None,
+            unsolicited: cfg.unsolicited || cfg.opts.unsolicited_vote,
+            ack_linger: cfg.effective_ack_linger(),
+            ack_deadline: None,
             lock_wait_timeout: cfg.lock_wait_timeout,
             next_lock_sweep: Instant::now() + Duration::from_millis(100),
             signal,
@@ -1767,6 +1970,9 @@ impl<T: Transport> NodeWorker<T> {
                 .map(|t| t.deadline.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(250));
             if let Some(dl) = self.host.group_deadline {
+                timeout = timeout.min(dl.saturating_duration_since(Instant::now()));
+            }
+            if let Some(dl) = self.ack_deadline {
                 timeout = timeout.min(dl.saturating_duration_since(Instant::now()));
             }
             let mut progressed = true;
@@ -1799,20 +2005,25 @@ impl<T: Transport> NodeWorker<T> {
                 Ok(Inbound::Shutdown { reply }) => {
                     // A clean shutdown is not a crash: the pending
                     // group-commit batch (if any) flushes so in-flight
-                    // commits complete before the summary freezes.
+                    // commits complete, and every deferred ack still
+                    // waiting for a piggyback ride goes out, before the
+                    // summary freezes.
                     self.drain_group();
+                    self.flush_deferred_acks();
                     let _ = reply.send(self.summary(false));
                     return self.summary(false);
                 }
                 Err(RecvTimeoutError::Timeout) => progressed = false,
                 Err(RecvTimeoutError::Disconnected) => {
                     self.drain_group();
+                    self.flush_deferred_acks();
                     return self.summary(false);
                 }
             }
             progressed |= self.fire_due_timers();
             progressed |= self.expire_group_if_due();
             progressed |= self.expire_lock_waits_if_due();
+            self.park_owed_acks();
             self.flush_acks_if_idle();
             if self.host.health.wants_fail_stop() {
                 // The log device is gone and the policy says fail-stop:
@@ -1918,20 +2129,98 @@ impl<T: Transport> NodeWorker<T> {
         self.summary(true)
     }
 
+    /// Moves the lane engine's deferred acks into the node-level
+    /// piggyback slot (multi-lane nodes only) so outbound frames of
+    /// *other* transactions — on any lane — can carry them, and arms
+    /// the linger deadline that bounds how long any deferred ack waits
+    /// for a ride. On single-lane nodes the acks stay in the engine's
+    /// own owed queue (same-lane piggybacking, engine-accounted); only
+    /// the deadline is armed here.
+    fn park_owed_acks(&mut self) {
+        if let Some(slot) = self.host.ack_slot.as_ref().map(Arc::clone) {
+            let lanes = self.host.lanes;
+            let lane = self.host.lane;
+            for ack in self.driver.engine_mut().take_owed_acks() {
+                let dest_lane = lane_of(ack.msg.txn(), lanes);
+                slot.park(lane, dest_lane, ack);
+            }
+            if self.ack_deadline.is_none() && slot.owed_by(lane) > 0 {
+                self.ack_deadline = Some(Instant::now() + self.ack_linger);
+            }
+        } else if self.ack_deadline.is_none() && self.driver.engine().owed_ack_count() > 0 {
+            self.ack_deadline = Some(Instant::now() + self.ack_linger);
+        }
+    }
+
     /// The live analogue of the simulator's end-of-script ack flush:
-    /// once the inbound queue drains, deferred (long-locks / implied)
-    /// acknowledgments go out rather than waiting to piggyback on
-    /// traffic that may never come.
+    /// once the inbound queue drains *and* the linger window expires,
+    /// deferred (long-locks / implied) acknowledgments go out as
+    /// explicit frames rather than waiting to piggyback on traffic that
+    /// may never come. A zero linger (the default without `long_locks`)
+    /// flushes at the first idle pass — the historical behaviour.
     fn flush_acks_if_idle(&mut self) {
-        if !self.rx.is_empty() || self.driver.engine().owed_ack_count() == 0 {
+        if !self.rx.is_empty() {
             return;
         }
+        let slot_owed = self
+            .host
+            .ack_slot
+            .as_ref()
+            .map(|s| s.owed_by(self.host.lane))
+            .unwrap_or(0);
+        if self.driver.engine().owed_ack_count() == 0 && slot_owed == 0 {
+            self.ack_deadline = None;
+            return;
+        }
+        match self.ack_deadline {
+            Some(dl) if Instant::now() < dl => return, // still hoping for a ride
+            _ => {}
+        }
+        self.flush_deferred_acks();
+    }
+
+    /// Unconditionally flushes every deferred ack this lane is
+    /// responsible for — engine owed queue and the lane's share of the
+    /// node-level slot — as explicit frames. Linger expiry and clean
+    /// shutdown both land here, so quiescing never strands an ack.
+    fn flush_deferred_acks(&mut self) {
+        self.ack_deadline = None;
         let now = self.host.now();
-        if let Err(e) = self.driver.flush_owed_acks(&mut self.host, now) {
-            debug_assert!(false, "ack flush error at {}: {e}", self.host.node);
-            let _ = e;
+        if self.driver.engine().owed_ack_count() > 0 {
+            if let Err(e) = self.driver.flush_owed_acks(&mut self.host, now) {
+                debug_assert!(false, "ack flush error at {}: {e}", self.host.node);
+                let _ = e;
+            }
+        }
+        if let Some(slot) = self.host.ack_slot.as_ref().map(Arc::clone) {
+            for OwedAck { to, msg } in slot.take_lane(self.host.lane) {
+                self.host.send(now, to, None, vec![msg]);
+            }
         }
         self.pump();
+    }
+
+    /// Unsolicited-vote (§4): a subordinate whose delegated work just
+    /// completed self-prepares immediately instead of waiting for the
+    /// coordinator's Prepare — the vote travels back unsolicited,
+    /// saving the Prepare flow. Only fires for enrolled subordinates
+    /// still in the Working stage with no local work pending; a Prepare
+    /// that raced in first wins (the engine no-ops).
+    fn maybe_self_prepare(&mut self, txn: TxnId) {
+        if !self.unsolicited
+            || self.host.pending_ops.contains_key(&txn)
+            || self.host.deadlocked.contains(&txn)
+        {
+            return;
+        }
+        let eligible = self
+            .driver
+            .engine()
+            .seat(txn)
+            .is_some_and(|s| s.upstream.is_some() && s.stage == Stage::Working);
+        if eligible {
+            self.drive(Event::SelfPrepare { txn });
+        }
     }
 
     fn summary(&self, crashed: bool) -> NodeSummary {
@@ -1962,6 +2251,12 @@ impl<T: Transport> NodeWorker<T> {
             transport: self.host.transport.counters(),
             net: self.host.transport.health(),
             pool: self.host.pool.stats(),
+            acks: self
+                .host
+                .ack_slot
+                .as_ref()
+                .map(|s| s.stats())
+                .unwrap_or_default(),
             active_txns: self.driver.engine().active_txns(),
             protocol_state: NodeProtocolState::from_engine(
                 self.host.node,
@@ -2010,6 +2305,7 @@ impl<T: Transport> NodeWorker<T> {
                 });
                 self.host.run_ops(txn, ops.into());
                 self.pump();
+                self.maybe_self_prepare(txn);
             } else {
                 self.drive(Event::MsgReceived { from, msg });
             }
@@ -2101,6 +2397,127 @@ impl<T: Transport> NodeWorker<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use proptest::prelude::*;
+
+    /// What a lane does to the shared slot, decoded from raw generator
+    /// output: park an owed ack, ride an outbound frame (drain for one
+    /// destination/lane pair), or flush a lane explicitly (linger expiry
+    /// / shutdown). The sequence models an arbitrary interleaving of the
+    /// lanes' slot traffic — the slot serializes on its own mutex, so
+    /// any true thread schedule is equivalent to some such sequence.
+    #[derive(Clone, Copy, Debug)]
+    enum SlotOp {
+        Park { owner: usize, to: u32, seq: u64 },
+        Ride { to: u32, dest_lane: usize },
+        Flush { owner: usize },
+    }
+
+    const SLOT_LANES: usize = 4;
+    const SLOT_PARTNERS: u32 = 3;
+
+    fn decode_slot_ops(raw: &[(u8, u8, u8)]) -> Vec<SlotOp> {
+        raw.iter()
+            .map(|&(kind, a, b)| match kind % 4 {
+                // Parks are twice as likely as each removal flavour so
+                // runs exercise a loaded slot, not an empty one.
+                0 | 1 => SlotOp::Park {
+                    owner: a as usize % SLOT_LANES,
+                    to: u32::from(b) % SLOT_PARTNERS,
+                    seq: u64::from(a) << 8 | u64::from(b),
+                },
+                2 => SlotOp::Ride {
+                    to: u32::from(b) % SLOT_PARTNERS,
+                    dest_lane: a as usize % SLOT_LANES,
+                },
+                _ => SlotOp::Flush {
+                    owner: a as usize % SLOT_LANES,
+                },
+            })
+            .collect()
+    }
+
+    fn slot_ack(to: u32, seq: u64) -> OwedAck {
+        let txn = TxnId::new(NodeId(9), seq);
+        OwedAck {
+            to: NodeId(to),
+            msg: ProtocolMsg::Ack {
+                txn,
+                report: DamageReport::default(),
+                pending: false,
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The cross-transaction piggyback slot under arbitrary lane
+        /// interleavings: every parked ack leaves the slot exactly once
+        /// (piggybacked on a frame or explicitly flushed), rides only
+        /// frames bound for its own destination node AND destination
+        /// lane, and the counters reconcile to parked = piggybacked +
+        /// flushed once the lanes drain their leftovers — the shutdown
+        /// path. No ack is ever duplicated or lost.
+        fn ack_slot_interleavings_conserve_acks(
+            raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..=64)
+        ) {
+            let slot = AckSlot::default();
+            // Model: every parked ack still inside, keyed by its txn
+            // seq, with the coordinates it must be removed under.
+            let mut inside: Vec<(usize, u32, usize, u64)> = Vec::new(); // (owner, to, dest_lane, seq)
+            let mut removed: Vec<u64> = Vec::new();
+            let mut parked_n = 0u64;
+
+            for op in decode_slot_ops(&raw) {
+                match op {
+                    SlotOp::Park { owner, to, seq } => {
+                        let dest_lane = lane_of(TxnId::new(NodeId(9), seq), SLOT_LANES);
+                        slot.park(owner, dest_lane, slot_ack(to, seq));
+                        inside.push((owner, to, dest_lane, seq));
+                        parked_n += 1;
+                    }
+                    SlotOp::Ride { to, dest_lane } => {
+                        let got: Vec<u64> =
+                            slot.drain_for(NodeId(to), dest_lane).iter().map(|m| m.txn().seq).collect();
+                        let want: Vec<u64> = inside
+                            .iter()
+                            .filter(|(_, t, d, _)| *t == to && *d == dest_lane)
+                            .map(|(_, _, _, s)| *s)
+                            .collect();
+                        prop_assert_eq!(&got, &want, "a frame carries exactly the acks owed to its destination/lane");
+                        inside.retain(|(_, t, d, _)| !(*t == to && *d == dest_lane));
+                        removed.extend(got);
+                    }
+                    SlotOp::Flush { owner } => {
+                        let got: Vec<u64> =
+                            slot.take_lane(owner).iter().map(|a| a.msg.txn().seq).collect();
+                        let want: Vec<u64> = inside
+                            .iter()
+                            .filter(|(o, _, _, _)| *o == owner)
+                            .map(|(_, _, _, s)| *s)
+                            .collect();
+                        prop_assert_eq!(&got, &want, "a lane flushes exactly its own leftovers");
+                        inside.retain(|(o, _, _, _)| *o != owner);
+                        removed.extend(got);
+                    }
+                }
+            }
+
+            // Shutdown: every lane flushes. The slot must end empty and
+            // the books must balance with each ack counted exactly once.
+            for lane in 0..SLOT_LANES {
+                removed.extend(slot.take_lane(lane).iter().map(|a| a.msg.txn().seq));
+            }
+            for lane in 0..SLOT_LANES {
+                prop_assert_eq!(slot.owed_by(lane), 0, "slot empty after full flush");
+            }
+            prop_assert_eq!(removed.len() as u64, parked_n, "no ack lost or duplicated");
+            let stats = slot.stats();
+            prop_assert_eq!(stats.parked, parked_n);
+            prop_assert_eq!(stats.piggybacked + stats.flushed, parked_n, "counters reconcile");
+        }
+    }
 
     #[test]
     fn timer_heap_is_min_by_deadline() {

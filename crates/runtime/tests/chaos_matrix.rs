@@ -24,7 +24,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use tpc_common::{NodeId, Op, Outcome, ProtocolKind, SimDuration};
+use tpc_common::{AckMode, NodeId, Op, OptimizationConfig, Outcome, ProtocolKind, SimDuration};
 use tpc_core::Timeouts;
 use tpc_runtime::tcp::TcpCluster;
 use tpc_runtime::{verify, LiveCluster, LiveNodeConfig, StorageFaultPlan};
@@ -170,6 +170,140 @@ fn subordinate_case(
     assert!(violations.is_empty(), "{ctx}: {violations:?}");
     assert!(unresolved.is_empty(), "{ctx}: {unresolved:?}");
 
+    let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
+    assert!(wal.is_empty(), "{ctx}: {wal:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The §4 optimizations that change *who recovers what*: a delegated
+/// last agent owns the decision, early-ack changes when the upstream
+/// ack leaves, wait-for-outcome changes when the application hears.
+/// Each must survive the same kill-at-every-step matrix as the
+/// baseline — on one lane and on four — with the in-doubt telemetry
+/// accounting for exactly the windows the crash opened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OptCell {
+    LastAgent,
+    EarlyAck,
+    WaitForOutcome,
+}
+
+impl OptCell {
+    fn opts(self) -> OptimizationConfig {
+        match self {
+            OptCell::LastAgent => OptimizationConfig::none().with_last_agent(true),
+            OptCell::EarlyAck => OptimizationConfig::none().with_ack_mode(AckMode::Early),
+            OptCell::WaitForOutcome => OptimizationConfig::none().with_wait_for_outcome(true),
+        }
+    }
+}
+
+#[test]
+fn optimization_cells_survive_the_crash_matrix() {
+    // 3 optimizations × 3 crash steps × {1, 4} lanes = 18 live cells,
+    // all Presumed Abort (the optimizations' home family in the paper).
+    for opt in [
+        OptCell::LastAgent,
+        OptCell::EarlyAck,
+        OptCell::WaitForOutcome,
+    ] {
+        for lanes in [1usize, 4] {
+            for k in 1..=3u32 {
+                optimization_case(opt, k, lanes);
+            }
+        }
+    }
+}
+
+fn optimization_case(opt: OptCell, k: u32, lanes: usize) {
+    let ctx = format!("{opt:?} k={k} lanes={lanes}");
+    let dir = temp_dir(&format!("opt-{opt:?}-{k}-{lanes}"));
+    let root = NodeId(0);
+    let victim = NodeId(1);
+    let mut c = LiveCluster::start(vec![
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_file_log(&dir)
+            .with_lanes(lanes)
+            .with_opts(opt.opts())
+            .with_timeouts(chaos_timeouts()),
+        LiveNodeConfig::new(ProtocolKind::PresumedAbort)
+            .with_observability()
+            .with_file_log(&dir)
+            .with_lanes(lanes)
+            .with_opts(opt.opts())
+            .with_timeouts(chaos_timeouts())
+            .kill_after_frames(k),
+    ])
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(root);
+    let txn = t.id();
+    t.work(victim, vec![Op::put("opt-chaos", "v")]);
+    let wait = t.commit_async();
+
+    let s = c
+        .await_death(victim, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("{ctx}: victim should die on schedule: {e}"));
+    assert!(s.protocol_state.crashed, "{ctx}");
+    c.restart(victim)
+        .unwrap_or_else(|e| panic!("{ctx}: restart from WAL: {e}"));
+
+    // k = 1 kills the victim holding unprepared work (before it voted —
+    // or, under last-agent, before the delegation reached it), so the
+    // transaction aborts; any later step commits.
+    let result = wait
+        .wait(Duration::from_secs(20))
+        .unwrap_or_else(|e| panic!("{ctx}: root must answer: {e}"));
+    let expected = if k == 1 {
+        Outcome::Abort
+    } else {
+        Outcome::Commit
+    };
+    assert_eq!(result.outcome, expected, "{ctx}");
+
+    assert!(
+        c.quiesce(Duration::from_secs(20)),
+        "{ctx}: cluster must quiesce after recovery"
+    );
+    if expected == Outcome::Commit {
+        assert_eq!(
+            c.read_eventually(victim, "opt-chaos", Duration::from_secs(10)),
+            Some(b"v".to_vec()),
+            "{ctx}: committed write must survive"
+        );
+    } else {
+        assert_eq!(c.read(victim, "opt-chaos"), None, "{ctx}");
+    }
+
+    // In-doubt telemetry: every window the crash opened must be closed
+    // by recovery. Only a *prepared subordinate* crash (k = 2 without
+    // delegation) leaves a window open across the restart — a last
+    // agent is the decider and is never in doubt at its own node.
+    let vs = c
+        .summary(victim)
+        .unwrap_or_else(|| panic!("{ctx}: victim summary"));
+    let obs = vs.obs.expect("observability was on");
+    assert_eq!(
+        obs.in_doubt_current, 0,
+        "{ctx}: no in-doubt window may survive recovery"
+    );
+    if k == 2 && opt != OptCell::LastAgent {
+        assert!(
+            obs.in_doubt.count >= 1,
+            "{ctx}: the prepared-crash cell must record its in-doubt window"
+        );
+        let rec = vs.recovery.expect("restart recorded recovery stats");
+        assert!(
+            rec.in_doubt_recovered >= 1,
+            "{ctx}: recovery must report the re-armed in-doubt transaction"
+        );
+    }
+
+    let outcomes = vec![verify::outcome_record(txn, root, &result)];
+    let summaries = c.shutdown();
+    let (violations, unresolved) = verify::check(&summaries, &outcomes);
+    assert!(violations.is_empty(), "{ctx}: {violations:?}");
+    assert!(unresolved.is_empty(), "{ctx}: {unresolved:?}");
     let wal = verify::check_wal_agreement(&dir, 2).expect("scan WALs");
     assert!(wal.is_empty(), "{ctx}: {wal:?}");
     let _ = std::fs::remove_dir_all(&dir);

@@ -26,11 +26,13 @@
 pub mod cluster;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 pub mod trace;
 pub mod verify;
 pub mod workload;
 
 pub use cluster::{NodeConfig, Sim, SimConfig};
 pub use report::{NodeReport, RunReport, TxnResult};
+pub use sweep::{all_cells, Cell, CellCosts, CrashStep, OptSet};
 pub use trace::{protocol_only, render_trace, TraceEvent, TraceKind};
 pub use workload::{Op, TxnSpec, WorkEdge};

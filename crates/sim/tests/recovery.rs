@@ -251,9 +251,14 @@ fn delegating_initiator_crash_recovers_by_asking_the_delegate() {
     let n1 = sim.add_node(agent_cfg);
     sim.declare_partner(n0, n1);
     sim.push_txn(TxnSpec::star_update(n0, &[n1], "t"));
-    // Timeline: delegation leaves N0 ~20.4 ms (after its prepared force);
-    // the delegate's Commit lands ~21.6 ms. Crash in between.
-    sim.crash_at(n0, SimTime(21_000));
+    // Timeline: delegation leaves N0 ~20.4 ms (after its prepared force)
+    // and lands at N1 ~21.6 ms, which decides COMMIT on the spot; the
+    // Commit reaches N0 ~22.8 ms. Crash after the delegate has decided
+    // but before the decision lands. (Crashing *before* delivery would
+    // change the story: the conversation-failure signal makes N1 roll
+    // back its unprepared work, so the late delegation — carrying
+    // expect-work — must then abort, not commit.)
+    sim.crash_at(n0, SimTime(22_000));
     sim.restart_at(n0, SimTime(500_000));
     let report = sim.run();
     assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -272,4 +277,44 @@ fn delegating_initiator_crash_recovers_by_asking_the_delegate() {
         .find(|s| s.txn.origin == n0)
         .expect("agent resolved");
     assert_eq!(agent_seat.outcome, Some(Outcome::Commit));
+}
+
+#[test]
+fn delegation_to_a_partner_that_lost_its_work_aborts() {
+    // The delegation's expect-work defense (the analogue of Prepare's):
+    // the initiator crashes while its delegation is still in flight, so
+    // the conversation-failure signal reaches the delegate FIRST and it
+    // rolls back its unprepared work. The late delegation then finds a
+    // partner with no trace of a transaction the initiator conversed
+    // with — committing would commit effects that no longer exist, so
+    // the delegate must decide ABORT, and recovery must settle everyone
+    // on abort.
+    let mut sim = Sim::new(SimConfig::default().with_horizon(SimDuration::from_secs(20)));
+    let initiator_cfg = NodeConfig::new(ProtocolKind::PresumedAbort)
+        .with_timeouts(fast_timeouts())
+        .with_opts(tpc_common::OptimizationConfig::none().with_last_agent(true));
+    let agent_cfg = NodeConfig::new(ProtocolKind::PresumedAbort).with_timeouts(fast_timeouts());
+    let n0 = sim.add_node(initiator_cfg);
+    let n1 = sim.add_node(agent_cfg);
+    sim.declare_partner(n0, n1);
+    sim.push_txn(TxnSpec::star_update(n0, &[n1], "t"));
+    // Delegation leaves N0 ~20.4 ms, lands ~21.6 ms: crash at 21 ms is
+    // after the send but before the delivery.
+    sim.crash_at(n0, SimTime(21_000));
+    sim.restart_at(n0, SimTime(500_000));
+    let report = sim.run();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.unresolved.is_empty(), "{:?}", report.unresolved);
+    for n in [n0, n1] {
+        let seat = sim
+            .engine(n)
+            .completed_seats()
+            .find(|s| s.txn.origin == n0)
+            .expect("resolved");
+        assert_eq!(
+            seat.outcome,
+            Some(Outcome::Abort),
+            "node {n} must abort the lost-work delegation"
+        );
+    }
 }

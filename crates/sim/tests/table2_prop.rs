@@ -22,7 +22,7 @@
 //! interior nodes (subordinate records plus a forced Collecting).
 
 use proptest::prelude::*;
-use tpc_common::{NodeId, OptimizationConfig, Outcome, ProtocolKind};
+use tpc_common::{AckMode, NodeId, OptimizationConfig, Outcome, ProtocolKind};
 use tpc_sim::{NodeConfig, RunReport, Sim, SimConfig, TxnSpec, WorkEdge};
 
 /// What a non-root participant does in the transaction.
@@ -236,5 +236,106 @@ proptest! {
         );
         prop_assert_eq!(report.tm_writes(), 3 * n - 1, "no write savings");
         prop_assert_eq!(report.tm_forced(), 2 * n - 1, "no forced savings");
+    }
+
+    /// Early acknowledgment composes with the tree formula for free: a
+    /// random tree with mixed read-only and unsolicited leaves, with
+    /// early-ack switched on everywhere, pays exactly the same flows and
+    /// writes as without it — the optimization moves *when* the upstream
+    /// ack happens, never how many frames or records exist.
+    fn early_ack_is_count_free_over_random_trees(
+        raw in prop::collection::vec((any::<u32>(), 0u8..3), 1..=7)
+    ) {
+        let shape = Shape::decode(&raw);
+        let report = shape.run(|i| {
+            let cfg = NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(
+                OptimizationConfig::none()
+                    .with_read_only(true)
+                    .with_ack_mode(AckMode::Early),
+            );
+            if i > 0 && shape.attrs[i - 1] == Attr::Unsolicited {
+                cfg.unsolicited()
+            } else {
+                cfg
+            }
+        });
+        let e = shape.edges() as u64;
+        let r = shape.count(Attr::ReadOnly) as u64;
+        let u = shape.count(Attr::Unsolicited) as u64;
+        prop_assert_eq!(
+            report.protocol_flows(),
+            4 * e - 2 * r - u,
+            "flows with early-ack: {:?}",
+            shape
+        );
+        prop_assert_eq!(report.tm_writes(), 2 + 3 * (e - r), "writes: {:?}", shape);
+        prop_assert_eq!(report.tm_forced(), 1 + 2 * (e - r), "forced: {:?}", shape);
+    }
+
+    /// The full §4 combination on a random-width star: last-agent
+    /// delegation at the initiator, a random subset of the non-delegate
+    /// subordinates voting unsolicited, early-ack on everywhere. Savings
+    /// add: the delegate round collapses (2 flows, one may reappear as
+    /// the flushed implied ack) and each unsolicited voter saves its
+    /// Prepare flow — while the write totals stay exactly the paper's
+    /// caveat: the initiator's extra forced Prepared* cancels the
+    /// delegate's saved records, and nothing else moves.
+    fn last_agent_unsolicited_early_ack_combine_on_a_star(
+        subs in 2usize..=6,
+        mask in any::<u8>(),
+    ) {
+        let mut sim = Sim::new(SimConfig::default());
+        let opts = OptimizationConfig::none()
+            .with_last_agent(true)
+            .with_ack_mode(AckMode::Early);
+        let base = NodeConfig::new(ProtocolKind::PresumedAbort).with_opts(opts);
+        let root = sim.add_node(base.clone());
+        // The delegate is the most recently touched partner — the final
+        // star edge — so only earlier subordinates may vote unsolicited
+        // (a self-prepared delegate would have nothing left to collapse).
+        let unsolicited: Vec<bool> = (0..subs).map(|i| i + 1 < subs && mask >> i & 1 == 1).collect();
+        let ids: Vec<NodeId> = unsolicited
+            .iter()
+            .map(|u| sim.add_node(if *u { base.clone().unsolicited() } else { base.clone() }))
+            .collect();
+        for s in &ids {
+            sim.declare_partner(root, *s);
+        }
+        sim.push_txn(TxnSpec::star_update(root, &ids, "t"));
+        let report = sim.run();
+        report.assert_clean();
+        prop_assert_eq!(report.single().outcome, Outcome::Commit);
+
+        let s = subs as u64;
+        let u = unsolicited.iter().filter(|b| **b).count() as u64;
+        let flows = report.protocol_flows();
+        prop_assert!(
+            flows >= 4 * s - u - 2 && flows < 4 * s - u,
+            "flows {} for {} subs ({} unsolicited): want [{}, {})",
+            flows,
+            s,
+            u,
+            4 * s - u - 2,
+            4 * s - u
+        );
+        prop_assert_eq!(report.tm_writes(), 3 * s + 2, "write totals never move");
+        prop_assert_eq!(report.tm_forced(), 2 * s + 1, "forced totals never move");
+        // Per-seat: initiator pays the delegate's coordinator records.
+        prop_assert_eq!(
+            (report.per_node[0].tm_writes, report.per_node[0].tm_forced),
+            (3, 2),
+            "initiator seat"
+        );
+        for (i, &was_unsolicited) in unsolicited.iter().enumerate() {
+            let node = &report.per_node[i + 1];
+            let want = if i + 1 == subs { (2, 1) } else { (3, 2) };
+            prop_assert_eq!(
+                (node.tm_writes, node.tm_forced),
+                want,
+                "sub {} (unsolicited {})",
+                i,
+                was_unsolicited
+            );
+        }
     }
 }

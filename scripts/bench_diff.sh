@@ -3,8 +3,10 @@
 #
 #   scripts/bench_diff.sh OLD.json NEW.json
 #
-# Rows are matched on (protocol, transport, wal_backend, group_commit)
-# — files from before the backend axis existed fall back to "log" — and the
+# Rows are matched on (protocol, transport, wal_backend, group_commit,
+# optimizations) — files from before the backend axis existed fall back
+# to "log", and rows from before the optimization axis default to
+# "baseline" — and the
 # table shows txn/s, commit-latency p99 and physical flushes side by
 # side with percentage deltas, followed by the scale-curve rows
 # (matched on lanes × in-flight × saturation) and the failure-path rows
@@ -26,7 +28,13 @@ old_path, new_path = sys.argv[1], sys.argv[2]
 old, new = json.load(open(old_path)), json.load(open(new_path))
 
 def key(r):
-    return (r["protocol"], r["transport"], r.get("wal_backend", r["log"]), r["group_commit"])
+    return (
+        r["protocol"],
+        r["transport"],
+        r.get("wal_backend", r["log"]),
+        r["group_commit"],
+        r.get("optimizations", "baseline"),
+    )
 
 def pct(a, b):
     if a == 0:
@@ -37,17 +45,19 @@ old_rows = {key(r): r for r in old.get("results", [])}
 new_rows = {key(r): r for r in new.get("results", [])}
 
 print(f"throughput: {old_path} -> {new_path}")
-hdr = f"{'config':<34} {'txn/s old':>10} {'txn/s new':>10} {'Δ':>7}  {'p99 old':>8} {'p99 new':>8} {'Δ':>7}"
+hdr = f"{'config':<46} {'txn/s old':>10} {'txn/s new':>10} {'Δ':>7}  {'p99 old':>8} {'p99 new':>8} {'Δ':>7}"
 print(hdr)
 print("-" * len(hdr))
 for k in sorted(set(old_rows) | set(new_rows)):
     name = f"{k[0]}/{k[1]}/{k[2]}/gc={'on' if k[3] else 'off'}"
+    if k[4] != "baseline":
+        name += f"/{k[4]}"
     o, n = old_rows.get(k), new_rows.get(k)
     if o is None or n is None:
-        print(f"{name:<34} {'(only in ' + (new_path if o is None else old_path) + ')'}")
+        print(f"{name:<46} {'(only in ' + (new_path if o is None else old_path) + ')'}")
         continue
     print(
-        f"{name:<34} {o['txns_per_sec']:>10.1f} {n['txns_per_sec']:>10.1f} "
+        f"{name:<46} {o['txns_per_sec']:>10.1f} {n['txns_per_sec']:>10.1f} "
         f"{pct(o['txns_per_sec'], n['txns_per_sec'])}  "
         f"{o['latency_us']['p99']:>8} {n['latency_us']['p99']:>8} "
         f"{pct(o['latency_us']['p99'], n['latency_us']['p99'])}"

@@ -135,6 +135,188 @@ fn multi_lane_cluster_matches_sim_protocol_costs() {
     }
 }
 
+/// `txns` sequential star updates through the simulator with an
+/// optimization set switched on, returning per-node
+/// `(tm_writes, tm_forced, protocol flows)`.
+fn sim_costs_opt(
+    protocol: ProtocolKind,
+    opts: OptimizationConfig,
+    reliable: bool,
+    unsolicited: bool,
+    txns: usize,
+) -> Vec<(u64, u64, u64)> {
+    let mut sim = Sim::new(SimConfig::default());
+    let mut cfg = NodeConfig::new(protocol).with_opts(opts.clone());
+    if reliable {
+        cfg = cfg.reliable();
+    }
+    let sub_cfg = if unsolicited {
+        cfg.clone().unsolicited()
+    } else {
+        cfg.clone()
+    };
+    let n0 = sim.add_node(cfg);
+    let n1 = sim.add_node(sub_cfg.clone());
+    let n2 = sim.add_node(sub_cfg);
+    sim.declare_partner(n0, n1);
+    sim.declare_partner(n0, n2);
+    for i in 0..txns {
+        sim.push_txn(TxnSpec::star_update(n0, &[n1, n2], &format!("opt{i}")));
+    }
+    let report = sim.run();
+    report.assert_clean();
+    assert!(report.outcomes.iter().all(|o| o.outcome == Outcome::Commit));
+    report
+        .per_node
+        .iter()
+        .map(|n| {
+            (
+                n.tm_writes,
+                n.tm_forced,
+                n.engine.frames_sent - n.engine.work_frames,
+            )
+        })
+        .collect()
+}
+
+/// The same star workload against a single-lane live cluster whose node
+/// configs are produced by `make` (single-lane so every deferred ack
+/// stays engine-accounted, exactly like the sim's). `settle` inserts a
+/// pause between issuing the work and requesting commit — the
+/// unsolicited-vote cells need the subordinates' self-prepared votes to
+/// reach the root before Phase 1 begins, which the sim's virtual clock
+/// guarantees and the live harness must wait for.
+fn live_costs_opt(
+    make: impl Fn() -> LiveNodeConfig,
+    txns: usize,
+    settle: Option<std::time::Duration>,
+) -> Vec<(u64, u64, u64)> {
+    let cluster = LiveCluster::start(vec![make(), make(), make()]);
+    for i in 0..txns {
+        let txn = cluster.begin(NodeId(0));
+        txn.work(NodeId(0), vec![Op::put(&format!("opt{i}/n0"), "x")]);
+        txn.work(NodeId(1), vec![Op::put(&format!("opt{i}/n1"), "x")]);
+        txn.work(NodeId(2), vec![Op::put(&format!("opt{i}/n2"), "x")]);
+        if let Some(pause) = settle {
+            std::thread::sleep(pause);
+        }
+        let result = txn.commit().expect("root alive");
+        assert_eq!(result.outcome, Outcome::Commit, "txn {i}");
+    }
+    assert!(cluster.quiesce(std::time::Duration::from_secs(10)));
+    let summaries = cluster.shutdown();
+    summaries
+        .iter()
+        .map(|s| {
+            (
+                s.log.writes,
+                s.log.forced_writes,
+                s.metrics.frames_sent - s.metrics.work_frames,
+            )
+        })
+        .collect()
+}
+
+/// Every optimization the live path gained must cost exactly what the
+/// simulator says it costs: same per-node log writes, forced writes and
+/// protocol flows, transaction for transaction. The ack linger on the
+/// deferring cells is set past the workload length so implied/deferred
+/// acks ride later transactions' frames — the same piggyback the sim's
+/// scheduler produces — instead of being flushed eagerly at idle.
+#[test]
+fn optimizations_cost_the_same_live_as_simulated() {
+    let linger = std::time::Duration::from_secs(1);
+    let settle = std::time::Duration::from_millis(150);
+    for protocol in [ProtocolKind::PresumedAbort, ProtocolKind::PresumedNothing] {
+        // Last-agent delegation: the initiator's implied ack to the
+        // delegate is deferred and piggybacked (§4 Last Agent, Figure 6).
+        let opts = OptimizationConfig::none().with_last_agent(true);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), false, false, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol)
+                    .with_opts(opts.clone())
+                    .with_ack_linger(linger),
+                4,
+                None
+            ),
+            "{protocol}/last_agent"
+        );
+
+        // Unsolicited votes: subordinates self-prepare; the Prepare
+        // flows vanish in both harnesses.
+        let opts = OptimizationConfig::none().with_unsolicited_vote(true);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), false, true, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol)
+                    .with_opts(opts.clone())
+                    .unsolicited(),
+                4,
+                Some(settle)
+            ),
+            "{protocol}/unsolicited"
+        );
+
+        // Early commit acknowledgment: moves when the root's app hears
+        // the outcome, never what anything costs.
+        let opts = OptimizationConfig::none().with_ack_mode(AckMode::Early);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), false, false, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol).with_opts(opts.clone()),
+                4,
+                None
+            ),
+            "{protocol}/early_ack"
+        );
+
+        // Vote-reliable: the early ack gated on the reliable qualifier
+        // every vote below must carry.
+        let opts = OptimizationConfig::none().with_vote_reliable(true);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), true, false, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol)
+                    .with_opts(opts.clone())
+                    .reliable(),
+                4,
+                None
+            ),
+            "{protocol}/vote_reliable"
+        );
+
+        // Wait-for-outcome: the conservative notification rule; costs
+        // identical, completion later.
+        let opts = OptimizationConfig::none().with_wait_for_outcome(true);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), false, false, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol).with_opts(opts.clone()),
+                4,
+                None
+            ),
+            "{protocol}/wait_for_outcome"
+        );
+
+        // Long locks: commit acks deferred to piggyback on later
+        // traffic (§4 / Figure 7); the final transaction's stragglers
+        // flush at end-of-run (sim) / shutdown (live).
+        let opts = OptimizationConfig::none().with_long_locks(true);
+        assert_eq!(
+            sim_costs_opt(protocol, opts.clone(), false, false, 4),
+            live_costs_opt(
+                || LiveNodeConfig::new(protocol)
+                    .with_opts(opts.clone())
+                    .with_ack_linger(linger),
+                4,
+                None
+            ),
+            "{protocol}/long_locks"
+        );
+    }
+}
+
 #[test]
 fn facade_reexports_compose() {
     // Exercise the prelude end to end: engine types, sim, runtime.
@@ -183,7 +365,7 @@ fn all_optimizations_stack_together() {
     let opts = OptimizationConfig::all();
     let mut sim = Sim::new(SimConfig::default().real());
     let cfg = NodeConfig::new(ProtocolKind::PresumedNothing)
-        .with_opts(opts)
+        .with_opts(opts.clone())
         .reliable()
         .suspendable();
     let n0 = sim.add_node(cfg.clone());
