@@ -39,7 +39,7 @@ use std::time::Duration;
 
 use tpc_common::config::GroupCommitConfig;
 use tpc_common::{ProtocolKind, SimDuration};
-use tpc_obs::{ObsSnapshot, Phase};
+use tpc_obs::{ObsSnapshot, Phase, TimelineCounter, TimelineGauge, TimelineHist};
 use tpc_runtime::tcp::TcpCluster;
 use tpc_runtime::{
     LiveCluster, LiveNodeConfig, NodeSummary, OpenLoopReport, OpenLoopSpec, WorkloadReport,
@@ -260,9 +260,15 @@ fn run_scale_curve(quick: bool) -> Vec<ScalePoint> {
         points.push(run_scale_case(8, 10_000, 12_000, false));
     }
     // Saturation: offered load with tight admission control must reject,
-    // not collapse.
+    // not collapse. Long enough (full mode) to spread across several
+    // timeline windows, so the per-window section shows a curve.
     eprintln!("running scale saturation cell …");
-    points.push(run_scale_case(if quick { 2 } else { 8 }, 32, 2_000, true));
+    points.push(run_scale_case(
+        if quick { 2 } else { 8 },
+        32,
+        if quick { 2_000 } else { 6_000 },
+        true,
+    ));
     points
 }
 
@@ -570,6 +576,43 @@ fn render_json(
         });
     }
     s.push_str("  ],\n");
+    // The driver-side timeline of the saturation cell: per-window
+    // throughput, tail latency and queue depths — the time axis the
+    // aggregate saturation row flattens away. Windows with no activity
+    // are skipped.
+    if let Some(sat) = scale.iter().find(|p| p.saturation) {
+        let t = &sat.report.timeline;
+        s.push_str("  \"timeline\": {\n");
+        let _ = writeln!(s, "    \"cell\": \"saturation\",");
+        let _ = writeln!(s, "    \"window_us\": {},", t.window_us);
+        let _ = writeln!(s, "    \"late_drops\": {},", t.late_drops);
+        s.push_str("    \"windows\": [\n");
+        let window_sec = t.window_us as f64 / 1e6;
+        let active: Vec<_> = t
+            .windows
+            .iter()
+            .filter(|w| w.counters.iter().any(|&c| c > 0) || w.gauges.iter().any(|g| g.count > 0))
+            .collect();
+        for (i, w) in active.iter().enumerate() {
+            let committed = w.counter(TimelineCounter::Committed);
+            let _ = writeln!(
+                s,
+                "      {{ \"start_us\": {}, \"committed\": {}, \"aborted\": {}, \"rejected\": {}, \
+                 \"tps\": {:.1}, \"commit_p99_us\": {}, \"admit_queue_max\": {}, \"in_flight_max\": {} }}{}",
+                w.start_us,
+                committed,
+                w.counter(TimelineCounter::Aborted),
+                w.counter(TimelineCounter::Rejected),
+                committed as f64 / window_sec,
+                w.hist(TimelineHist::Commit).p99(),
+                w.gauge(TimelineGauge::AdmitQueue).max,
+                w.gauge(TimelineGauge::InFlight).max,
+                if i + 1 < active.len() { "," } else { "" }
+            );
+        }
+        s.push_str("    ]\n");
+        s.push_str("  },\n");
+    }
     s.push_str("  \"failure_path\": [\n");
     for (i, f) in failures.iter().enumerate() {
         let r = &f.recovery;

@@ -192,6 +192,25 @@ impl StripedLockManager {
         }
         total
     }
+
+    /// Per-stripe counters, in stripe-index order. Contention telemetry:
+    /// an uneven `waits` / `total_wait_micros` distribution across stripes
+    /// is a hot-key (or bad-hash) signature the merged view hides.
+    pub fn per_stripe_stats(&self) -> Vec<LockStats> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").stats())
+            .collect()
+    }
+
+    /// Transactions queued behind a lock right now, per stripe — the
+    /// waits-for depth each stripe is carrying at this instant.
+    pub fn per_stripe_waiters(&self) -> Vec<usize> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").waiting_txns().len())
+            .collect()
+    }
 }
 
 #[cfg(test)]

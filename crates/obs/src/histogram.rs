@@ -67,6 +67,19 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Zero every bucket and statistic (used when the timeline ring
+    /// recycles a window slot). Not atomic as a whole: callers must
+    /// ensure no concurrent recorder targets this histogram, which the
+    /// timeline's epoch-claim protocol does.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Consistent-enough copy for reporting (individual loads are relaxed;
     /// concurrent writers may skew totals by in-flight records).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -80,7 +93,7 @@ impl Histogram {
 }
 
 /// Plain-data histogram copy; mergeable across nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Per-bucket counts; bucket k holds values in `2^(k-1)..2^k`.
     pub buckets: [u64; BUCKETS],

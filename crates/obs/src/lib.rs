@@ -20,19 +20,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod histogram;
 pub mod prometheus;
 pub mod span;
+pub mod timeline;
 pub mod trace_json;
 
+pub use flight::{
+    render_flight_json, render_flight_text, FlightEvent, FlightKind, FlightRecorder, FLIGHT_CAP,
+};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use prometheus::{render_prometheus, NodeExport};
 pub use span::{Phase, Span};
+pub use timeline::{
+    render_timeline_json, GaugeStat, Timeline, TimelineCounter, TimelineGauge, TimelineHist,
+    TimelineSnapshot, WindowSnapshot,
+};
 pub use trace_json::render_chrome_trace;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use tpc_common::{SimTime, TxnId};
 
@@ -58,6 +67,10 @@ pub struct Obs {
     in_doubt: Histogram,
     in_doubt_entered: AtomicU64,
     in_doubt_resolved: AtomicU64,
+    /// Optional windowed view of the same telemetry (see [`Timeline`]).
+    timeline: Option<Arc<Timeline>>,
+    /// Optional crash flight recorder (see [`FlightRecorder`]).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for Obs {
@@ -78,7 +91,34 @@ impl Obs {
             in_doubt: Histogram::new(),
             in_doubt_entered: AtomicU64::new(0),
             in_doubt_resolved: AtomicU64::new(0),
+            timeline: None,
+            flight: None,
         }
+    }
+
+    /// Attach a windowed timeline: [`Obs::record_at`] / [`Obs::record_span`]
+    /// and the in-doubt transitions will feed it alongside the cumulative
+    /// histograms. Builder-style, called before the `Obs` is shared.
+    pub fn with_timeline(mut self, timeline: Arc<Timeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Attach a flight recorder: in-doubt transitions auto-record, and
+    /// hosts reach it via [`Obs::flight`] for decision/force/health events.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&Arc<Timeline>> {
+        self.timeline.as_ref()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Enable or disable span capture. Histograms are unaffected.
@@ -92,14 +132,30 @@ impl Obs {
     }
 
     /// Record a completed phase duration (microseconds) into its histogram.
+    ///
+    /// Cumulative only — prefer [`Obs::record_at`] when a clock reading is
+    /// available so the timeline window sees the sample too.
     pub fn record(&self, phase: Phase, micros: u64) {
         self.phases[phase as usize].record(micros);
     }
 
+    /// Record a phase duration into both the cumulative histogram and the
+    /// timeline window containing `now` (if a timeline is attached).
+    pub fn record_at(&self, phase: Phase, micros: u64, now: SimTime) {
+        self.record(phase, micros);
+        if let Some(t) = &self.timeline {
+            t.record_phase(phase, micros, now);
+        }
+    }
+
     /// Record a phase duration and, if tracing, capture the span itself.
+    /// The span's end time places it on the timeline.
     pub fn record_span(&self, span: Span) {
         let micros = span.end.since(span.start).as_micros();
         self.record(span.phase, micros);
+        if let Some(t) = &self.timeline {
+            t.record_phase(span.phase, micros, span.end);
+        }
         if self.tracing() {
             let mut buf = self.spans.lock().expect("span buffer poisoned");
             if buf.len() < SPAN_BUFFER_CAP {
@@ -120,10 +176,28 @@ impl Obs {
     /// window keeps the original entry time, so recovery replaying a
     /// Prepared record cannot shrink a window that survived a crash.
     pub fn in_doubt_enter(&self, txn: TxnId, at: SimTime) {
-        let mut open = self.in_doubt_open.lock().expect("in-doubt map poisoned");
-        if let std::collections::hash_map::Entry::Vacant(v) = open.entry(txn) {
-            v.insert(at);
-            self.in_doubt_entered.fetch_add(1, Ordering::Relaxed);
+        let entered = {
+            let mut open = self.in_doubt_open.lock().expect("in-doubt map poisoned");
+            if let std::collections::hash_map::Entry::Vacant(v) = open.entry(txn) {
+                v.insert(at);
+                self.in_doubt_entered.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        };
+        if entered {
+            if let Some(t) = &self.timeline {
+                t.inc(TimelineCounter::InDoubtEntered, 1, at);
+            }
+            if let Some(f) = &self.flight {
+                f.record(
+                    FlightKind::InDoubtEnter,
+                    at,
+                    Some(txn),
+                    "prepared, undecided",
+                );
+            }
         }
     }
 
@@ -137,7 +211,19 @@ impl Obs {
         };
         if let Some(start) = entered {
             self.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
-            self.in_doubt.record(micros_between(start, at));
+            let window = micros_between(start, at);
+            self.in_doubt.record(window);
+            if let Some(t) = &self.timeline {
+                t.inc(TimelineCounter::InDoubtResolved, 1, at);
+            }
+            if let Some(f) = &self.flight {
+                f.record(
+                    FlightKind::InDoubtResolve,
+                    at,
+                    Some(txn),
+                    format!("window {window}us"),
+                );
+            }
         }
     }
 

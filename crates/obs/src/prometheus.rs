@@ -32,10 +32,19 @@ pub struct NodeExport {
     /// Gauge samples: `(metric_name, help, value)` — instantaneous
     /// state (e.g. `tpc_wal_degraded`), rendered with `# TYPE ... gauge`.
     pub gauges: Vec<(&'static str, &'static str, f64)>,
+    /// Labeled counter samples: `(metric_name, help, extra_labels,
+    /// value)` where `extra_labels` is rendered inside the braces after
+    /// the `node` label, e.g. `stripe="3"`. The host owns cardinality
+    /// control (see the runtime's per-stripe lock export, which caps
+    /// stripes and aggregates the tail into `stripe="other"`).
+    pub labeled: Vec<(&'static str, &'static str, String, u64)>,
 }
 
 /// One counter family during grouping: help text plus per-node samples.
 type Family = (&'static str, Vec<(NodeId, u64)>);
+
+/// One labeled family during grouping: help plus (node, labels, value).
+type LabeledFamily = (&'static str, Vec<(NodeId, String, u64)>);
 
 /// One gauge family during grouping: help text plus per-node samples.
 type GaugeFamily = (&'static str, Vec<(NodeId, f64)>);
@@ -85,6 +94,25 @@ pub fn render_prometheus(exports: &[NodeExport]) -> String {
         let _ = writeln!(out, "# TYPE {name} counter");
         for (node, value) in samples {
             let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", node.0);
+        }
+    }
+
+    // Labeled counter families (extra label pairs beyond `node`).
+    let mut labeled_families: BTreeMap<&'static str, LabeledFamily> = BTreeMap::new();
+    for e in exports {
+        for (name, help, labels, value) in &e.labeled {
+            labeled_families
+                .entry(name)
+                .or_insert_with(|| (help, Vec::new()))
+                .1
+                .push((e.node, labels.clone(), *value));
+        }
+    }
+    for (name, (help, samples)) in &labeled_families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (node, labels, value) in samples {
+            let _ = writeln!(out, "{name}{{node=\"{}\",{labels}}} {value}", node.0);
         }
     }
 
@@ -215,12 +243,14 @@ mod tests {
                     ("tpc_forced_writes_total", "Forced log writes", 3),
                 ],
                 gauges: vec![("tpc_wal_degraded", "Degraded to read-only", 0.0)],
+                labeled: vec![],
             },
             NodeExport {
                 node: NodeId(1),
                 obs: Obs::new().snapshot(),
                 counters: vec![("tpc_flows_sent_total", "Protocol flows sent", 2)],
                 gauges: vec![("tpc_wal_degraded", "Degraded to read-only", 1.0)],
+                labeled: vec![],
             },
         ]
     }
@@ -271,6 +301,7 @@ mod tests {
             obs: obs.snapshot_at(SimTime(4_000_000)),
             counters: vec![],
             gauges: vec![],
+            labeled: vec![],
         }]);
         assert!(text.contains("# TYPE tpc_in_doubt_seconds histogram"));
         assert!(text.contains("tpc_in_doubt_seconds_count{node=\"1\"} 1"));
@@ -307,6 +338,7 @@ mod tests {
             obs: obs.snapshot(),
             counters: vec![],
             gauges: vec![],
+            labeled: vec![],
         }]);
         assert!(text.contains("tpc_spans_dropped_total{node=\"0\"} 3"));
     }

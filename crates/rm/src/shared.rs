@@ -139,6 +139,18 @@ impl SharedRm {
         self.locks.stats()
     }
 
+    /// Lock statistics per stripe (contention telemetry; stripe-index
+    /// order).
+    pub fn per_stripe_lock_stats(&self) -> Vec<LockStats> {
+        self.locks.per_stripe_stats()
+    }
+
+    /// Transactions parked in lock wait queues right now, summed over
+    /// stripes — the node's waits-for depth gauge.
+    pub fn lock_waiter_depth(&self) -> usize {
+        self.locks.per_stripe_waiters().iter().sum()
+    }
+
     /// Keys with lock activity — zero when everything has released.
     pub fn locked_keys(&self) -> usize {
         self.locks.active_keys()

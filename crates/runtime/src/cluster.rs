@@ -594,15 +594,17 @@ impl LiveCluster {
             .collect()
     }
 
-    /// Serves the cluster-wide Prometheus exposition over HTTP at `addr`
+    /// Serves the cluster observability endpoints over HTTP at `addr`
     /// (use `"127.0.0.1:0"` for an ephemeral port; the bound address is
-    /// on the returned server). Each scrape collects fresh summaries
-    /// from every node that answers within a bounded wait, so a killed
-    /// node degrades the scrape instead of hanging it.
+    /// on the returned server): `/metrics`, `/healthz` (503 once any
+    /// node's WAL degrades), the windowed `/timeline` JSON and the
+    /// `/debug/flight` recorder dump. Each request collects fresh
+    /// summaries from every node that answers within a bounded wait, so
+    /// a killed node degrades the response instead of hanging it.
     pub fn serve_metrics(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
         let senders = self.senders.clone();
         let timeout = self.reply_timeout.min(Duration::from_secs(2));
-        crate::http::MetricsServer::serve(addr, move || {
+        crate::http::MetricsServer::serve_routes(addr, move |path| {
             let summaries: Vec<NodeSummary> = senders
                 .iter()
                 .enumerate()
@@ -620,7 +622,7 @@ impl LiveCluster {
                     merged
                 })
                 .collect();
-            crate::obs_export::prometheus_text(&summaries)
+            crate::obs_export::route(&summaries, path)
         })
     }
 

@@ -262,6 +262,10 @@ impl<T: Transport> Transport for FaultyWire<T> {
     fn health(&self) -> TransportHealth {
         self.inner.health()
     }
+
+    fn backlog(&self) -> u64 {
+        self.inner.backlog()
+    }
 }
 
 #[cfg(test)]

@@ -1,19 +1,19 @@
-//! A minimal HTTP/1.1 metrics endpoint over `std::net::TcpListener` —
-//! no dependencies, enough protocol for `curl` and a Prometheus scraper.
+//! A minimal HTTP/1.1 observability endpoint over
+//! `std::net::TcpListener` — no dependencies, enough protocol for `curl`
+//! and a Prometheus scraper.
 //!
 //! The server owns one acceptor thread and handles each connection
 //! inline (scrapes are rare and cheap; there is nothing to pipeline).
-//! Routes:
+//! Routing is the caller's: [`MetricsServer::serve_routes`] takes a
+//! `path -> HttpResponse` closure, which the clusters use to expose
+//! `/metrics`, `/healthz` (503 when any node's WAL degraded), the
+//! windowed `/timeline` JSON and the `/debug/flight` recorder dump. The
+//! simpler [`MetricsServer::serve`] keeps the classic shape: one render
+//! callback at `/metrics` plus an always-ok `/healthz`.
 //!
-//! | path       | response                                             |
-//! |------------|------------------------------------------------------|
-//! | `/metrics` | the render callback's text, `text/plain; version=0.0.4` |
-//! | `/healthz` | `ok`                                                 |
-//! | anything else | `404 Not Found`                                   |
-//!
-//! The render callback runs on the acceptor thread per scrape, so it may
-//! block briefly (e.g. collecting node summaries over channels) but must
-//! not deadlock against the caller. [`MetricsServer::stop`] (also run on
+//! The callback runs on the acceptor thread per request, so it may block
+//! briefly (e.g. collecting node summaries over channels) but must not
+//! deadlock against the caller. [`MetricsServer::stop`] (also run on
 //! drop) flips a flag and unblocks the acceptor with a self-connect.
 
 use std::io::{BufRead, BufReader, Write};
@@ -22,6 +22,64 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// One HTTP response from a route handler: status, content type, body.
+pub struct HttpResponse {
+    /// Status code with reason, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: "200 OK",
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: "200 OK",
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` Prometheus text-exposition response.
+    pub fn metrics(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `503 Service Unavailable` plain-text response (the degraded
+    /// `/healthz` verdict).
+    pub fn unavailable(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: "503 Service Unavailable",
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// The `404 Not Found` response.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: "404 Not Found",
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".into(),
+        }
+    }
+}
 
 /// A running metrics endpoint; dropping it stops the acceptor thread.
 pub struct MetricsServer {
@@ -32,10 +90,25 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `render()`'s output at `/metrics` until stopped.
+    /// `render()`'s output at `/metrics` (plus an always-ok `/healthz`)
+    /// until stopped.
     pub fn serve<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
     where
         F: Fn() -> String + Send + 'static,
+    {
+        Self::serve_routes(addr, move |path| match path {
+            "/metrics" => HttpResponse::metrics(render()),
+            "/healthz" => HttpResponse::text("ok\n"),
+            _ => HttpResponse::not_found(),
+        })
+    }
+
+    /// Binds `addr` and routes every `GET` through `route(path)` until
+    /// stopped. Non-GET methods are answered `405` without invoking the
+    /// router.
+    pub fn serve_routes<F>(addr: &str, route: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn(&str) -> HttpResponse + Send + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -52,7 +125,7 @@ impl MetricsServer {
                     // One request per connection; ignore per-connection
                     // errors (a scraper that hangs up mid-request is not
                     // our problem).
-                    let _ = handle_conn(stream, &render);
+                    let _ = handle_conn(stream, &route);
                 }
             })?;
         Ok(MetricsServer {
@@ -87,7 +160,7 @@ impl Drop for MetricsServer {
     }
 }
 
-fn handle_conn<F: Fn() -> String>(stream: TcpStream, render: &F) -> std::io::Result<()> {
+fn handle_conn<F: Fn(&str) -> HttpResponse>(stream: TcpStream, route: &F) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
@@ -102,29 +175,23 @@ fn handle_conn<F: Fn() -> String>(stream: TcpStream, render: &F) -> std::io::Res
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            render(),
-        ),
-        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        ("GET", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
-        _ => (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        ),
+    let resp = if method == "GET" {
+        route(path)
+    } else {
+        HttpResponse {
+            status: "405 Method Not Allowed",
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".into(),
+        }
     };
     let mut out = stream;
     write!(
         out,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.status,
+        resp.content_type,
+        resp.body.len(),
+        resp.body,
     )?;
     out.flush()
 }

@@ -27,7 +27,11 @@ use tpc_core::{
     LocalDisposition, LocalVote, LogControl, LogHost, NodeProtocolState, OwedAck, PrepareControl,
     ProtocolMsg, RecoveryStats, RmHost, Stage, Timeouts, TimerHost, TimerKind, Wire,
 };
-use tpc_obs::{Obs, ObsSnapshot, Phase};
+use tpc_locks::LockStats;
+use tpc_obs::{
+    FlightEvent, FlightKind, FlightRecorder, Obs, ObsSnapshot, Phase, Timeline, TimelineCounter,
+    TimelineGauge, TimelineSnapshot, FLIGHT_CAP,
+};
 use tpc_rm::{Access, RmConfig, SharedRm};
 use tpc_wal::file::{FileLog, TailState};
 use tpc_wal::{
@@ -213,6 +217,14 @@ pub trait Transport: Send + 'static {
     fn health(&self) -> TransportHealth {
         TransportHealth::default()
     }
+
+    /// Frames enqueued to sender threads but not yet handed to the
+    /// kernel — the outbound backlog the timeline samples as a
+    /// saturation gauge. In-process transports deliver synchronously and
+    /// keep the zero default.
+    fn backlog(&self) -> u64 {
+        0
+    }
 }
 
 impl Transport for Box<dyn Transport> {
@@ -234,6 +246,10 @@ impl Transport for Box<dyn Transport> {
 
     fn health(&self) -> TransportHealth {
         (**self).health()
+    }
+
+    fn backlog(&self) -> u64 {
+        (**self).backlog()
     }
 }
 
@@ -674,6 +690,20 @@ pub struct NodeSummary {
     /// Per-phase latency histograms and (if tracing) spans; `None` when
     /// the node ran without observability.
     pub obs: Option<ObsSnapshot>,
+    /// Windowed time-series snapshot (per-interval counters, queue-depth
+    /// gauges, per-window latency histograms); `None` without
+    /// observability.
+    pub timeline: Option<TimelineSnapshot>,
+    /// Flight-recorder contents at snapshot time: the last bounded ring
+    /// of structured events (decisions, forces, in-doubt transitions,
+    /// WAL-health changes, rejections). Empty without observability.
+    pub flight: Vec<FlightEvent>,
+    /// Per-stripe lock-manager statistics (waits, wait time, deadlocks),
+    /// indexed by stripe.
+    pub lock_stripes: Vec<LockStats>,
+    /// Transactions currently parked in lock wait queues across all
+    /// stripes (an instantaneous contention gauge).
+    pub lock_waiters: u64,
     /// Restart-recovery telemetry; `None` when the node booted fresh.
     pub recovery: Option<RecoveryStats>,
     /// WAL-health counters: log I/O errors, fsync retries, degraded
@@ -714,6 +744,19 @@ impl NodeSummary {
         self.group.merge(&other.group);
         if self.obs.is_none() {
             self.obs = other.obs;
+        }
+        // Timeline, flight recorder and the lock manager are node-level
+        // structures shared by every lane, so the first lane's snapshot
+        // already IS the node total.
+        if self.timeline.is_none() {
+            self.timeline = other.timeline;
+        }
+        if self.flight.is_empty() {
+            self.flight = other.flight;
+        }
+        if self.lock_stripes.is_empty() {
+            self.lock_stripes = other.lock_stripes;
+            self.lock_waiters = other.lock_waiters;
         }
         match (&mut self.recovery, other.recovery) {
             (Some(mine), Some(theirs)) => mine.merge(&theirs),
@@ -894,8 +937,9 @@ impl<T: Transport> LiveHost<T> {
         }
         let start = Instant::now();
         let out = f(self);
+        let now = self.now();
         if let Some(obs) = self.obs.as_ref() {
-            obs.record(phase, start.elapsed().as_micros() as u64);
+            obs.record_at(phase, start.elapsed().as_micros() as u64, now);
         }
         out
     }
@@ -903,10 +947,27 @@ impl<T: Transport> LiveHost<T> {
     /// Charges the lifetime of the just-flushed group batch (first
     /// buffered force → physical flush) to the GroupFlush histogram.
     fn note_group_flush(&mut self) {
+        let now = self.now();
         if let (Some(obs), Some(opened)) = (self.obs.as_ref(), self.group_opened_at.take()) {
-            obs.record(Phase::GroupFlush, opened.elapsed().as_micros() as u64);
+            obs.record_at(Phase::GroupFlush, opened.elapsed().as_micros() as u64, now);
         }
         self.group_opened_at = None;
+    }
+
+    /// Bumps a windowed timeline counter at the node's clock; a no-op
+    /// without observability.
+    fn tl_inc(&self, counter: TimelineCounter, delta: u64) {
+        if let Some(t) = self.obs.as_ref().and_then(|o| o.timeline()) {
+            t.inc(counter, delta, self.now());
+        }
+    }
+
+    /// Records a structured flight-recorder event at the node's clock; a
+    /// no-op without observability.
+    fn flight(&self, kind: FlightKind, txn: Option<TxnId>, detail: impl Into<String>) {
+        if let Some(f) = self.obs.as_ref().and_then(|o| o.flight()) {
+            f.record(kind, self.now(), txn, detail);
+        }
     }
 
     /// One physical group-batch flush: timed into the Fsync histogram,
@@ -938,8 +999,18 @@ impl<T: Transport> LiveHost<T> {
         self.note_group_flush();
         if res.is_err() {
             self.health.give_up(self.io_policy);
+            self.tl_inc(TimelineCounter::IoErrors, 1);
+            self.flight(
+                FlightKind::WalHealth,
+                None,
+                format!(
+                    "group flush failed after {MAX_FSYNC_RETRIES} retries; {:?} applied",
+                    self.io_policy
+                ),
+            );
             return false;
         }
+        self.tl_inc(TimelineCounter::GroupFlushes, 1);
         true
     }
 
@@ -989,6 +1060,15 @@ impl<T: Transport> LiveHost<T> {
         }
         self.health.give_up(self.io_policy);
         self.poison_next_suspend = true;
+        self.tl_inc(TimelineCounter::IoErrors, 1);
+        self.flight(
+            FlightKind::WalHealth,
+            None,
+            format!(
+                "forced append lost (written={written}); {:?} applied",
+                self.io_policy
+            ),
+        );
         LogControl::Suspend
     }
 
@@ -999,6 +1079,12 @@ impl<T: Transport> LiveHost<T> {
     fn note_io_failure(&mut self) {
         self.health.note_error();
         self.health.give_up(self.io_policy);
+        self.tl_inc(TimelineCounter::IoErrors, 1);
+        self.flight(
+            FlightKind::WalHealth,
+            None,
+            format!("log write refused; {:?} applied", self.io_policy),
+        );
     }
 }
 
@@ -1190,6 +1276,7 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 // failure): no retry can land it.
                 return self.forced_append_failed(false);
             }
+            self.tl_inc(TimelineCounter::Forces, 1);
             let ticket = self.next_ticket;
             self.next_ticket += 1;
             let now = self.now();
@@ -1228,7 +1315,10 @@ impl<T: Transport> LogHost for LiveHost<T> {
                 h.log.as_mut().append(StreamId::Tm, record, durability)
             });
             match res {
-                Ok(_) => LogControl::Done,
+                Ok(_) => {
+                    self.tl_inc(TimelineCounter::Forces, 1);
+                    LogControl::Done
+                }
                 Err(_) => {
                     // Distinguish "frame buffered, sync failed" (retry
                     // may save it) from "append itself refused".
@@ -1282,6 +1372,12 @@ impl<T: Transport> RmHost for LiveHost<T> {
             // prepared state, so it votes No — an explicit, counted
             // rejection, never a silent wrong answer.
             self.health.note_rejected();
+            self.tl_inc(TimelineCounter::Rejected, 1);
+            self.flight(
+                FlightKind::Rejection,
+                Some(txn),
+                "degraded: prepare votes no",
+            );
             return PrepareControl::Vote(LocalVote::no());
         }
         if self.pending_ops.contains_key(&txn) && !self.deadlocked.contains(&txn) {
@@ -1358,6 +1454,26 @@ impl<T: Transport> AppSink for LiveHost<T> {
         report: DamageReport,
         pending: bool,
     ) {
+        let name = match outcome {
+            Outcome::Commit => "commit",
+            Outcome::Abort => "abort",
+        };
+        self.tl_inc(
+            match outcome {
+                Outcome::Commit => TimelineCounter::Committed,
+                Outcome::Abort => TimelineCounter::Aborted,
+            },
+            1,
+        );
+        self.flight(
+            FlightKind::Decision,
+            Some(txn),
+            if pending {
+                format!("{name} (pending)")
+            } else {
+                name.to_string()
+            },
+        );
         if let Some(reply) = self.waiting.remove(&txn) {
             let _ = reply.send(CommitResult {
                 outcome,
@@ -1389,6 +1505,9 @@ pub struct NodeWorker<T: Transport> {
     /// Next wall-clock instant the lane-0 lock-wait sweep may run
     /// (throttle: the sweep visits every stripe).
     next_lock_sweep: Instant,
+    /// Next wall-clock instant the queue-depth gauges sample into the
+    /// timeline (throttled: sampling visits shared structures).
+    next_gauge_sample: Instant,
     /// Cluster-wide progress signal: bumped whenever this worker makes
     /// observable progress, so cluster waiters (`read_eventually`,
     /// `quiesce`, `await_death`) block on a condvar instead of polling.
@@ -1442,10 +1561,24 @@ pub(crate) fn make_obs(cfg: &LiveNodeConfig) -> Option<Arc<Obs>> {
     if !cfg.observe && !cfg.trace {
         return None;
     }
-    let obs = Arc::new(Obs::new());
+    let obs = Arc::new(
+        Obs::new()
+            .with_timeline(Arc::new(Timeline::new(
+                LIVE_TIMELINE_WINDOW_US,
+                LIVE_TIMELINE_WINDOWS,
+            )))
+            .with_flight(Arc::new(FlightRecorder::new(FLIGHT_CAP))),
+    );
     obs.set_tracing(cfg.trace);
     Some(obs)
 }
+
+/// Live timeline geometry: 250 ms windows × 64 slots ≈ 16 s of history —
+/// wide enough to cover a benchmark cell, narrow enough that a window
+/// shows queueing transients instead of averaging them away.
+const LIVE_TIMELINE_WINDOW_US: u64 = 250_000;
+/// Ring length of the live timeline.
+const LIVE_TIMELINE_WINDOWS: usize = 64;
 
 pub(crate) fn tm_log_path(dir: &std::path::Path, node: NodeId) -> std::path::PathBuf {
     dir.join(format!("node-{}.log", node.0))
@@ -1827,6 +1960,7 @@ impl<T: Transport> NodeWorker<T> {
             ack_deadline: None,
             lock_wait_timeout: cfg.lock_wait_timeout,
             next_lock_sweep: Instant::now() + Duration::from_millis(100),
+            next_gauge_sample: Instant::now(),
             signal,
         }
     }
@@ -1952,6 +2086,7 @@ impl<T: Transport> NodeWorker<T> {
             ack_deadline: None,
             lock_wait_timeout: cfg.lock_wait_timeout,
             next_lock_sweep: Instant::now() + Duration::from_millis(100),
+            next_gauge_sample: Instant::now(),
             signal,
         };
         let now = worker.host.now();
@@ -2025,6 +2160,7 @@ impl<T: Transport> NodeWorker<T> {
             progressed |= self.expire_lock_waits_if_due();
             self.park_owed_acks();
             self.flush_acks_if_idle();
+            self.sample_gauges();
             if self.host.health.wants_fail_stop() {
                 // The log device is gone and the policy says fail-stop:
                 // crash now (all lanes see the shared flag within one
@@ -2034,6 +2170,44 @@ impl<T: Transport> NodeWorker<T> {
             if progressed {
                 self.signal.bump();
             }
+        }
+    }
+
+    /// Samples queue-depth gauges into the windowed timeline (throttled
+    /// to at most once per 5 ms): this lane's inbox, the group-commit
+    /// batch occupancy and force-queue depth, the transport's outbound
+    /// backlog, and — from lane 0, which owns the cross-stripe sweeps —
+    /// the lock-wait depth across every stripe.
+    fn sample_gauges(&mut self) {
+        let Some(tl) = self.host.obs.as_ref().and_then(|o| o.timeline()).cloned() else {
+            return;
+        };
+        let wall = Instant::now();
+        if wall < self.next_gauge_sample {
+            return;
+        }
+        self.next_gauge_sample = wall + Duration::from_millis(5);
+        let now = self.host.now();
+        tl.gauge(TimelineGauge::LaneInbox, self.rx.len() as u64, now);
+        tl.gauge(
+            TimelineGauge::ForceQueue,
+            self.host.log.pending_forces(),
+            now,
+        );
+        if let Some(g) = self.host.group.as_ref() {
+            tl.gauge(TimelineGauge::GroupBatch, g.pending_len() as u64, now);
+        }
+        tl.gauge(
+            TimelineGauge::SendBacklog,
+            self.host.transport.backlog(),
+            now,
+        );
+        if self.host.lane == 0 {
+            tl.gauge(
+                TimelineGauge::LockWaiters,
+                self.host.rm.lock_waiter_depth() as u64,
+                now,
+            );
         }
     }
 
@@ -2246,6 +2420,21 @@ impl<T: Transport> NodeWorker<T> {
                 .obs
                 .as_ref()
                 .map(|o| o.snapshot_at(self.host.now())),
+            timeline: self
+                .host
+                .obs
+                .as_ref()
+                .and_then(|o| o.timeline())
+                .map(|t| t.snapshot(self.host.now())),
+            flight: self
+                .host
+                .obs
+                .as_ref()
+                .and_then(|o| o.flight())
+                .map(|f| f.dump())
+                .unwrap_or_default(),
+            lock_stripes: self.host.rm.per_stripe_lock_stats(),
+            lock_waiters: self.host.rm.lock_waiter_depth() as u64,
             recovery: self.driver.recovery_stats(),
             wal: self.host.health.snapshot(),
             transport: self.host.transport.counters(),
@@ -2338,6 +2527,9 @@ impl<T: Transport> NodeWorker<T> {
                     // The application gets an explicit abort, counted as
                     // a rejection — not a hang, not a lie.
                     self.host.health.note_rejected();
+                    self.host.tl_inc(TimelineCounter::Rejected, 1);
+                    self.host
+                        .flight(FlightKind::Rejection, Some(txn), "degraded: commit refused");
                     self.drive(Event::AbortRequested { txn });
                 } else {
                     self.drive(Event::CommitRequested { txn });

@@ -1,11 +1,52 @@
 //! Cluster-level observability export: turns a set of [`NodeSummary`]s
-//! into the Prometheus text exposition or a chrome-trace JSON, shared by
-//! the channel and TCP clusters.
+//! into the Prometheus text exposition, the windowed `/timeline` JSON,
+//! the `/debug/flight` recorder dump, the `/healthz` verdict, or a
+//! chrome-trace JSON — shared by the channel and TCP clusters.
+
+use std::fmt::Write as _;
 
 use tpc_common::TxnId;
-use tpc_obs::{render_chrome_trace, render_prometheus, NodeExport, ObsSnapshot, Span};
+use tpc_locks::LockStats;
+use tpc_obs::{
+    render_chrome_trace, render_flight_json, render_prometheus, render_timeline_json, NodeExport,
+    ObsSnapshot, Span,
+};
 
+use crate::http::HttpResponse;
 use crate::node::NodeSummary;
+
+/// Cap on per-stripe label cardinality in the Prometheus exposition:
+/// the first `MAX_STRIPE_LABELS` stripes are exported individually, the
+/// rest aggregate into one `stripe="other"` sample — a node striped 128
+/// ways must not mint 128 label values per metric per node.
+pub const MAX_STRIPE_LABELS: usize = 16;
+
+/// Rolls a node's per-stripe lock statistics into at most
+/// `MAX_STRIPE_LABELS + 1` labelled rows.
+fn stripe_rows(stripes: &[LockStats]) -> Vec<(String, LockStats)> {
+    let mut rows: Vec<(String, LockStats)> = stripes
+        .iter()
+        .take(MAX_STRIPE_LABELS)
+        .enumerate()
+        .map(|(i, s)| (format!("stripe=\"{i}\""), *s))
+        .collect();
+    if stripes.len() > MAX_STRIPE_LABELS {
+        let mut other = LockStats::default();
+        for s in &stripes[MAX_STRIPE_LABELS..] {
+            other.requests += s.requests;
+            other.immediate_grants += s.immediate_grants;
+            other.waits += s.waits;
+            other.deadlocks += s.deadlocks;
+            other.timeouts += s.timeouts;
+            other.releases += s.releases;
+            other.total_hold_micros += s.total_hold_micros;
+            other.max_hold_micros = other.max_hold_micros.max(s.max_hold_micros);
+            other.total_wait_micros += s.total_wait_micros;
+        }
+        rows.push(("stripe=\"other\"".to_string(), other));
+    }
+    rows
+}
 
 /// Builds the Prometheus exposition for a set of node summaries: driver
 /// and WAL counters for every node, plus per-phase latency histograms for
@@ -201,16 +242,116 @@ pub fn prometheus_text(summaries: &[NodeSummary]) -> String {
                     "Most wire buffers ever checked out at once on this node",
                     s.pool.outstanding_high_water as f64,
                 ),
+                (
+                    "tpc_lock_waiters",
+                    "Transactions currently parked in lock wait queues (all stripes)",
+                    s.lock_waiters as f64,
+                ),
             ];
+            let mut labeled = Vec::new();
+            for (labels, ls) in stripe_rows(&s.lock_stripes) {
+                labeled.push((
+                    "tpc_lock_waits_total",
+                    "Lock requests that had to queue, by stripe (capped cardinality)",
+                    labels.clone(),
+                    ls.waits,
+                ));
+                labeled.push((
+                    "tpc_lock_wait_us_total",
+                    "Microseconds waiters queued before their grant, by stripe",
+                    labels.clone(),
+                    ls.total_wait_micros,
+                ));
+                labeled.push((
+                    "tpc_lock_deadlocks_total",
+                    "Lock requests refused as deadlock victims, by stripe",
+                    labels,
+                    ls.deadlocks,
+                ));
+            }
             NodeExport {
                 node: s.node,
                 obs: s.obs.clone().unwrap_or_default(),
                 counters,
                 gauges,
+                labeled,
             }
         })
         .collect();
     render_prometheus(&exports)
+}
+
+/// Builds the `/timeline` JSON: every node's windowed time series, in
+/// node order, `"timeline": null` for nodes that ran without
+/// observability. Deterministic for identical snapshots — integer
+/// values, fixed key order.
+pub fn timeline_json(summaries: &[NodeSummary]) -> String {
+    let mut out = String::from("{\"nodes\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"node\":\"{}\",\"timeline\":", s.node);
+        match &s.timeline {
+            Some(t) => out.push_str(&render_timeline_json(t)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Builds the `/debug/flight` JSON: every node's flight-recorder ring,
+/// oldest event first.
+pub fn flight_json(summaries: &[NodeSummary]) -> String {
+    let mut out = String::from("{\"nodes\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"node\":\"{}\",\"events\":{}}}",
+            s.node,
+            render_flight_json(&s.flight)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/healthz` verdict: `200 ok` while every node's WAL is healthy,
+/// `503` with a body listing the degraded / fail-stopped nodes once any
+/// node gave up on log durability — so a probe (or a load balancer)
+/// sees a dying disk before the first lost transaction.
+pub fn healthz(summaries: &[NodeSummary]) -> HttpResponse {
+    let mut sick = Vec::new();
+    for s in summaries {
+        if s.wal.fail_stopped {
+            sick.push(format!("{} fail-stopped", s.node));
+        } else if s.wal.degraded {
+            sick.push(format!("{} degraded (read-only)", s.node));
+        }
+    }
+    if sick.is_empty() {
+        HttpResponse::text("ok\n")
+    } else {
+        HttpResponse::unavailable(format!("unhealthy: {}\n", sick.join(", ")))
+    }
+}
+
+/// The shared observability router both clusters mount on their
+/// [`MetricsServer`](crate::http::MetricsServer): `/metrics`,
+/// `/healthz`, `/timeline`, `/debug/flight`.
+pub fn route(summaries: &[NodeSummary], path: &str) -> HttpResponse {
+    match path {
+        "/metrics" => HttpResponse::metrics(prometheus_text(summaries)),
+        "/healthz" => healthz(summaries),
+        "/timeline" => HttpResponse::json(timeline_json(summaries)),
+        "/debug/flight" => HttpResponse::json(flight_json(summaries)),
+        _ => HttpResponse::not_found(),
+    }
 }
 
 /// Builds a chrome-trace JSON for one transaction from every node's

@@ -116,6 +116,10 @@ pub struct TcpSendStats {
     /// Successful re-connects after a previously-established connection
     /// was lost.
     pub reconnects: AtomicU64,
+    /// Frames enqueued to sender threads and not yet written or dropped
+    /// — the outbound backlog gauge. Grows when a peer link (or the
+    /// kernel) is slower than the protocol produces frames.
+    pub queued: AtomicU64,
 }
 
 /// Asynchronous TCP sender: frames are queued to one sender thread per
@@ -186,7 +190,9 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&mut self, to: NodeId, bytes: PooledBuf) {
         if let Some(tx) = self.peer_queue(to) {
-            let _ = tx.send(bytes);
+            if tx.send(bytes).is_ok() {
+                self.stats.queued.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -220,6 +226,10 @@ impl Transport for TcpTransport {
                 self.stats.dropped.load(Ordering::Relaxed),
             ),
         ]
+    }
+
+    fn backlog(&self) -> u64 {
+        self.stats.queued.load(Ordering::Relaxed)
     }
 }
 
@@ -278,6 +288,10 @@ fn peer_sender(
                 Err(_) => break,
             }
         }
+        // Dequeued (written or dropped below, either way no longer
+        // queued): the backlog gauge shrinks as soon as the batch forms.
+        let dec = frames.min(stats.queued.load(Ordering::Relaxed));
+        stats.queued.fetch_sub(dec, Ordering::Relaxed);
         let mut attempt = 0;
         loop {
             if conn.is_none() {
@@ -645,15 +659,18 @@ impl TcpCluster {
             .collect()
     }
 
-    /// Serves the cluster-wide Prometheus exposition over HTTP at `addr`
+    /// Serves the cluster observability endpoints over HTTP at `addr`
     /// (use `"127.0.0.1:0"` for an ephemeral port) — the TCP twin of
-    /// [`crate::LiveCluster::serve_metrics`]. Each scrape collects fresh
-    /// summaries from every node that answers within a bounded wait, so
-    /// a killed node degrades the scrape instead of hanging it.
+    /// [`crate::LiveCluster::serve_metrics`]: `/metrics`, `/healthz`
+    /// (503 once any node's WAL degrades), the windowed `/timeline`
+    /// JSON and the `/debug/flight` recorder dump. Each request
+    /// collects fresh summaries from every node that answers within a
+    /// bounded wait, so a killed node degrades the response instead of
+    /// hanging it.
     pub fn serve_metrics(&self, addr: &str) -> std::io::Result<crate::http::MetricsServer> {
         let senders = self.senders.clone();
         let timeout = self.reply_timeout.min(Duration::from_secs(2));
-        crate::http::MetricsServer::serve(addr, move || {
+        crate::http::MetricsServer::serve_routes(addr, move |path| {
             let summaries: Vec<NodeSummary> = senders
                 .iter()
                 .enumerate()
@@ -663,7 +680,7 @@ impl TcpCluster {
                     recv_reply(&rx, NodeId(i as u32), timeout).ok()
                 })
                 .collect();
-            crate::obs_export::prometheus_text(&summaries)
+            crate::obs_export::route(&summaries, path)
         })
     }
 

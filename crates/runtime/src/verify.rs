@@ -26,13 +26,44 @@ use crate::node::{tm_log_path, tm_seg_dir, CommitResult, NodeSummary};
 /// verifier does: violations are atomicity/reporting bugs, unresolved
 /// are transactions still blocked on a live node (legitimate under
 /// failures, fatal after the cluster should have quiesced).
+///
+/// When violations are found, every node's flight recorder is dumped to
+/// stderr — the last [`tpc_obs::FLIGHT_CAP`](tpc_obs) structured events
+/// (decisions, forces, in-doubt transitions, WAL health changes,
+/// rejections) per node, so a failing chaos run carries its own black
+/// box instead of asking for a rerun under logging.
 pub fn check(
     summaries: &[NodeSummary],
     outcomes: &[OutcomeRecord],
 ) -> (Vec<String>, Vec<(NodeId, TxnId)>) {
     let states: Vec<NodeProtocolState> =
         summaries.iter().map(|s| s.protocol_state.clone()).collect();
-    tpc_core::check::check(&states, outcomes)
+    let (violations, unresolved) = tpc_core::check::check(&states, outcomes);
+    if !violations.is_empty() {
+        if let Some(dump) = flight_dump(summaries) {
+            eprintln!("=== flight recorder (invariant violation) ===\n{dump}");
+        }
+    }
+    (violations, unresolved)
+}
+
+/// Renders every node's flight-recorder ring as human-readable text,
+/// oldest event first, or `None` if no node recorded any events (e.g.
+/// observability disabled). [`check`] prints this automatically on an
+/// invariant violation; chaos tests call it directly to assert the
+/// black box was populated.
+pub fn flight_dump(summaries: &[NodeSummary]) -> Option<String> {
+    let mut out = String::new();
+    let mut any = false;
+    for s in summaries {
+        if s.flight.is_empty() {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!("--- node {} ---\n", s.node));
+        out.push_str(&tpc_obs::render_flight_text(&s.flight));
+    }
+    any.then_some(out)
 }
 
 /// Builds the outcome record the checker wants from an application-side

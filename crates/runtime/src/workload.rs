@@ -10,12 +10,25 @@
 //! and the group-commit stress tests are built on it.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tpc_common::{Outcome, Result};
+use tpc_common::{Outcome, Result, SimTime};
+use tpc_obs::{Timeline, TimelineCounter, TimelineGauge, TimelineHist, TimelineSnapshot};
 
 use crate::cluster::CommitWait;
 use crate::node::CommitResult;
+
+/// Driver-side timeline geometry: 10 ms windows × 256 slots ≈ 2.56 s of
+/// history, clocked from the run's own start instant. Much narrower than
+/// the node-side windows because an open-loop bench cell can finish in
+/// tens of milliseconds and still deserves a curve. This is the
+/// *offered-load* timeline (per-window completions, end-to-end latency,
+/// admission-queue depth); node-side queueing appears on each node's own
+/// timeline.
+const DRIVER_TIMELINE_WINDOW_US: u64 = 10_000;
+/// Ring length of the driver-side timeline.
+const DRIVER_TIMELINE_WINDOWS: usize = 256;
 
 /// Shape of a closed-loop run.
 #[derive(Clone, Debug)]
@@ -273,6 +286,10 @@ pub struct OpenLoopReport {
     /// Latency distribution measured **from arrival** (not from issue),
     /// so queueing delay under load is visible in the percentiles.
     pub latency: LatencySummary,
+    /// Windowed time series of the run as the driver saw it: per-window
+    /// committed/aborted/rejected counts, end-to-end commit latency, and
+    /// admission-queue / in-flight gauges.
+    pub timeline: TimelineSnapshot,
 }
 
 impl OpenLoopReport {
@@ -349,6 +366,11 @@ where
     let tenants = spec.tenants.max(1);
 
     let start = Instant::now();
+    let timeline = Arc::new(Timeline::new(
+        DRIVER_TIMELINE_WINDOW_US,
+        DRIVER_TIMELINE_WINDOWS,
+    ));
+    let tl_now = |start: &Instant| SimTime(start.elapsed().as_micros() as u64);
     let mut issued = 0usize; // arrivals generated (admitted, queued or rejected)
     let mut queue: VecDeque<(Instant, usize)> = VecDeque::new();
     let mut in_flight: Vec<(CommitWait, Instant)> = Vec::new();
@@ -364,6 +386,7 @@ where
         while issued < spec.txns && start + interval.mul_f64(issued as f64) <= now {
             if queue.len() >= spec.queue_cap {
                 rejected += 1; // admission control: explicit rejection
+                timeline.inc(TimelineCounter::Rejected, 1, tl_now(&start));
             } else {
                 queue.push_back((now, issued));
             }
@@ -384,17 +407,28 @@ where
             in_flight.push((issue(&arrival), arrived_at));
         }
         max_in_flight_seen = max_in_flight_seen.max(in_flight.len());
+        // Per-iteration saturation gauges (the loop itself ticks at
+        // least every few hundred microseconds, so each window gets
+        // plenty of samples).
+        let t = tl_now(&start);
+        timeline.gauge(TimelineGauge::AdmitQueue, queue.len() as u64, t);
+        timeline.gauge(TimelineGauge::InFlight, in_flight.len() as u64, t);
         // 3. Reap completions (and expire deadline overruns).
         let mut i = 0;
         while i < in_flight.len() {
             let (wait, arrived_at) = &in_flight[i];
             match wait.poll() {
                 Ok(Some(r)) => {
-                    latencies.push(arrived_at.elapsed().as_micros() as u64);
+                    let micros = arrived_at.elapsed().as_micros() as u64;
+                    latencies.push(micros);
+                    let t = tl_now(&start);
+                    timeline.record(TimelineHist::Commit, micros, t);
                     if r.outcome == Outcome::Commit {
                         committed += 1;
+                        timeline.inc(TimelineCounter::Committed, 1, t);
                     } else {
                         aborted += 1;
+                        timeline.inc(TimelineCounter::Aborted, 1, t);
                     }
                     in_flight.swap_remove(i);
                 }
@@ -430,6 +464,7 @@ where
         }
     }
 
+    let final_now = tl_now(&start);
     OpenLoopReport {
         committed,
         aborted,
@@ -439,6 +474,7 @@ where
         max_in_flight_seen,
         elapsed: start.elapsed(),
         latency: LatencySummary::from_micros(latencies),
+        timeline: timeline.snapshot(final_now),
     }
 }
 

@@ -142,6 +142,23 @@ fn permanent_fsync_failure_degrades_to_read_only_with_counted_rejections() {
         "{prom}"
     );
 
+    // And a liveness probe sees the sick disk: /healthz flips to 503
+    // naming the degraded node while healthy paths keep answering 200.
+    let server = c.serve_metrics("127.0.0.1:0").expect("bind healthz");
+    let health = http_get(server.addr(), "/healthz");
+    assert!(
+        health.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "{health}"
+    );
+    assert!(health.contains("N1 degraded (read-only)"), "{health}");
+    assert!(
+        !health.contains("N0"),
+        "healthy nodes stay unlisted: {health}"
+    );
+    let metrics = http_get(server.addr(), "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    drop(server);
+
     c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -358,4 +375,53 @@ fn corruption_before_the_tail_is_distinguished_from_a_torn_tail() {
     );
     assert_eq!(rec.corruption_before_tail, 1, "{rec:?}");
     assert_eq!(rec.torn_tails, 0, "{rec:?}");
+}
+
+#[test]
+fn invariant_violation_dumps_the_flight_recorder() {
+    // The flight recorder is the black box: when the invariant checker
+    // fires, the dump must already hold the decision trail that led
+    // there. Run a healthy commit under observability, then inject a
+    // violation by falsifying the application's outcome record (the
+    // engines durably committed; the forged record claims abort). The
+    // checker must flag it, and the recorder dump must carry the real
+    // commit decision for the forged transaction.
+    let dir = temp_dir("flight");
+    let c = LiveCluster::start(vec![
+        healthy(&dir).with_observability(),
+        healthy(&dir).with_observability(),
+    ])
+    .with_reply_timeout(Duration::from_secs(20));
+
+    let t = c.begin(NodeId(0));
+    let txn = t.id();
+    t.work(NodeId(1), vec![Op::put("fr", "v")]);
+    let r = t.commit().expect("root alive");
+    assert_eq!(r.outcome, Outcome::Commit);
+    assert!(c.quiesce(Duration::from_secs(20)));
+
+    let summaries = c.shutdown();
+    let mut forged = verify::outcome_record(txn, NodeId(0), &r);
+    forged.outcome = Outcome::Abort; // the injected lie
+
+    let (violations, _) = verify::check(&summaries, &[forged]);
+    assert!(
+        !violations.is_empty(),
+        "the forged outcome must trip the checker"
+    );
+    let dump = verify::flight_dump(&summaries)
+        .expect("observability was on: the black box must not be empty");
+    assert!(dump.contains("decision"), "{dump}");
+    assert!(dump.contains(&format!("{txn:?}")), "{dump}");
+    assert!(dump.contains("commit"), "{dump}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect probe");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    resp
 }

@@ -21,7 +21,14 @@ use tpc_core::{
     Action, EngineConfig, Event, InDoubtDisposition, LocalDisposition, LocalVote, ProtocolMsg,
     Timeouts, TimerKind, TmEngine,
 };
-use tpc_obs::{Obs, ObsSnapshot, Phase};
+use tpc_obs::{Obs, ObsSnapshot, Phase, Timeline};
+
+/// Sim timeline geometry: 1 ms virtual windows × 256 slots. Sim scenarios
+/// finish in well under 256 ms of virtual time, so nothing is evicted and
+/// summing window deltas reproduces the cumulative histograms exactly.
+const SIM_TIMELINE_WINDOW_US: u64 = 1_000;
+/// Ring length of the sim timeline.
+const SIM_TIMELINE_WINDOWS: usize = 256;
 use tpc_rm::{Access, ResourceManager, RmConfig};
 use tpc_simnet::{LatencyModel, Network, Partition, Scheduler};
 use tpc_wal::{Durability, FlushDecision, GroupCommitter, LogManager, LogRecord, MemLog, StreamId};
@@ -392,10 +399,11 @@ impl SimHost<'_> {
         self.sched.schedule(at, ev);
     }
 
-    /// Records one physical flush at the virtual flush cost.
-    fn record_fsync(&self) {
+    /// Records one physical flush at the virtual flush cost, stamped at
+    /// virtual `now` so the timeline buckets it deterministically.
+    fn record_fsync(&self, now: SimTime) {
         if let Some(obs) = self.obs.as_ref() {
-            obs.record(Phase::Fsync, self.sim_cfg.force_latency.as_micros());
+            obs.record_at(Phase::Fsync, self.sim_cfg.force_latency.as_micros(), now);
         }
     }
 
@@ -403,7 +411,7 @@ impl SimHost<'_> {
     fn note_group_flush(&mut self, now: SimTime) {
         if let Some(opened) = self.state.group_opened_at.take() {
             if let Some(obs) = self.obs.as_ref() {
-                obs.record(Phase::GroupFlush, now.since(opened).as_micros());
+                obs.record_at(Phase::GroupFlush, now.since(opened).as_micros(), now);
             }
         }
     }
@@ -482,7 +490,7 @@ impl LogHost for SimHost<'_> {
                 FlushDecision::FlushNow(tickets) => {
                     self.state.log.note_physical_flush();
                     *now += force_latency;
-                    self.record_fsync();
+                    self.record_fsync(*now);
                     self.note_group_flush(*now);
                     let node = self.node;
                     for t in tickets {
@@ -509,7 +517,7 @@ impl LogHost for SimHost<'_> {
                 .expect("log append");
             if forced {
                 *now += force_latency;
-                self.record_fsync();
+                self.record_fsync(*now);
             }
             LogControl::Done
         }
@@ -739,7 +747,17 @@ impl Sim {
         };
         let mut driver = Driver::new(engine_cfg).expect("valid node config");
         if self.cfg.observe {
-            let obs = Arc::new(Obs::new());
+            // The timeline and flight recorder ride the virtual clock:
+            // every sample is stamped with a deterministic SimTime, so
+            // two identical runs produce byte-identical timelines.
+            let obs = Arc::new(
+                Obs::new()
+                    .with_timeline(Arc::new(Timeline::new(
+                        SIM_TIMELINE_WINDOW_US,
+                        SIM_TIMELINE_WINDOWS,
+                    )))
+                    .with_flight(Arc::new(tpc_obs::FlightRecorder::new(tpc_obs::FLIGHT_CAP))),
+            );
             obs.set_tracing(self.cfg.trace_spans);
             driver.set_obs(obs);
         }
@@ -862,6 +880,17 @@ impl Sim {
             .driver
             .obs()
             .map(|o| o.snapshot_at(now))
+    }
+
+    /// Snapshot of a node's windowed timeline on the virtual clock, when
+    /// the cluster ran with [`SimConfig::observed`]. Deterministic: two
+    /// identical runs yield identical snapshots.
+    pub fn timeline_snapshot(&self, node: NodeId) -> Option<tpc_obs::TimelineSnapshot> {
+        let now = self.sched.now();
+        self.nodes[node.index()]
+            .driver
+            .obs()
+            .and_then(|o| o.timeline().map(|t| t.snapshot(now)))
     }
 
     /// Read access to a node's first resource manager (real mode).
@@ -1336,9 +1365,13 @@ impl Sim {
             n.state.log.note_physical_flush();
             let resume_at = now + self.cfg.force_latency;
             if let Some(obs) = n.driver.obs() {
-                obs.record(Phase::Fsync, self.cfg.force_latency.as_micros());
+                obs.record_at(Phase::Fsync, self.cfg.force_latency.as_micros(), resume_at);
                 if let Some(opened) = n.state.group_opened_at.take() {
-                    obs.record(Phase::GroupFlush, resume_at.since(opened).as_micros());
+                    obs.record_at(
+                        Phase::GroupFlush,
+                        resume_at.since(opened).as_micros(),
+                        resume_at,
+                    );
                 }
             } else {
                 n.state.group_opened_at = None;

@@ -158,3 +158,50 @@ fn recorder_survives_restart() {
         prep.count
     );
 }
+
+/// The timeline rides the virtual clock: two identical runs must render
+/// byte-identical timeline JSON on every node, and — since a sim run
+/// fits inside the ring — summing the per-window histogram deltas must
+/// reproduce the cumulative phase histograms exactly.
+#[test]
+fn virtual_clock_timelines_are_deterministic() {
+    let run = || {
+        let mut sim = Sim::new(SimConfig::default().observed());
+        let cfg = NodeConfig::new(ProtocolKind::PresumedAbort);
+        let n0 = sim.add_node(cfg.clone());
+        let n1 = sim.add_node(cfg.clone());
+        let n2 = sim.add_node(cfg);
+        sim.declare_partner(n0, n1);
+        sim.declare_partner(n0, n2);
+        for i in 0..10 {
+            sim.push_txn(TxnSpec::star_update(n0, &[n1, n2], &format!("k{i}")));
+        }
+        sim.run().assert_clean();
+        sim
+    };
+
+    let a = run();
+    let b = run();
+    for node in [NodeId(0), NodeId(1), NodeId(2)] {
+        let ta = a.timeline_snapshot(node).expect("timeline attached");
+        let tb = b.timeline_snapshot(node).expect("timeline attached");
+        let ja = tpc_obs::render_timeline_json(&ta);
+        let jb = tpc_obs::render_timeline_json(&tb);
+        assert_eq!(ja, jb, "node {node}: timelines diverged across reruns");
+        assert!(!ta.windows.is_empty(), "node {node} recorded activity");
+        assert_eq!(ta.late_drops, 0, "nothing left the ring mid-run");
+
+        // Window deltas resum to the cumulative view.
+        let cumulative = a.obs_snapshot(node).expect("observed run");
+        for phase in [Phase::Work, Phase::Prepare, Phase::Fsync] {
+            let windowed = ta.hist_total(tpc_obs::TimelineHist::Phase(phase));
+            match cumulative.phase(phase) {
+                Some(h) => assert_eq!(
+                    &windowed, h,
+                    "node {node} phase {phase}: windowed sum != cumulative"
+                ),
+                None => assert_eq!(windowed.count, 0, "node {node} phase {phase}"),
+            }
+        }
+    }
+}

@@ -328,6 +328,10 @@ impl LogManager for FaultyLog {
         self.inner.stats()
     }
 
+    fn pending_forces(&self) -> u64 {
+        self.inner.pending_forces()
+    }
+
     fn crash_discard(&mut self) {
         self.inner.crash_discard();
         self.damage_image();

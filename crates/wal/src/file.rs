@@ -98,6 +98,8 @@ pub struct FileLog {
     stats: LogStats,
     /// What `open` found at the end of the durable prefix.
     recovered_tail: TailState,
+    /// Logically forced appends not yet covered by a physical sync.
+    pending_forces: u64,
 }
 
 impl FileLog {
@@ -116,6 +118,7 @@ impl FileLog {
             cache: Vec::new(),
             stats: LogStats::default(),
             recovered_tail: TailState::Clean,
+            pending_forces: 0,
         })
     }
 
@@ -142,6 +145,7 @@ impl FileLog {
             cache: recovered,
             stats: LogStats::default(),
             recovered_tail: report.tail,
+            pending_forces: 0,
         })
     }
 
@@ -266,6 +270,7 @@ impl FileLog {
         self.stats.bytes += payload.len() as u64;
         if durability.is_forced() {
             self.stats.forced_writes += 1;
+            self.pending_forces += 1;
         }
         self.cache.push((lsn, stream, record));
         Ok(lsn)
@@ -284,6 +289,7 @@ impl LogManager for FileLog {
             self.stats.physical_flushes += 1;
             self.writer.flush()?;
             self.writer.get_ref().sync_data()?;
+            self.pending_forces = 0;
         }
         Ok(lsn)
     }
@@ -304,6 +310,7 @@ impl LogManager for FileLog {
         self.stats.physical_flushes += 1;
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        self.pending_forces = 0;
         Ok(())
     }
 
@@ -325,6 +332,10 @@ impl LogManager for FileLog {
         self.stats
     }
 
+    fn pending_forces(&self) -> u64 {
+        self.pending_forces
+    }
+
     fn crash_discard(&mut self) {
         // A dropped `BufWriter` flushes its buffer, which would let
         // non-forced records survive a "crash". Swap in a fresh writer and
@@ -343,6 +354,7 @@ impl LogManager for FileLog {
         let _ = self.writer.get_mut().set_len(self.next_offset);
         let _ = self.writer.seek(SeekFrom::Start(self.next_offset));
         self.cache = durable;
+        self.pending_forces = 0;
     }
 }
 

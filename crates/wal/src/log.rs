@@ -141,6 +141,14 @@ pub trait LogManager {
     /// Cumulative statistics.
     fn stats(&self) -> LogStats;
 
+    /// Force-queue depth: logically forced appends not yet covered by a
+    /// physical flush (the records group commit is holding hostage).
+    /// Saturation telemetry — a gauge, not a counter. The default returns
+    /// zero for backends that flush every force inline.
+    fn pending_forces(&self) -> u64 {
+        0
+    }
+
     /// Models a crash at this instant: buffered (non-durable) appends are
     /// discarded instead of reaching stable storage. Implementations whose
     /// teardown would otherwise flush the buffer (e.g. a buffered file
@@ -187,6 +195,10 @@ impl<L: LogManager + ?Sized> LogManager for Box<L> {
 
     fn stats(&self) -> LogStats {
         (**self).stats()
+    }
+
+    fn pending_forces(&self) -> u64 {
+        (**self).pending_forces()
     }
 
     fn crash_discard(&mut self) {

@@ -197,6 +197,13 @@ impl LogManager for MemLog {
         self.stats
     }
 
+    fn pending_forces(&self) -> u64 {
+        self.volatile
+            .iter()
+            .filter(|e| e.durability.is_forced())
+            .count() as u64
+    }
+
     fn crash_discard(&mut self) {
         self.volatile.clear();
     }

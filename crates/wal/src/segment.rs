@@ -117,6 +117,9 @@ pub struct SegmentedLog {
     stats: LogStats,
     seg_stats: SegmentStats,
     recovered_tail: TailState,
+    /// Logically forced appends not yet covered by a physical sync (the
+    /// force queue group commit is accumulating).
+    pending_forces: u64,
 }
 
 /// `wal-0007.seg` style name for segment `seq` (widths beyond 4 digits
@@ -293,6 +296,7 @@ impl SegmentedLog {
                 ..SegmentStats::default()
             },
             recovered_tail: TailState::Clean,
+            pending_forces: 0,
         })
     }
 
@@ -422,6 +426,7 @@ impl SegmentedLog {
             stats: LogStats::default(),
             seg_stats: SegmentStats::default(),
             recovered_tail: tail,
+            pending_forces: 0,
         })
     }
 
@@ -546,6 +551,7 @@ impl SegmentedLog {
         self.stats.writes += 1;
         self.stats.bytes += payload.len() as u64;
         if durability.is_forced() {
+            self.pending_forces += 1;
             self.stats.forced_writes += 1;
         }
         self.active_txns.insert(record.txn());
@@ -559,6 +565,7 @@ impl SegmentedLog {
     fn sync_active(&mut self) -> Result<()> {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        self.pending_forces = 0;
         Ok(())
     }
 }
@@ -642,6 +649,10 @@ impl LogManager for SegmentedLog {
         self.stats
     }
 
+    fn pending_forces(&self) -> u64 {
+        self.pending_forces
+    }
+
     fn crash_discard(&mut self) {
         // Sealed segments were synced at rotation; only the active
         // segment holds bytes a power failure would lose. Swap in a
@@ -675,6 +686,7 @@ impl LogManager for SegmentedLog {
             .filter(|(_, _, r)| is_end_marker(r))
             .map(|(_, _, r)| r.txn())
             .collect();
+        self.pending_forces = 0;
     }
 }
 

@@ -90,6 +90,10 @@ impl LogManager for SharedLog {
         self.lock().stats()
     }
 
+    fn pending_forces(&self) -> u64 {
+        self.lock().pending_forces()
+    }
+
     fn crash_discard(&mut self) {
         self.lock().crash_discard()
     }

@@ -3,8 +3,9 @@
 //! `/metrics` endpoint and export one cross-node chrome trace.
 //!
 //! ```text
-//! cargo run --example tcp_trace                    # print both exports
-//! cargo run --example tcp_trace -- trace.json      # write chrome-trace
+//! cargo run --example tcp_trace                                   # print both exports
+//! cargo run --example tcp_trace -- trace.json                     # write chrome-trace
+//! cargo run --example tcp_trace -- trace.json timeline.json       # + windowed timeline
 //! ```
 //!
 //! Three nodes speak Presumed Abort over loopback TCP sockets. The
@@ -111,6 +112,36 @@ fn main() {
     assert!(sample("tpc_recovery_in_doubt_total") >= 1.0, "{body}");
     assert!(sample("tpc_recovery_wal_records_total") >= 1.0, "{body}");
     assert!(sample("tpc_recovery_queries_sent_total") >= 1.0, "{body}");
+
+    // The windowed view of the same story: `/timeline` carries every
+    // node's ring with the counter/gauge/histogram families, and the
+    // committed transaction landed in some window.
+    let timeline = http_get(server.addr(), "/timeline");
+    eprintln!("timeline live at http://{}/timeline", server.addr());
+    for family in [
+        "\"window_us\":",
+        "\"windows\":[",
+        "\"counters\":{",
+        "\"committed\":",
+        "\"in_doubt_entered\":",
+        "\"gauges\":{",
+        "\"lane_inbox\":",
+        "\"latency\":{",
+        "\"commit\":",
+    ] {
+        assert!(timeline.contains(family), "missing {family} in {timeline}");
+    }
+
+    // And the flight recorder: the victim's ring must carry its in-doubt
+    // entry, the resolution after restart, and the commit decision.
+    let flight = http_get(server.addr(), "/debug/flight");
+    for kind in ["in_doubt_enter", "in_doubt_resolve", "decision"] {
+        assert!(flight.contains(kind), "missing {kind} in {flight}");
+    }
+    if let Some(path) = std::env::args().nth(2) {
+        std::fs::write(&path, &timeline).expect("write timeline file");
+        eprintln!("wrote windowed /timeline scrape to {path}");
+    }
 
     // One causally-stitched tree across all three nodes, over TCP.
     let trace = cluster.chrome_trace(id);

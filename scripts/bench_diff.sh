@@ -9,11 +9,13 @@
 # "baseline" — and the
 # table shows txn/s, commit-latency p99 and physical flushes side by
 # side with percentage deltas, followed by the scale-curve rows
-# (matched on lanes × in-flight × saturation) and the failure-path rows
-# (in-doubt p99, recovery duration) when both files carry them. Exits
-# non-zero on malformed input or schema drift (a row missing its
-# required fields), never on a slow result — CI runs it as a schema
-# gate, the deltas themselves are warn-only.
+# (matched on lanes × in-flight × saturation), the failure-path rows
+# (in-doubt p99, recovery duration) and the saturation cell's windowed
+# timeline summary when both files carry them. Exits non-zero on
+# malformed input or schema drift (a row missing its required fields, or
+# the timeline section disappearing after it existed), never on a slow
+# result — CI runs it as a schema gate, the deltas themselves are
+# warn-only.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -108,4 +110,36 @@ if old_fp or new_fp:
             f"{name:<26} {o['in_doubt_us']['p99']:>16} {n['in_doubt_us']['p99']:>10} "
             f"{o['restart_to_recovered_ms']:>15.1f} {n['restart_to_recovered_ms']:>10.1f}"
         )
+
+# Timeline section (the saturation cell's windowed telemetry): validate
+# the schema wherever the section appears; once the old file carries it,
+# a new file without it is schema drift.
+def check_timeline(d, path):
+    t = d.get("timeline")
+    if t is None:
+        return None
+    for f in ("cell", "window_us", "late_drops", "windows"):
+        assert f in t, f"{path}: timeline missing {f!r}"
+    assert t["windows"], f"{path}: timeline.windows is empty"
+    required = {"start_us", "committed", "aborted", "rejected", "tps",
+                "commit_p99_us", "admit_queue_max", "in_flight_max"}
+    for w in t["windows"]:
+        missing = required - w.keys()
+        assert not missing, f"{path}: timeline window missing {missing}: {w}"
+    return t
+
+old_tl = check_timeline(old, old_path)
+new_tl = check_timeline(new, new_path)
+assert not (old_tl is not None and new_tl is None), \
+    f"{new_path}: timeline section dropped (present in {old_path}): schema drift"
+if new_tl is not None:
+    peak = max(w["tps"] for w in new_tl["windows"])
+    queue = max(w["admit_queue_max"] for w in new_tl["windows"])
+    rejected = sum(w["rejected"] for w in new_tl["windows"])
+    print()
+    print(
+        f"timeline ({new_tl['cell']} cell, {new_tl['window_us']}us windows): "
+        f"{len(new_tl['windows'])} active windows, peak {peak:.0f} txn/s, "
+        f"peak admit queue {queue}, {rejected} rejections"
+    )
 EOF

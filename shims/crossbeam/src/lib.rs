@@ -151,6 +151,12 @@ pub mod channel {
             self.shared.inner.lock().unwrap().queue.is_empty()
         }
 
+        /// Number of values queued right now (a momentary reading, like
+        /// the real crate's `len`).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
         /// Blocks up to `timeout` for a value.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
